@@ -1,0 +1,223 @@
+// Command camsim runs a multi-program workload on the simulated memory
+// system under a chosen timing-protection scheme and reports per-core and
+// system statistics.
+//
+//	camsim -workload gcc,astar,astar,astar -scheme bdc -cycles 1000000
+//	camsim -scenario experiment.json
+//
+// Schemes: noshaping, cs, tp, fs, reqc, respc, bdc, br. For the shaping
+// schemes, request shapers default to each core's measured distribution
+// and the response shaper (respc/bdc) protects core 0. Workload names
+// that are readable files load as recorded traces (see tracecap); a
+// -scenario JSON file describes everything declaratively (see
+// internal/scenario).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"camouflage/internal/core"
+	"camouflage/internal/harness"
+	"camouflage/internal/mem"
+	"camouflage/internal/scenario"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+	"camouflage/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "gcc,astar,astar,astar", "comma-separated benchmark list, one per core")
+	schemeName := flag.String("scheme", "noshaping", "noshaping, cs, tp, fs, reqc, respc, bdc, br")
+	cycles := flag.Uint64("cycles", 1_000_000, "cycles to simulate")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	scenarioPath := flag.String("scenario", "", "run a declarative JSON scenario instead of -workload/-scheme")
+	flag.Parse()
+
+	var err error
+	if *scenarioPath != "" {
+		err = runScenario(*scenarioPath, sim.Cycle(*cycles))
+	} else {
+		err = run(*workload, *schemeName, sim.Cycle(*cycles), *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "camsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runScenario loads, builds and reports a declarative scenario. The
+// scenario's own cycle count wins over the flag when set.
+func runScenario(path string, cycles sim.Cycle) error {
+	s, err := scenario.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	sys, err := s.Build()
+	if err != nil {
+		return err
+	}
+	if s.Cycles > 0 {
+		cycles = sim.Cycle(s.Cycles)
+	}
+	names := make([]string, len(s.Cores))
+	for i, c := range s.Cores {
+		names[i] = c.Workload
+	}
+	reportRun(sys, names, cycles, fmt.Sprintf("scenario=%s scheme=%s", s.Name, s.Scheme))
+	return nil
+}
+
+func run(workload, schemeName string, cycles sim.Cycle, seed uint64) error {
+	names := strings.Split(workload, ",")
+	scheme, err := scenario.ParseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Cores = len(names)
+	cfg.Seed = seed
+	cfg.Scheme = scheme
+
+	sources, err := buildSources(names, seed)
+	if err != nil {
+		return err
+	}
+
+	// Shaping schemes need configurations; derive them from a short
+	// unshaped measurement run so the shaped distributions match each
+	// core's own traffic.
+	switch scheme {
+	case core.CS:
+		sc := shaper.ConstantRate(stats.DefaultBinning(), harness.BandwidthInterval(1e9), 4*shaper.DefaultWindow, true)
+		cfg.ReqShaperCfg = &sc
+	case core.ReqC:
+		sc := harness.DesiredStaircase()
+		cfg.ReqShaperCfg = &sc
+	case core.RespC, core.BDC:
+		if err := deriveShapers(&cfg, names, seed, cycles/4); err != nil {
+			return err
+		}
+	}
+
+	sys, err := core.NewSystem(cfg, sources)
+	if err != nil {
+		return err
+	}
+	reportRun(sys, names, cycles, fmt.Sprintf("scheme=%v", scheme))
+	return nil
+}
+
+// reportRun attaches latency probes, runs the system and prints the
+// per-core and system report.
+func reportRun(sys *core.System, names []string, cycles sim.Cycle, header string) {
+	latencies := make([]*stats.Summary, len(names))
+	for i := range latencies {
+		s := &stats.Summary{}
+		latencies[i] = s
+		sys.Cores[i].OnResponse = func(_ sim.Cycle, resp *mem.Request) {
+			s.Add(float64(resp.Latency()))
+		}
+	}
+	sys.Run(cycles)
+
+	fmt.Printf("%s cycles=%d\n\n", header, cycles)
+	fmt.Printf("%-6s %-10s %8s %10s %10s %10s %10s %8s %8s %8s\n",
+		"core", "workload", "IPC", "refs", "responses", "memstall", "shapstall", "p50", "p95", "p99")
+	for i, c := range sys.Cores {
+		st := c.Stats()
+		lat := latencies[i]
+		fmt.Printf("%-6d %-10s %8.3f %10d %10d %10d %10d %8.0f %8.0f %8.0f\n",
+			i, names[i], st.IPC(), st.Refs, st.Responses, st.MemStallCycles, st.ShaperStallCycles,
+			lat.Percentile(50), lat.Percentile(95), lat.Percentile(99))
+	}
+	cs := sys.Channel.Stats()
+	mc := sys.MC.Stats()
+	fmt.Printf("\nsystem IPC %.3f | DRAM reads %d writes %d row-hit %.2f refreshes %d | MC issued %d mean-occupancy %.2f\n",
+		sys.SystemIPC(), cs.Reads, cs.Writes, cs.HitRate(), cs.Refreshes, mc.Issued, mc.MeanOccupancy())
+	for i, sh := range sys.ReqShapers {
+		if sh != nil {
+			st := sh.Stats()
+			fmt.Printf("reqc[%d]: real %d fake %d delayed-cycles %d\n", i, st.ReleasedReal, st.ReleasedFake, st.DelayedCycles)
+		}
+	}
+	for i, sh := range sys.RespShapers {
+		if sh != nil {
+			st := sh.Stats()
+			fmt.Printf("respc[%d]: real %d fake %d warnings %d\n", i, st.ReleasedReal, st.ReleasedFake, st.WarningsSent)
+		}
+	}
+}
+
+// buildSources resolves each workload name to either a benchmark profile
+// generator or, when the name is a readable recorded-trace file (as
+// produced by tracecap), a looping replay of that trace.
+func buildSources(names []string, seed uint64) ([]trace.Source, error) {
+	rng := sim.NewRNG(seed + 17)
+	sources := make([]trace.Source, len(names))
+	for i, raw := range names {
+		n := strings.TrimSpace(raw)
+		if f, err := os.Open(n); err == nil {
+			entries, rerr := trace.ReadTrace(f)
+			f.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("%s: %w", n, rerr)
+			}
+			sources[i] = trace.NewLoopSource(entries)
+			continue
+		}
+		p, err := trace.ProfileByName(n)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = trace.NewGenerator(p, rng.Fork())
+	}
+	return sources, nil
+}
+
+// deriveShapers measures each core's unshaped distributions and installs
+// matching shaper configurations: request shapers on every core but core 0
+// and a response shaper on core 0 (the protected/adversary split used
+// throughout the paper's evaluation).
+func deriveShapers(cfg *core.Config, names []string, seed uint64, measureCycles sim.Cycle) error {
+	probe := *cfg
+	probe.Scheme = core.NoShaping
+	sources, err := buildSources(names, seed)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(probe, sources)
+	if err != nil {
+		return err
+	}
+	reqRecs := make([]*stats.InterArrivalRecorder, len(names))
+	for i := range reqRecs {
+		reqRecs[i] = stats.NewInterArrivalRecorder(stats.DefaultBinning(), false)
+	}
+	respRec := stats.NewInterArrivalRecorder(stats.DefaultBinning(), false)
+	sys.ReqNet.AddTap(func(now sim.Cycle, req *mem.Request) { reqRecs[req.Core].Observe(now) })
+	sys.RespNet.AddTap(func(now sim.Cycle, req *mem.Request) {
+		if req.Core == 0 {
+			respRec.Observe(now)
+		}
+	})
+	sys.Run(measureCycles)
+
+	window := 4 * shaper.DefaultWindow
+	cfg.PerCoreRespCfg = map[int]shaper.Config{0: shaper.FromHistogram(respRec.Hist, window, 0, true)}
+	cfg.RespShaperCores = []int{0}
+	if cfg.Scheme == core.BDC {
+		cfg.PerCoreReqCfg = map[int]shaper.Config{}
+		var reqCores []int
+		for i := 1; i < len(names); i++ {
+			cfg.PerCoreReqCfg[i] = shaper.FromHistogram(reqRecs[i].Hist, window, 0, true)
+			reqCores = append(reqCores, i)
+		}
+		cfg.ReqShaperCores = reqCores
+	}
+	return nil
+}

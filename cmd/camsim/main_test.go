@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+func TestBuildSourcesProfiles(t *testing.T) {
+	srcs, err := buildSources([]string{"mcf", " astar "}, 1)
+	if err != nil || len(srcs) != 2 {
+		t.Fatalf("buildSources: %v, %d sources", err, len(srcs))
+	}
+	if _, err := buildSources([]string{"not-a-benchmark"}, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestBuildSourcesReplaysTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.trace")
+	p, err := trace.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := trace.Capture(trace.NewGenerator(p, sim.NewRNG(3)), 100)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteTrace(f, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srcs, err := buildSources([]string{path}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := srcs[0].Next()
+	if !ok || e != entries[0] {
+		t.Fatalf("replay head %+v, want %+v", e, entries[0])
+	}
+	// A corrupt file must error rather than fall back silently.
+	bad := filepath.Join(dir, "bad.trace")
+	os.WriteFile(bad, []byte("CAMTgarbage"), 0o644)
+	if _, err := buildSources([]string{bad}, 1); err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Command covert demonstrates the paper's covert-channel attack
+// (Algorithm 1) and its mitigation by Request Camouflage: a malicious
+// program pulses memory traffic to transmit a key, a bus-monitoring
+// receiver decodes it, and the same attack is repeated under Camouflage.
+//
+//	covert -key 0x2AAAAAAA -bits 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"camouflage/internal/harness"
+)
+
+func main() {
+	keyStr := flag.String("key", "0x2AAAAAAA", "key to transmit (hex or decimal)")
+	bits := flag.Int("bits", 32, "key length in bits")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	key, err := parseKey(*keyStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covert:", err)
+		os.Exit(1)
+	}
+	res, err := harness.CovertChannel(key, *bits, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covert:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Table().String())
+	fmt.Printf("attack without Camouflage: BER %.2f (key %s)\n", res.BeforeDecode.BER, verdict(res.BeforeDecode.BER))
+	fmt.Printf("attack with Camouflage:    BER %.2f (key %s)\n", res.AfterDecode.BER, verdict(res.AfterDecode.BER))
+}
+
+func verdict(ber float64) string {
+	if ber == 0 {
+		return "fully recovered"
+	}
+	if ber < 0.2 {
+		return "mostly recovered"
+	}
+	return "destroyed"
+}
+
+func parseKey(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

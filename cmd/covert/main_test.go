@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseKey(t *testing.T) {
+	cases := map[string]uint64{
+		"0x2AAAAAAA": 0x2AAAAAAA,
+		"0XFF":       0xFF,
+		"42":         42,
+		" 7 ":        7,
+	}
+	for in, want := range cases {
+		got, err := parseKey(in)
+		if err != nil || got != want {
+			t.Errorf("parseKey(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "0x", "zz", "-3"} {
+		if _, err := parseKey(bad); err == nil {
+			t.Errorf("parseKey(%q) accepted", bad)
+		}
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if verdict(0) != "fully recovered" {
+		t.Fatal("BER 0 verdict")
+	}
+	if verdict(0.1) != "mostly recovered" {
+		t.Fatal("BER 0.1 verdict")
+	}
+	if verdict(0.5) != "destroyed" {
+		t.Fatal("BER 0.5 verdict")
+	}
+}

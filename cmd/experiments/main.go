@@ -1,0 +1,147 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Run it with no flags for the full suite, or select one
+// experiment with -run:
+//
+//	experiments -run fig11
+//	experiments -run mi -cycles 800000
+//
+// The per-experiment index (what each id reproduces and with which
+// modules) is in DESIGN.md; measured-vs-paper numbers are recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"camouflage/internal/harness"
+	"camouflage/internal/sim"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: table1, table2, fig2, fig3, fig4, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13a, fig13b, fig14, fig15, mi, headline, scalability, epochrate, windowleak, phasedetect, mitts, all")
+	cycles := flag.Uint64("cycles", uint64(harness.DefaultRunCycles), "measured cycles per run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	adversary := flag.String("adversary", "gcc", "adversary benchmark for fig9")
+	useGA := flag.Bool("ga", false, "refine BDC configurations with the online GA (fig13, slower)")
+	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	flag.Parse()
+
+	c := sim.Cycle(*cycles)
+	want := func(name string) bool { return *run == "all" || *run == name }
+	failed := false
+	emit := func(name string, table *harness.Table) {
+		fmt.Println(strings.TrimRight(table.String(), "\n") + "\n")
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				failed = true
+			}
+		}
+	}
+	report := func(name string, r tabler, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			return
+		}
+		emit(name, r.Table())
+	}
+
+	if want("table1") {
+		emit("table1", harness.SchemeCapabilityTable())
+	}
+	if want("table2") {
+		emit("table2", harness.BaseConfigTable())
+	}
+	if want("fig2") {
+		r, err := harness.TradeoffSpace("bzip", c, *seed)
+		report("fig2", r, err)
+	}
+	if want("fig3") {
+		r, err := harness.ShapedDistributions("bzip", c, *seed)
+		report("fig3", r, err)
+	}
+	if want("fig4") {
+		r, err := harness.KeyDistortion(0x2AAAAAAA, 32, *seed)
+		report("fig4", r, err)
+	}
+	if want("fig8") {
+		r, err := harness.GATimeline("gcc", "astar", 16, 10, *seed)
+		report("fig8", r, err)
+	}
+	if want("fig9") {
+		r, err := harness.ReturnTimeDifference(*adversary, c, *seed)
+		report("fig9", r, err)
+	}
+	if want("fig10a") {
+		r, err := harness.RespCPerformance("astar", "mcf", c, *seed)
+		report("fig10a", r, err)
+	}
+	if want("fig10b") {
+		r, err := harness.RespCPerformance("mcf", "astar", c, *seed)
+		report("fig10b", r, err)
+	}
+	if want("fig11") {
+		r, err := harness.DistributionAccuracy(c, *seed)
+		report("fig11", r, err)
+	}
+	if want("fig12") {
+		r, err := harness.ReqCSpeedup(c, *seed)
+		report("fig12", r, err)
+	}
+	if want("fig13a") {
+		r, err := harness.BDCComparison("astar", *useGA, c, *seed)
+		report("fig13a", r, err)
+	}
+	if want("fig13b") {
+		r, err := harness.BDCComparison("mcf", *useGA, c, *seed)
+		report("fig13b", r, err)
+	}
+	if want("fig14") {
+		r, err := harness.CovertChannel(0x2AAAAAAA, 32, *seed)
+		report("fig14", r, err)
+	}
+	if want("fig15") {
+		r, err := harness.CovertChannel(0x01010101, 32, *seed)
+		report("fig15", r, err)
+	}
+	if want("mi") {
+		r, err := harness.MutualInformation("astar", c, *seed)
+		report("mi", r, err)
+	}
+	if want("headline") {
+		r, err := harness.HeadlineSpeedups(c, *seed)
+		report("headline", r, err)
+	}
+	if want("scalability") {
+		r, err := harness.Scalability([]int{4, 8, 16}, c, *seed)
+		report("scalability", r, err)
+	}
+	if want("epochrate") {
+		r, err := harness.EpochRateComparison("gcc", c, *seed)
+		report("epochrate", r, err)
+	}
+	if want("windowleak") {
+		r, err := harness.WithinWindowLeakage("bzip", nil, c, *seed)
+		report("windowleak", r, err)
+	}
+	if want("phasedetect") {
+		r, err := harness.PhaseDetection(2*c, *seed)
+		report("phasedetect", r, err)
+	}
+	if want("mitts") {
+		r, err := harness.MITTSFairness(c, *seed)
+		report("mitts", r, err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// tabler is any result exposing a text table.
+type tabler interface{ Table() *harness.Table }

@@ -1,0 +1,43 @@
+// Covertchannel: the paper's Algorithm 1 attack end to end. A malicious
+// program encodes a secret key in memory-traffic burstiness (pulse of
+// cache-missing stores = 1, silence = 0); a bus-monitoring receiver
+// recovers the key. Request Camouflage then shapes the traffic — fake
+// requests fill the silences — and the channel dies.
+package main
+
+import (
+	"fmt"
+
+	"camouflage/internal/harness"
+)
+
+func main() {
+	const key = 0xDEADBEEF
+	const bits = 32
+
+	res, err := harness.CovertChannel(key, bits, 99)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("transmitting key 0x%X over the memory bus (Algorithm 1)\n\n", uint32(key))
+	fmt.Println("traffic per pulse, unprotected: ", harness.Sparkline(res.BeforeCounts))
+	fmt.Println("traffic per pulse, Camouflage:  ", harness.Sparkline(res.AfterCounts))
+	fmt.Println()
+	fmt.Printf("%-22s %s\n", "bits sent:", bitString(res.SentBits))
+	fmt.Printf("%-22s %s   (BER %.2f)\n", "decoded, unprotected:", bitString(res.BeforeDecode.Bits), res.BeforeDecode.BER)
+	fmt.Printf("%-22s %s   (BER %.2f)\n", "decoded, Camouflage:", bitString(res.AfterDecode.Bits), res.AfterDecode.BER)
+
+	if res.BeforeDecode.BER == 0 && res.AfterDecode.BER > 0.3 {
+		fmt.Println("\nThe receiver recovers the key perfectly without protection and")
+		fmt.Println("decodes noise with Camouflage enabled — the covert channel is gone.")
+	}
+}
+
+func bitString(bits []int) string {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		out[i] = byte('0' + b)
+	}
+	return string(out)
+}

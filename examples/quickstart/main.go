@@ -1,0 +1,61 @@
+// Quickstart: build a one-core system, attach Request Camouflage, and
+// watch an application's memory request distribution get shaped into a
+// chosen one — the core idea of the paper in ~60 lines.
+package main
+
+import (
+	"fmt"
+
+	"camouflage/internal/core"
+	"camouflage/internal/harness"
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+func main() {
+	// 1. Pick a workload. The trace package ships profiles for the
+	// paper's SPECInt 2006 + Apache suite.
+	profile, err := trace.ProfileByName("gcc")
+	if err != nil {
+		panic(err)
+	}
+	source := trace.NewGenerator(profile, sim.NewRNG(42))
+
+	// 2. Configure the system: Table II's machine with Request
+	// Camouflage shaping core 0 into the DESIRED staircase distribution,
+	// fake traffic included.
+	cfg := core.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Scheme = core.ReqC
+	target := harness.DesiredStaircase()
+	cfg.ReqShaperCfg = &target
+
+	sys, err := core.NewSystem(cfg, []trace.Source{source})
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Run half a million cycles.
+	sys.Run(500_000)
+
+	// 4. Inspect: the intrinsic distribution (what gcc wanted to do) vs
+	// the shaped distribution (what the memory bus saw).
+	sh := sys.ReqShapers[0]
+	st := sh.Stats()
+	windows := float64(st.Replenishments)
+
+	fmt.Println("bin lower edges (cycles):", target.Binning.Edges)
+	fmt.Println("target credits/window:   ", target.Credits)
+	fmt.Print("intrinsic per window:     ")
+	for _, c := range sh.Intrinsic.Hist.Counts {
+		fmt.Printf("%5.1f", float64(c)/windows)
+	}
+	fmt.Print("\nshaped per window:        ")
+	for _, c := range sh.Shaped.Hist.Counts {
+		fmt.Printf("%5.1f", float64(c)/windows)
+	}
+	fmt.Printf("\n\nreal releases %d, fake releases %d, core IPC %.3f\n",
+		st.ReleasedReal, st.ReleasedFake, sys.IPC(0))
+	fmt.Println("\nThe shaped row matches the target regardless of what gcc did —")
+	fmt.Println("that fixed bus-visible distribution is what the adversary sees.")
+}

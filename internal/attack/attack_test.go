@@ -1,0 +1,217 @@
+package attack
+
+import (
+	"testing"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+func TestBusMonitorFilters(t *testing.T) {
+	m := NewBusMonitor(1)
+	m.Observe(10, &mem.Request{Core: 0})
+	m.Observe(20, &mem.Request{Core: 1})
+	m.Observe(30, &mem.Request{Core: 1, Fake: true}) // fakes are visible
+	if m.Count() != 2 {
+		t.Fatalf("count %d, want 2", m.Count())
+	}
+	all := NewBusMonitor(-1)
+	all.Observe(10, &mem.Request{Core: 0})
+	all.Observe(20, &mem.Request{Core: 3})
+	if all.Count() != 2 {
+		t.Fatal("unfiltered monitor missed traffic")
+	}
+}
+
+func TestWindowCounts(t *testing.T) {
+	m := NewBusMonitor(-1)
+	for _, at := range []sim.Cycle{5, 15, 25, 105, 115, 205} {
+		m.Observe(at, &mem.Request{})
+	}
+	counts := m.WindowCounts(0, 100, 3)
+	want := []int{3, 2, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("window counts %v, want %v", counts, want)
+		}
+	}
+	// Offset start.
+	shifted := m.WindowCounts(100, 100, 2)
+	if shifted[0] != 2 || shifted[1] != 1 {
+		t.Fatalf("shifted counts %v", shifted)
+	}
+}
+
+func TestInterArrivals(t *testing.T) {
+	m := NewBusMonitor(-1)
+	for _, at := range []sim.Cycle{10, 15, 35} {
+		m.Observe(at, &mem.Request{})
+	}
+	ia := m.InterArrivals()
+	if len(ia) != 2 || ia[0] != 5 || ia[1] != 20 {
+		t.Fatalf("inter-arrivals %v", ia)
+	}
+	if NewBusMonitor(-1).InterArrivals() != nil {
+		t.Fatal("empty monitor returned inter-arrivals")
+	}
+}
+
+func TestDecodeCovertChannelPerfect(t *testing.T) {
+	sent := []int{1, 0, 1, 1, 0, 0, 1, 0}
+	counts := make([]int, len(sent))
+	for i, b := range sent {
+		counts[i] = b*40 + 1
+	}
+	res := DecodeCovertChannel(counts, sent)
+	if res.BER != 0 || res.Errors != 0 {
+		t.Fatalf("clean decode BER %v", res.BER)
+	}
+	for i := range sent {
+		if res.Bits[i] != sent[i] {
+			t.Fatalf("decoded %v, want %v", res.Bits, sent)
+		}
+	}
+}
+
+func TestDecodeCovertChannelFlatTraffic(t *testing.T) {
+	sent := []int{1, 0, 1, 0, 1, 0, 1, 0}
+	counts := []int{50, 50, 50, 50, 50, 50, 50, 50}
+	res := DecodeCovertChannel(counts, sent)
+	if res.BER < 0.4 {
+		t.Fatalf("flat traffic decoded with BER %v", res.BER)
+	}
+}
+
+func TestDecodeCovertChannelEmpty(t *testing.T) {
+	res := DecodeCovertChannel(nil, nil)
+	if res.BER != 0 || len(res.Bits) != 0 {
+		t.Fatalf("empty decode %+v", res)
+	}
+}
+
+func TestResponseProbeAndDifference(t *testing.T) {
+	a, b := NewResponseProbe(), NewResponseProbe()
+	mk := func(created, delivered sim.Cycle) *mem.Request {
+		return &mem.Request{CreatedAt: created, DeliveredAt: delivered}
+	}
+	a.OnResponse(0, mk(0, 100))
+	a.OnResponse(0, mk(0, 110))
+	b.OnResponse(0, mk(0, 150))
+	b.OnResponse(0, mk(0, 180))
+	diff := AccumulatedDifference(a, b)
+	if len(diff) != 2 || diff[0] != 50 || diff[1] != 120 {
+		t.Fatalf("accumulated diff %v", diff)
+	}
+}
+
+func TestAccumulatedDifferenceTruncates(t *testing.T) {
+	a, b := NewResponseProbe(), NewResponseProbe()
+	a.latencies = []sim.Cycle{10, 20, 30}
+	b.latencies = []sim.Cycle{15}
+	if d := AccumulatedDifference(a, b); len(d) != 1 || d[0] != 5 {
+		t.Fatalf("diff %v", d)
+	}
+}
+
+func TestObservableProbePairing(t *testing.T) {
+	p := NewObservableProbe(0)
+	req := func(at sim.Cycle) { p.ObserveRequest(at, &mem.Request{Core: 0}) }
+	resp := func(at sim.Cycle) { p.ObserveResponse(at, &mem.Request{Core: 0}) }
+	req(10)
+	resp(50) // pairs with req@10: 40
+	req(60)
+	resp(55) // stale (before req@60): skipped
+	resp(90) // pairs with req@60: 30
+	lats := p.Latencies()
+	if len(lats) != 2 || lats[0] != 40 || lats[1] != 30 {
+		t.Fatalf("latencies %v", lats)
+	}
+}
+
+func TestObservableProbeFiltersCoreAndFakeRequests(t *testing.T) {
+	p := NewObservableProbe(1)
+	p.ObserveRequest(10, &mem.Request{Core: 0})             // wrong core
+	p.ObserveRequest(10, &mem.Request{Core: 1, Fake: true}) // shaper fake
+	p.ObserveRequest(10, &mem.Request{Core: 1})
+	p.ObserveResponse(20, &mem.Request{Core: 0}) // wrong core
+	p.ObserveResponse(30, &mem.Request{Core: 1, Fake: true})
+	lats := p.Latencies()
+	// Fake responses DO count (indistinguishable); fake requests do not
+	// (the adversary knows what it issued).
+	if len(lats) != 1 || lats[0] != 20 {
+		t.Fatalf("latencies %v", lats)
+	}
+}
+
+func TestObservableProbeUnansweredRequests(t *testing.T) {
+	p := NewObservableProbe(0)
+	p.ObserveRequest(10, &mem.Request{Core: 0})
+	p.ObserveRequest(20, &mem.Request{Core: 0})
+	p.ObserveResponse(15, &mem.Request{Core: 0})
+	lats := p.Latencies()
+	if len(lats) != 1 || lats[0] != 5 {
+		t.Fatalf("latencies %v", lats)
+	}
+}
+
+func TestDetectPhasesSeparable(t *testing.T) {
+	// Busy windows (phase 0) have latency 200, quiet (phase 1) 100:
+	// classification must be perfect.
+	var times, lats []sim.Cycle
+	period := sim.Cycle(1000)
+	for w := sim.Cycle(0); w < 20; w++ {
+		for k := sim.Cycle(0); k < 5; k++ {
+			at := w*period + k*100
+			times = append(times, at)
+			if (w/1)%2 == 0 {
+				lats = append(lats, 200)
+			} else {
+				lats = append(lats, 100)
+			}
+		}
+	}
+	truth := func(at sim.Cycle) int { return int(at / period % 2) }
+	det := DetectPhases(times, lats, period, truth)
+	if det.Windows != 20 || det.Accuracy != 1 {
+		t.Fatalf("detection %+v", det)
+	}
+	if det.MeanBusy != 200 || det.MeanQuiet != 100 {
+		t.Fatalf("means %v/%v", det.MeanBusy, det.MeanQuiet)
+	}
+}
+
+func TestDetectPhasesFlatSignal(t *testing.T) {
+	var times, lats []sim.Cycle
+	for i := sim.Cycle(0); i < 100; i++ {
+		times = append(times, i*100)
+		lats = append(lats, 150)
+	}
+	truth := func(at sim.Cycle) int { return int(at / 1000 % 2) }
+	det := DetectPhases(times, lats, 1000, truth)
+	// With no signal, accuracy collapses toward chance.
+	if det.Accuracy > 0.65 {
+		t.Fatalf("flat signal classified at %.2f", det.Accuracy)
+	}
+}
+
+func TestDetectPhasesEmpty(t *testing.T) {
+	det := DetectPhases(nil, nil, 100, func(sim.Cycle) int { return 0 })
+	if det.Windows != 0 || det.Accuracy != 0 {
+		t.Fatalf("empty detection %+v", det)
+	}
+}
+
+func TestPairedLatenciesAligned(t *testing.T) {
+	p := NewObservableProbe(0)
+	p.ObserveRequest(10, &mem.Request{Core: 0})
+	p.ObserveRequest(20, &mem.Request{Core: 0})
+	p.ObserveResponse(15, &mem.Request{Core: 0})
+	p.ObserveResponse(50, &mem.Request{Core: 0})
+	times, lats := p.PairedLatencies()
+	if len(times) != 2 || len(lats) != 2 {
+		t.Fatalf("pairs %v %v", times, lats)
+	}
+	if times[0] != 10 || lats[0] != 5 || times[1] != 20 || lats[1] != 30 {
+		t.Fatalf("pairing %v %v", times, lats)
+	}
+}

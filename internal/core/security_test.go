@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"camouflage/internal/attack"
+	"camouflage/internal/mem"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+	"camouflage/internal/trace"
+)
+
+// advLatencyNextTo runs gcc (core 0) next to three copies of victim under
+// cfg's scheme and returns the adversary's mean observed latency.
+func advLatencyNextTo(t *testing.T, cfg Config, victim string, cycles sim.Cycle) float64 {
+	t.Helper()
+	rng := sim.NewRNG(43)
+	srcs := make([]trace.Source, 4)
+	advP, err := trace.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vicP, err := trace.ProfileByName(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs[0] = trace.NewGenerator(advP, rng.Fork())
+	for i := 1; i < 4; i++ {
+		srcs[i] = trace.NewGenerator(vicP, rng.Fork())
+	}
+	sys := MustNewSystem(cfg, srcs)
+	probe := attack.NewObservableProbe(0)
+	sys.ReqNet.AddTap(probe.ObserveRequest)
+	sys.RespNet.AddTap(probe.ObserveResponse)
+	sys.Run(cycles)
+	lats := probe.Latencies()
+	if len(lats) == 0 {
+		t.Fatal("adversary observed nothing")
+	}
+	var sum float64
+	for _, l := range lats {
+		sum += float64(l)
+	}
+	return sum / float64(len(lats))
+}
+
+// relGap returns |a-b| / min(a,b).
+func relGap(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b < m {
+		m = b
+	}
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+func TestFRFCFSLeaksVictimIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	a := advLatencyNextTo(t, cfg, "astar", 300_000)
+	m := advLatencyNextTo(t, cfg, "mcf", 300_000)
+	if relGap(a, m) < 0.2 {
+		t.Fatalf("FR-FCFS adversary latency barely moves (%.1f vs %.1f) — no channel in the substrate", a, m)
+	}
+}
+
+func TestTPIsolatesVictimIdentity(t *testing.T) {
+	// TP's security contract: the adversary's service timing must not
+	// depend on which victims it shares the machine with.
+	cfg := DefaultConfig()
+	cfg.Scheme = TP
+	a := advLatencyNextTo(t, cfg, "astar", 300_000)
+	m := advLatencyNextTo(t, cfg, "mcf", 300_000)
+	if relGap(a, m) > 0.08 {
+		t.Fatalf("TP leaked victim identity: %.1f vs %.1f", a, m)
+	}
+}
+
+func TestFSIsolatesVictimIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = FS
+	cfg.FSBankPartition = true
+	a := advLatencyNextTo(t, cfg, "astar", 300_000)
+	m := advLatencyNextTo(t, cfg, "mcf", 300_000)
+	if relGap(a, m) > 0.08 {
+		t.Fatalf("FS leaked victim identity: %.1f vs %.1f", a, m)
+	}
+}
+
+func TestBDCResponseDistributionsMatchAcrossWorkloads(t *testing.T) {
+	// §IV-F: "we run the experiments, and find the response distributions
+	// match in two workloads" — with BDC's fixed request and response
+	// configurations, the adversary's observed response distribution must
+	// be the same whether the victims are astar or mcf.
+	respHist := func(victim string) *stats.Histogram {
+		cfg := DefaultConfig()
+		cfg.Scheme = BDC
+		req := shaper.ConstantRate(stats.DefaultBinning(), 200, 4*shaper.DefaultWindow, true)
+		cfg.ReqShaperCfg = &req
+		cfg.ReqShaperCores = []int{1, 2, 3}
+		resp := shaper.ConstantRate(stats.DefaultBinning(), 250, 4*shaper.DefaultWindow, true)
+		cfg.RespShaperCfg = &resp
+		cfg.RespShaperCores = []int{0}
+
+		rng := sim.NewRNG(47)
+		srcs := make([]trace.Source, 4)
+		advP, _ := trace.ProfileByName("gcc")
+		vicP, _ := trace.ProfileByName(victim)
+		srcs[0] = trace.NewGenerator(advP, rng.Fork())
+		for i := 1; i < 4; i++ {
+			srcs[i] = trace.NewGenerator(vicP, rng.Fork())
+		}
+		sys := MustNewSystem(cfg, srcs)
+		rec := stats.NewInterArrivalRecorder(stats.DefaultBinning(), false)
+		sys.RespNet.AddTap(func(now sim.Cycle, r *mem.Request) {
+			if r.Core == 0 {
+				rec.Observe(now)
+			}
+		})
+		sys.Run(300_000)
+		return rec.Hist
+	}
+	ha := respHist("astar")
+	hm := respHist("mcf")
+	if d := ha.L1Distance(hm); d > 0.05 {
+		t.Fatalf("BDC response distributions differ across victims: L1 = %.3f\nastar: %v\nmcf:   %v",
+			d, ha.Counts, hm.Counts)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"camouflage/internal/cpu"
+	"camouflage/internal/dram"
+	"camouflage/internal/mem"
+	"camouflage/internal/memctrl"
+	"camouflage/internal/noc"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+// System is one fully wired simulated machine: cores behind private LLCs,
+// optional request shapers, the shared request channel, one memory
+// controller per DRAM channel, per-core egress (optionally through
+// response shapers) and the shared response channel back to the cores.
+type System struct {
+	Config Config
+	Kernel *sim.Kernel
+
+	Cores       []*cpu.Core
+	ReqShapers  []*shaper.RequestShaper  // indexed by core, nil if unshaped
+	RespShapers []*shaper.ResponseShaper // indexed by core, nil if unshaped
+	ReqNet      *noc.Link
+	RespNet     *noc.Link
+	// MCs and Channels hold one controller/channel pair per DRAM channel;
+	// MC and Channel alias index 0 (the paper's base system has a single
+	// channel, and most experiments address them directly).
+	MCs      []*memctrl.Controller
+	Channels []*dram.Channel
+	MC       *memctrl.Controller
+	Channel  *dram.Channel
+
+	amap   *dram.AddrMap
+	nextID uint64
+}
+
+// multiElevator fans priority warnings out to every controller, so a
+// response shaper's acceleration request takes effect wherever the core's
+// transactions land.
+type multiElevator struct {
+	mcs []*memctrl.Controller
+}
+
+// Elevate implements shaper.PriorityElevator.
+func (m multiElevator) Elevate(core, level int, until sim.Cycle) {
+	for _, mc := range m.mcs {
+		mc.Elevate(core, level, until)
+	}
+}
+
+// NewSystem builds a system running the given per-core workloads. The
+// number of sources must equal cfg.Cores.
+func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) != cfg.Cores {
+		return nil, fmt.Errorf("core: %d sources for %d cores", len(sources), cfg.Cores)
+	}
+
+	s := &System{Config: cfg, Kernel: sim.NewKernel(cfg.Seed)}
+	rng := s.Kernel.RNG()
+
+	// DRAM and its address map (bank-partitioned under FS).
+	s.amap = dram.NewAddrMap(cfg.Geometry)
+	if cfg.Scheme == FS && cfg.FSBankPartition {
+		s.amap.SetBankPartitions(dram.EqualBankPartitions(cfg.Cores, cfg.Geometry.BanksPerRank))
+	}
+
+	// One controller per DRAM channel, each with its own instance of the
+	// scheme's scheduling policy (schedulers carry per-channel state).
+	newSched := func() memctrl.Scheduler {
+		switch cfg.Scheme {
+		case TP:
+			domains := cfg.TPDomains
+			if domains <= 0 {
+				domains = cfg.Cores
+			}
+			return memctrl.NewTemporalPartitioning(cfg.TPTurnLength, domains)
+		case FS:
+			return memctrl.NewFixedService(cfg.Cores)
+		case BR:
+			interval := cfg.BRRefillInterval
+			if interval == 0 {
+				interval = sim.Cycle(25 * cfg.Cores)
+			}
+			return memctrl.NewBandwidthReserve(cfg.Cores, interval)
+		default:
+			return memctrl.FRFCFS{}
+		}
+	}
+	for ch := 0; ch < cfg.Geometry.Channels; ch++ {
+		channel := dram.NewChannel(cfg.Timing, cfg.Geometry, s.amap)
+		channel.SetClosedPage(cfg.ClosedPage)
+		s.Channels = append(s.Channels, channel)
+		s.MCs = append(s.MCs, memctrl.NewController(channel, newSched(), cfg.QueueDepth, cfg.Cores))
+	}
+	s.Channel = s.Channels[0]
+	s.MC = s.MCs[0]
+
+	// Shared channels. Requests route to the controller owning their
+	// address's DRAM channel.
+	s.ReqNet = noc.NewLink("request", cfg.Cores, cfg.NoCInputDepth, cfg.NoCLatency, cfg.NoCWidth)
+	s.ReqNet.SetRoute(func(req *mem.Request) mem.ReqPort {
+		return s.MCs[s.amap.Decode(req.Addr, req.Core).Channel]
+	})
+	s.RespNet = noc.NewLink("response", cfg.Cores, cfg.NoCInputDepth, cfg.NoCLatency, cfg.NoCWidth)
+
+	// Cores and their workloads.
+	s.Cores = make([]*cpu.Core, cfg.Cores)
+	for i := range s.Cores {
+		s.Cores[i] = cpu.New(i, cfg.CPU, sources[i], &s.nextID)
+	}
+	s.RespNet.SetRoute(func(req *mem.Request) mem.ReqPort { return s.Cores[req.Core] })
+
+	// Request shapers between cores and the request channel.
+	s.ReqShapers = make([]*shaper.RequestShaper, cfg.Cores)
+	reqShaped := make(map[int]bool)
+	for _, c := range cfg.reqShapedCores() {
+		reqShaped[c] = true
+	}
+	for i, c := range s.Cores {
+		if reqShaped[i] {
+			sh := shaper.NewRequestShaper(i, cfg.reqCfgFor(i), cfg.CPU.Cache.MSHRs+cfg.CPU.MaxPendingWB, s.ReqNet.Input(i), rng.Fork(), &s.nextID)
+			s.ReqShapers[i] = sh
+			c.SetOut(sh)
+		} else {
+			c.SetOut(s.ReqNet.Input(i))
+		}
+	}
+
+	// Response shapers at the controller egress.
+	s.RespShapers = make([]*shaper.ResponseShaper, cfg.Cores)
+	respShaped := make(map[int]bool)
+	for _, c := range cfg.respShapedCores() {
+		respShaped[c] = true
+	}
+	elevator := multiElevator{mcs: s.MCs}
+	for i := range s.Cores {
+		if respShaped[i] {
+			sh := shaper.NewResponseShaper(i, cfg.respCfgFor(i), 64, s.RespNet.Input(i), elevator, rng.Fork(), &s.nextID)
+			s.RespShapers[i] = sh
+			for _, mc := range s.MCs {
+				mc.SetEgress(i, sh)
+			}
+		} else {
+			for _, mc := range s.MCs {
+				mc.SetEgress(i, s.RespNet.Input(i))
+			}
+		}
+	}
+
+	// Tick order fixes the intra-cycle pipeline: cores produce, request
+	// shapers release, the request channel moves, DRAM state advances
+	// (refresh), the controller issues and retires, response shapers
+	// release, the response channel delivers.
+	for _, c := range s.Cores {
+		s.Kernel.Register(c)
+	}
+	for _, sh := range s.ReqShapers {
+		if sh != nil {
+			s.Kernel.Register(sh)
+		}
+	}
+	s.Kernel.Register(s.ReqNet)
+	for ch := range s.Channels {
+		s.Kernel.Register(sim.TickFunc(s.Channels[ch].Tick))
+		s.Kernel.Register(s.MCs[ch])
+	}
+	for _, sh := range s.RespShapers {
+		if sh != nil {
+			s.Kernel.Register(sh)
+		}
+	}
+	s.Kernel.Register(s.RespNet)
+	return s, nil
+}
+
+// MustNewSystem is NewSystem panicking on error, for tests and examples.
+func MustNewSystem(cfg Config, sources []trace.Source) *System {
+	s, err := NewSystem(cfg, sources)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run advances the system n cycles.
+func (s *System) Run(n sim.Cycle) { s.Kernel.Run(n) }
+
+// RunUntilFinished runs until every finite workload has completed and all
+// cores are idle, or limit cycles elapse; it reports whether completion
+// was reached.
+func (s *System) RunUntilFinished(limit sim.Cycle) bool {
+	return s.Kernel.RunUntil(func() bool {
+		for _, c := range s.Cores {
+			if !c.Finished() {
+				return false
+			}
+		}
+		return true
+	}, limit)
+}
+
+// Elevate raises core's scheduling priority on every memory controller
+// until the given cycle (MISE highest-priority-mode profiling).
+func (s *System) Elevate(core, level int, until sim.Cycle) {
+	for _, mc := range s.MCs {
+		mc.Elevate(core, level, until)
+	}
+}
+
+// CoreStats returns core i's counters.
+func (s *System) CoreStats(i int) cpu.Stats { return s.Cores[i].Stats() }
+
+// TotalWork sums committed work units across cores.
+func (s *System) TotalWork() uint64 {
+	var w uint64
+	for _, c := range s.Cores {
+		w += c.Stats().Work
+	}
+	return w
+}
+
+// IPC returns core i's work units per cycle so far.
+func (s *System) IPC(i int) float64 { return s.Cores[i].Stats().IPC() }
+
+// SystemIPC returns the sum of per-core IPCs (the throughput metric the
+// paper's "overall throughput" bars report).
+func (s *System) SystemIPC() float64 {
+	var t float64
+	for i := range s.Cores {
+		t += s.IPC(i)
+	}
+	return t
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"testing"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+func sources(n int, names ...string) []trace.Source {
+	rng := sim.NewRNG(17)
+	srcs := make([]trace.Source, n)
+	for i := 0; i < n; i++ {
+		name := names[i%len(names)]
+		p, err := trace.ProfileByName(name)
+		if err != nil {
+			panic(err)
+		}
+		srcs[i] = trace.NewGenerator(p, rng.Fork())
+	}
+	return srcs
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero cores accepted")
+	}
+	reqc := DefaultConfig()
+	reqc.Scheme = ReqC
+	if reqc.Validate() == nil {
+		t.Fatal("ReqC without shaper config accepted")
+	}
+	respc := DefaultConfig()
+	respc.Scheme = RespC
+	if respc.Validate() == nil {
+		t.Fatal("RespC without shaper config accepted")
+	}
+	tp := DefaultConfig()
+	tp.Scheme = TP
+	tp.TPTurnLength = 0
+	if tp.Validate() == nil {
+		t.Fatal("TP without turn length accepted")
+	}
+	percore := DefaultConfig()
+	percore.Scheme = ReqC
+	percore.PerCoreReqCfg = map[int]shaper.Config{99: DefaultShaperConfig()}
+	if percore.Validate() == nil {
+		t.Fatal("per-core config for invalid core accepted")
+	}
+}
+
+func TestSourceCountMustMatchCores(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewSystem(cfg, sources(2, "astar")); err == nil {
+		t.Fatal("mismatched source count accepted")
+	}
+}
+
+func TestSystemMakesProgress(t *testing.T) {
+	sys := MustNewSystem(DefaultConfig(), sources(4, "mcf", "astar", "bzip", "sjeng"))
+	sys.Run(100_000)
+	for i := 0; i < 4; i++ {
+		st := sys.CoreStats(i)
+		if st.Work == 0 || st.Refs == 0 || st.Responses == 0 {
+			t.Fatalf("core %d made no progress: %+v", i, st)
+		}
+	}
+	if sys.SystemIPC() <= 0 {
+		t.Fatal("zero system IPC")
+	}
+	if sys.Channel.Stats().Reads == 0 {
+		t.Fatal("DRAM untouched")
+	}
+}
+
+func TestIntensityOrderingInSystem(t *testing.T) {
+	sys := MustNewSystem(DefaultConfig(), sources(4, "mcf", "astar", "astar", "sjeng"))
+	sys.Run(200_000)
+	if sys.IPC(0) >= sys.IPC(3) {
+		t.Fatalf("mcf IPC %.3f not below sjeng %.3f", sys.IPC(0), sys.IPC(3))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, uint64) {
+		sys := MustNewSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+		sys.Run(50_000)
+		return sys.SystemIPC(), sys.TotalWork()
+	}
+	ipc1, work1 := run()
+	ipc2, work2 := run()
+	if ipc1 != ipc2 || work1 != work2 {
+		t.Fatalf("same-seed runs diverged: %v/%v vs %v/%v", ipc1, work1, ipc2, work2)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := DefaultConfig()
+	a := MustNewSystem(cfg, sources(4, "mcf"))
+	a.Run(50_000)
+	cfg.Seed = 2
+	// Different workload seed too.
+	rng := sim.NewRNG(18)
+	srcs := make([]trace.Source, 4)
+	p, _ := trace.ProfileByName("mcf")
+	for i := range srcs {
+		srcs[i] = trace.NewGenerator(p, rng.Fork())
+	}
+	b := MustNewSystem(cfg, srcs)
+	b.Run(50_000)
+	if a.TotalWork() == b.TotalWork() {
+		t.Log("warning: different seeds produced identical work (possible but unlikely)")
+	}
+}
+
+func TestReqCSchemeInstallsShapers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = ReqC
+	sc := DefaultShaperConfig()
+	cfg.ReqShaperCfg = &sc
+	cfg.ReqShaperCores = []int{1, 2}
+	sys := MustNewSystem(cfg, sources(4, "astar"))
+	if sys.ReqShapers[0] != nil || sys.ReqShapers[3] != nil {
+		t.Fatal("unshaped cores received shapers")
+	}
+	if sys.ReqShapers[1] == nil || sys.ReqShapers[2] == nil {
+		t.Fatal("shaped cores missing shapers")
+	}
+	if sys.RespShapers[1] != nil {
+		t.Fatal("ReqC scheme installed response shapers")
+	}
+	sys.Run(50_000)
+	if sys.ReqShapers[1].Stats().ReleasedReal == 0 {
+		t.Fatal("shaper released nothing")
+	}
+}
+
+func TestRespCSchemeInstallsShapers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = RespC
+	sc := DefaultShaperConfig()
+	cfg.RespShaperCfg = &sc
+	cfg.RespShaperCores = []int{0}
+	sys := MustNewSystem(cfg, sources(4, "mcf", "astar", "astar", "astar"))
+	if sys.RespShapers[0] == nil || sys.RespShapers[1] != nil {
+		t.Fatal("RespC wiring wrong")
+	}
+	sys.Run(50_000)
+	if sys.RespShapers[0].Stats().ReleasedReal == 0 {
+		t.Fatal("response shaper released nothing")
+	}
+	if sys.CoreStats(0).Responses == 0 {
+		t.Fatal("shaped core received no responses")
+	}
+}
+
+func TestBDCSchemeInstallsBoth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = BDC
+	sc := DefaultShaperConfig()
+	cfg.ReqShaperCfg = &sc
+	cfg.ReqShaperCores = []int{1, 2, 3}
+	cfg.RespShaperCfg = &sc
+	cfg.RespShaperCores = []int{0}
+	sys := MustNewSystem(cfg, sources(4, "gcc", "astar", "astar", "astar"))
+	if sys.ReqShapers[1] == nil || sys.RespShapers[0] == nil {
+		t.Fatal("BDC wiring incomplete")
+	}
+	sys.Run(50_000)
+	if sys.SystemIPC() <= 0 {
+		t.Fatal("BDC system made no progress")
+	}
+}
+
+func TestPerCoreShaperConfigs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = ReqC
+	a := DefaultShaperConfig()
+	b := DefaultShaperConfig()
+	b.Credits[0] = 99
+	cfg.PerCoreReqCfg = map[int]shaper.Config{1: a, 2: b}
+	sys := MustNewSystem(cfg, sources(4, "astar"))
+	if sys.ReqShapers[0] != nil || sys.ReqShapers[3] != nil {
+		t.Fatal("per-core map shaped wrong cores")
+	}
+	if got := sys.ReqShapers[2].Config().Credits[0]; got != 99 {
+		t.Fatalf("core 2 credits[0] = %d, want 99", got)
+	}
+}
+
+func TestFakeTrafficReachesDRAM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	cfg.Scheme = ReqC
+	sc := DefaultShaperConfig() // fake on, generous budget
+	sc.Window = 4096
+	cfg.ReqShaperCfg = &sc
+	sys := MustNewSystem(cfg, sources(1, "sjeng")) // nearly idle workload
+	sys.Run(100_000)
+	st := sys.ReqShapers[0].Stats()
+	if st.ReleasedFake == 0 {
+		t.Fatal("no fake traffic for an idle workload")
+	}
+	if sys.CoreStats(0).FakeResponses == 0 {
+		t.Fatal("fake responses never returned to the core")
+	}
+	// Fakes must hit DRAM: reads exceed the core's real responses.
+	if sys.Channel.Stats().Reads <= sys.CoreStats(0).Responses {
+		t.Fatal("fake requests did not reach DRAM")
+	}
+}
+
+func TestTPSchemeUsesTPScheduler(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = TP
+	sys := MustNewSystem(cfg, sources(4, "astar"))
+	if sys.MC.Scheduler().Name() != "TP" {
+		t.Fatalf("scheduler %s", sys.MC.Scheduler().Name())
+	}
+	sys.Run(50_000)
+	if sys.SystemIPC() <= 0 {
+		t.Fatal("TP system made no progress")
+	}
+}
+
+func TestFSSchemeWithBankPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = FS
+	cfg.FSBankPartition = true
+	sys := MustNewSystem(cfg, sources(4, "astar"))
+	if sys.MC.Scheduler().Name() != "FS" {
+		t.Fatalf("scheduler %s", sys.MC.Scheduler().Name())
+	}
+	sys.Run(50_000)
+	if sys.SystemIPC() <= 0 {
+		t.Fatal("FS system made no progress")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	names := map[Scheme]string{
+		NoShaping: "NoShaping", CS: "CS", TP: "TP", FS: "FS",
+		ReqC: "ReqC", RespC: "RespC", BDC: "BDC",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%v != %s", s, want)
+		}
+	}
+	if Scheme(99).String() == "" {
+		t.Fatal("unknown scheme empty string")
+	}
+}
+
+func TestSchemeCapabilitiesTableI(t *testing.T) {
+	cases := []struct {
+		s        Scheme
+		pin, mem bool
+	}{
+		{ReqC, true, false},
+		{RespC, false, true},
+		{BDC, true, true},
+		{TP, false, true},
+		{CS, true, false},
+		{FS, false, true},
+		{NoShaping, false, false},
+	}
+	for _, c := range cases {
+		got := SchemeCapabilities(c.s)
+		if got.PinBusMonitoring != c.pin || got.MemorySideChannel != c.mem {
+			t.Fatalf("%v capabilities %+v", c.s, got)
+		}
+	}
+}
+
+func TestRunUntilFinished(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	entries := []trace.Entry{{Gap: 10, Addr: 0x1000}, {Gap: 10, Addr: 0x2000}}
+	sys := MustNewSystem(cfg, []trace.Source{trace.NewSliceSource(entries)})
+	if !sys.RunUntilFinished(100_000) {
+		t.Fatal("finite trace did not finish")
+	}
+	if !sys.Cores[0].Finished() {
+		t.Fatal("core not finished")
+	}
+}
+
+func TestSharedChannelInterferenceExists(t *testing.T) {
+	// The substrate must actually have the timing channel Camouflage
+	// closes: a core's IPC next to mcf must be lower than next to astar.
+	ipcNext := func(victim string) float64 {
+		sys := MustNewSystem(DefaultConfig(), sources(4, "gcc", victim, victim, victim))
+		sys.Run(150_000)
+		return sys.IPC(0)
+	}
+	nextAstar := ipcNext("astar")
+	nextMcf := ipcNext("mcf")
+	if nextMcf >= nextAstar {
+		t.Fatalf("no interference: IPC %v next to mcf vs %v next to astar", nextMcf, nextAstar)
+	}
+}
+
+func TestMultiChannelSystem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Geometry.Channels = 2
+	sys := MustNewSystem(cfg, sources(4, "mcf", "astar", "bzip", "gcc"))
+	if len(sys.MCs) != 2 || len(sys.Channels) != 2 {
+		t.Fatalf("controllers %d channels %d, want 2/2", len(sys.MCs), len(sys.Channels))
+	}
+	sys.Run(100_000)
+	// Both channels must carry traffic.
+	for ch, c := range sys.Channels {
+		if c.Stats().Reads == 0 {
+			t.Fatalf("channel %d idle", ch)
+		}
+	}
+	// Conservation: every accepted transaction is issued on the channel
+	// that accepted it.
+	for ch, mc := range sys.MCs {
+		st := mc.Stats()
+		if st.Completed+uint64(mc.QueueLen()) > st.Accepted {
+			t.Fatalf("channel %d over-completed: %+v", ch, st)
+		}
+	}
+	if sys.SystemIPC() <= 0 {
+		t.Fatal("multi-channel system made no progress")
+	}
+}
+
+func TestMultiChannelOutperformsSingle(t *testing.T) {
+	// Doubling channels relieves bus contention for memory-hog mixes.
+	run := func(channels int) float64 {
+		cfg := DefaultConfig()
+		cfg.Geometry.Channels = channels
+		sys := MustNewSystem(cfg, sources(4, "mcf", "mcf", "libqt", "omnetpp"))
+		sys.Run(150_000)
+		return sys.SystemIPC()
+	}
+	one := run(1)
+	two := run(2)
+	if two <= one {
+		t.Fatalf("2-channel IPC %.3f not above 1-channel %.3f", two, one)
+	}
+}
+
+func TestMultiChannelElevation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Geometry.Channels = 2
+	sys := MustNewSystem(cfg, sources(4, "astar"))
+	sys.Elevate(1, 77, 1000)
+	for ch, mc := range sys.MCs {
+		if mc.Priority(1) != 77 {
+			t.Fatalf("channel %d priority not elevated", ch)
+		}
+	}
+}
+
+func TestClosedPageConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ClosedPage = true
+	sys := MustNewSystem(cfg, sources(4, "libqt"))
+	sys.Run(100_000)
+	if sys.Channel.Stats().RowHits != 0 {
+		t.Fatal("closed-page system recorded row hits")
+	}
+	// Open-page must beat closed-page for a streaming (row-friendly)
+	// workload.
+	open := MustNewSystem(DefaultConfig(), sources(4, "libqt"))
+	open.Run(100_000)
+	if open.SystemIPC() <= sys.SystemIPC() {
+		t.Fatalf("open-page IPC %.3f not above closed-page %.3f", open.SystemIPC(), sys.SystemIPC())
+	}
+}
+
+func TestRequestConservation(t *testing.T) {
+	// Every real request that enters the shared channel must come back
+	// as exactly one response once the system drains — across schemes.
+	for _, scheme := range []Scheme{NoShaping, TP, FS} {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		// Finite traces: a few hundred misses per core.
+		srcs := make([]trace.Source, 4)
+		rng := sim.NewRNG(29)
+		for i := range srcs {
+			p, _ := trace.ProfileByName("astar")
+			srcs[i] = trace.NewSliceSource(trace.Capture(trace.NewGenerator(p, rng.Fork()), 2000))
+		}
+		sys := MustNewSystem(cfg, srcs)
+		sent := make([]uint64, 4)
+		sys.ReqNet.AddTap(func(_ sim.Cycle, req *mem.Request) {
+			if !req.Fake {
+				sent[req.Core]++
+			}
+		})
+		if !sys.RunUntilFinished(5_000_000) {
+			t.Fatalf("%v: finite workload never finished", scheme)
+		}
+		// Drain in-flight traffic.
+		sys.Run(50_000)
+		for i := 0; i < 4; i++ {
+			got := sys.CoreStats(i).Responses
+			if got != sent[i] {
+				t.Errorf("%v core %d: %d requests on the bus, %d responses", scheme, i, sent[i], got)
+			}
+		}
+		for ch, mc := range sys.MCs {
+			st := mc.Stats()
+			if st.Completed != st.Issued || st.Issued != st.Accepted {
+				t.Errorf("%v channel %d: accepted %d issued %d completed %d after drain",
+					scheme, ch, st.Accepted, st.Issued, st.Completed)
+			}
+			if mc.QueueLen() != 0 {
+				t.Errorf("%v channel %d: %d transactions stuck in queue", scheme, ch, mc.QueueLen())
+			}
+		}
+	}
+}
+
+func TestBRSchemeCapsHog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = BR
+	sys := MustNewSystem(cfg, sources(4, "libqt", "astar", "astar", "astar"))
+	if sys.MC.Scheduler().Name() != "BWReserve" {
+		t.Fatalf("scheduler %s", sys.MC.Scheduler().Name())
+	}
+	sys.Run(150_000)
+	if sys.SystemIPC() <= 0 {
+		t.Fatal("BR system made no progress")
+	}
+	// The hog's served rate is bounded by its reservation: ~1 per 100
+	// cycles at the default split.
+	served := sys.MC.Stats().PerCoreServed[0]
+	if served > 150_000/90 {
+		t.Fatalf("hog served %d transactions, above its reservation", served)
+	}
+}

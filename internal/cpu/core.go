@@ -1,0 +1,254 @@
+// Package cpu implements the trace-driven processor core model. The
+// paper's evaluation uses a 4-wide out-of-order core with a 128-entry
+// instruction window; what matters for every experiment is how memory
+// latency converts into lost progress, which this model captures with
+// three mechanisms: a bounded set of outstanding misses (the cache's
+// MSHRs), blocking (dependent) loads the core cannot run past, and
+// backpressure from the request shaper (the Camouflage stall signal).
+//
+// Progress is measured in work units: one unit per compute cycle consumed
+// plus one per memory reference issued. Running the same trace alone and
+// shared gives the slowdown metric the paper reports.
+package cpu
+
+import (
+	"camouflage/internal/cache"
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+// Config sizes a core.
+type Config struct {
+	// Cache is the core's private LLC.
+	Cache cache.Config
+	// MaxPendingWB bounds buffered dirty writebacks before the core
+	// stalls (a small store buffer).
+	MaxPendingWB int
+}
+
+// DefaultConfig returns the paper's core configuration.
+func DefaultConfig() Config {
+	return Config{Cache: cache.DefaultL2(), MaxPendingWB: 8}
+}
+
+// Stats aggregates a core's progress and stall accounting.
+type Stats struct {
+	Cycles sim.Cycle
+	// Work counts committed work units (compute cycles + references).
+	Work uint64
+	// Refs counts memory references issued to the cache.
+	Refs uint64
+	// MemStallCycles counts cycles lost to blocking loads or full MSHRs
+	// (the numerator of MISE's alpha).
+	MemStallCycles sim.Cycle
+	// ShaperStallCycles counts cycles the request shaper refused traffic.
+	ShaperStallCycles sim.Cycle
+	// Responses counts real responses received.
+	Responses uint64
+	// FakeResponses counts camouflage responses received (and dropped).
+	FakeResponses uint64
+}
+
+// IPC returns work units per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Work) / float64(s.Cycles)
+}
+
+// Alpha returns MISE's memory-stall fraction.
+func (s Stats) Alpha() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.MemStallCycles) / float64(s.Cycles)
+}
+
+// Core is one simulated processor core.
+type Core struct {
+	id    int
+	cfg   Config
+	src   trace.Source
+	clock trace.Clocked // non-nil when src is wall-clock driven
+	cache *cache.Cache
+	out   mem.ReqPort
+
+	// current entry state
+	entry       trace.Entry
+	haveEntry   bool
+	computeLeft sim.Cycle
+	finished    bool
+
+	// blockedOn is the request ID of a blocking load in flight, 0 if none.
+	blockedOn uint64
+
+	// heldMiss is a miss refused by the downstream port, retried each cycle.
+	heldMiss *mem.Request
+	// heldBlocking remembers whether heldMiss was a blocking load.
+	heldBlocking bool
+	pendingWB    []*mem.Request
+
+	stats Stats
+
+	// OnResponse, when set, observes every real response delivered to
+	// this core (the adversary's response-latency probe).
+	OnResponse func(now sim.Cycle, resp *mem.Request)
+}
+
+// New returns core id running src, with nextID supplying request IDs.
+func New(id int, cfg Config, src trace.Source, nextID *uint64) *Core {
+	c := &Core{
+		id:    id,
+		cfg:   cfg,
+		src:   src,
+		cache: cache.New(cfg.Cache, id, nextID),
+	}
+	c.clock, _ = src.(trace.Clocked)
+	return c
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// SetOut connects the core's miss stream to downstream (the request shaper
+// input or the NoC injection queue).
+func (c *Core) SetOut(out mem.ReqPort) { c.out = out }
+
+// Cache exposes the core's LLC for statistics.
+func (c *Core) Cache() *cache.Cache { return c.cache }
+
+// Stats returns a copy of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Finished reports whether a finite trace has been fully consumed.
+func (c *Core) Finished() bool { return c.finished }
+
+// TrySend implements mem.RespPort: the response network delivers here.
+// The core endpoint always accepts.
+func (c *Core) TrySend(now sim.Cycle, resp *mem.Request) bool {
+	resp.DeliveredAt = now
+	if resp.Fake {
+		c.stats.FakeResponses++
+		return true
+	}
+	c.stats.Responses++
+	if c.OnResponse != nil {
+		c.OnResponse(now, resp)
+	}
+	if resp.Op == mem.Read {
+		c.cache.Fill(now, resp)
+	}
+	if c.blockedOn == resp.ID {
+		c.blockedOn = 0
+	}
+	return true
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now sim.Cycle) {
+	c.stats.Cycles++
+
+	// Drain one pending writeback per cycle; writebacks yield the port to
+	// a held demand miss.
+	if c.heldMiss == nil && len(c.pendingWB) > 0 {
+		if c.out.TrySend(now, c.pendingWB[0]) {
+			c.pendingWB = c.pendingWB[1:]
+		}
+	}
+
+	// Retry a miss the shaper refused.
+	if c.heldMiss != nil {
+		if !c.out.TrySend(now, c.heldMiss) {
+			c.stats.ShaperStallCycles++
+			return
+		}
+		if c.heldBlocking {
+			c.blockedOn = c.heldMiss.ID
+		}
+		c.heldMiss = nil
+	}
+
+	// A blocking load in flight freezes the window.
+	if c.blockedOn != 0 {
+		c.stats.MemStallCycles++
+		return
+	}
+
+	// Compute phase.
+	if c.computeLeft > 0 {
+		c.computeLeft--
+		c.stats.Work++
+		return
+	}
+
+	// Fetch the next reference if needed.
+	if !c.haveEntry {
+		if c.clock != nil {
+			c.clock.SetNow(now)
+		}
+		e, ok := c.src.Next()
+		if !ok {
+			c.finished = true
+			return
+		}
+		c.entry = e
+		c.haveEntry = true
+		if e.Gap > 0 {
+			c.computeLeft = e.Gap
+			c.computeLeft--
+			c.stats.Work++
+			return
+		}
+	}
+
+	// Pure compute entries issue no reference.
+	if c.entry.Idle {
+		c.haveEntry = false
+		return
+	}
+
+	// Too many buffered writebacks: stall the store path.
+	if len(c.pendingWB) >= c.cfg.MaxPendingWB {
+		c.stats.MemStallCycles++
+		return
+	}
+
+	// Issue the reference to the cache.
+	res, miss, wb := c.cache.Access(now, c.entry.Addr, c.entry.Write)
+	switch res {
+	case cache.Hit:
+		c.stats.Refs++
+		c.stats.Work++
+		if c.entry.Blocking {
+			// A dependent load pays the LLC hit latency.
+			c.computeLeft += c.cfg.Cache.HitLatency
+		}
+		c.haveEntry = false
+	case cache.MissIssued:
+		if wb != nil {
+			c.pendingWB = append(c.pendingWB, wb)
+		}
+		miss.Blocking = c.entry.Blocking
+		c.stats.Refs++
+		c.stats.Work++
+		if !c.out.TrySend(now, miss) {
+			c.heldMiss = miss
+			c.heldBlocking = c.entry.Blocking
+			c.stats.ShaperStallCycles++
+		} else if c.entry.Blocking {
+			c.blockedOn = miss.ID
+		}
+		c.haveEntry = false
+	case cache.MissMerged:
+		c.stats.Refs++
+		c.stats.Work++
+		if c.entry.Blocking && miss != nil {
+			c.blockedOn = miss.ID
+		}
+		c.haveEntry = false
+	case cache.Blocked:
+		c.stats.MemStallCycles++
+	}
+}

@@ -1,0 +1,143 @@
+package dram
+
+import "math/bits"
+
+// Location is a decoded physical address.
+type Location struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     uint64
+	Col     uint64
+}
+
+// AddrMap decodes line-aligned physical addresses into DRAM locations using
+// a row:rank:bank:column:offset bit layout. Consecutive lines walk the
+// columns of one row (127 further lines hit the same 8 KB row with the
+// default geometry), then move to the next bank — the streaming-friendly
+// layout the paper's row-buffer-locality arguments assume.
+//
+// An optional bank partition (used by the Fixed Service baseline) restricts
+// each core to a disjoint subset of banks by replacing the bank bits with a
+// per-core partition index.
+type AddrMap struct {
+	geom Geometry
+
+	offsetBits  uint
+	colBits     uint
+	bankBits    uint
+	rankBits    uint
+	channelBits uint
+
+	// partitions[core] lists the banks core may touch; nil means no
+	// partitioning.
+	partitions [][]int
+}
+
+// NewAddrMap returns an address map for geometry g. It panics on invalid
+// geometry; validate first with g.Validate.
+func NewAddrMap(g Geometry) *AddrMap {
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &AddrMap{
+		geom:        g,
+		offsetBits:  log2(g.LineBytes),
+		colBits:     log2(g.RowBytes / g.LineBytes),
+		bankBits:    log2ceil(uint64(g.BanksPerRank)),
+		rankBits:    log2ceil(uint64(g.RanksPerChannel)),
+		channelBits: log2ceil(uint64(g.Channels)),
+	}
+}
+
+// Geometry returns the mapped geometry.
+func (m *AddrMap) Geometry() Geometry { return m.geom }
+
+// SetBankPartitions restricts cores to disjoint bank sets. partitions[core]
+// lists the banks (indices within a rank) that core may use; fake and
+// unattributed traffic (core index out of range) is unrestricted.
+func (m *AddrMap) SetBankPartitions(partitions [][]int) {
+	m.partitions = partitions
+}
+
+// EqualBankPartitions builds an even split of banksPerRank banks across
+// cores. With 8 banks and 4 cores, core 0 gets banks {0,1}, core 1 {2,3},
+// and so on. If cores exceed banks, cores share round-robin.
+func EqualBankPartitions(cores, banksPerRank int) [][]int {
+	parts := make([][]int, cores)
+	if cores <= 0 {
+		return parts
+	}
+	if cores <= banksPerRank {
+		per := banksPerRank / cores
+		for c := 0; c < cores; c++ {
+			for b := c * per; b < (c+1)*per; b++ {
+				parts[c] = append(parts[c], b)
+			}
+		}
+		// Distribute any remainder to the first cores.
+		for b := cores * per; b < banksPerRank; b++ {
+			parts[b-cores*per] = append(parts[b-cores*per], b)
+		}
+		return parts
+	}
+	for c := 0; c < cores; c++ {
+		parts[c] = []int{c % banksPerRank}
+	}
+	return parts
+}
+
+// Decode maps a physical address (issued by core) to a DRAM location,
+// applying the core's bank partition if one is configured.
+func (m *AddrMap) Decode(addr uint64, core int) Location {
+	a := addr >> m.offsetBits
+	col := a & mask(m.colBits)
+	a >>= m.colBits
+	bank := int(a & mask(m.bankBits))
+	a >>= m.bankBits
+	rank := int(a & mask(m.rankBits))
+	a >>= m.rankBits
+	ch := int(a & mask(m.channelBits))
+	a >>= m.channelBits
+	row := a
+
+	if bank >= m.geom.BanksPerRank {
+		bank %= m.geom.BanksPerRank
+	}
+	if rank >= m.geom.RanksPerChannel {
+		rank %= m.geom.RanksPerChannel
+	}
+	if ch >= m.geom.Channels {
+		ch %= m.geom.Channels
+	}
+	if m.partitions != nil && core >= 0 && core < len(m.partitions) && len(m.partitions[core]) > 0 {
+		set := m.partitions[core]
+		bank = set[bank%len(set)]
+	}
+	return Location{Channel: ch, Rank: rank, Bank: bank, Row: row, Col: col}
+}
+
+// SameRow reports whether two addresses from the same core land in the same
+// row of the same bank.
+func (m *AddrMap) SameRow(a, b uint64, core int) bool {
+	la, lb := m.Decode(a, core), m.Decode(b, core)
+	return la.Channel == lb.Channel && la.Rank == lb.Rank && la.Bank == lb.Bank && la.Row == lb.Row
+}
+
+func log2(v uint64) uint {
+	return uint(bits.TrailingZeros64(v))
+}
+
+func log2ceil(v uint64) uint {
+	if v <= 1 {
+		return 0
+	}
+	return uint(bits.Len64(v - 1))
+}
+
+func mask(b uint) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return (1 << b) - 1
+}

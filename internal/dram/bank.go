@@ -1,0 +1,50 @@
+package dram
+
+import "camouflage/internal/sim"
+
+// rowClosed marks a bank with no open row.
+const rowClosed = ^uint64(0)
+
+// bank is one DRAM bank's row-buffer state machine.
+type bank struct {
+	openRow uint64
+	// freeAt is the earliest cycle a new transaction may begin its command
+	// sequence at this bank (the previous transaction's bank occupancy,
+	// including tRAS/tWR obligations, has been folded in).
+	freeAt sim.Cycle
+	// activatedAt is when the open row was activated; precharge must wait
+	// until activatedAt + tRAS.
+	activatedAt sim.Cycle
+	// inflight reports whether a transaction issued to this bank has not
+	// yet completed; the controller issues one transaction per bank.
+	inflight bool
+
+	// statistics
+	hits      uint64
+	misses    uint64 // closed-row accesses
+	conflicts uint64 // wrong-row accesses
+}
+
+func newBank() bank {
+	return bank{openRow: rowClosed}
+}
+
+// rowState classifies an access against the bank's row buffer.
+type rowState uint8
+
+const (
+	rowHit rowState = iota
+	rowEmpty
+	rowConflict
+)
+
+func (b *bank) classify(row uint64) rowState {
+	switch b.openRow {
+	case row:
+		return rowHit
+	case rowClosed:
+		return rowEmpty
+	default:
+		return rowConflict
+	}
+}

@@ -1,0 +1,301 @@
+package dram
+
+import (
+	"fmt"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+// Channel models one DDR3 channel: its ranks and banks, the shared data
+// bus, activate-window throttling (tFAW/tRRD) and refresh. The memory
+// controller drives it by asking which queued transactions could issue now
+// (CanIssue / IsRowHit) and then committing one with Issue, which returns
+// the cycle at which the data burst completes.
+type Channel struct {
+	timing Timing
+	geom   Geometry
+	amap   *AddrMap
+
+	// closedPage auto-precharges after every access: rows never stay
+	// open, so access latency is uniform (tRCD+tCAS) regardless of
+	// history. It costs the row-buffer-hit fast path but removes
+	// row-state-dependent timing — a classic hardening knob that pairs
+	// with Camouflage.
+	closedPage bool
+
+	ranks []rankState
+
+	// dataBusFreeAt is when the channel's shared data bus next frees.
+	dataBusFreeAt sim.Cycle
+	// lastBurstWrite tracks bus direction for write-to-read turnaround.
+	lastBurstWrite bool
+	// lastBurstEnd is when the most recent data burst ends.
+	lastBurstEnd sim.Cycle
+
+	// commandIssuedAt throttles the command bus to one transaction issue
+	// per cycle.
+	commandIssuedAt sim.Cycle
+	commandUsed     bool
+
+	stats ChannelStats
+}
+
+type rankState struct {
+	banks []bank
+	// activates holds the times of the most recent four activates for the
+	// tFAW window; actCount gates the constraints until a history exists.
+	activates [4]sim.Cycle
+	actIdx    int
+	actCount  int
+	lastAct   sim.Cycle
+	// nextRefresh is when the next refresh is due; refreshUntil blocks the
+	// rank while a refresh is in progress.
+	nextRefresh  sim.Cycle
+	refreshUntil sim.Cycle
+}
+
+// ChannelStats aggregates row-buffer and traffic counters for one channel.
+type ChannelStats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowEmpty  uint64
+	RowConfl  uint64
+	Refreshes uint64
+	// BusyCycles approximates data bus utilization.
+	BusyCycles sim.Cycle
+}
+
+// HitRate returns the fraction of accesses that hit an open row.
+func (s ChannelStats) HitRate() float64 {
+	total := s.RowHits + s.RowEmpty + s.RowConfl
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// NewChannel returns a channel with the given timing and geometry.
+func NewChannel(t Timing, g Geometry, amap *AddrMap) *Channel {
+	if err := t.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	ch := &Channel{timing: t, geom: g, amap: amap}
+	ch.ranks = make([]rankState, g.RanksPerChannel)
+	for r := range ch.ranks {
+		ch.ranks[r].banks = make([]bank, g.BanksPerRank)
+		for b := range ch.ranks[r].banks {
+			ch.ranks[r].banks[b] = newBank()
+		}
+		ch.ranks[r].nextRefresh = t.TREFI
+	}
+	return ch
+}
+
+// Stats returns a copy of the channel's counters.
+func (c *Channel) Stats() ChannelStats { return c.stats }
+
+// SetClosedPage switches the channel to a closed-page (auto-precharge)
+// policy: every access activates, transfers and precharges, leaving the
+// row closed.
+func (c *Channel) SetClosedPage(on bool) { c.closedPage = on }
+
+// AddrMap returns the channel's address map.
+func (c *Channel) AddrMap() *AddrMap { return c.amap }
+
+// Tick advances refresh state. Refresh is modeled analytically: when a
+// refresh comes due the rank drains (all banks' freeAt) and then blocks for
+// tRFC with every row closed.
+func (c *Channel) Tick(now sim.Cycle) {
+	c.commandUsed = c.commandIssuedAt == now
+	if c.timing.TREFI == 0 {
+		return
+	}
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if now < rk.nextRefresh {
+			continue
+		}
+		start := now
+		for b := range rk.banks {
+			if rk.banks[b].inflight {
+				// Wait for outstanding transactions to finish before
+				// refreshing; retry next tick.
+				start = 0
+				break
+			}
+			if rk.banks[b].freeAt > start {
+				start = rk.banks[b].freeAt
+			}
+		}
+		if start == 0 {
+			continue
+		}
+		end := start + c.timing.TRFC
+		for b := range rk.banks {
+			rk.banks[b].openRow = rowClosed
+			rk.banks[b].freeAt = end
+		}
+		rk.refreshUntil = end
+		rk.nextRefresh += c.timing.TREFI
+		c.stats.Refreshes++
+	}
+}
+
+// IsRowHit reports whether req would hit an open row right now. The
+// FR-FCFS scheduler uses it to prefer row hits.
+func (c *Channel) IsRowHit(req *mem.Request) bool {
+	loc := c.amap.Decode(req.Addr, req.Core)
+	b := &c.ranks[loc.Rank].banks[loc.Bank]
+	return !b.inflight && b.classify(loc.Row) == rowHit
+}
+
+// CanIssue reports whether req's bank can accept a transaction at cycle
+// now: the bank has no transaction in flight, its timing obligations have
+// elapsed, and the command bus has not been used this cycle.
+func (c *Channel) CanIssue(now sim.Cycle, req *mem.Request) bool {
+	if c.commandUsed {
+		return false
+	}
+	loc := c.amap.Decode(req.Addr, req.Core)
+	rk := &c.ranks[loc.Rank]
+	if now < rk.refreshUntil {
+		return false
+	}
+	b := &rk.banks[loc.Bank]
+	return !b.inflight && b.freeAt <= now
+}
+
+// Issue commits req to its bank at cycle now and returns the cycle at which
+// its data burst completes (data available at the controller). The caller
+// must have checked CanIssue. Issue also updates row-buffer state, the
+// tFAW/tRRD activate window and data bus occupancy.
+func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
+	loc := c.amap.Decode(req.Addr, req.Core)
+	rk := &c.ranks[loc.Rank]
+	b := &rk.banks[loc.Bank]
+	if b.inflight {
+		panic(fmt.Sprintf("dram: Issue to busy bank %d.%d at cycle %d", loc.Rank, loc.Bank, now))
+	}
+	t := c.timing
+
+	state := b.classify(loc.Row)
+	colCmdAt := now
+	switch state {
+	case rowHit:
+		b.hits++
+		c.stats.RowHits++
+	case rowEmpty:
+		b.misses++
+		c.stats.RowEmpty++
+		actAt := c.activateTime(rk, now)
+		c.recordActivate(rk, actAt)
+		b.activatedAt = actAt
+		colCmdAt = actAt + t.TRCD
+		b.openRow = loc.Row
+	case rowConflict:
+		b.conflicts++
+		c.stats.RowConfl++
+		// Precharge must respect tRAS from the previous activate.
+		preAt := now
+		if min := b.activatedAt + t.TRAS; min > preAt {
+			preAt = min
+		}
+		actAt := c.activateTime(rk, preAt+t.TRP)
+		c.recordActivate(rk, actAt)
+		b.activatedAt = actAt
+		colCmdAt = actAt + t.TRCD
+		b.openRow = loc.Row
+	}
+
+	// Column command to data, by direction.
+	var dataAt sim.Cycle
+	if req.Op == mem.Write {
+		c.stats.Writes++
+		dataAt = colCmdAt + t.TCWL
+	} else {
+		c.stats.Reads++
+		dataAt = colCmdAt + t.TCAS
+	}
+
+	// Write-to-read turnaround on the shared bus.
+	if req.Op == mem.Read && c.lastBurstWrite {
+		if min := c.lastBurstEnd + t.TWTR; min > dataAt {
+			dataAt = min
+		}
+	}
+	// Serialize on the data bus.
+	if c.dataBusFreeAt > dataAt {
+		dataAt = c.dataBusFreeAt
+	}
+	done := dataAt + t.TBurst
+	c.dataBusFreeAt = done
+	c.lastBurstEnd = done
+	c.lastBurstWrite = req.Op == mem.Write
+	c.stats.BusyCycles += t.TBurst
+
+	// Bank occupancy: the bank can take its next transaction after the
+	// burst, plus write recovery if this was a write.
+	b.freeAt = done
+	if req.Op == mem.Write {
+		b.freeAt = done + t.TWR
+	}
+	if c.closedPage {
+		// Auto-precharge: the row closes and the bank additionally pays
+		// tRP before its next activate.
+		b.openRow = rowClosed
+		b.freeAt += t.TRP
+	}
+	b.inflight = true
+	c.commandIssuedAt = now
+	c.commandUsed = true
+
+	return done
+}
+
+// Complete marks req's bank free for its next transaction. The controller
+// calls it when the data burst has finished (the cycle returned by Issue).
+func (c *Channel) Complete(req *mem.Request) {
+	loc := c.amap.Decode(req.Addr, req.Core)
+	c.ranks[loc.Rank].banks[loc.Bank].inflight = false
+}
+
+// activateTime returns the earliest cycle >= earliest at which an activate
+// may be issued on rank rk, honouring tRRD and the four-activate window.
+func (c *Channel) activateTime(rk *rankState, earliest sim.Cycle) sim.Cycle {
+	at := earliest
+	if rk.actCount > 0 {
+		if min := rk.lastAct + c.timing.TRRD; min > at {
+			at = min
+		}
+	}
+	if c.timing.TFAW > 0 && rk.actCount >= len(rk.activates) {
+		// The oldest of the last four activates constrains the fifth.
+		oldest := rk.activates[rk.actIdx]
+		if min := oldest + c.timing.TFAW; min > at {
+			at = min
+		}
+	}
+	return at
+}
+
+func (c *Channel) recordActivate(rk *rankState, at sim.Cycle) {
+	rk.activates[rk.actIdx] = at
+	rk.actIdx = (rk.actIdx + 1) % len(rk.activates)
+	rk.actCount++
+	rk.lastAct = at
+}
+
+// OpenRow returns the open row of (rank, bank), or false if closed.
+// It exists for tests.
+func (c *Channel) OpenRow(rank, bankIdx int) (uint64, bool) {
+	b := &c.ranks[rank].banks[bankIdx]
+	if b.openRow == rowClosed {
+		return 0, false
+	}
+	return b.openRow, true
+}

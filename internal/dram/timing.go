@@ -1,0 +1,155 @@
+// Package dram implements a cycle-level DDR3 main-memory model: the
+// channel/rank/bank hierarchy, per-bank row-buffer state machines, the
+// timing constraints that matter for interference (tRCD/tCAS/tRP/tRAS,
+// tFAW activate throttling, write-to-read turnaround, refresh), and data
+// bus occupancy. It is the substrate that creates the memory timing channel
+// Camouflage defends: row-buffer hits are fast, conflicts are slow, and the
+// shared bus and banks make one core's latency depend on another's traffic.
+//
+// The model is transaction-level: the memory controller issues one
+// transaction per bank at a time and the channel computes, from the bank
+// and bus state, the cycle at which the transaction's data burst completes.
+// This reproduces DRAMSim2-class behaviour (hit/closed/conflict latencies,
+// bank-level parallelism, bus serialization) without per-command event
+// traffic, which keeps whole-system runs fast enough for parameter sweeps.
+package dram
+
+import "camouflage/internal/sim"
+
+// Timing holds DDR3 timing parameters expressed in CPU cycles. The paper
+// simulates a 2.4 GHz core against DDR3-1333 (667 MHz memory clock, so one
+// memory cycle is 3.6 CPU cycles); the defaults below are DDR3-1333 CL9
+// values folded into the CPU clock domain.
+type Timing struct {
+	TRCD   sim.Cycle // activate to column command
+	TCAS   sim.Cycle // column command to first data (CL)
+	TCWL   sim.Cycle // column write command to first data
+	TRP    sim.Cycle // precharge to activate
+	TRAS   sim.Cycle // activate to precharge, minimum
+	TWR    sim.Cycle // end of write burst to precharge
+	TRTP   sim.Cycle // read to precharge
+	TBurst sim.Cycle // data burst duration (BL8 = 4 memory cycles)
+	TRRD   sim.Cycle // activate to activate, same rank
+	TFAW   sim.Cycle // rolling window for four activates per rank
+	TCCD   sim.Cycle // column command to column command
+	TWTR   sim.Cycle // write burst to read command turnaround
+	TREFI  sim.Cycle // average refresh interval
+	TRFC   sim.Cycle // refresh cycle time
+}
+
+// DDR3_1333 returns DDR3-1333 CL9 timing folded into 2.4 GHz CPU cycles
+// (one memory cycle = 3.6 CPU cycles, rounded up).
+func DDR3_1333() Timing {
+	return Timing{
+		TRCD:   33,    // 9 memory cycles
+		TCAS:   33,    // 9
+		TCWL:   26,    // 7
+		TRP:    33,    // 9
+		TRAS:   86,    // 24
+		TWR:    36,    // 10
+		TRTP:   18,    // 5
+		TBurst: 15,    // 4
+		TRRD:   15,    // 4
+		TFAW:   72,    // 20
+		TCCD:   15,    // 4
+		TWTR:   18,    // 5
+		TREFI:  18720, // 7.8 us
+		TRFC:   384,   // 160 ns
+	}
+}
+
+// DDR3_1600 returns DDR3-1600 CL11 timing folded into 2.4 GHz CPU cycles
+// (one memory cycle = 3 CPU cycles): a faster part for sensitivity
+// studies against the paper's base DDR3-1333.
+func DDR3_1600() Timing {
+	return Timing{
+		TRCD:   33, // 11 memory cycles
+		TCAS:   33, // 11
+		TCWL:   24, // 8
+		TRP:    33, // 11
+		TRAS:   84, // 28
+		TWR:    36, // 12
+		TRTP:   18, // 6
+		TBurst: 12, // 4
+		TRRD:   18, // 6
+		TFAW:   72, // 24
+		TCCD:   12, // 4
+		TWTR:   18, // 6
+		TREFI:  18720,
+		TRFC:   384,
+	}
+}
+
+// Validate rejects timing sets that would wedge the bank state machines.
+func (t Timing) Validate() error {
+	type named struct {
+		name string
+		v    sim.Cycle
+	}
+	for _, p := range []named{
+		{"tRCD", t.TRCD}, {"tCAS", t.TCAS}, {"tRP", t.TRP},
+		{"tRAS", t.TRAS}, {"tBurst", t.TBurst},
+	} {
+		if p.v == 0 {
+			return &ConfigError{Field: p.name, Reason: "must be positive"}
+		}
+	}
+	if t.TREFI > 0 && t.TRFC == 0 {
+		return &ConfigError{Field: "tRFC", Reason: "must be positive when refresh is enabled"}
+	}
+	return nil
+}
+
+// ConfigError reports an invalid DRAM configuration field.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string { return "dram: " + e.Field + " " + e.Reason }
+
+// Geometry describes the memory organization. The paper's base system is
+// one channel, one rank per channel, eight banks per rank, 8 KB row buffer.
+type Geometry struct {
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	RowBytes        uint64
+	LineBytes       uint64
+}
+
+// DefaultGeometry returns the paper's Table II organization.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:        1,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		RowBytes:        8 * 1024,
+		LineBytes:       64,
+	}
+}
+
+// Validate rejects geometries the address map cannot handle.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0:
+		return &ConfigError{Field: "Channels", Reason: "must be positive"}
+	case g.RanksPerChannel <= 0:
+		return &ConfigError{Field: "RanksPerChannel", Reason: "must be positive"}
+	case g.BanksPerRank <= 0:
+		return &ConfigError{Field: "BanksPerRank", Reason: "must be positive"}
+	case g.RowBytes == 0 || g.RowBytes&(g.RowBytes-1) != 0:
+		return &ConfigError{Field: "RowBytes", Reason: "must be a power of two"}
+	case g.LineBytes == 0 || g.LineBytes&(g.LineBytes-1) != 0:
+		return &ConfigError{Field: "LineBytes", Reason: "must be a power of two"}
+	case g.LineBytes > g.RowBytes:
+		return &ConfigError{Field: "LineBytes", Reason: "must not exceed RowBytes"}
+	}
+	return nil
+}
+
+// TotalBanks returns banks across all ranks and channels.
+func (g Geometry) TotalBanks() int {
+	return g.Channels * g.RanksPerChannel * g.BanksPerRank
+}

@@ -1,0 +1,231 @@
+// Package ga implements the genetic algorithm the paper co-designs with
+// Bi-directional Camouflage (§IV-C, Figure 8): a software runtime that
+// searches the non-convex space of hardware bin configurations for one
+// that minimizes multi-program slowdown while the shapers hold the traffic
+// distributions fixed. The genome is the concatenated per-shaper credit
+// arrays; fitness is the MISE-estimated average slowdown measured online.
+package ga
+
+import (
+	"fmt"
+	"sort"
+
+	"camouflage/internal/sim"
+)
+
+// Genome is a flat vector of bin credit counts across all optimized
+// shapers.
+type Genome []int
+
+// Clone copies the genome.
+func (g Genome) Clone() Genome { return append(Genome(nil), g...) }
+
+// Config tunes the search. The paper runs 20–30 children per generation
+// for 20–30 generations with 20 000-cycle evaluations.
+type Config struct {
+	// GenomeLen is the number of genes (bins across shapers).
+	GenomeLen int
+	// Population is the number of children per generation.
+	Population int
+	// Generations is the number of generations to run.
+	Generations int
+	// Elite is how many best configurations survive unchanged.
+	Elite int
+	// MutationRate is the per-gene mutation probability.
+	MutationRate float64
+	// CreditMax bounds each gene (per-bin credits; bounded by the memory
+	// bandwidth the controller can serve).
+	CreditMax int
+	// TotalMax bounds the sum of credits per shaper segment, 0 = no
+	// bound. SegmentLen must divide GenomeLen when TotalMax is set.
+	TotalMax   int
+	SegmentLen int
+	// Seeds are genomes injected into the initial population (clamped to
+	// the bounds above) — e.g. the measured intrinsic distribution, so
+	// the search starts from a sensible configuration.
+	Seeds []Genome
+	// OnGeneration, when set, runs before each generation's evaluations.
+	// The online harness uses it for the per-program highest-priority-
+	// mode profiling epochs of Figure 8.
+	OnGeneration func(gen int)
+}
+
+// DefaultConfig returns the paper's GA shape for genomeLen genes.
+func DefaultConfig(genomeLen int) Config {
+	return Config{
+		GenomeLen:    genomeLen,
+		Population:   20,
+		Generations:  20,
+		Elite:        4,
+		MutationRate: 0.1,
+		CreditMax:    32,
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.GenomeLen <= 0:
+		return fmt.Errorf("ga: GenomeLen must be positive")
+	case c.Population < 2:
+		return fmt.Errorf("ga: Population must be at least 2")
+	case c.Generations <= 0:
+		return fmt.Errorf("ga: Generations must be positive")
+	case c.Elite < 1 || c.Elite >= c.Population:
+		return fmt.Errorf("ga: Elite must be in [1, Population)")
+	case c.MutationRate < 0 || c.MutationRate > 1:
+		return fmt.Errorf("ga: MutationRate out of [0,1]")
+	case c.CreditMax <= 0:
+		return fmt.Errorf("ga: CreditMax must be positive")
+	}
+	if c.TotalMax > 0 {
+		if c.SegmentLen <= 0 || c.GenomeLen%c.SegmentLen != 0 {
+			return fmt.Errorf("ga: SegmentLen %d must divide GenomeLen %d", c.SegmentLen, c.GenomeLen)
+		}
+	}
+	return nil
+}
+
+// Fitness evaluates a genome; lower is better. Evaluations may be noisy
+// (they are online measurements).
+type Fitness func(g Genome) float64
+
+// Result is the outcome of a search.
+type Result struct {
+	Best        Genome
+	BestFitness float64
+	// History holds the best fitness per generation.
+	History []float64
+	// Evaluations counts fitness calls.
+	Evaluations int
+}
+
+// Run executes the search with randomness from rng.
+func Run(cfg Config, fit Fitness, rng *sim.RNG) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	pop := make([]Genome, cfg.Population)
+	for i := range pop {
+		if i < len(cfg.Seeds) && len(cfg.Seeds[i]) == cfg.GenomeLen {
+			pop[i] = cfg.Seeds[i].Clone()
+			clampGenome(cfg, pop[i])
+		} else {
+			pop[i] = randomGenome(cfg, rng)
+		}
+	}
+
+	type scored struct {
+		g Genome
+		f float64
+	}
+	var res Result
+	for gen := 0; gen < cfg.Generations; gen++ {
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gen)
+		}
+		scores := make([]scored, len(pop))
+		for i, g := range pop {
+			scores[i] = scored{g, fit(g)}
+			res.Evaluations++
+		}
+		sort.SliceStable(scores, func(i, j int) bool { return scores[i].f < scores[j].f })
+		res.History = append(res.History, scores[0].f)
+		if res.Best == nil || scores[0].f < res.BestFitness {
+			res.Best = scores[0].g.Clone()
+			res.BestFitness = scores[0].f
+		}
+
+		// Selection, crossover, mutation (the SC block of Figure 8).
+		next := make([]Genome, 0, cfg.Population)
+		for i := 0; i < cfg.Elite; i++ {
+			next = append(next, scores[i].g.Clone())
+		}
+		for len(next) < cfg.Population {
+			a := scores[rng.Intn(cfg.Elite+2)].g // bias toward the best
+			b := scores[rng.Intn(len(scores)/2+1)].g
+			child := crossover(a, b, rng)
+			mutate(cfg, child, rng)
+			clampGenome(cfg, child)
+			next = append(next, child)
+		}
+		pop = next
+	}
+	return res, nil
+}
+
+func randomGenome(cfg Config, rng *sim.RNG) Genome {
+	g := make(Genome, cfg.GenomeLen)
+	for i := range g {
+		g[i] = rng.Intn(cfg.CreditMax + 1)
+	}
+	clampGenome(cfg, g)
+	return g
+}
+
+// crossover mixes two parents gene-wise (uniform crossover).
+func crossover(a, b Genome, rng *sim.RNG) Genome {
+	child := make(Genome, len(a))
+	for i := range child {
+		if rng.Bool(0.5) {
+			child[i] = a[i]
+		} else {
+			child[i] = b[i]
+		}
+	}
+	return child
+}
+
+// mutate perturbs genes: half of mutations re-randomize, half nudge ±1.
+func mutate(cfg Config, g Genome, rng *sim.RNG) {
+	for i := range g {
+		if !rng.Bool(cfg.MutationRate) {
+			continue
+		}
+		if rng.Bool(0.5) {
+			g[i] = rng.Intn(cfg.CreditMax + 1)
+		} else if rng.Bool(0.5) {
+			g[i]++
+		} else if g[i] > 0 {
+			g[i]--
+		}
+	}
+}
+
+// clampGenome enforces per-gene and per-segment bounds, and guarantees at
+// least one credit per segment (a shaper with no credits deadlocks its
+// core).
+func clampGenome(cfg Config, g Genome) {
+	for i := range g {
+		if g[i] < 0 {
+			g[i] = 0
+		}
+		if g[i] > cfg.CreditMax {
+			g[i] = cfg.CreditMax
+		}
+	}
+	seg := cfg.SegmentLen
+	if seg <= 0 {
+		seg = len(g)
+	}
+	for s := 0; s+seg <= len(g); s += seg {
+		sum := 0
+		for i := s; i < s+seg; i++ {
+			sum += g[i]
+		}
+		if cfg.TotalMax > 0 {
+			for i := s + seg - 1; sum > cfg.TotalMax && i >= s; i-- {
+				over := sum - cfg.TotalMax
+				cut := g[i]
+				if cut > over {
+					cut = over
+				}
+				g[i] -= cut
+				sum -= cut
+			}
+		}
+		if sum == 0 {
+			g[s+seg-1] = 1
+		}
+	}
+}

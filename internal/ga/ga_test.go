@@ -1,0 +1,227 @@
+package ga
+
+import (
+	"testing"
+	"testing/quick"
+
+	"camouflage/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.GenomeLen = 0 },
+		func(c *Config) { c.Population = 1 },
+		func(c *Config) { c.Generations = 0 },
+		func(c *Config) { c.Elite = 0 },
+		func(c *Config) { c.Elite = c.Population },
+		func(c *Config) { c.MutationRate = 1.5 },
+		func(c *Config) { c.CreditMax = 0 },
+		func(c *Config) { c.TotalMax = 10; c.SegmentLen = 3 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(10)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGAMinimizesSimpleObjective(t *testing.T) {
+	// Objective: distance from the target vector. The GA must get close.
+	target := Genome{10, 0, 5, 0, 8, 0, 3, 0, 1, 0}
+	fit := func(g Genome) float64 {
+		var d float64
+		for i := range g {
+			diff := float64(g[i] - target[i])
+			d += diff * diff
+		}
+		return d
+	}
+	cfg := DefaultConfig(10)
+	cfg.Generations = 40
+	cfg.Population = 30
+	res, err := Run(cfg, fit, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 25 {
+		t.Fatalf("GA converged poorly: fitness %v, best %v", res.BestFitness, res.Best)
+	}
+	if res.Evaluations != 40*30 {
+		t.Fatalf("evaluations %d", res.Evaluations)
+	}
+	if len(res.History) != 40 {
+		t.Fatalf("history length %d", len(res.History))
+	}
+}
+
+func TestGADeterministic(t *testing.T) {
+	fit := func(g Genome) float64 {
+		var s float64
+		for _, v := range g {
+			s += float64(v)
+		}
+		return s
+	}
+	cfg := DefaultConfig(6)
+	cfg.Generations = 5
+	a, _ := Run(cfg, fit, sim.NewRNG(9))
+	b, _ := Run(cfg, fit, sim.NewRNG(9))
+	if a.BestFitness != b.BestFitness {
+		t.Fatal("same-seed GA runs diverged")
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("same-seed GA best genomes differ")
+		}
+	}
+}
+
+func TestGARespectsBounds(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.CreditMax = 7
+	cfg.TotalMax = 20
+	cfg.SegmentLen = 10
+	cfg.Generations = 10
+	fit := func(g Genome) float64 {
+		for _, v := range g {
+			if v < 0 || v > 7 {
+				t.Fatalf("gene out of bounds: %v", g)
+			}
+		}
+		total := 0
+		for _, v := range g {
+			total += v
+		}
+		if total > 20 {
+			t.Fatalf("segment total %d exceeds TotalMax", total)
+		}
+		if total == 0 {
+			t.Fatalf("all-zero genome evaluated: %v", g)
+		}
+		return float64(total)
+	}
+	if _, err := Run(cfg, fit, sim.NewRNG(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGASeedsEnterPopulation(t *testing.T) {
+	seed := Genome{1, 2, 3, 4, 5, 4, 3, 2, 1, 0}
+	sawSeed := false
+	fit := func(g Genome) float64 {
+		match := true
+		for i := range g {
+			if g[i] != seed[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			sawSeed = true
+		}
+		return 1
+	}
+	cfg := DefaultConfig(10)
+	cfg.Generations = 1
+	cfg.Seeds = []Genome{seed}
+	if _, err := Run(cfg, fit, sim.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !sawSeed {
+		t.Fatal("seed genome never evaluated")
+	}
+}
+
+func TestOnGenerationHook(t *testing.T) {
+	var gens []int
+	cfg := DefaultConfig(4)
+	cfg.Generations = 3
+	cfg.OnGeneration = func(g int) { gens = append(gens, g) }
+	Run(cfg, func(Genome) float64 { return 0 }, sim.NewRNG(1))
+	if len(gens) != 3 || gens[0] != 0 || gens[2] != 2 {
+		t.Fatalf("hook calls %v", gens)
+	}
+}
+
+func TestHistoryNonIncreasingBest(t *testing.T) {
+	// res.BestFitness must equal the minimum of the history.
+	fit := func(g Genome) float64 {
+		var s float64
+		for _, v := range g {
+			s += float64(v)
+		}
+		return s
+	}
+	cfg := DefaultConfig(8)
+	cfg.Generations = 15
+	res, _ := Run(cfg, fit, sim.NewRNG(11))
+	min := res.History[0]
+	for _, h := range res.History {
+		if h < min {
+			min = h
+		}
+	}
+	if res.BestFitness != min {
+		t.Fatalf("best %v != min history %v", res.BestFitness, min)
+	}
+}
+
+func TestSplitJoinSegments(t *testing.T) {
+	g := Genome{1, 2, 3, 4, 5, 6}
+	segs := SplitSegments(g, 3)
+	if len(segs) != 2 || segs[1][0] != 4 {
+		t.Fatalf("split %v", segs)
+	}
+	back := JoinSegments(segs)
+	for i := range g {
+		if back[i] != g[i] {
+			t.Fatalf("join %v", back)
+		}
+	}
+}
+
+func TestSplitSegmentsPanicsOnBadLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-dividing segment accepted")
+		}
+	}()
+	SplitSegments(Genome{1, 2, 3}, 2)
+}
+
+func TestClampGenomeProperty(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.CreditMax = 5
+	cfg.TotalMax = 12
+	cfg.SegmentLen = 5
+	check := func(raw []int8) bool {
+		g := make(Genome, 10)
+		for i := range g {
+			if i < len(raw) {
+				g[i] = int(raw[i])
+			}
+		}
+		clampGenome(cfg, g)
+		for s := 0; s+5 <= 10; s += 5 {
+			total := 0
+			for i := s; i < s+5; i++ {
+				if g[i] < 0 || g[i] > 5 {
+					return false
+				}
+				total += g[i]
+			}
+			if total > 12 || total == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

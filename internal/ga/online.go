@@ -1,0 +1,23 @@
+package ga
+
+// SplitSegments slices a genome into per-shaper credit arrays of length
+// seg. It panics if seg does not divide the genome.
+func SplitSegments(g Genome, seg int) [][]int {
+	if seg <= 0 || len(g)%seg != 0 {
+		panic("ga: SplitSegments with non-dividing segment length")
+	}
+	out := make([][]int, 0, len(g)/seg)
+	for s := 0; s < len(g); s += seg {
+		out = append(out, append([]int(nil), g[s:s+seg]...))
+	}
+	return out
+}
+
+// JoinSegments concatenates per-shaper credit arrays into one genome.
+func JoinSegments(segs [][]int) Genome {
+	var g Genome
+	for _, s := range segs {
+		g = append(g, s...)
+	}
+	return g
+}

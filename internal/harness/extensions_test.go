@@ -1,0 +1,147 @@
+package harness
+
+import "testing"
+
+func TestScalabilityTPGrowsCamouflageFlat(t *testing.T) {
+	res, err := Scalability([]int{4, 8, 16}, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// TP overhead must grow with the number of domains...
+	if res.Rows[2].TPSlowdown <= res.Rows[0].TPSlowdown {
+		t.Errorf("TP overhead did not grow: %v -> %v", res.Rows[0].TPSlowdown, res.Rows[2].TPSlowdown)
+	}
+	// ...while Camouflage stays within a narrow band.
+	for _, row := range res.Rows {
+		if row.CamouflageSlowdown > 1.2 {
+			t.Errorf("Camouflage overhead at %d cores: %.2f", row.Cores, row.CamouflageSlowdown)
+		}
+		if row.TPSlowdown <= row.CamouflageSlowdown {
+			t.Errorf("at %d cores TP %.2f not worse than Camouflage %.2f", row.Cores, row.TPSlowdown, row.CamouflageSlowdown)
+		}
+		// Bandwidth reservation only hurts when demand exceeds the
+		// reservation; on this light mix it must not exceed TP's cost
+		// (TP pays turn-waiting latency at any utilization).
+		if row.BRSlowdown > row.TPSlowdown {
+			t.Errorf("at %d cores BR %.2f above TP %.2f", row.Cores, row.BRSlowdown, row.TPSlowdown)
+		}
+	}
+}
+
+func TestEpochRateComparisonShape(t *testing.T) {
+	res, err := EpochRateComparison("gcc", 200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]EpochRateRow{}
+	for _, r := range res.Rows {
+		rows[r.Scheme] = r
+	}
+	noshape := rows["NoShaping"]
+	cs := rows["CS (fixed rate)"]
+	fletcher := rows["EpochRate (Fletcher)"]
+	cam := rows["Camouflage (ReqC)"]
+	if noshape.MI < 2 {
+		t.Fatalf("self-information %.2f too low", noshape.MI)
+	}
+	for name, r := range map[string]EpochRateRow{"cs": cs, "fletcher": fletcher, "cam": cam} {
+		if r.MI > 0.1 {
+			t.Errorf("%s leaks %.3f bits", name, r.MI)
+		}
+	}
+	// Camouflage's flexibility must buy throughput over fixed-rate CS.
+	if cam.IPC <= cs.IPC {
+		t.Errorf("Camouflage IPC %.3f not above CS %.3f", cam.IPC, cs.IPC)
+	}
+	// Epoch switching may beat fixed CS but carries a nonzero bound.
+	if fletcher.LeakBoundBits <= 0 {
+		t.Errorf("Fletcher leak bound %.0f, want positive", fletcher.LeakBoundBits)
+	}
+	if cs.LeakBoundBits != 0 || cam.LeakBoundBits != 0 {
+		t.Error("CS/Camouflage analytic bounds should be zero")
+	}
+}
+
+func TestWithinWindowLeakage(t *testing.T) {
+	res, err := WithinWindowLeakage("bzip", nil, 200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Randomization must never increase leakage at the same window.
+	for i := 0; i+1 < len(res.Rows); i += 2 {
+		plain, rand := res.Rows[i], res.Rows[i+1]
+		if plain.Window != rand.Window || plain.Randomized || !rand.Randomized {
+			t.Fatalf("row pairing broken at %d", i)
+		}
+		if rand.MI > plain.MI+0.05 {
+			t.Errorf("window %d: randomization increased MI %.3f -> %.3f", plain.Window, plain.MI, rand.MI)
+		}
+	}
+	// The largest window must leak more than the smallest (long windows
+	// let the throttle pattern track demand).
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-2]
+	if last.MI <= first.MI {
+		t.Errorf("leakage did not grow with window: %d:%.3f vs %d:%.3f",
+			first.Window, first.MI, last.Window, last.MI)
+	}
+}
+
+func TestPhaseDetectionSideChannel(t *testing.T) {
+	r, err := PhaseDetection(800_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The channel must exist without protection...
+	if r.Unprotected.Accuracy < 0.7 {
+		t.Fatalf("unprotected phase inference accuracy %.2f — no channel to close", r.Unprotected.Accuracy)
+	}
+	if r.Unprotected.MeanBusy <= r.Unprotected.MeanQuiet {
+		t.Fatal("busy victims did not slow the adversary")
+	}
+	// ...and be destroyed by RespC (accuracy near coin-flip).
+	if r.Protected.Accuracy > 0.62 {
+		t.Fatalf("RespC left phase inference at %.2f accuracy", r.Protected.Accuracy)
+	}
+	// The latency signal itself must be compressed.
+	gapBefore := r.Unprotected.MeanBusy - r.Unprotected.MeanQuiet
+	gapAfter := r.Protected.MeanBusy - r.Protected.MeanQuiet
+	if gapAfter > gapBefore/3 {
+		t.Fatalf("latency signal only reduced %0.1f -> %0.1f", gapBefore, gapAfter)
+	}
+	// Shaping the victims' requests instead must also close the channel
+	// (the paper's claim that ReqC protects the shared path to memory),
+	// without inflating the adversary's latency the way RespC does.
+	if r.ReqCVictims.Accuracy > 0.62 {
+		t.Fatalf("ReqC on victims left phase inference at %.2f", r.ReqCVictims.Accuracy)
+	}
+	if r.ReqCVictims.MeanBusy >= r.Protected.MeanBusy {
+		t.Errorf("ReqC-victims adversary latency %.0f not below RespC %.0f",
+			r.ReqCVictims.MeanBusy, r.Protected.MeanBusy)
+	}
+}
+
+func TestMITTSTenantQoS(t *testing.T) {
+	r, err := MITTSFairness(300_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shaping must protect the light tenants from the hogs...
+	if r.WorstTenantShaped >= r.WorstTenantUnshaped {
+		t.Errorf("tenant QoS did not improve: %.2f -> %.2f", r.WorstTenantUnshaped, r.WorstTenantShaped)
+	}
+	// ...by charging the hogs (cores 0-1).
+	if r.SlowdownsShaped[0] <= r.SlowdownsUnshaped[0] {
+		t.Errorf("hog was not throttled: %.2f -> %.2f", r.SlowdownsUnshaped[0], r.SlowdownsShaped[0])
+	}
+	for i, s := range r.SlowdownsShaped {
+		if s <= 0 {
+			t.Fatalf("core %d has zero shaped slowdown", i)
+		}
+	}
+}

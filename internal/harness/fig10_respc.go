@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"camouflage/internal/core"
+	"camouflage/internal/mem"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+	"camouflage/internal/trace"
+)
+
+// RespCRow is one adversary's Figure 10 measurement for one victim
+// direction.
+type RespCRow struct {
+	Adversary string
+	// AdversarySlowdown is the adversary's IPC without shaping divided by
+	// its IPC under RespC (values below 1 are speedups, as in Figure
+	// 10(b) where the shaper requests higher priority).
+	AdversarySlowdown float64
+	// ThroughputSlowdown is the same ratio for whole-system throughput.
+	ThroughputSlowdown float64
+}
+
+// RespCPerformanceResult reproduces Figure 10(a) or (b).
+type RespCPerformanceResult struct {
+	// Victim is the protected benchmark the adversary co-runs with
+	// (astar for 10(a), mcf for 10(b)).
+	Victim string
+	// TargetVictim is the benchmark whose co-run response distribution
+	// the shaper imposes (mcf for 10(a), astar for 10(b)).
+	TargetVictim string
+	Rows         []RespCRow
+	// GeoMeanAdv and GeoMeanThroughput aggregate the rows.
+	GeoMeanAdv        float64
+	GeoMeanThroughput float64
+}
+
+// RespCPerformance measures Figure 10: for every adversary benchmark, run
+// w(ADVERSARY, victim) with the adversary's responses shaped to the
+// distribution it would see next to targetVictim, and report the
+// adversary's and the system's slowdown relative to no shaping.
+func RespCPerformance(victim, targetVictim string, cycles sim.Cycle, seed uint64) (*RespCPerformanceResult, error) {
+	if cycles == 0 {
+		cycles = DefaultRunCycles
+	}
+	res := &RespCPerformanceResult{Victim: victim, TargetVictim: targetVictim}
+	var advRatios, tpRatios []float64
+	for _, adv := range trace.BenchmarkNames() {
+		// Measure the target response distribution from w(adv, target).
+		_, targetHist, err := runRespCMeasured(adv, targetVictim, nil, cycles, seed)
+		if err != nil {
+			return nil, err
+		}
+		target := shaper.FromHistogram(targetHist, 4*shaper.DefaultWindow, 0, true)
+
+		// Baseline and shaped runs of w(adv, victim).
+		base, _, err := runRespCMeasured(adv, victim, nil, cycles, seed)
+		if err != nil {
+			return nil, err
+		}
+		shaped, _, err := runRespCMeasured(adv, victim, &target, cycles, seed)
+		if err != nil {
+			return nil, err
+		}
+
+		row := RespCRow{Adversary: adv}
+		if shaped.ipc(0) > 0 {
+			row.AdversarySlowdown = base.ipc(0) / shaped.ipc(0)
+		}
+		if shaped.systemIPC() > 0 {
+			row.ThroughputSlowdown = base.systemIPC() / shaped.systemIPC()
+		}
+		res.Rows = append(res.Rows, row)
+		if row.AdversarySlowdown > 0 {
+			advRatios = append(advRatios, row.AdversarySlowdown)
+		}
+		if row.ThroughputSlowdown > 0 {
+			tpRatios = append(tpRatios, row.ThroughputSlowdown)
+		}
+	}
+	res.GeoMeanAdv = stats.GeoMean(advRatios)
+	res.GeoMeanThroughput = stats.GeoMean(tpRatios)
+	return res, nil
+}
+
+// runRespCMeasured runs w(adversary, victim) with optional RespC on core 0
+// and returns the post-warmup run statistics and the adversary's response
+// inter-arrival histogram.
+func runRespCMeasured(adversary, victim string, respCfg *shaper.Config, cycles sim.Cycle, seed uint64) (runStats, *stats.Histogram, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	if respCfg != nil {
+		cfg.Scheme = core.RespC
+		sc := respCfg.Clone()
+		cfg.RespShaperCfg = &sc
+		cfg.RespShaperCores = []int{0}
+	}
+	srcs, err := Workload(adversary, victim, seed+5)
+	if err != nil {
+		return runStats{}, nil, err
+	}
+	sys, err := core.NewSystem(cfg, srcs)
+	if err != nil {
+		return runStats{}, nil, err
+	}
+	rec := stats.NewInterArrivalRecorder(stats.DefaultBinning(), false)
+	sys.RespNet.AddTap(func(now sim.Cycle, req *mem.Request) {
+		if req.Core == 0 {
+			rec.Observe(now)
+		}
+	})
+	rs := measureRun(sys, WarmupCycles, cycles)
+	return rs, rec.Hist, nil
+}
+
+// Table renders the result in the paper's bar-chart layout.
+func (r *RespCPerformanceResult) Table() *Table {
+	t := &Table{
+		Title:   "Figure 10 — RespC on w(ADVERSARY, " + r.Victim + "), shaped to the w(ADVERSARY, " + r.TargetVictim + ") response distribution",
+		Columns: []string{"adversary", "ADVERSARY slowdown", "overall throughput slowdown"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Adversary+"+"+r.Victim+"x3", f2(row.AdversarySlowdown), f2(row.ThroughputSlowdown))
+	}
+	t.AddRow("GEOMEAN", f2(r.GeoMeanAdv), f2(r.GeoMeanThroughput))
+	return t
+}

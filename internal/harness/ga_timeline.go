@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"fmt"
+
+	"camouflage/internal/core"
+	"camouflage/internal/ga"
+	"camouflage/internal/mise"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+)
+
+// onlineBDCGA runs the paper's online genetic algorithm (Figure 8) on a
+// live BDC system: each generation begins with one highest-priority-mode
+// (HPM) profiling epoch per program, then each child configuration is
+// applied to the hardware bins and measured for one epoch; fitness is the
+// MISE-estimated average slowdown. It returns the GA result and the bin
+// configurations of the best child.
+func onlineBDCGA(sys *core.System, population, generations int, rng *sim.RNG) (ga.Result, map[int]shaper.Config, map[int]shaper.Config, error) {
+	type slot struct {
+		base  shaper.Config
+		apply func(credits []int)
+	}
+	var slots []slot
+	for i, sh := range sys.ReqShapers {
+		if sh == nil {
+			continue
+		}
+		sh := sh
+		slots = append(slots, slot{base: sh.Config(), apply: func(credits []int) {
+			c := sh.Config()
+			copy(c.Credits, credits)
+			ensureCredit(c.Credits)
+			sh.Reconfigure(c)
+		}})
+		_ = i
+	}
+	for i, sh := range sys.RespShapers {
+		if sh == nil {
+			continue
+		}
+		sh := sh
+		slots = append(slots, slot{base: sh.Config(), apply: func(credits []int) {
+			c := sh.Config()
+			copy(c.Credits, credits)
+			ensureCredit(c.Credits)
+			sh.Reconfigure(c)
+		}})
+		_ = i
+	}
+	if len(slots) == 0 {
+		return ga.Result{}, nil, nil, fmt.Errorf("harness: online GA needs at least one shaper")
+	}
+	binsPer := slots[0].base.Binning.N()
+
+	cores := len(sys.Cores)
+	meters := make([]mise.Meter, cores)
+	hpm := make([]mise.Sample, cores)
+
+	sampleEpoch := func(core int) mise.Sample {
+		st := sys.CoreStats(core)
+		meters[core].Begin(st.Cycles, st.MemStallCycles, st.Responses)
+		sys.Run(GAEpochCycles)
+		st = sys.CoreStats(core)
+		return meters[core].End(st.Cycles, st.MemStallCycles, st.Responses)
+	}
+
+	gaCfg := ga.DefaultConfig(binsPer * len(slots))
+	gaCfg.Population = population
+	gaCfg.Generations = generations
+	gaCfg.CreditMax = 32
+	gaCfg.TotalMax = 64
+	gaCfg.SegmentLen = binsPer
+	var seed ga.Genome
+	for _, s := range slots {
+		for _, c := range s.base.Credits {
+			seed = append(seed, c)
+		}
+	}
+	gaCfg.Seeds = []ga.Genome{seed}
+
+	// HPM profiling at the start of every generation (the P_i HPM blocks
+	// of Figure 8): measure each program's service rate with top memory
+	// priority, one epoch each. The base configurations are restored
+	// first so the reference measurement does not inherit whatever bin
+	// state the previous generation's last child left behind.
+	gaCfg.OnGeneration = func(int) {
+		for _, s := range slots {
+			s.apply(s.base.Credits)
+		}
+		for c := 0; c < cores; c++ {
+			sys.Elevate(c, mise.HPMPriority, sys.Kernel.Now()+GAEpochCycles)
+			hpm[c] = sampleEpoch(c)
+		}
+	}
+
+	fitness := func(g ga.Genome) float64 {
+		segs := ga.SplitSegments(g, binsPer)
+		for i, s := range slots {
+			s.apply(segs[i])
+		}
+		// One shared epoch measures all cores.
+		before := make([]struct {
+			cy, st sim.Cycle
+			resp   uint64
+		}, cores)
+		for c := 0; c < cores; c++ {
+			st := sys.CoreStats(c)
+			before[c] = struct {
+				cy, st sim.Cycle
+				resp   uint64
+			}{st.Cycles, st.MemStallCycles, st.Responses}
+		}
+		sys.Run(GAEpochCycles)
+		slowdowns := make([]float64, 0, cores)
+		for c := 0; c < cores; c++ {
+			st := sys.CoreStats(c)
+			dc := st.Cycles - before[c].cy
+			if dc == 0 {
+				continue
+			}
+			shared := mise.Sample{
+				Alpha:       float64(st.MemStallCycles-before[c].st) / float64(dc),
+				ServiceRate: float64(st.Responses-before[c].resp) / float64(dc),
+			}
+			slowdowns = append(slowdowns, mise.Slowdown(hpm[c], shared))
+		}
+		return mise.AverageSlowdown(slowdowns)
+	}
+
+	res, err := ga.Run(gaCfg, fitness, rng)
+	if err != nil {
+		return ga.Result{}, nil, nil, err
+	}
+
+	// Decode the best genome back into per-core configurations.
+	segs := ga.SplitSegments(res.Best, binsPer)
+	reqCfgs := map[int]shaper.Config{}
+	respCfgs := map[int]shaper.Config{}
+	idx := 0
+	for i, sh := range sys.ReqShapers {
+		if sh == nil {
+			continue
+		}
+		c := sh.Config()
+		copy(c.Credits, segs[idx])
+		ensureCredit(c.Credits)
+		reqCfgs[i] = c
+		idx++
+	}
+	for i, sh := range sys.RespShapers {
+		if sh == nil {
+			continue
+		}
+		c := sh.Config()
+		copy(c.Credits, segs[idx])
+		ensureCredit(c.Credits)
+		respCfgs[i] = c
+		idx++
+	}
+	return res, reqCfgs, respCfgs, nil
+}
+
+// gaRefineBDC runs the online GA for a BDC workload and folds the best
+// configurations back into cfg.
+func gaRefineBDC(cfg *core.Config, adversary, victim string, seed uint64) error {
+	srcs, err := Workload(adversary, victim, seed+5)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(*cfg, srcs)
+	if err != nil {
+		return err
+	}
+	sys.Run(WarmupCycles)
+	_, reqCfgs, respCfgs, err := onlineBDCGA(sys, 12, 8, sys.Kernel.RNG().Fork())
+	if err != nil {
+		return err
+	}
+	cfg.PerCoreReqCfg = reqCfgs
+	cfg.PerCoreRespCfg = respCfgs
+	return nil
+}
+
+// GATimelineResult reproduces the Figure 8 operation report: the online
+// GA's configuration phase on a live workload.
+type GATimelineResult struct {
+	Adversary string
+	Victim    string
+	// BestPerGeneration is the best MISE average slowdown seen in each
+	// generation.
+	BestPerGeneration []float64
+	// Evaluations is the number of child configurations measured.
+	Evaluations int
+	// ConfigPhaseCycles is the total length of the configuration phase.
+	ConfigPhaseCycles sim.Cycle
+	// InitialSlowdown and FinalSlowdown bracket the optimization.
+	InitialSlowdown float64
+	FinalSlowdown   float64
+}
+
+// GATimeline runs the online GA on w(adversary, victim) under BDC and
+// reports its convergence (Figure 8's CONFIG_PHASE).
+func GATimeline(adversary, victim string, population, generations int, seed uint64) (*GATimelineResult, error) {
+	cfg, err := buildBDCConfig(adversary, victim, false, DefaultRunCycles/2, seed)
+	if err != nil {
+		return nil, err
+	}
+	srcs, err := Workload(adversary, victim, seed+5)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cfg, srcs)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(WarmupCycles)
+	startCycle := sys.Kernel.Now()
+	res, _, _, err := onlineBDCGA(sys, population, generations, sys.Kernel.RNG().Fork())
+	if err != nil {
+		return nil, err
+	}
+	out := &GATimelineResult{
+		Adversary:         adversary,
+		Victim:            victim,
+		BestPerGeneration: res.History,
+		Evaluations:       res.Evaluations,
+		ConfigPhaseCycles: sys.Kernel.Now() - startCycle,
+	}
+	if len(res.History) > 0 {
+		out.InitialSlowdown = res.History[0]
+		out.FinalSlowdown = res.BestFitness
+	}
+	return out, nil
+}
+
+// Table renders the result.
+func (r *GATimelineResult) Table() *Table {
+	t := &Table{
+		Title:   "Figure 8 — online GA configuration phase, w(" + r.Adversary + ", " + r.Victim + ")",
+		Columns: []string{"generation", "best avg slowdown"},
+	}
+	for i, v := range r.BestPerGeneration {
+		t.AddRow(fmt.Sprintf("G%d", i+1), f3(v))
+	}
+	t.AddRow("config phase", fmt.Sprintf("%d cycles, %d evaluations", r.ConfigPhaseCycles, r.Evaluations))
+	return t
+}

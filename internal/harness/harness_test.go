@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadShape(t *testing.T) {
+	srcs, err := Workload("gcc", "astar", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 4 {
+		t.Fatalf("workload has %d sources", len(srcs))
+	}
+	if _, err := Workload("nope", "astar", 1); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := Workload("gcc", "nope", 1); err == nil {
+		t.Fatal("unknown victim accepted")
+	}
+}
+
+func TestSoloSource(t *testing.T) {
+	srcs, err := SoloSource("mcf", 3)
+	if err != nil || len(srcs) != 1 {
+		t.Fatalf("solo source: %v, %d", err, len(srcs))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.AddRow("x", "y")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "a") || !strings.Contains(out, "x") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, row
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	s := Sparkline([]int{0, 5, 10})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	flat := Sparkline([]int{0, 0})
+	if len([]rune(flat)) != 2 {
+		t.Fatalf("flat sparkline %q", flat)
+	}
+}
+
+func TestBandwidthInterval(t *testing.T) {
+	// 1 GB/s at 2.4 GHz with 64 B lines: one request per ~153.6 cycles.
+	got := BandwidthInterval(1e9)
+	if got < 150 || got > 157 {
+		t.Fatalf("interval %d, want ~154", got)
+	}
+	if BandwidthInterval(1e15) != 1 {
+		t.Fatal("huge bandwidth should clamp to 1")
+	}
+}
+
+func TestSchemeCapabilityTable(t *testing.T) {
+	out := SchemeCapabilityTable().String()
+	for _, want := range []string{"ReqC", "RespC", "BDC", "TP", "CS", "FS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaseConfigTable(t *testing.T) {
+	out := BaseConfigTable().String()
+	for _, want := range []string{"DDR3-1333", "32-entry", "8 banks", "128 KB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDesiredStaircaseFeasible(t *testing.T) {
+	cfg := DesiredStaircase()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinWindowSpan() > cfg.Window {
+		t.Fatalf("staircase infeasible: span %d > window %d", cfg.MinWindowSpan(), cfg.Window)
+	}
+	for i := 0; i < len(cfg.Credits)-1; i++ {
+		if cfg.Credits[i] <= cfg.Credits[i+1] {
+			t.Fatalf("staircase not decreasing: %v", cfg.Credits)
+		}
+	}
+}
+
+func TestCovertDefenseConfig(t *testing.T) {
+	cfg := CovertDefenseConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.GenerateFake {
+		t.Fatal("covert defense without fake traffic is useless")
+	}
+	if cfg.Window >= CovertPulse {
+		t.Fatal("covert defense window must be well below the pulse")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("x,1", `say "hi"`)
+	tb.AddRow("plain", "2")
+	got := tb.CSV()
+	want := "a,b\n\"x,1\",\"say \"\"hi\"\"\"\nplain,2\n"
+	if got != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestResultTablesRender(t *testing.T) {
+	// Every result type must render a non-degenerate table and CSV; use
+	// tiny hand-built results so this stays instant.
+	tables := []*Table{
+		(&ScalabilityResult{Rows: []ScalabilityRow{{Cores: 4, TPSlowdown: 2, BRSlowdown: 1, CamouflageSlowdown: 1.1}}}).Table(),
+		(&EpochRateResult{Benchmark: "gcc", Rows: []EpochRateRow{{Scheme: "CS (fixed rate)", IPC: 0.5, MI: 0, LeakBoundBits: 0}, {Scheme: "NoShaping", IPC: 1, MI: 3, LeakBoundBits: -1}}}).Table(),
+		(&WindowLeakResult{Benchmark: "bzip", Rows: []WindowLeakRow{{Window: 512, Randomized: true, MI: 0.5, IPC: 0.7}}}).Table(),
+		(&MITTSFairnessResult{Workload: []string{"a", "b"}, SlowdownsUnshaped: []float64{1, 2}, SlowdownsShaped: []float64{1.5, 1.2}, WorstTenantUnshaped: 2, WorstTenantShaped: 1.2, FairnessUnshaped: 0.9, FairnessShaped: 0.95}).Table(),
+		(&HeadlineResult{VsCS: 1.1, VsTP: 1.5, VsFS: 1.3}).Table(),
+	}
+	for i, tb := range tables {
+		out := tb.String()
+		if len(out) < 20 || len(tb.Rows) == 0 {
+			t.Errorf("table %d degenerate:\n%s", i, out)
+		}
+		csv := tb.CSV()
+		if len(csv) < 10 {
+			t.Errorf("table %d CSV degenerate: %q", i, csv)
+		}
+	}
+}
+
+func TestCovertChannelResultTable(t *testing.T) {
+	r := &CovertChannelResult{
+		Key: 0xAB, KeyLen: 4,
+		SentBits:     []int{1, 0, 1, 0},
+		BeforeCounts: []int{40, 1, 40, 1},
+		AfterCounts:  []int{50, 50, 50, 50},
+	}
+	out := r.Table().String()
+	for _, want := range []string{"0xAB", "sent bits", "1010"} {
+		if !contains(out, want) {
+			t.Errorf("covert table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}

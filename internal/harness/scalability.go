@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+
+	"camouflage/internal/core"
+	"camouflage/internal/mem"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+	"camouflage/internal/trace"
+)
+
+// ScalabilityRow is one core-count measurement.
+type ScalabilityRow struct {
+	Cores int
+	// TPSlowdown, BRSlowdown and CamouflageSlowdown are geometric means
+	// over cores of IPC(no shaping) / IPC(scheme): pure protection
+	// overhead. TP divides time and BR divides bandwidth by the domain
+	// count; Camouflage shapes per-core and does not.
+	TPSlowdown         float64
+	BRSlowdown         float64
+	CamouflageSlowdown float64
+}
+
+// ScalabilityResult reproduces the paper's §II-B scalability argument:
+// Temporal Partitioning gives each of N mutually distrusting domains 1/N
+// of the schedule, so its overhead grows with the domain count, while
+// Camouflage's shaping is per-core and independent of how many domains
+// exist.
+type ScalabilityResult struct {
+	Rows []ScalabilityRow
+}
+
+// Scalability measures TP vs Camouflage protection overhead at increasing
+// core counts (every core its own security domain), on a light workload
+// mix so the unshaped substrate itself is not the bottleneck.
+func Scalability(coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityResult, error) {
+	if cycles == 0 {
+		cycles = DefaultRunCycles
+	}
+	if len(coreCounts) == 0 {
+		coreCounts = []int{4, 8, 16}
+	}
+	// Light benchmarks: the point is scheduler overhead, not bandwidth
+	// saturation.
+	mix := []string{"h264ref", "gobmk", "hmmer", "sjeng"}
+
+	res := &ScalabilityResult{}
+	for _, n := range coreCounts {
+		buildSources := func() ([]trace.Source, error) {
+			rng := sim.NewRNG(seed + uint64(n)*31)
+			srcs := make([]trace.Source, n)
+			for i := range srcs {
+				p, err := trace.ProfileByName(mix[i%len(mix)])
+				if err != nil {
+					return nil, err
+				}
+				srcs[i] = trace.NewGenerator(p, rng.Fork())
+			}
+			return srcs, nil
+		}
+
+		run := func(cfg core.Config) (runStats, error) {
+			srcs, err := buildSources()
+			if err != nil {
+				return runStats{}, err
+			}
+			sys, err := core.NewSystem(cfg, srcs)
+			if err != nil {
+				return runStats{}, err
+			}
+			return measureRun(sys, WarmupCycles, cycles), nil
+		}
+
+		base := core.DefaultConfig()
+		base.Cores = n
+		baseRS, err := run(base)
+		if err != nil {
+			return nil, err
+		}
+
+		tpCfg := base
+		tpCfg.Scheme = core.TP
+		tpRS, err := run(tpCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		brCfg := base
+		brCfg.Scheme = core.BR
+		brRS, err := run(brCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// Camouflage: per-core ReqC at each core's own measured
+		// distribution (keep-rate with fake traffic).
+		camCfg := base
+		camCfg.Scheme = core.ReqC
+		perCore, err := measurePerCoreReqConfigs(base, buildSources, cycles/4)
+		if err != nil {
+			return nil, err
+		}
+		camCfg.PerCoreReqCfg = perCore
+		camRS, err := run(camCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		row := ScalabilityRow{Cores: n}
+		var tpRatios, brRatios, camRatios []float64
+		for i := 0; i < n; i++ {
+			if tpRS.ipc(i) > 0 {
+				tpRatios = append(tpRatios, baseRS.ipc(i)/tpRS.ipc(i))
+			}
+			if brRS.ipc(i) > 0 {
+				brRatios = append(brRatios, baseRS.ipc(i)/brRS.ipc(i))
+			}
+			if camRS.ipc(i) > 0 {
+				camRatios = append(camRatios, baseRS.ipc(i)/camRS.ipc(i))
+			}
+		}
+		row.TPSlowdown = stats.GeoMean(tpRatios)
+		row.BRSlowdown = stats.GeoMean(brRatios)
+		row.CamouflageSlowdown = stats.GeoMean(camRatios)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// measurePerCoreReqConfigs runs the mix unshaped and derives a keep-rate
+// ReqC configuration per core.
+func measurePerCoreReqConfigs(base core.Config, buildSources func() ([]trace.Source, error), cycles sim.Cycle) (map[int]shaper.Config, error) {
+	srcs, err := buildSources()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(base, srcs)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*stats.InterArrivalRecorder, base.Cores)
+	for i := range recs {
+		recs[i] = stats.NewInterArrivalRecorder(stats.DefaultBinning(), false)
+	}
+	sys.ReqNet.AddTap(func(now sim.Cycle, req *mem.Request) {
+		recs[req.Core].Observe(now)
+	})
+	sys.Run(cycles)
+	out := map[int]shaper.Config{}
+	window := 4 * shaper.DefaultWindow
+	for i, rec := range recs {
+		out[i] = shaper.FromHistogram(rec.Hist, window, 0, true)
+	}
+	return out, nil
+}
+
+// Table renders the result.
+func (r *ScalabilityResult) Table() *Table {
+	t := &Table{
+		Title:   "Scalability (§II-B) — protection overhead vs number of mutually distrusting domains",
+		Columns: []string{"cores/domains", "TP slowdown", "BWReserve slowdown", "Camouflage slowdown"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.Cores), f2(row.TPSlowdown), f2(row.BRSlowdown), f2(row.CamouflageSlowdown))
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"camouflage/internal/core"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// statsBinning returns the default ten-bin binning shared by the
+// experiment configurations.
+func statsBinning() stats.Binning { return stats.DefaultBinning() }
+
+// shaperConstant builds the constant-rate limiter config used as the CS
+// baseline in the performance experiments (no fake traffic: Figure 12
+// compares shaping flexibility, not camouflage overhead).
+func shaperConstant(interval, window sim.Cycle) shaper.Config {
+	cfg := shaper.ConstantRate(stats.DefaultBinning(), interval, window, false)
+	return cfg
+}
+
+// shaperFromHist builds a ReqC config whose credits follow the measured
+// histogram's shape at the given total budget. The config may be
+// infeasible in the MinWindowSpan sense (surplus slow-bin credits simply
+// go unused); with fake traffic off — these are performance runs — that
+// surplus is harmless and leaves headroom that minimizes shaping delay.
+func shaperFromHist(h *stats.Histogram, window sim.Cycle, budget int) shaper.Config {
+	return shaper.FromHistogram(h, window, budget, false)
+}
+
+// runShapedSolo runs benchmark name alone under ReqC with shaperCfg and
+// returns its measured IPC.
+func runShapedSolo(base core.Config, name string, seed uint64, shaperCfg shaper.Config, cycles sim.Cycle) (float64, error) {
+	cfg := base
+	cfg.Cores = 1
+	cfg.Scheme = core.ReqC
+	sc := shaperCfg.Clone()
+	cfg.ReqShaperCfg = &sc
+	srcs, err := SoloSource(name, seed)
+	if err != nil {
+		return 0, err
+	}
+	sys, err := core.NewSystem(cfg, srcs)
+	if err != nil {
+		return 0, err
+	}
+	rs := measureRun(sys, WarmupCycles, cycles)
+	return rs.ipc(0), nil
+}

@@ -1,0 +1,189 @@
+// Package mem defines the memory transaction types and port/queue plumbing
+// shared by the whole simulated memory path: core → request shaper → NoC →
+// memory controller → DRAM → controller egress → response shaper → NoC →
+// core. Keeping these types in one leaf package lets every substrate
+// (cache, noc, memctrl, dram, shaper) interoperate without import cycles.
+package mem
+
+import (
+	"fmt"
+
+	"camouflage/internal/sim"
+)
+
+// Op is the kind of memory transaction.
+type Op uint8
+
+// Transaction kinds.
+const (
+	Read Op = iota
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "READ"
+	case Write:
+		return "WRITE"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// LineSize is the cache-line (and memory burst) size in bytes. The paper's
+// configuration uses 64-byte blocks end to end.
+const LineSize = 64
+
+// Request is one memory transaction travelling from a core toward DRAM and,
+// once serviced, back again as its own response. A single allocation is
+// reused for the round trip; the timestamp fields record when it crossed
+// each attack-relevant point (the shared channels SC1–SC5 of the paper's
+// Figure 5), which is what the statistics taps and the adversary observe.
+type Request struct {
+	// ID is unique per run and increases in creation order.
+	ID uint64
+	// Core is the issuing core's index; fake traffic carries the index of
+	// the shaper's core so it is indistinguishable on the bus.
+	Core int
+	// Addr is the physical line-aligned address.
+	Addr uint64
+	// Op is Read or Write.
+	Op Op
+	// Fake marks shaper-generated camouflage traffic. Fake requests are
+	// real DRAM accesses to random addresses but complete into nothing:
+	// no MSHR waits on them. Fake responses likewise terminate at the
+	// response tap.
+	Fake bool
+	// Blocking marks a load the core cannot advance past until the
+	// response returns (a dependent load in the instruction window).
+	Blocking bool
+
+	// Timestamps, in kernel cycles, zero until reached.
+	CreatedAt   sim.Cycle // core issued the miss (intrinsic timing)
+	ShapedAt    sim.Cycle // released by the request shaper (bus-visible)
+	ArrivedMC   sim.Cycle // entered the memory controller queue
+	IssuedDRAM  sim.Cycle // DRAM command stream began
+	ReadyAt     sim.Cycle // data available at controller egress
+	RespShaped  sim.Cycle // released by the response shaper
+	DeliveredAt sim.Cycle // response arrived back at the core
+}
+
+// Latency returns the core-observed round-trip latency. It is only
+// meaningful after delivery.
+func (r *Request) Latency() sim.Cycle {
+	if r.DeliveredAt < r.CreatedAt {
+		return 0
+	}
+	return r.DeliveredAt - r.CreatedAt
+}
+
+// ReqPort is the downstream-facing handoff for requests. TrySend returns
+// false when the receiver cannot accept the request this cycle; the sender
+// must retry (this is the backpressure that turns shaper throttling into
+// core stalls).
+type ReqPort interface {
+	TrySend(now sim.Cycle, req *Request) bool
+}
+
+// RespPort is the upstream-facing handoff for responses.
+type RespPort interface {
+	TrySend(now sim.Cycle, resp *Request) bool
+}
+
+// Queue is a bounded FIFO of requests used as the buffering element between
+// pipeline stages. A zero capacity means unbounded.
+type Queue struct {
+	buf []*Request
+	cap int
+}
+
+// NewQueue returns a queue holding at most capacity requests; capacity 0
+// means unbounded.
+func NewQueue(capacity int) *Queue {
+	return &Queue{cap: capacity}
+}
+
+// Len returns the number of queued requests.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Full reports whether the queue cannot accept another request.
+func (q *Queue) Full() bool { return q.cap > 0 && len(q.buf) >= q.cap }
+
+// Push appends req and reports whether it fit.
+func (q *Queue) Push(req *Request) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf = append(q.buf, req)
+	return true
+}
+
+// Peek returns the oldest request without removing it, or nil if empty.
+func (q *Queue) Peek() *Request {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	return q.buf[0]
+}
+
+// Pop removes and returns the oldest request, or nil if empty.
+func (q *Queue) Pop() *Request {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	r := q.buf[0]
+	q.buf[0] = nil
+	q.buf = q.buf[1:]
+	return r
+}
+
+// TrySend implements ReqPort and RespPort by enqueueing.
+func (q *Queue) TrySend(_ sim.Cycle, req *Request) bool { return q.Push(req) }
+
+// DelayPipe models a fixed-latency conduit (a NoC hop, a wire). Items
+// pushed at cycle t become visible at t+latency and drain in FIFO order
+// with backpressure: if the consumer does not pop, items stay.
+type DelayPipe struct {
+	latency sim.Cycle
+	items   []pipeItem
+}
+
+type pipeItem struct {
+	ready sim.Cycle
+	req   *Request
+}
+
+// NewDelayPipe returns a pipe with the given latency in cycles.
+func NewDelayPipe(latency sim.Cycle) *DelayPipe {
+	return &DelayPipe{latency: latency}
+}
+
+// Push inserts req at cycle now; it becomes poppable at now+latency.
+func (p *DelayPipe) Push(now sim.Cycle, req *Request) {
+	p.items = append(p.items, pipeItem{ready: now + p.latency, req: req})
+}
+
+// Len returns the number of in-flight items.
+func (p *DelayPipe) Len() int { return len(p.items) }
+
+// Ready returns the oldest item if it has matured by cycle now, else nil.
+// The item is not removed.
+func (p *DelayPipe) Ready(now sim.Cycle) *Request {
+	if len(p.items) == 0 || p.items[0].ready > now {
+		return nil
+	}
+	return p.items[0].req
+}
+
+// Pop removes and returns the oldest matured item, or nil.
+func (p *DelayPipe) Pop(now sim.Cycle) *Request {
+	if p.Ready(now) == nil {
+		return nil
+	}
+	r := p.items[0].req
+	p.items[0].req = nil
+	p.items = p.items[1:]
+	return r
+}

@@ -1,0 +1,135 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"camouflage/internal/sim"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "READ" || Write.String() != "WRITE" {
+		t.Fatalf("op strings: %v %v", Read, Write)
+	}
+	if Op(9).String() == "" {
+		t.Fatal("unknown op produced empty string")
+	}
+}
+
+func TestRequestLatency(t *testing.T) {
+	r := &Request{CreatedAt: 100, DeliveredAt: 250}
+	if r.Latency() != 150 {
+		t.Fatalf("latency %d, want 150", r.Latency())
+	}
+	undelivered := &Request{CreatedAt: 100}
+	if undelivered.Latency() != 0 {
+		t.Fatal("undelivered request should report zero latency")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(0)
+	reqs := []*Request{{ID: 1}, {ID: 2}, {ID: 3}}
+	for _, r := range reqs {
+		if !q.Push(r) {
+			t.Fatal("unbounded queue refused push")
+		}
+	}
+	for _, want := range reqs {
+		if got := q.Pop(); got != want {
+			t.Fatalf("popped %v, want %v", got.ID, want.ID)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("empty queue popped non-nil")
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := NewQueue(2)
+	if !q.Push(&Request{ID: 1}) || !q.Push(&Request{ID: 2}) {
+		t.Fatal("queue refused pushes under capacity")
+	}
+	if q.Push(&Request{ID: 3}) {
+		t.Fatal("queue accepted push over capacity")
+	}
+	if !q.Full() {
+		t.Fatal("full queue not reported full")
+	}
+	q.Pop()
+	if !q.Push(&Request{ID: 3}) {
+		t.Fatal("queue refused push after pop")
+	}
+}
+
+func TestQueuePeekDoesNotRemove(t *testing.T) {
+	q := NewQueue(0)
+	q.Push(&Request{ID: 7})
+	if q.Peek().ID != 7 || q.Len() != 1 {
+		t.Fatal("peek modified the queue")
+	}
+}
+
+func TestQueueTrySend(t *testing.T) {
+	q := NewQueue(1)
+	if !q.TrySend(0, &Request{ID: 1}) {
+		t.Fatal("TrySend refused with space")
+	}
+	if q.TrySend(0, &Request{ID: 2}) {
+		t.Fatal("TrySend accepted into full queue")
+	}
+}
+
+func TestDelayPipeLatency(t *testing.T) {
+	p := NewDelayPipe(10)
+	r := &Request{ID: 1}
+	p.Push(5, r)
+	if p.Ready(14) != nil {
+		t.Fatal("item matured early")
+	}
+	if got := p.Ready(15); got != r {
+		t.Fatal("item not ready at maturity")
+	}
+	if p.Pop(15) != r {
+		t.Fatal("pop did not return matured item")
+	}
+	if p.Len() != 0 {
+		t.Fatal("pipe not empty after pop")
+	}
+}
+
+func TestDelayPipeFIFOWithBackpressure(t *testing.T) {
+	p := NewDelayPipe(1)
+	a, b := &Request{ID: 1}, &Request{ID: 2}
+	p.Push(0, a)
+	p.Push(0, b)
+	// Not popping a keeps b queued behind it even after maturity.
+	if got := p.Ready(100); got != a {
+		t.Fatal("head is not the oldest item")
+	}
+	p.Pop(100)
+	if got := p.Pop(100); got != b {
+		t.Fatal("second item lost")
+	}
+}
+
+func TestDelayPipeOrderProperty(t *testing.T) {
+	// Items always pop in push order regardless of pop timing.
+	check := func(n uint8) bool {
+		p := NewDelayPipe(3)
+		count := int(n%20) + 1
+		for i := 0; i < count; i++ {
+			p.Push(sim.Cycle(i), &Request{ID: uint64(i)})
+		}
+		for i := 0; i < count; i++ {
+			r := p.Pop(sim.Cycle(1000))
+			if r == nil || r.ID != uint64(i) {
+				return false
+			}
+		}
+		return p.Pop(1000) == nil
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package memctrl
+
+import (
+	"sort"
+
+	"camouflage/internal/dram"
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+// DefaultQueueDepth is the paper's 32-entry transaction queue.
+const DefaultQueueDepth = 32
+
+// Controller is the memory controller: it accepts transactions from the
+// request NoC into a bounded queue, schedules them onto the DRAM channel
+// with its configured policy, tracks in-flight data bursts, and emits
+// completed transactions to per-core egress ports (where Response
+// Camouflage sits).
+type Controller struct {
+	channel   *dram.Channel
+	scheduler Scheduler
+	depth     int
+
+	queue []*mem.Request
+
+	// inflight holds issued transactions ordered by completion cycle.
+	inflight []completion
+
+	// egress[core] receives completed transactions for that core.
+	egress []mem.RespPort
+
+	// prio holds per-core priority levels for FR-FCFS elevation.
+	prio []int
+	// prioUntil expires temporary elevation (RespC warnings).
+	prioUntil []sim.Cycle
+
+	stats ControllerStats
+}
+
+type completion struct {
+	at  sim.Cycle
+	req *mem.Request
+}
+
+// ControllerStats aggregates queue and service counters.
+type ControllerStats struct {
+	Accepted  uint64
+	Rejected  uint64 // offered while the queue was full
+	Issued    uint64
+	Completed uint64
+	// PerCoreServed counts completed transactions per core.
+	PerCoreServed []uint64
+	// QueueOccupancySum accumulates queue length every cycle for mean
+	// occupancy reporting.
+	QueueOccupancySum uint64
+	Cycles            uint64
+}
+
+// MeanOccupancy returns the average queue depth over the run.
+func (s ControllerStats) MeanOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.QueueOccupancySum) / float64(s.Cycles)
+}
+
+// NewController returns a controller over channel with the given scheduler
+// and queue depth (0 means DefaultQueueDepth), serving cores cores.
+func NewController(channel *dram.Channel, sched Scheduler, depth, cores int) *Controller {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &Controller{
+		channel:   channel,
+		scheduler: sched,
+		depth:     depth,
+		egress:    make([]mem.RespPort, cores),
+		prio:      make([]int, cores),
+		prioUntil: make([]sim.Cycle, cores),
+		stats:     ControllerStats{PerCoreServed: make([]uint64, cores)},
+	}
+}
+
+// SetEgress connects core's completion port (the response shaper or the
+// response NoC input).
+func (c *Controller) SetEgress(core int, port mem.RespPort) { c.egress[core] = port }
+
+// Scheduler returns the active policy.
+func (c *Controller) Scheduler() Scheduler { return c.scheduler }
+
+// Stats returns a copy of the controller's counters.
+func (c *Controller) Stats() ControllerStats {
+	s := c.stats
+	s.PerCoreServed = append([]uint64(nil), c.stats.PerCoreServed...)
+	return s
+}
+
+// QueueLen returns the current transaction queue depth.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// TrySend implements mem.ReqPort: the request NoC delivers transactions
+// here. It returns false when the transaction queue is full.
+func (c *Controller) TrySend(now sim.Cycle, req *mem.Request) bool {
+	if len(c.queue) >= c.depth {
+		c.stats.Rejected++
+		return false
+	}
+	req.ArrivedMC = now
+	c.queue = append(c.queue, req)
+	c.stats.Accepted++
+	return true
+}
+
+// Elevate raises core's scheduling priority to level until cycle until.
+// Response Camouflage uses it to accelerate a core whose response rate has
+// fallen below its target distribution; MISE uses it for
+// highest-priority-mode profiling epochs.
+func (c *Controller) Elevate(core, level int, until sim.Cycle) {
+	if core < 0 || core >= len(c.prio) {
+		return
+	}
+	c.prio[core] = level
+	c.prioUntil[core] = until
+}
+
+// Priority returns core's current priority level.
+func (c *Controller) Priority(core int) int {
+	if core < 0 || core >= len(c.prio) {
+		return 0
+	}
+	return c.prio[core]
+}
+
+// Tick advances the controller one cycle: expire priority elevations,
+// retire finished bursts to egress, then issue at most one transaction.
+func (c *Controller) Tick(now sim.Cycle) {
+	c.stats.Cycles++
+	c.stats.QueueOccupancySum += uint64(len(c.queue))
+
+	for i := range c.prio {
+		if c.prio[i] != 0 && now >= c.prioUntil[i] {
+			c.prio[i] = 0
+		}
+	}
+
+	// Retire completions in order. Egress backpressure (a full response
+	// shaper queue) leaves that completion pending and its bank busy —
+	// the "prevent overflow on the return channel" coupling the paper
+	// describes — but other cores' completions retire past it, so one
+	// shaped core cannot head-of-line block its neighbours.
+	for i := 0; i < len(c.inflight); {
+		cp := c.inflight[i]
+		if cp.at > now {
+			break
+		}
+		port := c.egress[cp.req.Core]
+		if port != nil && !port.TrySend(now, cp.req) {
+			i++
+			continue
+		}
+		c.channel.Complete(cp.req)
+		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+		c.stats.Completed++
+		if cp.req.Core >= 0 && cp.req.Core < len(c.stats.PerCoreServed) {
+			c.stats.PerCoreServed[cp.req.Core]++
+		}
+	}
+
+	if len(c.queue) == 0 {
+		return
+	}
+	pick := c.scheduler.Pick(now, c.queue, c.channel, c.prio)
+	if pick < 0 {
+		return
+	}
+	req := c.queue[pick]
+	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	req.IssuedDRAM = now
+	done := c.channel.Issue(now, req)
+	req.ReadyAt = done
+	c.insertCompletion(completion{at: done, req: req})
+	c.stats.Issued++
+}
+
+func (c *Controller) insertCompletion(cp completion) {
+	i := sort.Search(len(c.inflight), func(i int) bool { return c.inflight[i].at > cp.at })
+	c.inflight = append(c.inflight, completion{})
+	copy(c.inflight[i+1:], c.inflight[i:])
+	c.inflight[i] = cp
+}

@@ -1,0 +1,214 @@
+// Package mi implements the information-theoretic security metric of the
+// paper's §IV-B: mutual information (MI) between a victim's intrinsic
+// memory inter-arrival timing and the timing visible after a shaper. A
+// perfect shaper leaves MI at zero — the adversary's observation is
+// statistically independent of the victim's behaviour; no shaping leaves
+// MI at the full self-information H(X).
+package mi
+
+import (
+	"math"
+
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// Entropy returns the Shannon entropy of pmf in bits. Zero-probability
+// entries contribute nothing.
+func Entropy(pmf []float64) float64 {
+	var h float64
+	for _, p := range pmf {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// Joint is a joint distribution over two discrete variables, accumulated
+// as counts.
+type Joint struct {
+	nx, ny int
+	counts []uint64
+	total  uint64
+}
+
+// NewJoint returns an empty joint over nx × ny outcomes.
+func NewJoint(nx, ny int) *Joint {
+	if nx <= 0 || ny <= 0 {
+		panic("mi: NewJoint with non-positive dimensions")
+	}
+	return &Joint{nx: nx, ny: ny, counts: make([]uint64, nx*ny)}
+}
+
+// Add records one (x, y) observation.
+func (j *Joint) Add(x, y int) {
+	j.counts[x*j.ny+y]++
+	j.total++
+}
+
+// Total returns the number of observations.
+func (j *Joint) Total() uint64 { return j.total }
+
+// MutualInformation returns I(X;Y) in bits (Equation 1 of the paper).
+func (j *Joint) MutualInformation() float64 {
+	if j.total == 0 {
+		return 0
+	}
+	px := make([]float64, j.nx)
+	py := make([]float64, j.ny)
+	n := float64(j.total)
+	for x := 0; x < j.nx; x++ {
+		for y := 0; y < j.ny; y++ {
+			p := float64(j.counts[x*j.ny+y]) / n
+			px[x] += p
+			py[y] += p
+		}
+	}
+	var i float64
+	for x := 0; x < j.nx; x++ {
+		for y := 0; y < j.ny; y++ {
+			p := float64(j.counts[x*j.ny+y]) / n
+			if p > 0 {
+				i += p * math.Log2(p/(px[x]*py[y]))
+			}
+		}
+	}
+	if i < 0 {
+		i = 0 // numeric noise
+	}
+	return i
+}
+
+// MillerMadowBias estimates the upward finite-sample bias of the plug-in
+// MI estimator: (M − Mx − My + 1) / (2N ln 2) bits, where M, Mx and My are
+// the numbers of occupied joint and marginal cells. Subtracting it makes
+// near-zero MI measurements (a shaper doing its job) report near zero
+// instead of the estimator noise floor.
+func (j *Joint) MillerMadowBias() float64 {
+	if j.total == 0 {
+		return 0
+	}
+	var m, mx, my int
+	xSeen := make([]bool, j.nx)
+	ySeen := make([]bool, j.ny)
+	for x := 0; x < j.nx; x++ {
+		for y := 0; y < j.ny; y++ {
+			if j.counts[x*j.ny+y] > 0 {
+				m++
+				xSeen[x] = true
+				ySeen[y] = true
+			}
+		}
+	}
+	for _, s := range xSeen {
+		if s {
+			mx++
+		}
+	}
+	for _, s := range ySeen {
+		if s {
+			my++
+		}
+	}
+	bias := float64(m-mx-my+1) / (2 * float64(j.total) * math.Ln2)
+	if bias < 0 {
+		return 0
+	}
+	return bias
+}
+
+// CorrectedMI returns the Miller-Madow bias-corrected mutual information,
+// floored at zero.
+func (j *Joint) CorrectedMI() float64 {
+	v := j.MutualInformation() - j.MillerMadowBias()
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MarginalX returns the X marginal pmf.
+func (j *Joint) MarginalX() []float64 {
+	px := make([]float64, j.nx)
+	if j.total == 0 {
+		return px
+	}
+	for x := 0; x < j.nx; x++ {
+		for y := 0; y < j.ny; y++ {
+			px[x] += float64(j.counts[x*j.ny+y])
+		}
+	}
+	for x := range px {
+		px[x] /= float64(j.total)
+	}
+	return px
+}
+
+// SequenceMI bins two aligned inter-arrival sequences with binning b and
+// returns their mutual information in bits. The k-th intrinsic
+// inter-arrival is paired with the k-th observed one — the adversary's
+// best case, where it can index the victim's transactions exactly.
+// Sequences are truncated to the shorter length.
+func SequenceMI(intrinsic, observed []sim.Cycle, b stats.Binning) float64 {
+	n := len(intrinsic)
+	if len(observed) < n {
+		n = len(observed)
+	}
+	if n == 0 {
+		return 0
+	}
+	j := NewJoint(b.N(), b.N())
+	for k := 0; k < n; k++ {
+		j.Add(b.Bin(intrinsic[k]), b.Bin(observed[k]))
+	}
+	return j.CorrectedMI()
+}
+
+// SelfInformation returns H(X) of a binned inter-arrival sequence — the MI
+// of an unshaped system, where the adversary observes the intrinsic timing
+// directly (I(X;X) = H(X)).
+func SelfInformation(seq []sim.Cycle, b stats.Binning) float64 {
+	h := stats.NewHistogram(b)
+	for _, dt := range seq {
+		h.Add(dt)
+	}
+	if h.Total() == 0 {
+		return 0
+	}
+	return Entropy(h.PMF())
+}
+
+// KLDivergence returns D(p ‖ q) in bits: how far the observed
+// distribution p is from the target q. Zero means the shaper reproduces
+// its configured distribution exactly (the Figure 11 property). Events
+// with p > 0 but q = 0 make the divergence infinite.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("mi: KLDivergence over different supports")
+	}
+	var d float64
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log2(p[i]/q[i])
+	}
+	if d < 0 {
+		return 0 // numeric noise
+	}
+	return d
+}
+
+// LeakageFraction returns shaped MI as a fraction of the unshaped
+// self-information — the "leaks less than 0.1% of the transmitted
+// information" number the paper reports.
+func LeakageFraction(selfInfo, shapedMI float64) float64 {
+	if selfInfo <= 0 {
+		return 0
+	}
+	return shapedMI / selfInfo
+}

@@ -1,0 +1,214 @@
+package mi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]float64{0.5, 0.5}); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("H(fair coin) = %v, want 1", h)
+	}
+	if h := Entropy([]float64{1, 0, 0}); h != 0 {
+		t.Fatalf("H(deterministic) = %v, want 0", h)
+	}
+	uniform := make([]float64, 8)
+	for i := range uniform {
+		uniform[i] = 1.0 / 8
+	}
+	if h := Entropy(uniform); math.Abs(h-3) > 1e-12 {
+		t.Fatalf("H(uniform-8) = %v, want 3", h)
+	}
+}
+
+func TestMIIdenticalVariables(t *testing.T) {
+	j := NewJoint(4, 4)
+	for i := 0; i < 1000; i++ {
+		j.Add(i%4, i%4) // y == x, uniform
+	}
+	if mi := j.MutualInformation(); math.Abs(mi-2) > 1e-9 {
+		t.Fatalf("I(X;X) = %v, want H(X) = 2", mi)
+	}
+}
+
+func TestMIIndependentVariables(t *testing.T) {
+	j := NewJoint(4, 4)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			for n := 0; n < 25; n++ {
+				j.Add(x, y) // perfectly independent
+			}
+		}
+	}
+	if mi := j.MutualInformation(); mi > 1e-9 {
+		t.Fatalf("I(independent) = %v, want 0", mi)
+	}
+}
+
+func TestMIConstantObservation(t *testing.T) {
+	j := NewJoint(4, 4)
+	for i := 0; i < 100; i++ {
+		j.Add(i%4, 2) // Y constant
+	}
+	if mi := j.MutualInformation(); mi != 0 {
+		t.Fatalf("I(X; const) = %v", mi)
+	}
+}
+
+func TestMINonNegativeProperty(t *testing.T) {
+	check := func(pairs []uint16) bool {
+		j := NewJoint(8, 8)
+		for _, p := range pairs {
+			j.Add(int(p)%8, int(p>>8)%8)
+		}
+		return j.MutualInformation() >= 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIBoundedByEntropyProperty(t *testing.T) {
+	check := func(pairs []uint16) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		j := NewJoint(8, 8)
+		for _, p := range pairs {
+			j.Add(int(p)%8, int(p>>8)%8)
+		}
+		return j.MutualInformation() <= Entropy(j.MarginalX())+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMillerMadowBiasReducesEstimate(t *testing.T) {
+	j := NewJoint(8, 8)
+	rng := sim.NewRNG(1)
+	// Independent draws: plug-in MI > 0 from sampling noise; corrected
+	// should be much smaller.
+	for i := 0; i < 500; i++ {
+		j.Add(rng.Intn(8), rng.Intn(8))
+	}
+	plug := j.MutualInformation()
+	corr := j.CorrectedMI()
+	if corr >= plug {
+		t.Fatalf("correction did not reduce: %v -> %v", plug, corr)
+	}
+	if corr < 0 {
+		t.Fatal("corrected MI negative")
+	}
+}
+
+func TestSequenceMI(t *testing.T) {
+	b := stats.ExponentialBinning(8, 2)
+	n := 2000
+	x := make([]sim.Cycle, n)
+	rng := sim.NewRNG(7)
+	for i := range x {
+		x[i] = sim.Cycle(rng.Intn(500))
+	}
+	// Identical sequences: MI ~ self-information.
+	self := SelfInformation(x, b)
+	same := SequenceMI(x, x, b)
+	if math.Abs(same-self) > 0.15 {
+		t.Fatalf("SequenceMI(x,x) = %v vs H = %v", same, self)
+	}
+	// Constant observation: ~0.
+	y := make([]sim.Cycle, n)
+	for i := range y {
+		y[i] = 100
+	}
+	if mi := SequenceMI(x, y, b); mi > 0.01 {
+		t.Fatalf("MI against constant = %v", mi)
+	}
+	// Independent observation: ~0 after bias correction.
+	z := make([]sim.Cycle, n)
+	rng2 := sim.NewRNG(99)
+	for i := range z {
+		z[i] = sim.Cycle(rng2.Intn(500))
+	}
+	if mi := SequenceMI(x, z, b); mi > 0.05 {
+		t.Fatalf("MI against independent = %v", mi)
+	}
+}
+
+func TestSequenceMIEmptyAndMismatched(t *testing.T) {
+	b := stats.DefaultBinning()
+	if SequenceMI(nil, nil, b) != 0 {
+		t.Fatal("empty sequences nonzero MI")
+	}
+	x := []sim.Cycle{1, 2, 3, 4, 5}
+	y := []sim.Cycle{1, 2}
+	_ = SequenceMI(x, y, b) // must not panic on length mismatch
+}
+
+func TestSelfInformationEmpty(t *testing.T) {
+	if SelfInformation(nil, stats.DefaultBinning()) != 0 {
+		t.Fatal("empty self-information nonzero")
+	}
+}
+
+func TestLeakageFraction(t *testing.T) {
+	if f := LeakageFraction(4.0, 0.004); math.Abs(f-0.001) > 1e-12 {
+		t.Fatalf("leakage %v", f)
+	}
+	if LeakageFraction(0, 1) != 0 {
+		t.Fatal("degenerate leakage nonzero")
+	}
+}
+
+func TestNewJointPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewJoint(0, 4) did not panic")
+		}
+	}()
+	NewJoint(0, 4)
+}
+
+func TestMarginalXSums(t *testing.T) {
+	j := NewJoint(3, 3)
+	j.Add(0, 1)
+	j.Add(0, 2)
+	j.Add(2, 0)
+	px := j.MarginalX()
+	if math.Abs(px[0]-2.0/3) > 1e-12 || math.Abs(px[2]-1.0/3) > 1e-12 {
+		t.Fatalf("marginal %v", px)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if d := KLDivergence(p, p); d != 0 {
+		t.Fatalf("D(p||p) = %v", d)
+	}
+	q := []float64{0.25, 0.75}
+	d := KLDivergence(p, q)
+	want := 0.5*math.Log2(0.5/0.25) + 0.5*math.Log2(0.5/0.75)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("D = %v, want %v", d, want)
+	}
+	if !math.IsInf(KLDivergence([]float64{1, 0}, []float64{0, 1}), 1) {
+		t.Fatal("disjoint support should be infinite")
+	}
+	// Zero-probability p entries contribute nothing.
+	if d := KLDivergence([]float64{0, 1}, []float64{0.5, 0.5}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("D = %v, want 1", d)
+	}
+}
+
+func TestKLDivergencePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched supports accepted")
+		}
+	}()
+	KLDivergence([]float64{1}, []float64{0.5, 0.5})
+}

@@ -1,0 +1,94 @@
+// Package mise implements the slowdown-estimation model of MISE
+// (Subramanian et al., HPCA 2013), which the paper's online genetic
+// algorithm uses as its optimization objective. MISE estimates an
+// application's slowdown in a shared memory system without running it
+// alone:
+//
+//	slowdown = (1 − α) + α · (service rate at highest priority / shared service rate)
+//
+// where α is the fraction of cycles the application stalls on memory. The
+// highest-priority service rate is measured online by periodically giving
+// the application top scheduling priority for one epoch.
+package mise
+
+import "camouflage/internal/sim"
+
+// HPMPriority is the scheduling priority used for highest-priority-mode
+// profiling epochs; it dominates the response shaper's warning elevations.
+const HPMPriority = 1 << 20
+
+// Sample is one epoch's measurement for one core.
+type Sample struct {
+	// Alpha is the memory-stall cycle fraction over the epoch.
+	Alpha float64
+	// ServiceRate is completed memory requests per cycle over the epoch.
+	ServiceRate float64
+}
+
+// Slowdown combines a highest-priority-mode sample with a shared-mode
+// sample per the MISE formula. A zero shared service rate with memory
+// stalls present reports the HPM/ε worst case bounded to maxSlowdown.
+func Slowdown(hpm, shared Sample) float64 {
+	const maxSlowdown = 100
+	alpha := shared.Alpha
+	if alpha <= 0 {
+		return 1
+	}
+	if shared.ServiceRate <= 0 {
+		if hpm.ServiceRate <= 0 {
+			return 1
+		}
+		return maxSlowdown
+	}
+	s := (1 - alpha) + alpha*(hpm.ServiceRate/shared.ServiceRate)
+	if s < 1 {
+		// A shared epoch can transiently beat the highest-priority
+		// profile (epoch noise, phase changes); estimates below 1 are
+		// artifacts, and floored so the optimizer does not chase them.
+		return 1
+	}
+	if s > maxSlowdown {
+		return maxSlowdown
+	}
+	return s
+}
+
+// Meter measures epoch samples for one core from cumulative counters. The
+// caller feeds it counter snapshots at epoch boundaries.
+type Meter struct {
+	lastCycles    sim.Cycle
+	lastStall     sim.Cycle
+	lastCompleted uint64
+}
+
+// Begin snapshots the counters at the start of an epoch.
+func (m *Meter) Begin(cycles, stall sim.Cycle, completed uint64) {
+	m.lastCycles = cycles
+	m.lastStall = stall
+	m.lastCompleted = completed
+}
+
+// End computes the epoch sample from the counters at the end of the epoch.
+func (m *Meter) End(cycles, stall sim.Cycle, completed uint64) Sample {
+	dc := cycles - m.lastCycles
+	if dc == 0 {
+		return Sample{}
+	}
+	return Sample{
+		Alpha:       float64(stall-m.lastStall) / float64(dc),
+		ServiceRate: float64(completed-m.lastCompleted) / float64(dc),
+	}
+}
+
+// AverageSlowdown returns the mean of per-core slowdowns — the
+// multi-program objective the paper's GA minimizes (Σ slowdown_i / n).
+func AverageSlowdown(slowdowns []float64) float64 {
+	if len(slowdowns) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range slowdowns {
+		sum += s
+	}
+	return sum / float64(len(slowdowns))
+}

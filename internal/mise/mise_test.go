@@ -1,0 +1,91 @@
+package mise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlowdownNoMemoryStalls(t *testing.T) {
+	hpm := Sample{Alpha: 0, ServiceRate: 0.1}
+	shared := Sample{Alpha: 0, ServiceRate: 0.05}
+	if s := Slowdown(hpm, shared); s != 1 {
+		t.Fatalf("compute-bound slowdown %v, want 1", s)
+	}
+}
+
+func TestSlowdownFormula(t *testing.T) {
+	hpm := Sample{ServiceRate: 0.10}
+	shared := Sample{Alpha: 0.5, ServiceRate: 0.05}
+	// (1-0.5) + 0.5*(0.10/0.05) = 0.5 + 1.0 = 1.5
+	if s := Slowdown(hpm, shared); math.Abs(s-1.5) > 1e-12 {
+		t.Fatalf("slowdown %v, want 1.5", s)
+	}
+}
+
+func TestSlowdownFlooredAtOne(t *testing.T) {
+	hpm := Sample{ServiceRate: 0.05}
+	shared := Sample{Alpha: 0.5, ServiceRate: 0.10} // shared faster: noise
+	if s := Slowdown(hpm, shared); s != 1 {
+		t.Fatalf("noisy speedup not floored: %v", s)
+	}
+}
+
+func TestSlowdownStarvedShared(t *testing.T) {
+	hpm := Sample{ServiceRate: 0.1}
+	shared := Sample{Alpha: 0.9, ServiceRate: 0}
+	if s := Slowdown(hpm, shared); s != 100 {
+		t.Fatalf("starved slowdown %v, want the 100 cap", s)
+	}
+	both := Slowdown(Sample{}, Sample{Alpha: 0.9})
+	if both != 1 {
+		t.Fatalf("both-zero rates: %v, want 1", both)
+	}
+}
+
+func TestSlowdownCapped(t *testing.T) {
+	hpm := Sample{ServiceRate: 1000}
+	shared := Sample{Alpha: 1, ServiceRate: 0.001}
+	if s := Slowdown(hpm, shared); s != 100 {
+		t.Fatalf("slowdown %v, want cap 100", s)
+	}
+}
+
+func TestSlowdownRangeProperty(t *testing.T) {
+	check := func(a, h, s uint16) bool {
+		alpha := float64(a%101) / 100
+		hpm := Sample{ServiceRate: float64(h%1000) / 1000}
+		shared := Sample{Alpha: alpha, ServiceRate: float64(s%1000) / 1000}
+		v := Slowdown(hpm, shared)
+		return v >= 1 && v <= 100
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Begin(1000, 200, 50)
+	s := m.End(2000, 700, 150)
+	if math.Abs(s.Alpha-0.5) > 1e-12 {
+		t.Fatalf("alpha %v, want 0.5", s.Alpha)
+	}
+	if math.Abs(s.ServiceRate-0.1) > 1e-12 {
+		t.Fatalf("rate %v, want 0.1", s.ServiceRate)
+	}
+	// Zero-length epoch.
+	m.Begin(5, 1, 1)
+	if z := m.End(5, 1, 1); z.Alpha != 0 || z.ServiceRate != 0 {
+		t.Fatalf("zero epoch sample %+v", z)
+	}
+}
+
+func TestAverageSlowdown(t *testing.T) {
+	if a := AverageSlowdown([]float64{1, 2, 3}); a != 2 {
+		t.Fatalf("average %v", a)
+	}
+	if AverageSlowdown(nil) != 0 {
+		t.Fatal("empty average nonzero")
+	}
+}

@@ -1,0 +1,133 @@
+// Package noc models the shared on-chip channel between processor cores
+// and the memory controller — the paper's shared channels SC1 (cores to
+// controller) and SC5 (controller back to cores). The model is a shared
+// link: per-core bounded input queues, round-robin arbitration for a fixed
+// number of transfers per cycle, and a fixed pipeline latency. Contention
+// at the arbiter is precisely the cross-core interference an adversary can
+// observe, and the link's entry point is where the pin/bus monitoring tap
+// sits.
+package noc
+
+import (
+	"fmt"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+// Tap observes every transaction crossing the link at its injection time.
+// The bus-monitoring adversary and the distribution-measurement probes are
+// Taps.
+type Tap func(now sim.Cycle, req *mem.Request)
+
+// Link is a shared, arbitrated, fixed-latency channel.
+type Link struct {
+	name    string
+	latency sim.Cycle
+	width   int
+
+	inputs []*mem.Queue
+	pipe   *mem.DelayPipe
+	route  func(req *mem.Request) mem.ReqPort
+	taps   []Tap
+
+	rr int
+
+	stats LinkStats
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Injected  uint64
+	Delivered uint64
+	// StallCycles counts cycles in which the head of the pipe was mature
+	// but its destination refused delivery.
+	StallCycles uint64
+	// PerCoreInjected counts injections per input.
+	PerCoreInjected []uint64
+}
+
+// NewLink returns a link named name with cores input queues of capacity
+// inputCap each (0 = unbounded), the given one-way latency, and width
+// transfers accepted per cycle.
+func NewLink(name string, cores, inputCap int, latency sim.Cycle, width int) *Link {
+	if cores <= 0 {
+		panic("noc: NewLink with no inputs")
+	}
+	if width <= 0 {
+		width = 1
+	}
+	l := &Link{
+		name:    name,
+		latency: latency,
+		width:   width,
+		pipe:    mem.NewDelayPipe(latency),
+		stats:   LinkStats{PerCoreInjected: make([]uint64, cores)},
+	}
+	l.inputs = make([]*mem.Queue, cores)
+	for i := range l.inputs {
+		l.inputs[i] = mem.NewQueue(inputCap)
+	}
+	return l
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Input returns core's injection port. Senders use TrySend; a false return
+// is the backpressure that stalls the sender.
+func (l *Link) Input(core int) *mem.Queue { return l.inputs[core] }
+
+// SetRoute installs the delivery function mapping a transaction to its
+// destination port. For the request link this is constant (the memory
+// controller); for the response link it demultiplexes on req.Core.
+func (l *Link) SetRoute(route func(req *mem.Request) mem.ReqPort) { l.route = route }
+
+// AddTap registers an observer of injected transactions.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats {
+	s := l.stats
+	s.PerCoreInjected = append([]uint64(nil), l.stats.PerCoreInjected...)
+	return s
+}
+
+// Tick advances the link one cycle: deliver matured transactions (in
+// order, stopping at backpressure), then arbitrate new injections
+// round-robin across the input queues.
+func (l *Link) Tick(now sim.Cycle) {
+	if l.route == nil {
+		panic(fmt.Sprintf("noc: link %q ticked without a route", l.name))
+	}
+	for {
+		head := l.pipe.Ready(now)
+		if head == nil {
+			break
+		}
+		if !l.route(head).TrySend(now, head) {
+			l.stats.StallCycles++
+			break
+		}
+		l.pipe.Pop(now)
+		l.stats.Delivered++
+	}
+
+	granted := 0
+	n := len(l.inputs)
+	for scanned := 0; scanned < n && granted < l.width; scanned++ {
+		idx := (l.rr + scanned) % n
+		req := l.inputs[idx].Pop()
+		if req == nil {
+			continue
+		}
+		l.pipe.Push(now, req)
+		l.stats.Injected++
+		l.stats.PerCoreInjected[idx]++
+		for _, t := range l.taps {
+			t(now, req)
+		}
+		granted++
+	}
+	l.rr = (l.rr + 1) % n
+}

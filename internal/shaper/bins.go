@@ -1,0 +1,406 @@
+package shaper
+
+import (
+	"camouflage/internal/sim"
+)
+
+// binCore is the credit machinery shared by the request and response
+// shapers: the live credit bins, the unused-credit bins feeding the fake
+// traffic generator, and the replenishment clock.
+type binCore struct {
+	cfg     Config
+	credits []int
+	unused  []int
+
+	lastRelease sim.Cycle
+	released    bool
+
+	nextReplenish sim.Cycle
+
+	// nextSlot is the next release opportunity in strict periodic mode;
+	// curInterval is the active slot interval (re-selected at epoch
+	// boundaries in epoch-rate mode).
+	nextSlot    sim.Cycle
+	curInterval sim.Cycle
+
+	// nextEpoch and epochArrivals drive Fletcher et al. epoch-rate
+	// switching.
+	nextEpoch     sim.Cycle
+	epochArrivals uint64
+
+	// rng and jitterFrac implement RandomizeWithinBin; jitterFrac is
+	// redrawn after every release.
+	rng        *sim.RNG
+	jitterFrac float64
+
+	// nextRelease and reservedBin drive PolicyOblivious: the next
+	// scheduled release point and the credit bin it was drawn from
+	// (-1 when no credits remain until replenishment).
+	nextRelease sim.Cycle
+	reservedBin int
+
+	stats Stats
+}
+
+// Stats counts shaper activity.
+type Stats struct {
+	// ReleasedReal counts real transactions released.
+	ReleasedReal uint64
+	// ReleasedFake counts generated fake transactions.
+	ReleasedFake uint64
+	// DelayedCycles accumulates (release - arrival) over real
+	// transactions: total shaping delay.
+	DelayedCycles uint64
+	// Replenishments counts completed windows.
+	Replenishments uint64
+	// UnusedSaved counts credits moved to the unused bins.
+	UnusedSaved uint64
+	// WarningsSent counts priority warnings to the memory controller
+	// (response shaper only).
+	WarningsSent uint64
+	// Epochs and RateChanges track the Fletcher et al. epoch-rate mode:
+	// leakage is bounded by Epochs x log2(number of rates).
+	Epochs      uint64
+	RateChanges uint64
+}
+
+func newBinCore(cfg Config, rng *sim.RNG) *binCore {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	b := &binCore{
+		cfg:           cfg.Clone(),
+		credits:       append([]int(nil), cfg.Credits...),
+		unused:        make([]int, len(cfg.Credits)),
+		nextReplenish: cfg.Window,
+		nextSlot:      cfg.PeriodicInterval,
+		curInterval:   cfg.PeriodicInterval,
+		nextEpoch:     cfg.EpochLength,
+		rng:           rng,
+		reservedBin:   -1,
+	}
+	b.redrawJitter()
+	if cfg.Policy == PolicyOblivious {
+		b.drawRelease(0)
+	}
+	return b
+}
+
+// drawRelease schedules the next oblivious release: a bin is drawn from
+// the remaining credits (weighted by count) and consumed; the release
+// point is the bin's inter-arrival time from now, jittered within the bin
+// when RandomizeWithinBin is set. With no credits left, the draw is
+// deferred to replenishment.
+func (b *binCore) drawRelease(now sim.Cycle) {
+	total := 0
+	for _, c := range b.credits {
+		total += c
+	}
+	if total == 0 {
+		b.reservedBin = -1
+		return
+	}
+	pick := 0
+	if b.rng != nil {
+		pick = b.rng.Intn(total)
+	}
+	bin := 0
+	for i, c := range b.credits {
+		if pick < c {
+			bin = i
+			break
+		}
+		pick -= c
+	}
+	b.credits[bin]--
+	b.reservedBin = bin
+
+	delay := b.cfg.Binning.Lower(bin)
+	if delay == 0 {
+		delay = 1
+	}
+	if b.cfg.RandomizeWithinBin && b.rng != nil {
+		width := delay
+		if bin < b.cfg.Binning.N()-1 {
+			width = b.cfg.Binning.Upper(bin) - b.cfg.Binning.Lower(bin)
+		}
+		if width > 0 {
+			delay += sim.Cycle(b.rng.Uint64n(uint64(width)))
+		}
+	}
+	b.nextRelease = now + delay
+}
+
+// obliviousDue reports whether the scheduled release point has arrived.
+func (b *binCore) obliviousDue(now sim.Cycle) bool {
+	return b.reservedBin >= 0 && now >= b.nextRelease
+}
+
+// commitOblivious records an oblivious-mode release (real or fake) and
+// draws the next release point.
+func (b *binCore) commitOblivious(now sim.Cycle, fake bool) {
+	b.lastRelease = now
+	b.released = true
+	if fake {
+		b.stats.ReleasedFake++
+	} else {
+		b.stats.ReleasedReal++
+	}
+	b.drawRelease(now)
+}
+
+// lapseOblivious abandons the reserved slot (nothing to send and fakes
+// disabled) and draws the next release point.
+func (b *binCore) lapseOblivious(now sim.Cycle) {
+	b.stats.UnusedSaved++
+	b.drawRelease(now)
+}
+
+// periodic reports whether the core runs in strict periodic (CS) mode.
+func (b *binCore) periodic() bool { return b.cfg.PeriodicInterval > 0 }
+
+// slotOpen reports whether a periodic release opportunity is open at now.
+func (b *binCore) slotOpen(now sim.Cycle) bool { return now >= b.nextSlot }
+
+// closeSlot advances the slot clock after a release (or a lapsed slot),
+// never allowing catch-up bursts: the next opportunity is at least one
+// full interval after the release.
+func (b *binCore) closeSlot(now sim.Cycle) {
+	b.nextSlot += b.curInterval
+	if b.nextSlot <= now {
+		b.nextSlot = now + b.curInterval
+	}
+}
+
+// noteArrival counts a real arrival for epoch-rate demand estimation.
+func (b *binCore) noteArrival() {
+	if len(b.cfg.EpochRates) > 0 {
+		b.epochArrivals++
+	}
+}
+
+// maybeEpochSwitch re-selects the periodic rate at epoch boundaries
+// (Fletcher et al.): the slowest rate in the set that can still serve the
+// previous epoch's demand, or the fastest rate if none can. Each boundary
+// leaks at most log2(len(rates)) bits, which Stats.Epochs bounds.
+func (b *binCore) maybeEpochSwitch(now sim.Cycle) {
+	if len(b.cfg.EpochRates) == 0 || now < b.nextEpoch {
+		return
+	}
+	b.nextEpoch += b.cfg.EpochLength
+	b.stats.Epochs++
+	demand := b.epochArrivals
+	b.epochArrivals = 0
+
+	best := b.cfg.EpochRates[0]
+	for _, r := range b.cfg.EpochRates {
+		if r < best {
+			best = r // fastest as the fallback
+		}
+	}
+	var chosen sim.Cycle
+	for _, r := range b.cfg.EpochRates {
+		if uint64(b.cfg.EpochLength/r) >= demand && r > chosen {
+			chosen = r
+		}
+	}
+	if chosen == 0 {
+		chosen = best
+	}
+	if chosen != b.curInterval {
+		b.curInterval = chosen
+		b.stats.RateChanges++
+	}
+}
+
+// markReal records a real periodic-mode release at cycle now.
+func (b *binCore) markReal(now sim.Cycle) {
+	b.lastRelease = now
+	b.released = true
+	b.stats.ReleasedReal++
+}
+
+// markFake records a fake periodic-mode release at cycle now.
+func (b *binCore) markFake(now sim.Cycle) {
+	b.lastRelease = now
+	b.released = true
+	b.stats.ReleasedFake++
+}
+
+// maybeReplenish rolls the window if due and returns (replenished,
+// unusedTotal): the total credits that went unused in the closing window,
+// which the response shaper converts into a priority warning.
+func (b *binCore) maybeReplenish(now sim.Cycle) (bool, int) {
+	if now < b.nextReplenish {
+		return false, 0
+	}
+	b.nextReplenish += b.cfg.Window
+	unusedTotal := 0
+	maxWindows := b.cfg.MaxUnusedWindows
+	if maxWindows <= 0 {
+		maxWindows = 1
+	}
+	for i := range b.credits {
+		if b.credits[i] > 0 {
+			unusedTotal += b.credits[i]
+			if b.cfg.GenerateFake {
+				b.unused[i] += b.credits[i]
+				if cap := b.cfg.Credits[i] * maxWindows; b.unused[i] > cap {
+					b.unused[i] = cap
+				}
+			}
+		}
+		b.credits[i] = b.cfg.Credits[i]
+	}
+	b.stats.Replenishments++
+	b.stats.UnusedSaved += uint64(unusedTotal)
+	if b.cfg.Policy == PolicyOblivious && b.reservedBin < 0 {
+		b.drawRelease(now)
+	}
+	return true, unusedTotal
+}
+
+// interArrival returns the observed inter-arrival time if the shaper
+// released at cycle now.
+func (b *binCore) interArrival(now sim.Cycle) sim.Cycle {
+	if !b.released {
+		return 0
+	}
+	return now - b.lastRelease
+}
+
+// releaseBin returns the bin a release at cycle now would consume from,
+// and whether a credit is available, per the configured policy.
+func (b *binCore) releaseBin(now sim.Cycle) (int, bool) {
+	if !b.released {
+		// The first release has no inter-arrival time; any credited bin
+		// admits it (lowest first so cheap credits go first).
+		for i, c := range b.credits {
+			if c > 0 {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	dt := b.interArrival(now)
+	bin := b.cfg.Binning.Bin(dt)
+	switch b.cfg.Policy {
+	case PolicyAtMost:
+		for i := bin; i >= 0; i-- {
+			if b.credits[i] > 0 {
+				return i, true
+			}
+		}
+		return 0, false
+	default: // PolicyExact
+		if b.credits[bin] > 0 {
+			if b.cfg.RandomizeWithinBin && !b.jitterSatisfied(dt, bin) {
+				return 0, false
+			}
+			return bin, true
+		}
+		// Overflow release: if the observed inter-arrival has already
+		// passed every credited bin, further waiting cannot produce a
+		// match until replenishment — the paper's "delayed ... until
+		// credits have been replenished". Release from the highest
+		// credited bin; the observed time still lands in a higher bin,
+		// a bounded distortion that fake traffic makes rare.
+		for i := len(b.credits) - 1; i > bin; i-- {
+			if b.credits[i] > 0 {
+				return 0, false // a higher credited bin exists: keep waiting
+			}
+		}
+		for i := bin - 1; i >= 0; i-- {
+			if b.credits[i] > 0 {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+}
+
+// fakeBin returns the unused-credit bin a fake release at cycle now would
+// consume from, and whether one is available. Fake traffic always matches
+// its bin exactly: it exists to complete the distribution.
+func (b *binCore) fakeBin(now sim.Cycle) (int, bool) {
+	if !b.cfg.GenerateFake {
+		return 0, false
+	}
+	if !b.released {
+		for i, u := range b.unused {
+			if u > 0 {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	dt := b.interArrival(now)
+	bin := b.cfg.Binning.Bin(dt)
+	if b.unused[bin] > 0 {
+		if b.cfg.RandomizeWithinBin && !b.jitterSatisfied(dt, bin) {
+			return 0, false
+		}
+		return bin, true
+	}
+	// Overflow: once the gap has passed every unused-credit bin, emit from
+	// the highest one so the generator restarts after idle stretches (the
+	// subsequent fakes then walk their exact bins again).
+	for i := len(b.unused) - 1; i > bin; i-- {
+		if b.unused[i] > 0 {
+			return 0, false
+		}
+	}
+	for i := bin - 1; i >= 0; i-- {
+		if b.unused[i] > 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// jitterSatisfied reports whether the randomized extra delay for the
+// current release has elapsed: the release must sit at least jitterFrac of
+// the way into its bin. The open-ended last bin uses its lower edge as
+// width.
+func (b *binCore) jitterSatisfied(dt sim.Cycle, bin int) bool {
+	lower := b.cfg.Binning.Lower(bin)
+	var width sim.Cycle
+	if bin == b.cfg.Binning.N()-1 {
+		width = lower
+	} else {
+		width = b.cfg.Binning.Upper(bin) - lower
+	}
+	need := lower + sim.Cycle(b.jitterFrac*float64(width))
+	return dt >= need
+}
+
+// redrawJitter samples the next release's within-bin delay fraction.
+func (b *binCore) redrawJitter() {
+	if b.cfg.RandomizeWithinBin && b.rng != nil {
+		b.jitterFrac = b.rng.Float64()
+	}
+}
+
+// commitReal records a real release at cycle now consuming bin.
+func (b *binCore) commitReal(now sim.Cycle, bin int) {
+	b.credits[bin]--
+	b.lastRelease = now
+	b.released = true
+	b.stats.ReleasedReal++
+	b.redrawJitter()
+}
+
+// commitFake records a fake release at cycle now consuming unused bin.
+func (b *binCore) commitFake(now sim.Cycle, bin int) {
+	b.unused[bin]--
+	b.lastRelease = now
+	b.released = true
+	b.stats.ReleasedFake++
+	b.redrawJitter()
+}
+
+// creditsLeft returns the live credits in bin i (for tests).
+func (b *binCore) creditsLeft(i int) int { return b.credits[i] }
+
+// unusedLeft returns the unused credits in bin i (for tests).
+func (b *binCore) unusedLeft(i int) int { return b.unused[i] }

@@ -1,0 +1,304 @@
+// Package shaper implements the paper's bin-based traffic shaping and fake
+// traffic generation hardware (§III). A shaper holds N bins, each covering
+// a range of inter-arrival times and holding credits; releasing a
+// transaction whose observed inter-arrival time falls in bin b consumes one
+// of b's credits, and a transaction with no credit available is delayed —
+// the stall signal back to the core. Credits replenish on a fixed period;
+// credits left unused are moved to a parallel array of unused-credit bins
+// that drive the fake traffic generator in the following period, so that
+// real plus fake traffic adds up to the configured distribution exactly
+// (Figure 7).
+//
+// The same mechanism instantiates both Request Camouflage (at the core's
+// LLC egress) and Response Camouflage (at the memory controller egress);
+// Bi-directional Camouflage is both at once.
+package shaper
+
+import (
+	"fmt"
+
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// Policy selects how a release is matched to a credit bin.
+type Policy uint8
+
+const (
+	// PolicyExact releases a transaction only when the bin containing its
+	// observed inter-arrival time has a credit, and consumes from exactly
+	// that bin. This makes the released distribution match the bin
+	// configuration precisely, which is the security property Figure 11
+	// demonstrates. It is the default.
+	PolicyExact Policy = iota
+	// PolicyAtMost releases when any bin representing an inter-arrival
+	// time lower than or equal to the observed one has a credit
+	// (consuming from the closest such bin). This is the MITTS
+	// bandwidth-enforcement reading of the mechanism: never exceed the
+	// configured distribution, but allow late transactions to use
+	// cheaper credits. Faster, leakier; kept for the ablation study.
+	PolicyAtMost
+	// PolicyOblivious decouples the release schedule from arrivals
+	// entirely: the shaper draws each next release time from the
+	// remaining credit multiset (a renewal process with the configured
+	// inter-arrival distribution) and at each release point emits a
+	// pending real transaction if there is one, else a fake one. The
+	// bus-visible process is then statistically independent of the
+	// workload — the strongest security mode, and the generalization of
+	// strictly-periodic constant-rate shaping to arbitrary
+	// distributions.
+	PolicyOblivious
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyExact:
+		return "exact"
+	case PolicyAtMost:
+		return "at-most"
+	case PolicyOblivious:
+		return "oblivious"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// DefaultWindow is the default credit replenishment period in cycles.
+const DefaultWindow sim.Cycle = 1024
+
+// Config is one shaper instance's configuration — the contents of the
+// special-purpose control registers the hypervisor writes.
+type Config struct {
+	// Binning maps inter-arrival times to bins.
+	Binning stats.Binning
+	// Credits is the per-bin credit count replenished each window.
+	Credits []int
+	// Window is the replenishment period in cycles.
+	Window sim.Cycle
+	// GenerateFake enables the fake traffic generator.
+	GenerateFake bool
+	// Policy is the credit-matching rule.
+	Policy Policy
+	// MaxUnusedWindows caps the unused-credit accumulation per bin, in
+	// multiples of the bin's replenished credits (0 means one window).
+	// The cap bounds fake-traffic bursts after long idle phases.
+	MaxUnusedWindows int
+	// RandomizeWithinBin adds the §IV-B4 extension: each release is
+	// jittered by a random fraction of its bin's width, increasing the
+	// adversary's timing uncertainty within a replenishment window at a
+	// small bandwidth cost. Bin accounting is unchanged (the release
+	// still lands in its bin).
+	RandomizeWithinBin bool
+	// PeriodicInterval, when non-zero, switches the shaper to the strict
+	// periodic mode of Ascend (Fletcher et al.): exactly one release
+	// opportunity every PeriodicInterval cycles — a pending real
+	// transaction if there is one, else a fake transaction when
+	// GenerateFake is set, else the slot idles. Bins and credits are
+	// bypassed. This is the paper's CS baseline.
+	PeriodicInterval sim.Cycle
+	// EpochRates and EpochLength enable the enhanced Fletcher et al.
+	// design the paper cites as reference [14]: the program is split
+	// into coarse epochs and at each epoch boundary the shaper picks a
+	// new periodic rate out of this fixed set, matching the previous
+	// epoch's demand. Leakage is bounded by epochs x log2(len(rates))
+	// bits (Stats.EpochSwitches tracks the epoch count). Requires
+	// PeriodicInterval as the starting rate.
+	EpochRates  []sim.Cycle
+	EpochLength sim.Cycle
+}
+
+// Validate rejects configurations the hardware could not hold.
+func (c Config) Validate() error {
+	if err := c.Binning.Validate(); err != nil {
+		return err
+	}
+	if len(c.Credits) != c.Binning.N() {
+		return fmt.Errorf("shaper: %d credit entries for %d bins", len(c.Credits), c.Binning.N())
+	}
+	for i, cr := range c.Credits {
+		if cr < 0 {
+			return fmt.Errorf("shaper: negative credits in bin %d", i)
+		}
+	}
+	if c.Window == 0 {
+		return fmt.Errorf("shaper: zero replenishment window")
+	}
+	total := 0
+	for _, cr := range c.Credits {
+		total += cr
+	}
+	if total == 0 {
+		return fmt.Errorf("shaper: no credits in any bin")
+	}
+	if len(c.EpochRates) > 0 {
+		if c.PeriodicInterval == 0 {
+			return fmt.Errorf("shaper: epoch rates require a starting PeriodicInterval")
+		}
+		if c.EpochLength == 0 {
+			return fmt.Errorf("shaper: epoch rates require EpochLength")
+		}
+		for i, r := range c.EpochRates {
+			if r == 0 {
+				return fmt.Errorf("shaper: zero epoch rate at index %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// EpochRateSet returns the Fletcher et al. epoch-switched constant-rate
+// configuration: strictly periodic shaping whose interval is re-selected
+// from rates at each epoch boundary to match demand. rates must be sorted
+// fastest (smallest interval) first; the shaper starts at the slowest.
+func EpochRateSet(b stats.Binning, rates []sim.Cycle, epoch, window sim.Cycle, fake bool) Config {
+	if len(rates) == 0 {
+		panic("shaper: EpochRateSet with no rates")
+	}
+	slowest := rates[0]
+	for _, r := range rates {
+		if r > slowest {
+			slowest = r
+		}
+	}
+	cfg := ConstantRate(b, slowest, window, fake)
+	cfg.EpochRates = append([]sim.Cycle(nil), rates...)
+	cfg.EpochLength = epoch
+	return cfg
+}
+
+// TotalCredits returns the number of transactions permitted per window.
+func (c Config) TotalCredits() int {
+	t := 0
+	for _, cr := range c.Credits {
+		t += cr
+	}
+	return t
+}
+
+// MinWindowSpan returns the minimum number of cycles needed to release
+// every credit in one window: each credit in bin i occupies at least
+// max(1, lower edge of i) cycles of inter-arrival time. A configuration
+// whose MinWindowSpan exceeds its Window cannot fully drain its credits
+// and will under-deliver its highest bins; Validate permits this (the
+// hardware merely releases what fits) but distribution-exact experiments
+// should check it.
+func (c Config) MinWindowSpan() sim.Cycle {
+	var span sim.Cycle
+	for i, cr := range c.Credits {
+		per := c.Binning.Lower(i)
+		if per == 0 {
+			per = 1
+		}
+		span += per * sim.Cycle(cr)
+	}
+	return span
+}
+
+// MeanBandwidthBytes returns the average shaped bandwidth in bytes per
+// cycle for lineBytes-sized transactions.
+func (c Config) MeanBandwidthBytes(lineBytes uint64) float64 {
+	return float64(c.TotalCredits()) * float64(lineBytes) / float64(c.Window)
+}
+
+// Clone deep-copies the configuration.
+func (c Config) Clone() Config {
+	out := c
+	out.Credits = append([]int(nil), c.Credits...)
+	out.Binning = stats.Binning{Edges: append([]sim.Cycle(nil), c.Binning.Edges...)}
+	return out
+}
+
+// ConstantRate returns the configuration that turns Camouflage into the
+// constant-rate shaper of Ascend/Fletcher et al.: exactly one release
+// opportunity every interval cycles (strictly periodic, dummy traffic
+// filling empty slots when fake is set). The bins still carry the
+// equivalent single-bin credit profile so distribution reports remain
+// comparable.
+func ConstantRate(b stats.Binning, interval sim.Cycle, window sim.Cycle, fake bool) Config {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	if interval == 0 {
+		interval = 1
+	}
+	credits := make([]int, b.N())
+	n := int(window / interval)
+	if n < 1 {
+		n = 1
+	}
+	credits[b.Bin(interval)] = n
+	return Config{
+		Binning:          b,
+		Credits:          credits,
+		Window:           window,
+		GenerateFake:     fake,
+		Policy:           PolicyExact,
+		PeriodicInterval: interval,
+	}
+}
+
+// FromHistogram builds a shaper configuration whose per-window credits
+// reproduce the shape of a measured inter-arrival histogram, scaled so the
+// window's total credit count is budget (0 keeps the histogram's own rate:
+// total observations normalized per window by mean inter-arrival mass).
+// This is how the harness derives "shape B's responses like A's" configs
+// (Figure 10) and intrinsic-shaped request configs (Figure 12).
+func FromHistogram(h *stats.Histogram, window sim.Cycle, budget int, fake bool) Config {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	n := h.Binning.N()
+	credits := make([]int, n)
+	total := h.Total()
+	if total == 0 {
+		credits[n-1] = 1
+	} else if budget <= 0 {
+		// Preserve the measured rate: expected transactions per window is
+		// window / mean inter-arrival.
+		mean := h.MeanInterArrival()
+		if mean < 1 {
+			mean = 1
+		}
+		budget = int(float64(window) / mean)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	if total > 0 {
+		pmf := h.PMF()
+		assigned := 0
+		for i := 0; i < n; i++ {
+			credits[i] = int(pmf[i]*float64(budget) + 0.5)
+			assigned += credits[i]
+		}
+		// Fix rounding drift on the most popular bin.
+		if assigned != budget {
+			maxI := 0
+			for i := 1; i < n; i++ {
+				if pmf[i] > pmf[maxI] {
+					maxI = i
+				}
+			}
+			credits[maxI] += budget - assigned
+			if credits[maxI] < 0 {
+				credits[maxI] = 0
+			}
+		}
+		// Guarantee at least one credit somewhere.
+		sum := 0
+		for _, cr := range credits {
+			sum += cr
+		}
+		if sum == 0 {
+			credits[n-1] = 1
+		}
+	}
+	return Config{
+		Binning:      h.Binning,
+		Credits:      credits,
+		Window:       window,
+		GenerateFake: fake,
+		Policy:       PolicyExact,
+	}
+}

@@ -1,0 +1,277 @@
+package shaper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+func TestConstantRateConfig(t *testing.T) {
+	c := ConstantRate(stats.DefaultBinning(), 154, 4096, true)
+	if c.PeriodicInterval != 154 {
+		t.Fatalf("interval %d", c.PeriodicInterval)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCredits() != 4096/154 {
+		t.Fatalf("credits %d", c.TotalCredits())
+	}
+}
+
+func TestPeriodicModeStrictSpacing(t *testing.T) {
+	cfg := ConstantRate(stats.DefaultBinning(), 100, 4096, false)
+	s, p, _ := newReqShaper(cfg)
+	for i := 0; i < 5; i++ {
+		s.TrySend(1, &mem.Request{ID: uint64(i + 1), CreatedAt: 1})
+	}
+	for now := sim.Cycle(1); now <= 1000; now++ {
+		s.Tick(now)
+	}
+	if len(p.sent) != 5 {
+		t.Fatalf("released %d of 5", len(p.sent))
+	}
+	for i := 1; i < len(p.sent); i++ {
+		gap := p.sent[i].ShapedAt - p.sent[i-1].ShapedAt
+		if gap < 100 {
+			t.Fatalf("periodic releases %d apart, want >= 100", gap)
+		}
+	}
+}
+
+func TestPeriodicModeFakeFillsEmptySlots(t *testing.T) {
+	cfg := ConstantRate(stats.DefaultBinning(), 50, 4096, true)
+	s, p, _ := newReqShaper(cfg)
+	for now := sim.Cycle(1); now <= 1000; now++ {
+		s.Tick(now)
+	}
+	// Every slot must carry a fake: Ascend's strictly periodic dummies.
+	if p.fakes() < 18 {
+		t.Fatalf("fakes %d, want ~20 for 1000 cycles at interval 50", p.fakes())
+	}
+	for i := 1; i < len(p.sent); i++ {
+		gap := p.sent[i].ShapedAt - p.sent[i-1].ShapedAt
+		if gap != 50 {
+			t.Fatalf("dummy cadence gap %d, want exactly 50", gap)
+		}
+	}
+}
+
+func TestPeriodicNoCatchUpBursts(t *testing.T) {
+	cfg := ConstantRate(stats.DefaultBinning(), 100, 4096, false)
+	s, p, _ := newReqShaper(cfg)
+	// Idle for 10 intervals, then a burst arrives: releases must still
+	// be >= interval apart (missed slots are not banked).
+	for now := sim.Cycle(1); now <= 1000; now++ {
+		s.Tick(now)
+	}
+	for i := 0; i < 3; i++ {
+		s.TrySend(1001, &mem.Request{ID: uint64(i + 1), CreatedAt: 1001})
+	}
+	for now := sim.Cycle(1001); now <= 1500; now++ {
+		s.Tick(now)
+	}
+	if len(p.sent) != 3 {
+		t.Fatalf("released %d of 3", len(p.sent))
+	}
+	for i := 1; i < len(p.sent); i++ {
+		if gap := p.sent[i].ShapedAt - p.sent[i-1].ShapedAt; gap < 100 {
+			t.Fatalf("catch-up burst: gap %d", gap)
+		}
+	}
+}
+
+func TestObliviousReleasesMatchDistribution(t *testing.T) {
+	credits := make([]int, 10)
+	credits[0] = 4
+	credits[3] = 4
+	cfg := cfgWith(credits, 1024, true)
+	cfg.Policy = PolicyOblivious
+	s, p, _ := newReqShaper(cfg)
+	for now := sim.Cycle(1); now <= 64*1024; now++ {
+		s.Tick(now)
+	}
+	// All fake (no input). The observed histogram concentrates in the
+	// credited bins 0 and 3 in roughly equal counts; the config's span
+	// (~68 cycles) is far below the window, so each window ends with one
+	// forced idle gap that lands in a high bin — bounded boundary mass.
+	h := s.Shaped.Hist
+	if h.Counts[0] == 0 || h.Counts[3] == 0 {
+		t.Fatalf("oblivious histogram %v", h.Counts)
+	}
+	credited := h.Counts[0] + h.Counts[3]
+	if float64(credited) < 0.85*float64(h.Total()) {
+		t.Fatalf("credited-bin mass only %d of %d: %v", credited, h.Total(), h.Counts)
+	}
+	ratio := float64(h.Counts[0]) / float64(h.Counts[3])
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("bin ratio %.2f, want ~1 for equal credits", ratio)
+	}
+	if p.reals() != 0 {
+		t.Fatal("phantom real traffic")
+	}
+}
+
+func TestObliviousScheduleIndependentOfArrivals(t *testing.T) {
+	// The release timestamps must be identical whether or not real
+	// traffic is offered — the defining property of the oblivious mode.
+	releases := func(offerReal bool) []sim.Cycle {
+		credits := make([]int, 10)
+		credits[2] = 8
+		cfg := cfgWith(credits, 1024, true)
+		cfg.Policy = PolicyOblivious
+		s, p, _ := newReqShaper(cfg)
+		for now := sim.Cycle(1); now <= 8192; now++ {
+			if offerReal && now%97 == 0 {
+				s.TrySend(now, &mem.Request{ID: uint64(now), CreatedAt: now})
+			}
+			s.Tick(now)
+		}
+		out := make([]sim.Cycle, len(p.sent))
+		for i, r := range p.sent {
+			out[i] = r.ShapedAt
+		}
+		return out
+	}
+	idle := releases(false)
+	busy := releases(true)
+	if len(idle) != len(busy) {
+		t.Fatalf("release counts differ: %d vs %d", len(idle), len(busy))
+	}
+	for i := range idle {
+		if idle[i] != busy[i] {
+			t.Fatalf("release %d moved: %d vs %d — schedule leaked arrivals", i, idle[i], busy[i])
+		}
+	}
+}
+
+func TestObliviousLapsesWithoutFake(t *testing.T) {
+	credits := make([]int, 10)
+	credits[0] = 4
+	cfg := cfgWith(credits, 1024, false)
+	cfg.Policy = PolicyOblivious
+	s, p, _ := newReqShaper(cfg)
+	for now := sim.Cycle(1); now <= 2048; now++ {
+		s.Tick(now)
+	}
+	if len(p.sent) != 0 {
+		t.Fatal("oblivious without fake emitted traffic from nothing")
+	}
+	if s.Stats().UnusedSaved == 0 {
+		t.Fatal("lapsed slots not accounted")
+	}
+}
+
+func TestRandomizeWithinBinStaysInBin(t *testing.T) {
+	credits := make([]int, 10)
+	credits[4] = 6 // bin 4 = [32,64)
+	cfg := cfgWith(credits, 4096, true)
+	cfg.RandomizeWithinBin = true
+	s, p, _ := newReqShaper(cfg)
+	for now := sim.Cycle(1); now <= 8192; now++ {
+		s.Tick(now)
+	}
+	if len(p.sent) < 6 {
+		t.Fatalf("only %d releases", len(p.sent))
+	}
+	// Intra-window gaps must stay inside bin 4; once a window's six
+	// credits are spent the forced idle stretch to the next window is a
+	// legitimate larger gap, so only sub-window gaps are checked.
+	var sawJitter bool
+	for i := 2; i < len(p.sent); i++ {
+		gap := p.sent[i].ShapedAt - p.sent[i-1].ShapedAt
+		if gap >= 512 {
+			continue // window-boundary idle stretch
+		}
+		if gap < 32 || gap >= 64 {
+			t.Fatalf("jittered release gap %d escaped bin 4", gap)
+		}
+		if gap != 32 {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Fatal("randomization produced no jitter")
+	}
+}
+
+func TestFromHistogramPreservesShape(t *testing.T) {
+	h := stats.NewHistogram(stats.DefaultBinning())
+	for i := 0; i < 30; i++ {
+		h.Add(2) // bin 0
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(100) // bin 5
+	}
+	cfg := FromHistogram(h, 1024, 20, false)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TotalCredits() != 20 {
+		t.Fatalf("budget %d, want 20", cfg.TotalCredits())
+	}
+	if cfg.Credits[0] != 15 || cfg.Credits[5] != 5 {
+		t.Fatalf("credits %v, want 3:1 split of 20", cfg.Credits)
+	}
+}
+
+func TestFromHistogramKeepRate(t *testing.T) {
+	h := stats.NewHistogram(stats.DefaultBinning())
+	for i := 0; i < 100; i++ {
+		h.Add(128) // bin 6, mean inter-arrival 128
+	}
+	cfg := FromHistogram(h, 1024, 0, false)
+	// Keep-rate: 1024/128 = 8 transactions per window.
+	if cfg.TotalCredits() != 8 {
+		t.Fatalf("keep-rate credits %d, want 8", cfg.TotalCredits())
+	}
+}
+
+func TestFromHistogramEmpty(t *testing.T) {
+	h := stats.NewHistogram(stats.DefaultBinning())
+	cfg := FromHistogram(h, 1024, 0, true)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("empty-histogram config invalid: %v", err)
+	}
+}
+
+func TestReleaseNeverExceedsBudgetProperty(t *testing.T) {
+	// Property: over any whole number of windows, real releases never
+	// exceed windows x total credits (fake traffic draws banked credits
+	// and may transiently exceed a single window's budget, per Figure 7,
+	// but reals cannot).
+	check := func(seedByte uint8, c0, c3, c7 uint8) bool {
+		credits := make([]int, 10)
+		credits[0] = int(c0%5) + 1
+		credits[3] = int(c3 % 5)
+		credits[7] = int(c7 % 3)
+		cfg := cfgWith(credits, 512, false)
+		s, p, _ := newReqShaper(cfg)
+		rng := sim.NewRNG(uint64(seedByte) + 1)
+		const windows = 8
+		for now := sim.Cycle(1); now <= 512*windows; now++ {
+			if rng.Bool(0.2) && s.QueueLen() < 12 {
+				s.TrySend(now, &mem.Request{ID: uint64(now), CreatedAt: now})
+			}
+			s.Tick(now)
+		}
+		// The final cycle includes that window's replenishment, so the
+		// run spans windows+1 credit grants.
+		return p.reals() <= (windows+1)*cfg.TotalCredits()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyExact.String() != "exact" || PolicyAtMost.String() != "at-most" || PolicyOblivious.String() != "oblivious" {
+		t.Fatal("policy strings wrong")
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy string empty")
+	}
+}

@@ -1,0 +1,198 @@
+package shaper
+
+import (
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// FakeAddressSpace bounds the random line addresses fake traffic touches.
+// Fake requests are non-cached reads scattered across memory so they look
+// like ordinary misses on the bus and in DRAM.
+const FakeAddressSpace = 1 << 32
+
+// RequestShaper is Request Camouflage (ReqC): it sits between a core's LLC
+// miss stream and the shared channel, transforming the core's intrinsic
+// request inter-arrival distribution into the configured one. Real traffic
+// beyond the distribution is delayed (backpressure stalls the core);
+// shortfall is filled with fake requests generated from the previous
+// window's unused credits.
+type RequestShaper struct {
+	core int
+	bins *binCore
+	in   *mem.Queue
+	out  mem.ReqPort
+	rng  *sim.RNG
+
+	nextID *uint64
+
+	// Intrinsic records the distribution offered by the core; Shaped
+	// records the distribution visible on the bus. The mutual-information
+	// probe compares them.
+	Intrinsic *stats.InterArrivalRecorder
+	Shaped    *stats.InterArrivalRecorder
+}
+
+// NewRequestShaper returns a ReqC instance for core. inCap bounds the
+// input queue (backpressure depth, typically the MSHR count); out is the
+// NoC injection port; nextID supplies IDs for fake requests.
+func NewRequestShaper(core int, cfg Config, inCap int, out mem.ReqPort, rng *sim.RNG, nextID *uint64) *RequestShaper {
+	return &RequestShaper{
+		core:      core,
+		bins:      newBinCore(cfg, rng),
+		in:        mem.NewQueue(inCap),
+		out:       out,
+		rng:       rng,
+		nextID:    nextID,
+		Intrinsic: stats.NewInterArrivalRecorder(cfg.Binning, false),
+		Shaped:    stats.NewInterArrivalRecorder(cfg.Binning, false),
+	}
+}
+
+// Config returns the active configuration.
+func (s *RequestShaper) Config() Config { return s.bins.cfg.Clone() }
+
+// Reconfigure installs a new bin configuration (the hypervisor writing the
+// control registers; the online GA uses this between children). Credit
+// state resets; queued traffic is preserved.
+func (s *RequestShaper) Reconfigure(cfg Config) {
+	old := s.bins.stats
+	s.bins = newBinCore(cfg, s.rng)
+	s.bins.stats = old
+}
+
+// Stats returns shaper counters.
+func (s *RequestShaper) Stats() Stats { return s.bins.stats }
+
+// QueueLen returns the number of requests awaiting release.
+func (s *RequestShaper) QueueLen() int { return s.in.Len() }
+
+// TrySend implements mem.ReqPort: the core offers its misses here. A full
+// queue is the stall signal.
+func (s *RequestShaper) TrySend(now sim.Cycle, req *mem.Request) bool {
+	if !s.in.Push(req) {
+		return false
+	}
+	s.Intrinsic.Observe(now)
+	s.bins.noteArrival()
+	return true
+}
+
+// Tick advances the shaper: replenish if due, then release at most one
+// transaction — a credited real request if one is pending, else a fake
+// request if the generator owes traffic (fake traffic has strictly lower
+// priority and only fires on cycles with no real request, §III-A2).
+// In strict periodic mode (the CS baseline) releases happen only at slot
+// boundaries.
+func (s *RequestShaper) Tick(now sim.Cycle) {
+	if s.bins.periodic() {
+		s.tickPeriodic(now)
+		return
+	}
+	s.bins.maybeReplenish(now)
+	if s.bins.cfg.Policy == PolicyOblivious {
+		s.tickOblivious(now)
+		return
+	}
+
+	if head := s.in.Peek(); head != nil {
+		bin, ok := s.bins.releaseBin(now)
+		if !ok {
+			return
+		}
+		head.ShapedAt = now
+		if !s.out.TrySend(now, head) {
+			return // downstream full; retry without consuming the credit
+		}
+		s.in.Pop()
+		s.bins.commitReal(now, bin)
+		s.bins.stats.DelayedCycles += uint64(now - head.CreatedAt)
+		s.Shaped.Observe(now)
+		return
+	}
+
+	bin, ok := s.bins.fakeBin(now)
+	if !ok {
+		return
+	}
+	fake := s.newFake(now)
+	if !s.out.TrySend(now, fake) {
+		return
+	}
+	s.bins.commitFake(now, bin)
+	s.Shaped.Observe(now)
+}
+
+// tickOblivious implements PolicyOblivious: at each scheduled release
+// point, send the pending real request if there is one, else a fake
+// request, else let the slot lapse.
+func (s *RequestShaper) tickOblivious(now sim.Cycle) {
+	if !s.bins.obliviousDue(now) {
+		return
+	}
+	if head := s.in.Peek(); head != nil {
+		head.ShapedAt = now
+		if !s.out.TrySend(now, head) {
+			return // retry; the slot stays open
+		}
+		s.in.Pop()
+		s.bins.stats.DelayedCycles += uint64(now - head.CreatedAt)
+		s.bins.commitOblivious(now, false)
+		s.Shaped.Observe(now)
+		return
+	}
+	if s.bins.cfg.GenerateFake {
+		fake := s.newFake(now)
+		if !s.out.TrySend(now, fake) {
+			return
+		}
+		s.bins.commitOblivious(now, true)
+		s.Shaped.Observe(now)
+		return
+	}
+	s.bins.lapseOblivious(now)
+}
+
+// tickPeriodic implements the strictly periodic constant-rate shaper: one
+// release opportunity per interval, filled by a pending real request, else
+// by a fake request when fake generation is on, else lapsing.
+func (s *RequestShaper) tickPeriodic(now sim.Cycle) {
+	s.bins.maybeEpochSwitch(now)
+	if !s.bins.slotOpen(now) {
+		return
+	}
+	if head := s.in.Peek(); head != nil {
+		head.ShapedAt = now
+		if !s.out.TrySend(now, head) {
+			return // keep the slot open and retry
+		}
+		s.in.Pop()
+		s.bins.markReal(now)
+		s.bins.stats.DelayedCycles += uint64(now - head.CreatedAt)
+		s.Shaped.Observe(now)
+		s.bins.closeSlot(now)
+		return
+	}
+	if s.bins.cfg.GenerateFake {
+		fake := s.newFake(now)
+		if !s.out.TrySend(now, fake) {
+			return
+		}
+		s.bins.markFake(now)
+		s.Shaped.Observe(now)
+	}
+	s.bins.closeSlot(now)
+}
+
+func (s *RequestShaper) newFake(now sim.Cycle) *mem.Request {
+	*s.nextID++
+	return &mem.Request{
+		ID:        *s.nextID,
+		Core:      s.core,
+		Addr:      s.rng.Uint64n(FakeAddressSpace/mem.LineSize) * mem.LineSize,
+		Op:        mem.Read,
+		Fake:      true,
+		CreatedAt: now,
+		ShapedAt:  now,
+	}
+}

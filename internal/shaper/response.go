@@ -1,0 +1,213 @@
+package shaper
+
+import (
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// PriorityElevator is the memory controller interface the response shaper
+// uses to accelerate a lagging core: raise core's scheduling priority to
+// level until cycle until. It is implemented by memctrl.Controller.
+type PriorityElevator interface {
+	Elevate(core, level int, until sim.Cycle)
+}
+
+// ElevatedPriority is the priority level granted by response-shaper
+// warnings; per the paper the memory scheduler gives the affected
+// application priority "in proportion to the number of unused credits",
+// which is added on top of this base.
+const ElevatedPriority = 10
+
+// ResponseShaper is Response Camouflage (RespC): it sits at the memory
+// controller's egress for one core and shapes the inter-arrival times of
+// that core's responses. Throttling buffers responses in the response
+// queue (Figure 6); acceleration works two ways — a warning to the memory
+// scheduler asking for elevated priority proportional to the unused
+// credits, and fake responses generated when no real response is pending.
+type ResponseShaper struct {
+	core int
+	bins *binCore
+	// queue is the response queue of Figure 6; its bound backpressures
+	// the controller egress, which in turn holds DRAM banks busy.
+	queue *mem.Queue
+	out   mem.RespPort
+	mc    PriorityElevator
+	rng   *sim.RNG
+
+	nextID *uint64
+
+	// Intrinsic records responses as the controller produced them; Shaped
+	// records what the core (the adversary) observes.
+	Intrinsic *stats.InterArrivalRecorder
+	Shaped    *stats.InterArrivalRecorder
+}
+
+// NewResponseShaper returns a RespC instance for core. queueCap bounds the
+// response queue; out is the response NoC injection port; mc receives
+// priority warnings (nil disables acceleration-by-priority).
+func NewResponseShaper(core int, cfg Config, queueCap int, out mem.RespPort, mc PriorityElevator, rng *sim.RNG, nextID *uint64) *ResponseShaper {
+	return &ResponseShaper{
+		core:      core,
+		bins:      newBinCore(cfg, rng),
+		queue:     mem.NewQueue(queueCap),
+		out:       out,
+		mc:        mc,
+		rng:       rng,
+		nextID:    nextID,
+		Intrinsic: stats.NewInterArrivalRecorder(cfg.Binning, false),
+		Shaped:    stats.NewInterArrivalRecorder(cfg.Binning, false),
+	}
+}
+
+// Config returns the active configuration.
+func (s *ResponseShaper) Config() Config { return s.bins.cfg.Clone() }
+
+// Reconfigure installs a new bin configuration, preserving queued
+// responses and lifetime statistics.
+func (s *ResponseShaper) Reconfigure(cfg Config) {
+	old := s.bins.stats
+	s.bins = newBinCore(cfg, s.rng)
+	s.bins.stats = old
+}
+
+// Stats returns shaper counters.
+func (s *ResponseShaper) Stats() Stats { return s.bins.stats }
+
+// QueueLen returns the number of buffered responses.
+func (s *ResponseShaper) QueueLen() int { return s.queue.Len() }
+
+// TrySend implements mem.RespPort: the memory controller egress delivers
+// completed transactions here. A full response queue refuses delivery,
+// which stalls controller retirement (the return-channel overflow
+// prevention the paper mentions).
+func (s *ResponseShaper) TrySend(now sim.Cycle, resp *mem.Request) bool {
+	if !s.queue.Push(resp) {
+		return false
+	}
+	s.Intrinsic.Observe(now)
+	s.bins.noteArrival()
+	return true
+}
+
+// Tick advances the shaper: on replenishment, unused credits trigger a
+// priority warning to the memory scheduler; then at most one response is
+// released — a buffered real response if credited, else a fake response.
+func (s *ResponseShaper) Tick(now sim.Cycle) {
+	if s.bins.periodic() {
+		s.tickPeriodic(now)
+		return
+	}
+	if replenished, unused := s.bins.maybeReplenish(now); replenished && unused > 0 && s.mc != nil {
+		// Ask the scheduler to accelerate this core in proportion to how
+		// far its response rate fell below the target distribution.
+		s.mc.Elevate(s.core, ElevatedPriority+unused, now+s.bins.cfg.Window)
+		s.bins.stats.WarningsSent++
+	}
+	if s.bins.cfg.Policy == PolicyOblivious {
+		s.tickOblivious(now)
+		return
+	}
+
+	if head := s.queue.Peek(); head != nil {
+		bin, ok := s.bins.releaseBin(now)
+		if !ok {
+			return
+		}
+		head.RespShaped = now
+		if !s.out.TrySend(now, head) {
+			return
+		}
+		s.queue.Pop()
+		s.bins.commitReal(now, bin)
+		s.bins.stats.DelayedCycles += uint64(now - head.ReadyAt)
+		s.Shaped.Observe(now)
+		return
+	}
+
+	bin, ok := s.bins.fakeBin(now)
+	if !ok {
+		return
+	}
+	fake := s.newFakeResponse(now)
+	if !s.out.TrySend(now, fake) {
+		return
+	}
+	s.bins.commitFake(now, bin)
+	s.Shaped.Observe(now)
+}
+
+// tickOblivious implements PolicyOblivious for responses: the release
+// schedule is a renewal process drawn from the configured distribution,
+// filled by a buffered real response when available, else a fake one.
+func (s *ResponseShaper) tickOblivious(now sim.Cycle) {
+	if !s.bins.obliviousDue(now) {
+		return
+	}
+	if head := s.queue.Peek(); head != nil {
+		head.RespShaped = now
+		if !s.out.TrySend(now, head) {
+			return
+		}
+		s.queue.Pop()
+		s.bins.stats.DelayedCycles += uint64(now - head.ReadyAt)
+		s.bins.commitOblivious(now, false)
+		s.Shaped.Observe(now)
+		return
+	}
+	if s.bins.cfg.GenerateFake {
+		fake := s.newFakeResponse(now)
+		if !s.out.TrySend(now, fake) {
+			return
+		}
+		s.bins.commitOblivious(now, true)
+		s.Shaped.Observe(now)
+		return
+	}
+	s.bins.lapseOblivious(now)
+}
+
+// tickPeriodic is the strictly periodic (CS) mode for responses: one
+// release opportunity per interval, filled by a buffered response or a
+// fake one.
+func (s *ResponseShaper) tickPeriodic(now sim.Cycle) {
+	s.bins.maybeEpochSwitch(now)
+	if !s.bins.slotOpen(now) {
+		return
+	}
+	if head := s.queue.Peek(); head != nil {
+		head.RespShaped = now
+		if !s.out.TrySend(now, head) {
+			return
+		}
+		s.queue.Pop()
+		s.bins.markReal(now)
+		s.bins.stats.DelayedCycles += uint64(now - head.ReadyAt)
+		s.Shaped.Observe(now)
+		s.bins.closeSlot(now)
+		return
+	}
+	if s.bins.cfg.GenerateFake {
+		fake := s.newFakeResponse(now)
+		if !s.out.TrySend(now, fake) {
+			return
+		}
+		s.bins.markFake(now)
+		s.Shaped.Observe(now)
+	}
+	s.bins.closeSlot(now)
+}
+
+func (s *ResponseShaper) newFakeResponse(now sim.Cycle) *mem.Request {
+	*s.nextID++
+	return &mem.Request{
+		ID:         *s.nextID,
+		Core:       s.core,
+		Addr:       s.rng.Uint64n(FakeAddressSpace/mem.LineSize) * mem.LineSize,
+		Op:         mem.Read,
+		Fake:       true,
+		CreatedAt:  now,
+		ReadyAt:    now,
+		RespShaped: now,
+	}
+}

@@ -1,0 +1,194 @@
+// Package sim provides the cycle-stepped simulation kernel shared by every
+// substrate in the Camouflage reproduction: a monotonically advancing clock,
+// tickable components, a deterministic pseudo-random source, and a small
+// event scheduler for components that prefer callbacks over per-cycle polling.
+//
+// The kernel is cycle-stepped rather than event-driven because the two most
+// timing-sensitive subsystems — the DDR3 state machines in package dram and
+// the credit-replenishment logic in package shaper — naturally advance once
+// per memory-clock cycle. A tick kernel keeps their state machines flat and
+// makes whole-system runs bit-for-bit deterministic.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cycle is a simulated clock cycle. The whole system runs on a single clock
+// domain (the paper simulates a 2.4 GHz core with DDR3-1333 memory; we fold
+// the frequency ratio into the DRAM timing parameters instead of running two
+// clock domains, which keeps cross-domain queues trivial).
+type Cycle uint64
+
+// Tickable is a component that advances one cycle at a time. Components are
+// ticked in registration order, which the system assembler uses to fix a
+// producer-before-consumer order within a cycle.
+type Tickable interface {
+	// Tick advances the component to the given cycle.
+	Tick(now Cycle)
+}
+
+// TickFunc adapts a function to the Tickable interface.
+type TickFunc func(now Cycle)
+
+// Tick implements Tickable.
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-break so same-cycle events fire in schedule order
+	fn  func(now Cycle)
+}
+
+// Kernel owns the clock and drives all registered components.
+type Kernel struct {
+	now        Cycle
+	components []Tickable
+	events     eventHeap
+	seq        uint64
+	rng        *RNG
+	stopped    bool
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// The same seed always reproduces the same simulation.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current cycle.
+func (k *Kernel) Now() Cycle { return k.now }
+
+// RNG returns the kernel's deterministic random source. All simulation
+// randomness (fake-request addresses, GA mutation, workload generation)
+// must flow through it.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Register adds a component to the per-cycle tick list. Components tick in
+// registration order.
+func (k *Kernel) Register(c Tickable) {
+	if c == nil {
+		panic("sim: Register(nil)")
+	}
+	k.components = append(k.components, c)
+}
+
+// Schedule runs fn at cycle at. Scheduling in the past (or present) panics:
+// it would silently never fire and always indicates a component bug.
+func (k *Kernel) Schedule(at Cycle, fn func(now Cycle)) {
+	if at <= k.now {
+		panic(fmt.Sprintf("sim: Schedule at cycle %d but now is %d", at, k.now))
+	}
+	k.seq++
+	k.events.push(event{at: at, seq: k.seq, fn: fn})
+}
+
+// ScheduleAfter runs fn delay cycles from now. delay must be positive.
+func (k *Kernel) ScheduleAfter(delay Cycle, fn func(now Cycle)) {
+	k.Schedule(k.now+delay, fn)
+}
+
+// Stop makes the current Run return after the cycle in progress completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step advances the simulation by exactly one cycle: the clock increments,
+// due events fire (in schedule order), then every component ticks.
+func (k *Kernel) Step() {
+	k.now++
+	for len(k.events) > 0 && k.events[0].at <= k.now {
+		ev := k.events.pop()
+		ev.fn(k.now)
+	}
+	for _, c := range k.components {
+		c.Tick(k.now)
+	}
+}
+
+// Run advances the simulation n cycles, or fewer if Stop is called.
+// It returns the number of cycles actually simulated.
+func (k *Kernel) Run(n Cycle) Cycle {
+	k.stopped = false
+	var done Cycle
+	for done = 0; done < n && !k.stopped; done++ {
+		k.Step()
+	}
+	return done
+}
+
+// RunUntil steps the simulation until pred returns true or limit cycles have
+// elapsed, and reports whether pred was satisfied.
+func (k *Kernel) RunUntil(pred func() bool, limit Cycle) bool {
+	for i := Cycle(0); i < limit; i++ {
+		if pred() {
+			return true
+		}
+		k.Step()
+	}
+	return pred()
+}
+
+// PendingEvents reports how many scheduled events have not yet fired.
+func (k *Kernel) PendingEvents() int { return len(k.events) }
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than using container/heap to avoid interface boxing on the
+// simulator's hottest path.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// sortedEventCycles returns the cycles of all pending events in firing order.
+// It exists for tests and debugging.
+func (k *Kernel) sortedEventCycles() []Cycle {
+	out := make([]Cycle, len(k.events))
+	for i, ev := range k.events {
+		out[i] = ev.at
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelStartsAtZero(t *testing.T) {
+	k := NewKernel(1)
+	if k.Now() != 0 {
+		t.Fatalf("new kernel at cycle %d, want 0", k.Now())
+	}
+}
+
+func TestRunAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	if got := k.Run(100); got != 100 {
+		t.Fatalf("Run returned %d, want 100", got)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("clock at %d, want 100", k.Now())
+	}
+}
+
+func TestComponentsTickEveryCycleInOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Register(TickFunc(func(Cycle) { order = append(order, 1) }))
+	k.Register(TickFunc(func(Cycle) { order = append(order, 2) }))
+	k.Run(3)
+	want := []int{1, 2, 1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("got %d ticks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	NewKernel(1).Register(nil)
+}
+
+func TestScheduleFiresAtExactCycle(t *testing.T) {
+	k := NewKernel(1)
+	var fired Cycle
+	k.Schedule(10, func(now Cycle) { fired = now })
+	k.Run(20)
+	if fired != 10 {
+		t.Fatalf("event fired at %d, want 10", fired)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule in the past did not panic")
+		}
+	}()
+	k.Schedule(3, func(Cycle) {})
+}
+
+func TestScheduleAfter(t *testing.T) {
+	k := NewKernel(1)
+	k.Run(7)
+	var fired Cycle
+	k.ScheduleAfter(5, func(now Cycle) { fired = now })
+	k.Run(10)
+	if fired != 12 {
+		t.Fatalf("event fired at %d, want 12", fired)
+	}
+}
+
+func TestSameCycleEventsFireInScheduleOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func(Cycle) { order = append(order, i) })
+	}
+	k.Run(6)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEventsFireBeforeComponentTicks(t *testing.T) {
+	k := NewKernel(1)
+	var log []string
+	k.Register(TickFunc(func(now Cycle) {
+		if now == 5 {
+			log = append(log, "tick")
+		}
+	}))
+	k.Schedule(5, func(Cycle) { log = append(log, "event") })
+	k.Run(6)
+	if len(log) != 2 || log[0] != "event" || log[1] != "tick" {
+		t.Fatalf("order %v, want [event tick]", log)
+	}
+}
+
+func TestStopEndsRunEarly(t *testing.T) {
+	k := NewKernel(1)
+	k.Register(TickFunc(func(now Cycle) {
+		if now == 10 {
+			k.Stop()
+		}
+	}))
+	done := k.Run(1000)
+	if done != 10 {
+		t.Fatalf("Run simulated %d cycles, want 10", done)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	hit := k.RunUntil(func() bool { return k.Now() >= 42 }, 1000)
+	if !hit {
+		t.Fatal("RunUntil did not satisfy predicate")
+	}
+	if k.Now() != 42 {
+		t.Fatalf("stopped at %d, want 42", k.Now())
+	}
+	if k.RunUntil(func() bool { return false }, 10) {
+		t.Fatal("RunUntil reported success for impossible predicate")
+	}
+}
+
+func TestEventHeapOrdering(t *testing.T) {
+	// Property: events always fire in non-decreasing cycle order
+	// regardless of schedule order.
+	check := func(delays []uint8) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		k := NewKernel(1)
+		var fired []Cycle
+		for _, d := range delays {
+			k.Schedule(Cycle(d)+1, func(now Cycle) { fired = append(fired, now) })
+		}
+		k.Run(300)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingEvents(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(5, func(Cycle) {})
+	k.Schedule(10, func(Cycle) {})
+	if k.PendingEvents() != 2 {
+		t.Fatalf("pending %d, want 2", k.PendingEvents())
+	}
+	k.Run(6)
+	if k.PendingEvents() != 1 {
+		t.Fatalf("pending %d after first fired, want 1", k.PendingEvents())
+	}
+}
+
+func TestSortedEventCycles(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(9, func(Cycle) {})
+	k.Schedule(3, func(Cycle) {})
+	k.Schedule(6, func(Cycle) {})
+	got := k.sortedEventCycles()
+	want := []Cycle{3, 6, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted cycles %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package stats provides the measurement primitives the Camouflage
+// reproduction is built on: inter-arrival time histograms (the paper's
+// bin-based view of memory traffic), streaming summaries, and probability
+// distributions derived from them.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"camouflage/internal/sim"
+)
+
+// Binning maps an inter-arrival time in cycles to one of N bins. Bin i
+// covers [Edges[i], Edges[i+1]) and the last bin is open-ended. The paper
+// uses ten bins; edges are configurable because the shaper, the measurement
+// taps and the mutual-information probe may want different granularities.
+type Binning struct {
+	// Edges holds the inclusive lower bound of each bin, strictly
+	// increasing, with Edges[0] typically 0 or 1.
+	Edges []sim.Cycle
+}
+
+// DefaultBins is the number of shaper bins used throughout the paper.
+const DefaultBins = 10
+
+// ExponentialBinning returns n bins whose lower edges are first, 2*first,
+// 4*first, ... — the geometric spacing used by MITTS-style shapers, which
+// resolves bursts finely while still covering long idle gaps.
+func ExponentialBinning(n int, first sim.Cycle) Binning {
+	if n <= 0 {
+		panic("stats: ExponentialBinning with n <= 0")
+	}
+	if first == 0 {
+		first = 1
+	}
+	edges := make([]sim.Cycle, n)
+	e := first
+	for i := 0; i < n; i++ {
+		edges[i] = e
+		e *= 2
+	}
+	edges[0] = 0 // bin 0 catches back-to-back traffic
+	return Binning{Edges: edges}
+}
+
+// LinearBinning returns n bins of equal width.
+func LinearBinning(n int, width sim.Cycle) Binning {
+	if n <= 0 || width == 0 {
+		panic("stats: LinearBinning with non-positive shape")
+	}
+	edges := make([]sim.Cycle, n)
+	for i := range edges {
+		edges[i] = sim.Cycle(i) * width
+	}
+	return Binning{Edges: edges}
+}
+
+// DefaultBinning is the ten-bin exponential binning used by the shaper and
+// the experiments unless overridden: edges 0,2,4,8,...,512 cycles.
+func DefaultBinning() Binning {
+	return ExponentialBinning(DefaultBins, 2)
+}
+
+// N returns the number of bins.
+func (b Binning) N() int { return len(b.Edges) }
+
+// Bin returns the index of the bin containing inter-arrival time dt.
+func (b Binning) Bin(dt sim.Cycle) int {
+	// The bin count is small (10–32); binary search via sort.Search keeps
+	// this O(log n) and allocation-free.
+	i := sort.Search(len(b.Edges), func(i int) bool { return b.Edges[i] > dt })
+	return i - 1
+}
+
+// Lower returns the inclusive lower edge of bin i.
+func (b Binning) Lower(i int) sim.Cycle { return b.Edges[i] }
+
+// Upper returns the exclusive upper edge of bin i, or math.MaxUint64 for
+// the last (open-ended) bin.
+func (b Binning) Upper(i int) sim.Cycle {
+	if i == len(b.Edges)-1 {
+		return math.MaxUint64
+	}
+	return b.Edges[i+1]
+}
+
+// Validate checks that the edges are strictly increasing.
+func (b Binning) Validate() error {
+	if len(b.Edges) == 0 {
+		return fmt.Errorf("stats: binning has no edges")
+	}
+	for i := 1; i < len(b.Edges); i++ {
+		if b.Edges[i] <= b.Edges[i-1] {
+			return fmt.Errorf("stats: bin edges not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two binnings have identical edges.
+func (b Binning) Equal(o Binning) bool {
+	if len(b.Edges) != len(o.Edges) {
+		return false
+	}
+	for i := range b.Edges {
+		if b.Edges[i] != o.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Histogram counts inter-arrival times per bin.
+type Histogram struct {
+	Binning Binning
+	Counts  []uint64
+	total   uint64
+}
+
+// NewHistogram returns an empty histogram over the given binning.
+func NewHistogram(b Binning) *Histogram {
+	return &Histogram{Binning: b, Counts: make([]uint64, b.N())}
+}
+
+// Add records one observation of inter-arrival time dt.
+func (h *Histogram) Add(dt sim.Cycle) {
+	h.Counts[h.Binning.Bin(dt)]++
+	h.total++
+}
+
+// AddToBin records one observation directly into bin i.
+func (h *Histogram) AddToBin(i int) {
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Reset zeroes all counts.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.total = 0
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram(h.Binning)
+	copy(c.Counts, h.Counts)
+	c.total = h.total
+	return c
+}
+
+// PMF returns the histogram normalized to a probability mass function.
+// An empty histogram yields a uniform distribution (maximum ignorance).
+func (h *Histogram) PMF() []float64 {
+	p := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.total)
+	}
+	return p
+}
+
+// MeanInterArrival returns the mean inter-arrival time, approximating each
+// bin by its lower edge (exact for shaper-released traffic, which is
+// released exactly at bin edges).
+func (h *Histogram) MeanInterArrival() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.Counts {
+		sum += float64(h.Binning.Lower(i)) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// L1Distance returns the L1 distance between the PMFs of two histograms
+// over the same binning. It panics if binnings differ.
+func (h *Histogram) L1Distance(o *Histogram) float64 {
+	if !h.Binning.Equal(o.Binning) {
+		panic("stats: L1Distance across different binnings")
+	}
+	hp, op := h.PMF(), o.PMF()
+	var d float64
+	for i := range hp {
+		d += math.Abs(hp[i] - op[i])
+	}
+	return d
+}
+
+// String renders the histogram as one line of bin:count pairs.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, c := range h.Counts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:%d", h.Binning.Lower(i), c)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// InterArrivalRecorder feeds a histogram from a stream of event timestamps.
+// The first event establishes the epoch and is not counted (it has no
+// predecessor). It also keeps the raw inter-arrival sequence when KeepRaw
+// is set, which the mutual-information probe consumes.
+type InterArrivalRecorder struct {
+	Hist    *Histogram
+	KeepRaw bool
+	Raw     []sim.Cycle
+
+	last    sim.Cycle
+	started bool
+}
+
+// NewInterArrivalRecorder returns a recorder over binning b.
+func NewInterArrivalRecorder(b Binning, keepRaw bool) *InterArrivalRecorder {
+	return &InterArrivalRecorder{Hist: NewHistogram(b), KeepRaw: keepRaw}
+}
+
+// Observe records an event at cycle now.
+func (r *InterArrivalRecorder) Observe(now sim.Cycle) {
+	if !r.started {
+		r.started = true
+		r.last = now
+		return
+	}
+	dt := now - r.last
+	r.last = now
+	r.Hist.Add(dt)
+	if r.KeepRaw {
+		r.Raw = append(r.Raw, dt)
+	}
+}
+
+// Count returns the number of recorded inter-arrivals.
+func (r *InterArrivalRecorder) Count() uint64 { return r.Hist.Total() }
+
+// Reset clears all state including the epoch.
+func (r *InterArrivalRecorder) Reset() {
+	r.Hist.Reset()
+	r.Raw = r.Raw[:0]
+	r.started = false
+}

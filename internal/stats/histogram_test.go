@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"camouflage/internal/sim"
+)
+
+func TestExponentialBinningEdges(t *testing.T) {
+	b := ExponentialBinning(4, 2)
+	want := []sim.Cycle{0, 4, 8, 16}
+	for i, e := range want {
+		if b.Edges[i] != e {
+			t.Fatalf("edges %v, want %v", b.Edges, want)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearBinning(t *testing.T) {
+	b := LinearBinning(5, 10)
+	for i := 0; i < 5; i++ {
+		if b.Edges[i] != sim.Cycle(i*10) {
+			t.Fatalf("edges %v", b.Edges)
+		}
+	}
+}
+
+func TestBinLookup(t *testing.T) {
+	b := DefaultBinning() // edges 0,4,8,16,...,1024
+	cases := []struct {
+		dt   sim.Cycle
+		want int
+	}{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {1023, 8}, {1024, 9}, {1 << 40, 9},
+	}
+	for _, c := range cases {
+		if got := b.Bin(c.dt); got != c.want {
+			t.Fatalf("Bin(%d) = %d, want %d", c.dt, got, c.want)
+		}
+	}
+}
+
+func TestBinLookupProperty(t *testing.T) {
+	b := DefaultBinning()
+	check := func(dt uint32) bool {
+		i := b.Bin(sim.Cycle(dt))
+		if i < 0 || i >= b.N() {
+			return false
+		}
+		return sim.Cycle(dt) >= b.Lower(i) && sim.Cycle(dt) < b.Upper(i)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperOfLastBinIsOpenEnded(t *testing.T) {
+	b := DefaultBinning()
+	if b.Upper(b.N()-1) != math.MaxUint64 {
+		t.Fatal("last bin is not open-ended")
+	}
+}
+
+func TestBinningValidate(t *testing.T) {
+	bad := Binning{Edges: []sim.Cycle{0, 5, 5}}
+	if bad.Validate() == nil {
+		t.Fatal("non-increasing edges accepted")
+	}
+	if (Binning{}).Validate() == nil {
+		t.Fatal("empty binning accepted")
+	}
+}
+
+func TestBinningEqual(t *testing.T) {
+	a, b := DefaultBinning(), DefaultBinning()
+	if !a.Equal(b) {
+		t.Fatal("identical binnings not equal")
+	}
+	if a.Equal(LinearBinning(10, 3)) {
+		t.Fatal("different binnings reported equal")
+	}
+}
+
+func TestHistogramCountsAndPMF(t *testing.T) {
+	h := NewHistogram(DefaultBinning())
+	h.Add(1)
+	h.Add(2)
+	h.Add(100)
+	if h.Total() != 3 {
+		t.Fatalf("total %d, want 3", h.Total())
+	}
+	pmf := h.PMF()
+	var sum float64
+	for _, p := range pmf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("pmf sums to %v", sum)
+	}
+	if pmf[0] != 2.0/3.0 {
+		t.Fatalf("bin 0 pmf %v", pmf[0])
+	}
+}
+
+func TestEmptyHistogramPMFIsUniform(t *testing.T) {
+	h := NewHistogram(DefaultBinning())
+	pmf := h.PMF()
+	for _, p := range pmf {
+		if math.Abs(p-0.1) > 1e-12 {
+			t.Fatalf("empty pmf %v", pmf)
+		}
+	}
+}
+
+func TestHistogramResetClone(t *testing.T) {
+	h := NewHistogram(DefaultBinning())
+	h.Add(5)
+	c := h.Clone()
+	h.Reset()
+	if h.Total() != 0 {
+		t.Fatal("reset kept counts")
+	}
+	if c.Total() != 1 {
+		t.Fatal("clone affected by reset")
+	}
+}
+
+func TestMeanInterArrival(t *testing.T) {
+	h := NewHistogram(DefaultBinning())
+	h.Add(4) // lower edge 4
+	h.Add(8) // lower edge 8
+	if got := h.MeanInterArrival(); got != 6 {
+		t.Fatalf("mean %v, want 6", got)
+	}
+}
+
+func TestL1Distance(t *testing.T) {
+	a := NewHistogram(DefaultBinning())
+	b := NewHistogram(DefaultBinning())
+	a.Add(0)
+	b.Add(1024)
+	if d := a.L1Distance(b); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("L1 of disjoint pmfs = %v, want 2", d)
+	}
+	if d := a.L1Distance(a); d != 0 {
+		t.Fatalf("L1 with self = %v", d)
+	}
+}
+
+func TestInterArrivalRecorder(t *testing.T) {
+	r := NewInterArrivalRecorder(DefaultBinning(), true)
+	r.Observe(100) // epoch, not counted
+	r.Observe(105)
+	r.Observe(110)
+	if r.Count() != 2 {
+		t.Fatalf("count %d, want 2", r.Count())
+	}
+	if len(r.Raw) != 2 || r.Raw[0] != 5 || r.Raw[1] != 5 {
+		t.Fatalf("raw %v", r.Raw)
+	}
+	r.Reset()
+	if r.Count() != 0 || len(r.Raw) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	r.Observe(7)
+	if r.Count() != 0 {
+		t.Fatal("first observation after reset was counted")
+	}
+}
+
+func TestHistogramAddToBin(t *testing.T) {
+	h := NewHistogram(DefaultBinning())
+	h.AddToBin(4)
+	if h.Counts[4] != 1 || h.Total() != 1 {
+		t.Fatal("AddToBin miscounted")
+	}
+}
+
+func TestHistogramTotalMatchesCountsProperty(t *testing.T) {
+	check := func(dts []uint16) bool {
+		h := NewHistogram(DefaultBinning())
+		for _, dt := range dts {
+			h.Add(sim.Cycle(dt))
+		}
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == h.Total() && h.Total() == uint64(len(dts))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

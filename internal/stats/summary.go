@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of float64 samples and reports the usual
+// aggregate statistics. It keeps all samples (experiments are bounded) so
+// exact percentiles are available.
+type Summary struct {
+	samples []float64
+	sum     float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return len(s.samples) }
+
+// Sum returns the running total.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// Variance returns the population variance.
+func (s *Summary) Variance() float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (s *Summary) Percentile(p float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	return sorted[rank-1]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, v := range s.samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	m := s.samples[0]
+	for _, v := range s.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of strictly positive values vs.
+// It is the aggregate the paper reports for per-benchmark speedups.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vs)))
+}
+
+// JainFairness returns Jain's fairness index of the values:
+// (Σx)² / (n·Σx²), which is 1 when all values are equal and approaches
+// 1/n when one value dominates. The MITTS-mode fairness experiment uses
+// it over per-core slowdowns.
+func JainFairness(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range vs {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(vs)) * sumSq)
+}
+
+// HarmonicMean returns the harmonic mean of strictly positive values.
+func HarmonicMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		inv += 1 / v
+	}
+	return float64(len(vs)) / inv
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Sum() != 10 || s.Mean() != 2.5 {
+		t.Fatalf("n=%d sum=%v mean=%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-1.25) > 1e-12 {
+		t.Fatalf("variance %v, want 1.25", s.Variance())
+	}
+	if math.Abs(s.StdDev()-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("stddev %v", s.StdDev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean %v, want 2", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean of empty should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("geomean with non-positive should be 0")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if h := HarmonicMean([]float64{1, 1}); h != 1 {
+		t.Fatalf("harmonic %v", h)
+	}
+	if h := HarmonicMean([]float64{2, 6}); math.Abs(h-3) > 1e-12 {
+		t.Fatalf("harmonic %v, want 3", h)
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{0}) != 0 {
+		t.Fatal("degenerate harmonic means should be 0")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMaxProperty(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, vs[i])
+			hi = math.Max(hi, vs[i])
+		}
+		g := GeoMean(vs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if j := JainFairness([]float64{2, 2, 2, 2}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal values Jain %v", j)
+	}
+	// One dominant value among n approaches 1/n.
+	j := JainFairness([]float64{100, 0.0001, 0.0001, 0.0001})
+	if j > 0.26 {
+		t.Fatalf("dominated Jain %v, want ~0.25", j)
+	}
+	if JainFairness(nil) != 0 || JainFairness([]float64{0}) != 0 {
+		t.Fatal("degenerate Jain nonzero")
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import "camouflage/internal/sim"
+
+// CovertSender implements the paper's Algorithm 1 ("Generate Covert
+// Channel") as a wall-clock-driven trace source. For each key bit the
+// malicious program either generates cache-missing stores to successive
+// cache lines for PULSE cycles (bit = 1) or does nothing for PULSE cycles
+// (bit = 0), encoding the key in memory-traffic burstiness. Algorithm 1's
+// loop condition is elapsed time, so the sender implements Clocked: the
+// number of stores a one-pulse lands is whatever the machine can issue in
+// PULSE cycles, exactly like the real program.
+type CovertSender struct {
+	key    uint64
+	keyLen int
+	pulse  sim.Cycle
+	gap    sim.Cycle
+	repeat bool
+
+	now  sim.Cycle
+	line uint64 // NextCacheLine
+	done bool
+}
+
+// missStride is the line stride between consecutive covert stores; 1024
+// lines (64 KB) guarantees every store misses the LLC.
+const missStride = 1 << 10
+
+// NewCovertSender returns an Algorithm 1 sender transmitting keyLen bits
+// of key (LSB first), with the given pulse duration. gap is the issue
+// spacing of the store loop (1–2 reproduces the tightest loop the
+// algorithm can run). If repeat is set, the key retransmits forever;
+// otherwise the source ends after keyLen pulses.
+func NewCovertSender(key uint64, keyLen int, pulse, gap sim.Cycle, repeat bool) *CovertSender {
+	if keyLen <= 0 || keyLen > 64 {
+		panic("trace: covert key length out of range")
+	}
+	if pulse == 0 {
+		panic("trace: covert pulse must be positive")
+	}
+	if gap == 0 {
+		gap = 1
+	}
+	return &CovertSender{key: key, keyLen: keyLen, pulse: pulse, gap: gap, repeat: repeat}
+}
+
+// Bit returns the i-th transmitted bit.
+func (s *CovertSender) Bit(i int) int {
+	return int(s.key >> (uint(i) % uint(s.keyLen)) & 1)
+}
+
+// Bits returns the full transmitted bit vector.
+func (s *CovertSender) Bits() []int {
+	bits := make([]int, s.keyLen)
+	for i := range bits {
+		bits[i] = s.Bit(i)
+	}
+	return bits
+}
+
+// SetNow implements Clocked.
+func (s *CovertSender) SetNow(now sim.Cycle) { s.now = now }
+
+// Next implements Source. The current key bit is determined by wall-clock
+// time: one-pulses emit stores spaced gap cycles apart; zero-pulses emit a
+// single idle entry covering the rest of the pulse.
+func (s *CovertSender) Next() (Entry, bool) {
+	if s.done {
+		return Entry{}, false
+	}
+	pulseIdx := uint64(s.now / s.pulse)
+	if !s.repeat && pulseIdx >= uint64(s.keyLen) {
+		s.done = true
+		return Entry{}, false
+	}
+	if s.Bit(int(pulseIdx%uint64(s.keyLen))) == 1 {
+		addr := s.line * 64
+		s.line += missStride
+		return Entry{Gap: s.gap, Addr: addr, Write: true}, true
+	}
+	remaining := s.pulse - s.now%s.pulse
+	return Entry{Gap: remaining, Idle: true}, true
+}

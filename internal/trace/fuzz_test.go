@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace hardens the recorded-trace decoder against malformed
+// input: whatever bytes arrive, it must return an error or a valid slice,
+// never panic or over-allocate.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid trace and a few corruptions of it.
+	var valid bytes.Buffer
+	WriteTrace(&valid, []Entry{
+		{Gap: 7, Addr: 0x1000, Write: true},
+		{Gap: 0, Addr: 0x2000, Blocking: true},
+		{Gap: 4096, Idle: true},
+	})
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CAMT"))
+	f.Add([]byte{'C', 'A', 'M', 'T', 1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	truncated := valid.Bytes()
+	f.Add(truncated[:len(truncated)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// On success, re-encoding must round-trip.
+		var buf bytes.Buffer
+		if werr := WriteTrace(&buf, entries); werr != nil {
+			t.Fatalf("re-encode failed: %v", werr)
+		}
+		again, rerr := ReadTrace(&buf)
+		if rerr != nil {
+			t.Fatalf("re-decode failed: %v", rerr)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round trip changed length: %d -> %d", len(entries), len(again))
+		}
+		for i := range entries {
+			if again[i] != entries[i] {
+				t.Fatalf("round trip changed entry %d", i)
+			}
+		}
+	})
+}

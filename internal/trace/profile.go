@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"camouflage/internal/sim"
+)
+
+// Profile parameterizes a synthetic benchmark. The generator runs a
+// two-state (burst/idle) process: inside a burst, references are issued
+// with small gaps and mostly-sequential addresses (row-buffer locality);
+// between bursts the core computes. Cache reuse is controlled by revisiting
+// a bounded working set. Together these knobs reproduce the qualitative
+// behaviour the paper's evaluation depends on.
+type Profile struct {
+	// Name is the benchmark label (astar, mcf, ...).
+	Name string
+
+	// BurstLen is the mean number of references per memory burst.
+	BurstLen float64
+	// BurstGapMean is the mean compute-cycle gap between bursts.
+	BurstGapMean float64
+	// IntraGapMean is the mean gap between references within a burst.
+	IntraGapMean float64
+
+	// SeqRun is the mean number of consecutive lines walked before the
+	// stream jumps, controlling row-buffer locality.
+	SeqRun float64
+	// ReuseProb is the probability a reference revisits the working set
+	// (an LLC hit, roughly) instead of touching a fresh line.
+	ReuseProb float64
+	// WorkingSetLines bounds the reusable footprint in cache lines.
+	WorkingSetLines int
+	// FootprintLines bounds the total address range in lines; streams
+	// wrap around it (mcf-style huge footprints thrash every cache).
+	FootprintLines uint64
+
+	// WriteFrac is the fraction of references that are stores.
+	WriteFrac float64
+	// BlockingFrac is the fraction of loads that are dependent
+	// (blocking); pointer-chasing codes like mcf are high, streaming
+	// codes low.
+	BlockingFrac float64
+
+	// PhasePeriod, when non-zero, alternates the generator between the
+	// profile above and a quieter phase every PhasePeriod references
+	// (program phase behaviour: apache's request bursts, gcc's passes).
+	PhasePeriod int
+	// PhaseQuietScale multiplies BurstGapMean during quiet phases.
+	PhaseQuietScale float64
+}
+
+// Validate rejects profiles the generator cannot run.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("trace: profile missing name")
+	case p.BurstLen < 1:
+		return fmt.Errorf("trace: %s: BurstLen must be >= 1", p.Name)
+	case p.FootprintLines == 0:
+		return fmt.Errorf("trace: %s: FootprintLines must be positive", p.Name)
+	case p.ReuseProb < 0 || p.ReuseProb > 1:
+		return fmt.Errorf("trace: %s: ReuseProb out of [0,1]", p.Name)
+	case p.WriteFrac < 0 || p.WriteFrac > 1:
+		return fmt.Errorf("trace: %s: WriteFrac out of [0,1]", p.Name)
+	case p.BlockingFrac < 0 || p.BlockingFrac > 1:
+		return fmt.Errorf("trace: %s: BlockingFrac out of [0,1]", p.Name)
+	}
+	return nil
+}
+
+// Benchmarks returns the 11-workload suite the paper evaluates: SPECInt
+// 2006 plus the Apache web server. Parameters are calibrated to the
+// qualitative characteristics the paper relies on — mcf and libquantum are
+// memory hogs, omnetpp and astar are moderately intensive and bursty,
+// sjeng/h264ref/gobmk are compute-bound, apache is phase-bursty.
+func Benchmarks() []Profile {
+	return []Profile{
+		{
+			Name: "astar", BurstLen: 4, BurstGapMean: 450, IntraGapMean: 6,
+			SeqRun: 3, ReuseProb: 0.55, WorkingSetLines: 4096, FootprintLines: 1 << 22,
+			WriteFrac: 0.25, BlockingFrac: 0.55,
+		},
+		{
+			Name: "bzip", BurstLen: 6, BurstGapMean: 420, IntraGapMean: 8,
+			SeqRun: 12, ReuseProb: 0.70, WorkingSetLines: 8192, FootprintLines: 1 << 21,
+			WriteFrac: 0.35, BlockingFrac: 0.30,
+		},
+		{
+			Name: "gcc", BurstLen: 5, BurstGapMean: 380, IntraGapMean: 10,
+			SeqRun: 6, ReuseProb: 0.65, WorkingSetLines: 6144, FootprintLines: 1 << 22,
+			WriteFrac: 0.30, BlockingFrac: 0.40,
+			PhasePeriod: 3000, PhaseQuietScale: 3,
+		},
+		{
+			Name: "h264ref", BurstLen: 3, BurstGapMean: 900, IntraGapMean: 12,
+			SeqRun: 16, ReuseProb: 0.85, WorkingSetLines: 2048, FootprintLines: 1 << 20,
+			WriteFrac: 0.30, BlockingFrac: 0.25,
+		},
+		{
+			Name: "gobmk", BurstLen: 3, BurstGapMean: 800, IntraGapMean: 14,
+			SeqRun: 2, ReuseProb: 0.80, WorkingSetLines: 2048, FootprintLines: 1 << 20,
+			WriteFrac: 0.25, BlockingFrac: 0.45,
+		},
+		{
+			Name: "omnetpp", BurstLen: 10, BurstGapMean: 700, IntraGapMean: 5,
+			SeqRun: 2, ReuseProb: 0.45, WorkingSetLines: 8192, FootprintLines: 1 << 23,
+			WriteFrac: 0.35, BlockingFrac: 0.55,
+		},
+		{
+			Name: "hmmer", BurstLen: 4, BurstGapMean: 650, IntraGapMean: 9,
+			SeqRun: 20, ReuseProb: 0.80, WorkingSetLines: 3072, FootprintLines: 1 << 20,
+			WriteFrac: 0.40, BlockingFrac: 0.20,
+		},
+		{
+			Name: "mcf", BurstLen: 14, BurstGapMean: 520, IntraGapMean: 4,
+			SeqRun: 1, ReuseProb: 0.20, WorkingSetLines: 16384, FootprintLines: 1 << 24,
+			WriteFrac: 0.20, BlockingFrac: 0.70,
+		},
+		{
+			Name: "libqt", BurstLen: 12, BurstGapMean: 150, IntraGapMean: 3,
+			SeqRun: 64, ReuseProb: 0.10, WorkingSetLines: 1024, FootprintLines: 1 << 24,
+			WriteFrac: 0.10, BlockingFrac: 0.20,
+		},
+		{
+			Name: "sjeng", BurstLen: 2, BurstGapMean: 1100, IntraGapMean: 15,
+			SeqRun: 2, ReuseProb: 0.85, WorkingSetLines: 1536, FootprintLines: 1 << 20,
+			WriteFrac: 0.25, BlockingFrac: 0.40,
+		},
+		{
+			Name: "apache", BurstLen: 8, BurstGapMean: 300, IntraGapMean: 5,
+			SeqRun: 8, ReuseProb: 0.60, WorkingSetLines: 6144, FootprintLines: 1 << 22,
+			WriteFrac: 0.35, BlockingFrac: 0.35,
+			PhasePeriod: 1500, PhaseQuietScale: 6,
+		},
+	}
+}
+
+// ProfileByName returns the named benchmark profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// BenchmarkNames returns the suite's names in evaluation order.
+func BenchmarkNames() []string {
+	ps := Benchmarks()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Generator produces an infinite instruction stream from a Profile.
+type Generator struct {
+	p   Profile
+	rng *sim.RNG
+
+	// burst state
+	inBurst   bool
+	burstLeft int
+
+	// address state
+	cursor     uint64 // current streaming line
+	seqLeft    int
+	workingSet []uint64
+	refs       int
+	quiet      bool
+}
+
+// NewGenerator returns a generator over profile p seeded from rng.
+// Different cores must use forked RNGs for independent streams.
+func NewGenerator(p Profile, rng *sim.RNG) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
+	g := &Generator{p: p, rng: rng}
+	g.cursor = rng.Uint64n(p.FootprintLines)
+	return g
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// Next implements Source. Generators never end.
+func (g *Generator) Next() (Entry, bool) {
+	p := g.p
+
+	// Phase behaviour: alternate busy and quiet phases.
+	if p.PhasePeriod > 0 && g.refs%p.PhasePeriod == 0 && g.refs > 0 {
+		g.quiet = !g.quiet
+	}
+	g.refs++
+
+	var gap sim.Cycle
+	if !g.inBurst || g.burstLeft <= 0 {
+		g.inBurst = true
+		g.burstLeft = int(g.rng.Geometric(p.BurstLen))
+		gapMean := p.BurstGapMean
+		if g.quiet && p.PhaseQuietScale > 0 {
+			gapMean *= p.PhaseQuietScale
+		}
+		gap = sim.Cycle(g.rng.Geometric(gapMean))
+	} else {
+		gap = sim.Cycle(g.rng.Geometric(p.IntraGapMean))
+	}
+	g.burstLeft--
+
+	addr := g.nextAddr()
+	write := g.rng.Bool(p.WriteFrac)
+	blocking := !write && g.rng.Bool(p.BlockingFrac)
+	return Entry{Gap: gap, Addr: addr, Write: write, Blocking: blocking}, true
+}
+
+func (g *Generator) nextAddr() uint64 {
+	p := g.p
+	// Reuse: revisit the working set.
+	if len(g.workingSet) > 0 && g.rng.Bool(p.ReuseProb) {
+		return g.workingSet[g.rng.Intn(len(g.workingSet))] * 64
+	}
+	// Stream: continue the sequential run or jump.
+	if g.seqLeft <= 0 {
+		g.cursor = g.rng.Uint64n(p.FootprintLines)
+		g.seqLeft = int(g.rng.Geometric(p.SeqRun))
+	}
+	lineAddr := g.cursor
+	g.cursor = (g.cursor + 1) % p.FootprintLines
+	g.seqLeft--
+
+	if p.WorkingSetLines > 0 {
+		if len(g.workingSet) < p.WorkingSetLines {
+			g.workingSet = append(g.workingSet, lineAddr)
+		} else {
+			g.workingSet[g.rng.Intn(len(g.workingSet))] = lineAddr
+		}
+	}
+	return lineAddr * 64
+}
+
+// SortedByIntensity returns profile names ordered from most to least
+// memory-intensive (by expected references per kilocycle), for reporting.
+func SortedByIntensity() []string {
+	ps := Benchmarks()
+	type ranked struct {
+		name string
+		rpk  float64
+	}
+	rs := make([]ranked, len(ps))
+	for i, p := range ps {
+		// One burst of BurstLen refs occurs every
+		// (BurstGapMean + BurstLen*IntraGapMean) cycles.
+		period := p.BurstGapMean + p.BurstLen*p.IntraGapMean
+		rs[i] = ranked{p.Name, p.BurstLen / period * 1000}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].rpk > rs[j].rpk })
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.name
+	}
+	return names
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"camouflage/internal/sim"
+)
+
+// The recorded trace format is a compact binary stream:
+//
+//	magic "CAMT" | version u8 | count u64 | entries...
+//
+// each entry: gap uvarint | addr uvarint | flags u8
+// (flag bits: 1 = write, 2 = blocking, 4 = idle).
+//
+// It exists so workloads captured from one run (or produced by external
+// tools) can be replayed bit-exactly — the same role GEM5 trace files play
+// for the paper's simulator.
+
+var traceMagic = [4]byte{'C', 'A', 'M', 'T'}
+
+const traceVersion = 1
+
+const (
+	flagWrite    = 1 << 0
+	flagBlocking = 1 << 1
+	flagIdle     = 1 << 2
+)
+
+// WriteTrace encodes entries to w in the recorded trace format.
+func WriteTrace(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(entries)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		n = binary.PutUvarint(buf[:], uint64(e.Gap))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], e.Addr)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		var flags byte
+		if e.Write {
+			flags |= flagWrite
+		}
+		if e.Blocking {
+			flags |= flagBlocking
+		}
+		if e.Idle {
+			flags |= flagIdle
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a recorded trace from r.
+func ReadTrace(r io.Reader) ([]Entry, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, errors.New("trace: not a recorded trace (bad magic)")
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxEntries = 1 << 30
+	if count > maxEntries {
+		return nil, fmt.Errorf("trace: implausible entry count %d", count)
+	}
+	// The count is untrusted input: cap the preallocation and let append
+	// grow the slice as entries actually decode, so a forged header
+	// cannot trigger a giant allocation.
+	capHint := count
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	entries := make([]Entry, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d gap: %w", i, err)
+		}
+		addr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d addr: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d flags: %w", i, err)
+		}
+		entries = append(entries, Entry{
+			Gap:      sim.Cycle(gap),
+			Addr:     addr,
+			Write:    flags&flagWrite != 0,
+			Blocking: flags&flagBlocking != 0,
+			Idle:     flags&flagIdle != 0,
+		})
+	}
+	return entries, nil
+}
+
+// Recorder wraps a Source, passing entries through while keeping a copy —
+// capture a synthetic workload once, then replay it bit-exactly with
+// NewSliceSource/NewLoopSource or persist it with WriteTrace.
+type Recorder struct {
+	src      Source
+	Recorded []Entry
+}
+
+// NewRecorder returns a recording pass-through around src.
+func NewRecorder(src Source) *Recorder {
+	return &Recorder{src: src}
+}
+
+// Next implements Source.
+func (r *Recorder) Next() (Entry, bool) {
+	e, ok := r.src.Next()
+	if ok {
+		r.Recorded = append(r.Recorded, e)
+	}
+	return e, ok
+}
+
+// SetNow forwards wall-clock time to clocked sources.
+func (r *Recorder) SetNow(now sim.Cycle) {
+	if c, ok := r.src.(Clocked); ok {
+		c.SetNow(now)
+	}
+}
+
+// Capture pulls up to n entries from src into a slice (for generators,
+// which are infinite, n bounds the capture; finite sources may end
+// earlier).
+func Capture(src Source, n int) []Entry {
+	out := make([]Entry, 0, n)
+	for len(out) < n {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}

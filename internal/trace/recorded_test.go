@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"camouflage/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Gap: 10, Addr: 0x1000, Write: true},
+		{Gap: 0, Addr: 0xFFFF_FFFF_0000, Blocking: true},
+		{Gap: 4096, Idle: true},
+		{Gap: 1, Addr: 64},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("round trip %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestTraceRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %d entries", err, len(got))
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("not a trace")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	buf.Write([]byte("CAMT"))
+	buf.WriteByte(99)
+	buf.WriteByte(0)
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	entries := []Entry{{Gap: 100, Addr: 0x4000}}
+	var buf bytes.Buffer
+	WriteTrace(&buf, entries)
+	raw := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	check := func(gaps []uint32, addrs []uint64, flags []uint8) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(flags) < n {
+			n = len(flags)
+		}
+		entries := make([]Entry, n)
+		for i := 0; i < n; i++ {
+			entries[i] = Entry{
+				Gap:      sim.Cycle(gaps[i]),
+				Addr:     addrs[i],
+				Write:    flags[i]&1 != 0,
+				Blocking: flags[i]&2 != 0,
+				Idle:     flags[i]&4 != 0,
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, entries); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderPassThrough(t *testing.T) {
+	src := NewSliceSource([]Entry{{Gap: 1}, {Gap: 2}})
+	rec := NewRecorder(src)
+	var gaps []sim.Cycle
+	for {
+		e, ok := rec.Next()
+		if !ok {
+			break
+		}
+		gaps = append(gaps, e.Gap)
+	}
+	if len(rec.Recorded) != 2 || rec.Recorded[0].Gap != 1 {
+		t.Fatalf("recorded %v", rec.Recorded)
+	}
+	if len(gaps) != 2 {
+		t.Fatalf("passed through %v", gaps)
+	}
+}
+
+func TestRecorderForwardsClock(t *testing.T) {
+	sender := NewCovertSender(1, 1, 100, 2, false)
+	rec := NewRecorder(sender)
+	rec.SetNow(10)
+	e, ok := rec.Next()
+	if !ok || !e.Write {
+		t.Fatalf("clocked entry %+v via recorder", e)
+	}
+}
+
+func TestCaptureAndReplayMatchesGenerator(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	captured := Capture(NewGenerator(p, sim.NewRNG(5)), 500)
+	if len(captured) != 500 {
+		t.Fatalf("captured %d", len(captured))
+	}
+	// A fresh same-seed generator must match the capture exactly.
+	g := NewGenerator(p, sim.NewRNG(5))
+	replay := NewSliceSource(captured)
+	for i := 0; i < 500; i++ {
+		a, _ := g.Next()
+		b, _ := replay.Next()
+		if a != b {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestCaptureFiniteSource(t *testing.T) {
+	got := Capture(NewSliceSource([]Entry{{Gap: 1}}), 10)
+	if len(got) != 1 {
+		t.Fatalf("captured %d from finite source", len(got))
+	}
+}

@@ -1,0 +1,170 @@
+// Package trace generates the simulated workloads. The paper drives its
+// simulator with GEM5 Alpha traces of SPECInt 2006 and the Apache web
+// server; those traces are proprietary, so this package substitutes
+// parameterized synthetic generators whose per-benchmark profiles preserve
+// the properties the evaluation depends on: relative memory intensity,
+// burstiness, row-buffer locality and cache reuse. It also implements the
+// paper's Algorithm 1 covert-channel sender verbatim.
+package trace
+
+import "camouflage/internal/sim"
+
+// Entry is one memory reference in a core's instruction stream.
+type Entry struct {
+	// Gap is the number of compute cycles the core spends before this
+	// reference (its distance from the previous one).
+	Gap sim.Cycle
+	// Addr is the referenced byte address.
+	Addr uint64
+	// Write marks stores.
+	Write bool
+	// Blocking marks loads the core cannot advance past until the data
+	// returns (dependent loads); non-blocking references overlap under
+	// the MSHR limit.
+	Blocking bool
+	// Idle marks a pure compute entry: the core consumes Gap cycles and
+	// issues no memory reference (Algorithm 1's DoNothing pulse).
+	Idle bool
+}
+
+// Source produces an instruction stream. Generators are infinite; ok
+// reports end-of-trace for finite sources such as recorded covert-channel
+// transmissions.
+type Source interface {
+	Next() (Entry, bool)
+}
+
+// Clocked is implemented by sources whose behaviour depends on wall-clock
+// time rather than instruction count — Algorithm 1's "while ElapsedTime <
+// PULSE" loop is the canonical case. The core calls SetNow with the
+// current cycle before each Next.
+type Clocked interface {
+	SetNow(now sim.Cycle)
+}
+
+// SliceSource replays a fixed slice of entries once.
+type SliceSource struct {
+	entries []Entry
+	pos     int
+}
+
+// NewSliceSource returns a source that replays entries and then ends.
+func NewSliceSource(entries []Entry) *SliceSource {
+	return &SliceSource{entries: entries}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Entry, bool) {
+	if s.pos >= len(s.entries) {
+		return Entry{}, false
+	}
+	e := s.entries[s.pos]
+	s.pos++
+	return e, true
+}
+
+// Remaining returns how many entries are left.
+func (s *SliceSource) Remaining() int { return len(s.entries) - s.pos }
+
+// LoopSource replays a fixed slice of entries forever.
+type LoopSource struct {
+	entries []Entry
+	pos     int
+}
+
+// NewLoopSource returns a source that cycles through entries endlessly.
+// It panics on an empty slice.
+func NewLoopSource(entries []Entry) *LoopSource {
+	if len(entries) == 0 {
+		panic("trace: NewLoopSource with no entries")
+	}
+	return &LoopSource{entries: entries}
+}
+
+// Next implements Source.
+func (s *LoopSource) Next() (Entry, bool) {
+	e := s.entries[s.pos]
+	s.pos = (s.pos + 1) % len(s.entries)
+	return e, true
+}
+
+// PhasedSource alternates between two sources on a wall-clock period —
+// the program-phase behaviour the paper's §II-A threat model says an
+// adversary can infer ("memory intensity over time"): Busy drives the
+// even phases, Quiet the odd ones. It implements Clocked, so the phase is
+// determined by simulation time, giving experiments exact ground truth
+// via PhaseAt.
+type PhasedSource struct {
+	Busy   Source
+	Quiet  Source
+	Period sim.Cycle
+
+	now sim.Cycle
+}
+
+// NewPhasedSource returns a source alternating between busy and quiet
+// every period cycles. It panics on a zero period.
+func NewPhasedSource(busy, quiet Source, period sim.Cycle) *PhasedSource {
+	if period == 0 {
+		panic("trace: PhasedSource with zero period")
+	}
+	return &PhasedSource{Busy: busy, Quiet: quiet, Period: period}
+}
+
+// SetNow implements Clocked.
+func (p *PhasedSource) SetNow(now sim.Cycle) {
+	p.now = now
+	if c, ok := p.Busy.(Clocked); ok {
+		c.SetNow(now)
+	}
+	if c, ok := p.Quiet.(Clocked); ok {
+		c.SetNow(now)
+	}
+}
+
+// PhaseAt returns 0 (busy) or 1 (quiet) for the given cycle.
+func (p *PhasedSource) PhaseAt(now sim.Cycle) int {
+	return int(now / p.Period % 2)
+}
+
+// Next implements Source: the entry comes from whichever phase the clock
+// is in. Long gaps are clipped to the phase boundary so a quiet phase's
+// idle stretch cannot swallow the next busy phase.
+func (p *PhasedSource) Next() (Entry, bool) {
+	var src Source
+	if p.PhaseAt(p.now) == 0 {
+		src = p.Busy
+	} else {
+		src = p.Quiet
+	}
+	e, ok := src.Next()
+	if !ok {
+		return Entry{}, false
+	}
+	if remaining := p.Period - p.now%p.Period; e.Gap > remaining {
+		e.Gap = remaining
+	}
+	return e, true
+}
+
+// Concat plays each source to completion in order.
+type Concat struct {
+	sources []Source
+}
+
+// NewConcat returns a source concatenating the given sources.
+func NewConcat(sources ...Source) *Concat {
+	return &Concat{sources: sources}
+}
+
+// Next implements Source.
+func (c *Concat) Next() (Entry, bool) {
+	for len(c.sources) > 0 {
+		e, ok := c.sources[0].Next()
+		if ok {
+			return e, true
+		}
+		c.sources = c.sources[1:]
+	}
+	return Entry{}, false
+}

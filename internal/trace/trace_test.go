@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"camouflage/internal/sim"
+)
+
+func TestSliceSourceEnds(t *testing.T) {
+	s := NewSliceSource([]Entry{{Gap: 1}, {Gap: 2}})
+	if s.Remaining() != 2 {
+		t.Fatalf("remaining %d", s.Remaining())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("slice source did not end")
+	}
+}
+
+func TestLoopSourceWraps(t *testing.T) {
+	s := NewLoopSource([]Entry{{Gap: 1}, {Gap: 2}})
+	for i := 0; i < 10; i++ {
+		e, ok := s.Next()
+		if !ok {
+			t.Fatal("loop source ended")
+		}
+		want := sim.Cycle(i%2 + 1)
+		if e.Gap != want {
+			t.Fatalf("loop entry %d gap %d, want %d", i, e.Gap, want)
+		}
+	}
+}
+
+func TestLoopSourceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty loop source accepted")
+		}
+	}()
+	NewLoopSource(nil)
+}
+
+func TestConcat(t *testing.T) {
+	c := NewConcat(
+		NewSliceSource([]Entry{{Gap: 1}}),
+		NewSliceSource([]Entry{{Gap: 2}, {Gap: 3}}),
+	)
+	var gaps []sim.Cycle
+	for {
+		e, ok := c.Next()
+		if !ok {
+			break
+		}
+		gaps = append(gaps, e.Gap)
+	}
+	if len(gaps) != 3 || gaps[0] != 1 || gaps[2] != 3 {
+		t.Fatalf("concat produced %v", gaps)
+	}
+}
+
+func TestBenchmarkProfilesValid(t *testing.T) {
+	for _, p := range Benchmarks() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if len(Benchmarks()) != 11 {
+		t.Fatalf("suite has %d benchmarks, want 11 (SPECInt 2006 + apache)", len(Benchmarks()))
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ProfileByName(mcf) = %v, %v", p.Name, err)
+	}
+	if _, err := ProfileByName("nonexistent"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	cases := []Profile{
+		{},
+		{Name: "x", BurstLen: 0, FootprintLines: 1},
+		{Name: "x", BurstLen: 1, FootprintLines: 0},
+		{Name: "x", BurstLen: 1, FootprintLines: 1, ReuseProb: 1.5},
+		{Name: "x", BurstLen: 1, FootprintLines: 1, WriteFrac: -0.1},
+		{Name: "x", BurstLen: 1, FootprintLines: 1, BlockingFrac: 2},
+	}
+	for i, p := range cases {
+		if p.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	a := NewGenerator(p, sim.NewRNG(5))
+	b := NewGenerator(p, sim.NewRNG(5))
+	for i := 0; i < 1000; i++ {
+		ea, _ := a.Next()
+		eb, _ := b.Next()
+		if ea != eb {
+			t.Fatalf("same-seed generators diverged at entry %d", i)
+		}
+	}
+}
+
+func TestGeneratorAddressesWithinFootprint(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	g := NewGenerator(p, sim.NewRNG(7))
+	limit := p.FootprintLines * 64
+	for i := 0; i < 10000; i++ {
+		e, _ := g.Next()
+		if e.Addr >= limit {
+			t.Fatalf("address %#x outside footprint %#x", e.Addr, limit)
+		}
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	p, _ := ProfileByName("bzip") // WriteFrac 0.35
+	g := NewGenerator(p, sim.NewRNG(11))
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		e, _ := g.Next()
+		if e.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.30 || frac > 0.40 {
+		t.Fatalf("write fraction %.3f, want ~0.35", frac)
+	}
+}
+
+func TestIntensityOrdering(t *testing.T) {
+	// The suite's relative memory intensity must keep the paper's
+	// structure: mcf and libqt are the heaviest, sjeng the lightest.
+	order := SortedByIntensity()
+	rank := map[string]int{}
+	for i, n := range order {
+		rank[n] = i
+	}
+	if rank["libqt"] > 2 || rank["mcf"] > 3 {
+		t.Fatalf("memory hogs not at the top: %v", order)
+	}
+	if rank["sjeng"] < len(order)-3 {
+		t.Fatalf("sjeng not near the bottom: %v", order)
+	}
+}
+
+func TestCovertSenderBits(t *testing.T) {
+	s := NewCovertSender(0b1011, 4, 100, 2, false)
+	bits := s.Bits()
+	want := []int{1, 1, 0, 1} // LSB first
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestCovertSenderOnePulsesEmitStores(t *testing.T) {
+	s := NewCovertSender(0b1, 1, 100, 2, false)
+	s.SetNow(10)
+	e, ok := s.Next()
+	if !ok || e.Write != true || e.Idle {
+		t.Fatalf("one-bit pulse entry %+v ok=%v", e, ok)
+	}
+	// Addresses stride far apart so every store misses.
+	e2, _ := s.Next()
+	if e2.Addr-e.Addr < 1024*64 {
+		t.Fatalf("stores too close: %#x then %#x", e.Addr, e2.Addr)
+	}
+}
+
+func TestCovertSenderZeroPulsesIdle(t *testing.T) {
+	s := NewCovertSender(0b10, 2, 100, 2, false)
+	s.SetNow(10) // inside bit 0's pulse, which is 0
+	e, ok := s.Next()
+	if !ok || !e.Idle {
+		t.Fatalf("zero-bit pulse entry %+v", e)
+	}
+	if e.Gap != 90 {
+		t.Fatalf("idle gap %d, want 90 (rest of the pulse)", e.Gap)
+	}
+}
+
+func TestCovertSenderEndsWithoutRepeat(t *testing.T) {
+	s := NewCovertSender(0b11, 2, 100, 2, false)
+	s.SetNow(250) // past both pulses
+	if _, ok := s.Next(); ok {
+		t.Fatal("sender did not end after its key")
+	}
+}
+
+func TestCovertSenderRepeats(t *testing.T) {
+	s := NewCovertSender(0b1, 1, 100, 2, true)
+	s.SetNow(100_000)
+	if _, ok := s.Next(); !ok {
+		t.Fatal("repeating sender ended")
+	}
+}
+
+func TestCovertSenderKeyLenBounds(t *testing.T) {
+	for _, bad := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("keyLen %d accepted", bad)
+				}
+			}()
+			NewCovertSender(1, bad, 100, 1, false)
+		}()
+	}
+}
+
+func TestGeneratorGapsPositiveProperty(t *testing.T) {
+	p, _ := ProfileByName("astar")
+	g := NewGenerator(p, sim.NewRNG(13))
+	check := func(_ uint8) bool {
+		e, ok := g.Next()
+		return ok && e.Gap >= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhasedSourceAlternates(t *testing.T) {
+	busy := NewLoopSource([]Entry{{Gap: 1, Addr: 0x1000}})
+	quiet := NewLoopSource([]Entry{{Gap: 1, Addr: 0x2000}})
+	ps := NewPhasedSource(busy, quiet, 1000)
+	ps.SetNow(10)
+	if e, _ := ps.Next(); e.Addr != 0x1000 {
+		t.Fatal("phase 0 should serve the busy source")
+	}
+	ps.SetNow(1010)
+	if e, _ := ps.Next(); e.Addr != 0x2000 {
+		t.Fatal("phase 1 should serve the quiet source")
+	}
+	if ps.PhaseAt(500) != 0 || ps.PhaseAt(1500) != 1 || ps.PhaseAt(2500) != 0 {
+		t.Fatal("PhaseAt wrong")
+	}
+}
+
+func TestPhasedSourceClipsGapsAtBoundary(t *testing.T) {
+	quietEntries := []Entry{{Gap: 100000, Idle: true}}
+	ps := NewPhasedSource(NewLoopSource(quietEntries), NewLoopSource(quietEntries), 1000)
+	ps.SetNow(900)
+	e, _ := ps.Next()
+	if e.Gap > 100 {
+		t.Fatalf("gap %d crosses the phase boundary", e.Gap)
+	}
+}
+
+func TestPhasedSourceZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period accepted")
+		}
+	}()
+	NewPhasedSource(NewLoopSource([]Entry{{}}), NewLoopSource([]Entry{{}}), 0)
+}
