@@ -1,0 +1,35 @@
+# Tier-1 gate: `make ci` is what must stay green before merging.
+# Everything is stdlib-only Go; no tools beyond the toolchain are needed.
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments
+
+ci: vet build race fuzz-seeds
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regression-run the committed fuzz seed corpora (testdata/fuzz plus the
+# f.Add seeds) without live fuzzing — fast, deterministic.
+fuzz-seeds:
+	$(GO) test ./internal/scenario -run FuzzLoad
+	$(GO) test ./internal/trace -run FuzzReadTrace
+
+# Live coverage-guided fuzzing for local hardening sessions.
+fuzz:
+	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzLoad -fuzztime 30s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadTrace -fuzztime 30s
+
+# Regenerate the paper's full evaluation suite.
+experiments:
+	$(GO) run ./cmd/experiments

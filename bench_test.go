@@ -234,7 +234,7 @@ func soloSystem(b *testing.B, shaperCfg *shaper.Config) *core.System {
 	if err != nil {
 		b.Fatal(err)
 	}
-	src := trace.NewGenerator(p, sim.NewRNG(11))
+	src := mustGen(p, sim.NewRNG(11))
 	sys, err := core.NewSystem(cfg, []trace.Source{src})
 	if err != nil {
 		b.Fatal(err)
@@ -367,7 +367,7 @@ func BenchmarkSystemThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		srcs[i] = trace.NewGenerator(p, rng.Fork())
+		srcs[i] = mustGen(p, rng.Fork())
 	}
 	sys, err := core.NewSystem(core.DefaultConfig(), srcs)
 	if err != nil {
@@ -528,7 +528,7 @@ func BenchmarkAblationPagePolicy(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				sys, err := core.NewSystem(cfg, []trace.Source{trace.NewGenerator(p, sim.NewRNG(5))})
+				sys, err := core.NewSystem(cfg, []trace.Source{mustGen(p, sim.NewRNG(5))})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -539,3 +539,14 @@ func BenchmarkAblationPagePolicy(b *testing.B) {
 		})
 	}
 }
+
+// mustGen panics on generator construction errors; the benchmarks use
+// only known-valid profiles.
+func mustGen(p trace.Profile, rng *sim.RNG) *trace.Generator {
+	g, err := trace.NewGenerator(p, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+

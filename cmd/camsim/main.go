@@ -18,8 +18,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"camouflage/internal/check"
 	"camouflage/internal/core"
+	"camouflage/internal/dram"
+	"camouflage/internal/fault"
 	"camouflage/internal/harness"
 	"camouflage/internal/mem"
 	"camouflage/internal/scenario"
@@ -29,19 +33,32 @@ import (
 	"camouflage/internal/trace"
 )
 
+// runOpts carries the supervision flags shared by both run paths.
+type runOpts struct {
+	faults   fault.Options
+	watchdog bool
+	deadline time.Duration
+}
+
 func main() {
 	workload := flag.String("workload", "gcc,astar,astar,astar", "comma-separated benchmark list, one per core")
 	schemeName := flag.String("scheme", "noshaping", "noshaping, cs, tp, fs, reqc, respc, bdc, br")
 	cycles := flag.Uint64("cycles", 1_000_000, "cycles to simulate")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	scenarioPath := flag.String("scenario", "", "run a declarative JSON scenario instead of -workload/-scheme")
+	faultsSpec := flag.String("faults", "", "fault injection: drop=P,dup=P,delay=P[:cycles],trace=P,timing (empty = none)")
+	watchdog := flag.Bool("watchdog", false, "enable runtime invariant checking (credit ledger, flow conservation, DRAM protocol, forward-progress watchdog)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the run, e.g. 30s (0 = none)")
 	flag.Parse()
 
+	opts := runOpts{watchdog: *watchdog, deadline: *deadline}
 	var err error
-	if *scenarioPath != "" {
-		err = runScenario(*scenarioPath, sim.Cycle(*cycles))
-	} else {
-		err = run(*workload, *schemeName, sim.Cycle(*cycles), *seed)
+	if opts.faults, err = fault.ParseSpec(*faultsSpec); err == nil {
+		if *scenarioPath != "" {
+			err = runScenario(*scenarioPath, sim.Cycle(*cycles), opts)
+		} else {
+			err = run(*workload, *schemeName, sim.Cycle(*cycles), *seed, opts)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "camsim:", err)
@@ -50,8 +67,11 @@ func main() {
 }
 
 // runScenario loads, builds and reports a declarative scenario. The
-// scenario's own cycle count wins over the flag when set.
-func runScenario(path string, cycles sim.Cycle) error {
+// scenario's own cycle count wins over the flag when set. Link-level
+// faults, the watchdog and the deadline apply; trace corruption and
+// timing perturbation need construction-time hooks and are only
+// available on the -workload path.
+func runScenario(path string, cycles sim.Cycle, opts runOpts) error {
 	s, err := scenario.LoadFile(path)
 	if err != nil {
 		return err
@@ -67,11 +87,16 @@ func runScenario(path string, cycles sim.Cycle) error {
 	for i, c := range s.Cores {
 		names[i] = c.Workload
 	}
-	reportRun(sys, names, cycles, fmt.Sprintf("scenario=%s scheme=%s", s.Name, s.Scheme))
-	return nil
+	var inj *fault.Injector
+	if opts.faults.NoCEnabled() {
+		inj = fault.NewInjector(opts.faults, sim.NewRNG(s.Seed+99))
+		sys.InjectFaults(inj)
+	}
+	supervise(sys, nil, opts)
+	return reportRun(sys, names, cycles, fmt.Sprintf("scenario=%s scheme=%s", s.Name, s.Scheme), inj)
 }
 
-func run(workload, schemeName string, cycles sim.Cycle, seed uint64) error {
+func run(workload, schemeName string, cycles sim.Cycle, seed uint64, opts runOpts) error {
 	names := strings.Split(workload, ",")
 	scheme, err := scenario.ParseScheme(schemeName)
 	if err != nil {
@@ -104,17 +129,43 @@ func run(workload, schemeName string, cycles sim.Cycle, seed uint64) error {
 		}
 	}
 
+	// Fault injection: the reference timing is captured before the
+	// perturbation so the protocol checker validates against the truth.
+	ref := cfg.Timing
+	var inj *fault.Injector
+	if opts.faults.Enabled() {
+		inj = fault.NewInjector(opts.faults, sim.NewRNG(seed+99))
+		cfg.Timing = inj.PerturbTiming(cfg.Timing)
+		for i := range sources {
+			sources[i] = inj.Corrupt(sources[i])
+		}
+	}
+
 	sys, err := core.NewSystem(cfg, sources)
 	if err != nil {
 		return err
 	}
-	reportRun(sys, names, cycles, fmt.Sprintf("scheme=%v", scheme))
-	return nil
+	if inj != nil {
+		sys.InjectFaults(inj)
+	}
+	supervise(sys, &ref, opts)
+	return reportRun(sys, names, cycles, fmt.Sprintf("scheme=%v", scheme), inj)
 }
 
-// reportRun attaches latency probes, runs the system and prints the
-// per-core and system report.
-func reportRun(sys *core.System, names []string, cycles sim.Cycle, header string) {
+// supervise applies the -watchdog and -deadline flags to a built system.
+func supervise(sys *core.System, ref *dram.Timing, opts runOpts) {
+	if opts.watchdog {
+		sys.EnableChecks(check.Options{ReferenceTiming: ref})
+	}
+	if opts.deadline > 0 {
+		sys.SetDeadline(opts.deadline)
+	}
+}
+
+// reportRun attaches latency probes, runs the system under supervision
+// and prints the per-core and system report. A supervised-run failure is
+// reported after whatever statistics accumulated.
+func reportRun(sys *core.System, names []string, cycles sim.Cycle, header string, inj *fault.Injector) error {
 	latencies := make([]*stats.Summary, len(names))
 	for i := range latencies {
 		s := &stats.Summary{}
@@ -123,7 +174,7 @@ func reportRun(sys *core.System, names []string, cycles sim.Cycle, header string
 			s.Add(float64(resp.Latency()))
 		}
 	}
-	sys.Run(cycles)
+	runErr := sys.Run(cycles)
 
 	fmt.Printf("%s cycles=%d\n\n", header, cycles)
 	fmt.Printf("%-6s %-10s %8s %10s %10s %10s %10s %8s %8s %8s\n",
@@ -151,6 +202,15 @@ func reportRun(sys *core.System, names []string, cycles sim.Cycle, header string
 			fmt.Printf("respc[%d]: real %d fake %d warnings %d\n", i, st.ReleasedReal, st.ReleasedFake, st.WarningsSent)
 		}
 	}
+	if inj != nil {
+		fs := inj.Stats()
+		fmt.Printf("faults [%s]: dropped %d delayed %d duplicated %d corrupted %d\n",
+			inj.Options(), fs.Dropped, fs.Delayed, fs.Duplicated, fs.Corrupted)
+	}
+	if sys.Monitor != nil && !sys.Monitor.Violated() {
+		fmt.Println("invariants: all checks passed")
+	}
+	return runErr
 }
 
 // buildSources resolves each workload name to either a benchmark profile
@@ -174,7 +234,9 @@ func buildSources(names []string, seed uint64) ([]trace.Source, error) {
 		if err != nil {
 			return nil, err
 		}
-		sources[i] = trace.NewGenerator(p, rng.Fork())
+		if sources[i], err = trace.NewGenerator(p, rng.Fork()); err != nil {
+			return nil, err
+		}
 	}
 	return sources, nil
 }

@@ -26,7 +26,11 @@ func TestBuildSourcesReplaysTraceFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries := trace.Capture(trace.NewGenerator(p, sim.NewRNG(3)), 100)
+	gen, err := trace.NewGenerator(p, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := trace.Capture(gen, 100)
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)

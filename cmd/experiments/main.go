@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: table1, table2, fig2, fig3, fig4, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13a, fig13b, fig14, fig15, mi, headline, scalability, epochrate, windowleak, phasedetect, mitts, all")
+	run := flag.String("run", "all", "experiment to run: table1, table2, fig2, fig3, fig4, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13a, fig13b, fig14, fig15, mi, headline, scalability, epochrate, windowleak, phasedetect, mitts, robustness, all")
 	cycles := flag.Uint64("cycles", uint64(harness.DefaultRunCycles), "measured cycles per run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	adversary := flag.String("adversary", "gcc", "adversary benchmark for fig9")
@@ -51,6 +51,17 @@ func main() {
 		}
 		emit(name, r.Table())
 	}
+	// guard isolates each experiment: a panic in one becomes a reported
+	// failure and the remaining experiments still run.
+	guard := func(name string, fn func() (tabler, error)) {
+		var r tabler
+		err := harness.Protect(name, func() error {
+			var e error
+			r, e = fn()
+			return e
+		})
+		report(name, r, err)
+	}
 
 	if want("table1") {
 		emit("table1", harness.SchemeCapabilityTable())
@@ -59,84 +70,72 @@ func main() {
 		emit("table2", harness.BaseConfigTable())
 	}
 	if want("fig2") {
-		r, err := harness.TradeoffSpace("bzip", c, *seed)
-		report("fig2", r, err)
+		guard("fig2", func() (tabler, error) { return harness.TradeoffSpace("bzip", c, *seed) })
 	}
 	if want("fig3") {
-		r, err := harness.ShapedDistributions("bzip", c, *seed)
-		report("fig3", r, err)
+		guard("fig3", func() (tabler, error) { return harness.ShapedDistributions("bzip", c, *seed) })
 	}
 	if want("fig4") {
-		r, err := harness.KeyDistortion(0x2AAAAAAA, 32, *seed)
-		report("fig4", r, err)
+		guard("fig4", func() (tabler, error) { return harness.KeyDistortion(0x2AAAAAAA, 32, *seed) })
 	}
 	if want("fig8") {
-		r, err := harness.GATimeline("gcc", "astar", 16, 10, *seed)
-		report("fig8", r, err)
+		guard("fig8", func() (tabler, error) { return harness.GATimeline("gcc", "astar", 16, 10, *seed) })
 	}
 	if want("fig9") {
-		r, err := harness.ReturnTimeDifference(*adversary, c, *seed)
-		report("fig9", r, err)
+		guard("fig9", func() (tabler, error) { return harness.ReturnTimeDifference(*adversary, c, *seed) })
 	}
 	if want("fig10a") {
-		r, err := harness.RespCPerformance("astar", "mcf", c, *seed)
-		report("fig10a", r, err)
+		guard("fig10a", func() (tabler, error) { return harness.RespCPerformance("astar", "mcf", c, *seed) })
 	}
 	if want("fig10b") {
-		r, err := harness.RespCPerformance("mcf", "astar", c, *seed)
-		report("fig10b", r, err)
+		guard("fig10b", func() (tabler, error) { return harness.RespCPerformance("mcf", "astar", c, *seed) })
 	}
 	if want("fig11") {
-		r, err := harness.DistributionAccuracy(c, *seed)
-		report("fig11", r, err)
+		guard("fig11", func() (tabler, error) { return harness.DistributionAccuracy(c, *seed) })
 	}
 	if want("fig12") {
-		r, err := harness.ReqCSpeedup(c, *seed)
-		report("fig12", r, err)
+		guard("fig12", func() (tabler, error) { return harness.ReqCSpeedup(c, *seed) })
 	}
 	if want("fig13a") {
-		r, err := harness.BDCComparison("astar", *useGA, c, *seed)
-		report("fig13a", r, err)
+		guard("fig13a", func() (tabler, error) { return harness.BDCComparison("astar", *useGA, c, *seed) })
 	}
 	if want("fig13b") {
-		r, err := harness.BDCComparison("mcf", *useGA, c, *seed)
-		report("fig13b", r, err)
+		guard("fig13b", func() (tabler, error) { return harness.BDCComparison("mcf", *useGA, c, *seed) })
 	}
 	if want("fig14") {
-		r, err := harness.CovertChannel(0x2AAAAAAA, 32, *seed)
-		report("fig14", r, err)
+		guard("fig14", func() (tabler, error) { return harness.CovertChannel(0x2AAAAAAA, 32, *seed) })
 	}
 	if want("fig15") {
-		r, err := harness.CovertChannel(0x01010101, 32, *seed)
-		report("fig15", r, err)
+		guard("fig15", func() (tabler, error) { return harness.CovertChannel(0x01010101, 32, *seed) })
 	}
 	if want("mi") {
-		r, err := harness.MutualInformation("astar", c, *seed)
-		report("mi", r, err)
+		guard("mi", func() (tabler, error) { return harness.MutualInformation("astar", c, *seed) })
 	}
 	if want("headline") {
-		r, err := harness.HeadlineSpeedups(c, *seed)
-		report("headline", r, err)
+		guard("headline", func() (tabler, error) { return harness.HeadlineSpeedups(c, *seed) })
 	}
 	if want("scalability") {
-		r, err := harness.Scalability([]int{4, 8, 16}, c, *seed)
-		report("scalability", r, err)
+		guard("scalability", func() (tabler, error) { return harness.Scalability([]int{4, 8, 16}, c, *seed) })
 	}
 	if want("epochrate") {
-		r, err := harness.EpochRateComparison("gcc", c, *seed)
-		report("epochrate", r, err)
+		guard("epochrate", func() (tabler, error) { return harness.EpochRateComparison("gcc", c, *seed) })
 	}
 	if want("windowleak") {
-		r, err := harness.WithinWindowLeakage("bzip", nil, c, *seed)
-		report("windowleak", r, err)
+		guard("windowleak", func() (tabler, error) { return harness.WithinWindowLeakage("bzip", nil, c, *seed) })
 	}
 	if want("phasedetect") {
-		r, err := harness.PhaseDetection(2*c, *seed)
-		report("phasedetect", r, err)
+		guard("phasedetect", func() (tabler, error) { return harness.PhaseDetection(2*c, *seed) })
 	}
 	if want("mitts") {
-		r, err := harness.MITTSFairness(c, *seed)
-		report("mitts", r, err)
+		guard("mitts", func() (tabler, error) { return harness.MITTSFairness(c, *seed) })
+	}
+	if want("robustness") {
+		r, err := harness.Robustness(c, *seed)
+		report("robustness", r, err)
+		if err == nil && r.Failed() {
+			fmt.Fprintln(os.Stderr, "robustness: some fault classes missed their expectation")
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -30,7 +30,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracecap:", err)
 		os.Exit(1)
 	}
-	captured := trace.Capture(trace.NewGenerator(p, sim.NewRNG(*seed)), *entries)
+	gen, err := trace.NewGenerator(p, sim.NewRNG(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecap:", err)
+		os.Exit(1)
+	}
+	captured := trace.Capture(gen, *entries)
 
 	f, err := os.Create(*out)
 	if err != nil {

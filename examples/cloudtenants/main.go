@@ -53,8 +53,14 @@ func run(victim string, respCfg *shaper.Config) (float64, *stats.Histogram) {
 		cfg.RespShaperCfg = &sc
 		cfg.RespShaperCores = []int{0}
 	}
-	srcs := harness.MustWorkload("gcc", victim, 7)
-	sys := core.MustNewSystem(cfg, srcs)
+	srcs, err := harness.Workload("gcc", victim, 7)
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(cfg, srcs)
+	if err != nil {
+		panic(err)
+	}
 
 	probe := attack.NewObservableProbe(0)
 	sys.ReqNet.AddTap(probe.ObserveRequest)

@@ -19,7 +19,10 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	source := trace.NewGenerator(profile, sim.NewRNG(42))
+	source, err := trace.NewGenerator(profile, sim.NewRNG(42))
+	if err != nil {
+		panic(err)
+	}
 
 	// 2. Configure the system: Table II's machine with Request
 	// Camouflage shaping core 0 into the DESIRED staircase distribution,

@@ -130,14 +130,15 @@ type Cache struct {
 
 // New returns a cache for core with the given config. nextID supplies
 // globally unique request IDs (shared across cores so bus traces have a
-// total order).
-func New(cfg Config, core int, nextID *uint64) *Cache {
+// total order). The configuration is user input (scenario files, flags),
+// so an invalid one is an error, not a panic.
+func New(cfg Config, core int, nextID *uint64) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err.Error())
+		return nil, err
 	}
 	numSets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Ways)
 	if numSets == 0 || numSets&(numSets-1) != 0 {
-		panic(fmt.Sprintf("cache: set count %d not a power of two", numSets))
+		return nil, fmt.Errorf("cache: set count %d not a power of two", numSets)
 	}
 	sets := make([][]line, numSets)
 	for i := range sets {
@@ -151,7 +152,7 @@ func New(cfg Config, core int, nextID *uint64) *Cache {
 		lineBits: uint(bits.TrailingZeros64(cfg.LineBytes)),
 		mshrs:    make([]mshr, 0, cfg.MSHRs),
 		nextID:   nextID,
-	}
+	}, nil
 }
 
 // Config returns the cache configuration.

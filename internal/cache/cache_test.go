@@ -11,7 +11,7 @@ import (
 func newTestCache(t *testing.T) (*Cache, *uint64) {
 	t.Helper()
 	var nextID uint64
-	return New(DefaultL2(), 0, &nextID), &nextID
+	return mustNew(DefaultL2(), 0, &nextID), &nextID
 }
 
 func TestConfigValidate(t *testing.T) {
@@ -84,7 +84,7 @@ func TestMissMerging(t *testing.T) {
 func TestMSHRLimitBlocks(t *testing.T) {
 	cfg := DefaultL2()
 	var id uint64
-	c := New(cfg, 0, &id)
+	c := mustNew(cfg, 0, &id)
 	for i := 0; i < cfg.MSHRs; i++ {
 		res, _, _ := c.Access(1, uint64(i)*0x10000, false)
 		if res != MissIssued {
@@ -103,7 +103,7 @@ func TestMSHRLimitBlocks(t *testing.T) {
 func TestDirtyEvictionProducesWriteback(t *testing.T) {
 	cfg := DefaultL2()
 	var id uint64
-	c := New(cfg, 3, &id)
+	c := mustNew(cfg, 3, &id)
 	// Fill one set completely with dirty lines: same set index, different
 	// tags. Set stride = numSets * lineBytes.
 	numSets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Ways)
@@ -131,7 +131,7 @@ func TestDirtyEvictionProducesWriteback(t *testing.T) {
 func TestLRUVictimSelection(t *testing.T) {
 	cfg := DefaultL2()
 	var id uint64
-	c := New(cfg, 0, &id)
+	c := mustNew(cfg, 0, &id)
 	numSets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Ways)
 	stride := numSets * cfg.LineBytes
 	// Fill the set; line 0 is oldest.
@@ -207,7 +207,7 @@ func TestCacheNeverLosesLinesProperty(t *testing.T) {
 	numSets := cfg.SizeBytes / cfg.LineBytes / uint64(cfg.Ways)
 	check := func(setSel uint8) bool {
 		var id uint64
-		c := New(cfg, 0, &id)
+		c := mustNew(cfg, 0, &id)
 		set := uint64(setSel) % numSets
 		addr := set * cfg.LineBytes
 		_, miss, _ := c.Access(1, addr, false)
@@ -221,4 +221,14 @@ func TestCacheNeverLosesLinesProperty(t *testing.T) {
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustNew is New panicking on error, for tests whose configs are known
+// valid.
+func mustNew(cfg Config, core int, nextID *uint64) *Cache {
+	c, err := New(cfg, core, nextID)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -1,0 +1,259 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"camouflage/internal/dram"
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+func TestRingKeepsLastK(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(sim.Cycle(i), "event %d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := sim.Cycle(7 + i)
+		if ev.Cycle != want {
+			t.Errorf("event %d at cycle %d, want %d", i, ev.Cycle, want)
+		}
+	}
+	if r.Recorded() != 10 {
+		t.Errorf("Recorded() = %d, want 10", r.Recorded())
+	}
+	if d := r.Dump(); !strings.Contains(d, "last 4 of 10") || !strings.Contains(d, "event 10") {
+		t.Errorf("dump missing expected content:\n%s", d)
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Record(5, "only")
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Msg != "only" {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+}
+
+type stubChecker struct {
+	name string
+	err  error
+}
+
+func (s *stubChecker) Name() string              { return s.name }
+func (s *stubChecker) Check(now sim.Cycle) error { return s.err }
+
+func TestMonitorStopsKernelOnViolation(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMonitor(k, Options{Stride: 10})
+	boom := errors.New("ledger off by one")
+	stub := &stubChecker{name: "stub"}
+	m.Add(stub)
+	k.Register(m)
+
+	if n := k.Run(100); n != 100 {
+		t.Fatalf("clean run stopped early after %d cycles", n)
+	}
+	if m.Err() != nil {
+		t.Fatalf("unexpected violation: %v", m.Err())
+	}
+
+	stub.err = boom
+	n := k.Run(1000)
+	if n >= 1000 {
+		t.Fatalf("kernel did not stop on violation (ran %d cycles)", n)
+	}
+	vs := m.Violations()
+	if len(vs) == 0 {
+		t.Fatal("no violations recorded")
+	}
+	if vs[0].Checker != "stub" || !errors.Is(vs[0], boom) {
+		t.Errorf("violation = %+v, want checker stub wrapping %v", vs[0], boom)
+	}
+	if err := m.Err(); err == nil || !strings.Contains(err.Error(), "ledger off by one") {
+		t.Errorf("Err() = %v, want it to mention the cause", err)
+	}
+	if !strings.Contains(m.Err().Error(), "diagnostic events") {
+		t.Errorf("Err() missing ring dump:\n%v", m.Err())
+	}
+}
+
+func TestMonitorStrideSkipsOffCycles(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMonitor(k, Options{Stride: 64})
+	calls := 0
+	m.Add(&funcChecker{fn: func(sim.Cycle) error { calls++; return nil }})
+	k.Register(m)
+	k.Run(640)
+	if calls != 10 {
+		t.Errorf("checker ran %d times over 640 cycles at stride 64, want 10", calls)
+	}
+}
+
+type funcChecker struct{ fn func(sim.Cycle) error }
+
+func (f *funcChecker) Name() string              { return "func" }
+func (f *funcChecker) Check(now sim.Cycle) error { return f.fn(now) }
+
+func TestFlowCheckerCleanRoundTrip(t *testing.T) {
+	f := NewFlowChecker(nil, 0)
+	req := &mem.Request{ID: 1}
+	f.Inject(10, req)
+	f.Retire(50, req)
+	if err := f.Check(100); err != nil {
+		t.Fatalf("clean round trip flagged: %v", err)
+	}
+	if f.Outstanding() != 0 {
+		t.Errorf("Outstanding() = %d after retire+check, want 0", f.Outstanding())
+	}
+}
+
+func TestFlowCheckerDetectsDuplicateRetire(t *testing.T) {
+	f := NewFlowChecker(nil, 0)
+	req := &mem.Request{ID: 7}
+	f.Inject(10, req)
+	f.Retire(50, req)
+	dup := *req
+	f.Retire(55, &dup)
+	err := f.Check(60)
+	if err == nil || !strings.Contains(err.Error(), "retired twice") {
+		t.Fatalf("duplicate retire not flagged: %v", err)
+	}
+}
+
+func TestFlowCheckerDetectsUnknownRealRetire(t *testing.T) {
+	f := NewFlowChecker(nil, 0)
+	f.Retire(50, &mem.Request{ID: 99})
+	if err := f.Check(60); err == nil {
+		t.Fatal("unknown real retirement not flagged")
+	}
+}
+
+func TestFlowCheckerIgnoresResponseShaperFakes(t *testing.T) {
+	f := NewFlowChecker(nil, 0)
+	f.Retire(50, &mem.Request{ID: 99, Fake: true})
+	if err := f.Check(60); err != nil {
+		t.Fatalf("egress-born fake flagged: %v", err)
+	}
+}
+
+func TestFlowCheckerDetectsLostRequest(t *testing.T) {
+	f := NewFlowChecker(nil, 100)
+	f.Inject(10, &mem.Request{ID: 3})
+	if err := f.Check(50); err != nil {
+		t.Fatalf("young request flagged: %v", err)
+	}
+	err := f.Check(500)
+	if err == nil || !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("lost request not flagged: %v", err)
+	}
+}
+
+func TestDRAMCheckerFlagsBusyBankAndTimings(t *testing.T) {
+	ref := dram.DDR3_1333()
+	d := NewDRAMChecker("dram", ref, 2, NewRing(8))
+
+	// A well-formed activate+column issue passes.
+	d.ObserveIssue(dram.IssueEvent{Now: 100, Rank: 0, Bank: 0, Activated: true, ActAt: 100, ColAt: 100 + ref.TRCD, DataAt: 130})
+	if err := d.Check(100); err != nil {
+		t.Fatalf("clean issue flagged: %v", err)
+	}
+
+	// Busy bank.
+	d.ObserveIssue(dram.IssueEvent{Now: 200, Rank: 0, Bank: 1, BusyBank: true})
+	if err := d.Check(200); err == nil || !strings.Contains(err.Error(), "busy bank") {
+		t.Fatalf("busy bank not flagged: %v", err)
+	}
+
+	// tRCD: column command too early after activate.
+	d.ObserveIssue(dram.IssueEvent{Now: 300, Rank: 1, Bank: 0, Activated: true, ActAt: 300, ColAt: 300 + ref.TRCD - 1})
+	if err := d.Check(300); err == nil || !strings.Contains(err.Error(), "tRCD") {
+		t.Fatalf("tRCD violation not flagged: %v", err)
+	}
+
+	// tRRD: back-to-back activates on one rank too close.
+	d2 := NewDRAMChecker("dram", ref, 1, nil)
+	d2.ObserveIssue(dram.IssueEvent{Now: 10, Rank: 0, Bank: 0, Activated: true, ActAt: 10, ColAt: 10 + ref.TRCD})
+	d2.ObserveIssue(dram.IssueEvent{Now: 11, Rank: 0, Bank: 1, Activated: true, ActAt: 10 + ref.TRRD - 1, ColAt: 10 + ref.TRRD - 1 + ref.TRCD})
+	if err := d2.Check(11); err == nil || !strings.Contains(err.Error(), "tRRD") {
+		t.Fatalf("tRRD violation not flagged: %v", err)
+	}
+
+	// tFAW: fifth activate inside the window of the first four.
+	d3 := NewDRAMChecker("dram", ref, 1, nil)
+	at := sim.Cycle(100)
+	for i := 0; i < 4; i++ {
+		d3.ObserveIssue(dram.IssueEvent{Now: at, Rank: 0, Bank: i, Activated: true, ActAt: at, ColAt: at + ref.TRCD})
+		at += ref.TRRD
+	}
+	if err := d3.Check(at); err != nil {
+		t.Fatalf("legal activate burst flagged: %v", err)
+	}
+	fifth := sim.Cycle(100) + ref.TFAW - 1
+	if fifth < at-ref.TRRD+ref.TRRD {
+		fifth = at
+	}
+	d3.ObserveIssue(dram.IssueEvent{Now: fifth, Rank: 0, Bank: 0, Activated: true, ActAt: fifth, ColAt: fifth + ref.TRCD})
+	if ref.TFAW > 4*ref.TRRD {
+		if err := d3.Check(fifth); err == nil || !strings.Contains(err.Error(), "tFAW") {
+			t.Fatalf("tFAW violation not flagged: %v", err)
+		}
+	}
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	outstanding, progress := 0, uint64(0)
+	w := NewWatchdog("wd", func() int { return outstanding }, func() uint64 { return progress }, 100)
+
+	// Idle system: never fires.
+	for now := sim.Cycle(0); now < 1000; now += 10 {
+		if err := w.Check(now); err != nil {
+			t.Fatalf("idle system flagged at cycle %d: %v", now, err)
+		}
+	}
+
+	// Progressing system: never fires.
+	outstanding = 5
+	for now := sim.Cycle(1000); now < 2000; now += 10 {
+		progress++
+		if err := w.Check(now); err != nil {
+			t.Fatalf("progressing system flagged at cycle %d: %v", now, err)
+		}
+	}
+
+	// Stalled with work in flight: fires after the window.
+	var fired error
+	for now := sim.Cycle(2000); now < 3000; now += 10 {
+		if err := w.Check(now); err != nil {
+			fired = err
+			break
+		}
+	}
+	if fired == nil || !strings.Contains(fired.Error(), "no forward progress") {
+		t.Fatalf("stall not flagged: %v", fired)
+	}
+}
+
+type fakeConserver struct{ err error }
+
+func (f fakeConserver) CheckConservation() error { return f.err }
+
+func TestCreditCheckerWrapsConserver(t *testing.T) {
+	ok := NewCreditChecker("shaper", fakeConserver{})
+	if err := ok.Check(10); err != nil {
+		t.Fatalf("clean conserver flagged: %v", err)
+	}
+	boom := errors.New("credits leaked")
+	bad := NewCreditChecker("shaper", fakeConserver{err: boom})
+	err := bad.Check(10)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("violation not propagated: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package check
+
+import (
+	"fmt"
+
+	"camouflage/internal/sim"
+)
+
+// Conserver is anything whose internal accounting can be audited on
+// demand. The request and response shapers implement it: their credit
+// ledgers must satisfy granted == consumed + banked + discarded + live
+// and banked == fakeSpent + pending-unused at every instant.
+type Conserver interface {
+	CheckConservation() error
+}
+
+// CreditChecker adapts a Conserver to the Checker interface.
+type CreditChecker struct {
+	name string
+	c    Conserver
+}
+
+// NewCreditChecker returns a checker auditing c under the given name.
+func NewCreditChecker(name string, c Conserver) *CreditChecker {
+	return &CreditChecker{name: name, c: c}
+}
+
+// Name implements Checker.
+func (cc *CreditChecker) Name() string { return cc.name }
+
+// Check implements Checker.
+func (cc *CreditChecker) Check(now sim.Cycle) error {
+	if err := cc.c.CheckConservation(); err != nil {
+		return fmt.Errorf("at cycle %d: %w", now, err)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package check
+
+import (
+	"fmt"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+// DefaultMaxAge is how long a request may stay in flight before the flow
+// checker declares it lost. It is deliberately generous: shapers can hold
+// traffic for whole replenishment windows, and a loaded DRAM adds queueing
+// on top. A genuinely dropped request exceeds any of that.
+const DefaultMaxAge sim.Cycle = 1_000_000
+
+// FlowChecker verifies end-to-end request conservation: every transaction
+// injected into the request NoC retires exactly once at the response side.
+// It taps the request link for injections and the response link for
+// retirements. Response-shaper fakes never cross the request link, so an
+// unknown retirement with Fake set is legitimate; an unknown real
+// retirement, or any second retirement of a tracked ID, is a violation.
+// A request that neither retires nor ages out within MaxAge is reported
+// lost (the signature of a dropped transaction).
+type FlowChecker struct {
+	ring   *Ring
+	maxAge sim.Cycle
+
+	outstanding map[uint64]flowEntry
+	pending     []error
+
+	injected uint64
+	retired  uint64
+}
+
+type flowEntry struct {
+	injectAt sim.Cycle
+	fake     bool
+	retired  bool
+}
+
+// NewFlowChecker returns a flow checker recording into ring (nil for
+// none). maxAge 0 selects DefaultMaxAge.
+func NewFlowChecker(ring *Ring, maxAge sim.Cycle) *FlowChecker {
+	if maxAge == 0 {
+		maxAge = DefaultMaxAge
+	}
+	return &FlowChecker{
+		ring:        ring,
+		maxAge:      maxAge,
+		outstanding: make(map[uint64]flowEntry),
+	}
+}
+
+// Name implements Checker.
+func (f *FlowChecker) Name() string { return "flow-conservation" }
+
+// Inject is the request-link tap: req entered the shared channel.
+func (f *FlowChecker) Inject(now sim.Cycle, req *mem.Request) {
+	f.injected++
+	if prev, ok := f.outstanding[req.ID]; ok && !prev.retired {
+		f.fail(now, fmt.Errorf("request %d re-injected at cycle %d while still in flight since cycle %d", req.ID, now, prev.injectAt))
+		return
+	}
+	f.outstanding[req.ID] = flowEntry{injectAt: now, fake: req.Fake}
+}
+
+// Retire is the response-link tap: resp is on its way back.
+func (f *FlowChecker) Retire(now sim.Cycle, resp *mem.Request) {
+	f.retired++
+	entry, ok := f.outstanding[resp.ID]
+	if !ok {
+		if resp.Fake {
+			// Response-shaper fake: born at the egress, never crossed the
+			// request link. Not a conservation event.
+			return
+		}
+		f.fail(now, fmt.Errorf("request %d retired at cycle %d but never entered the request channel", resp.ID, now))
+		return
+	}
+	if entry.retired {
+		f.fail(now, fmt.Errorf("request %d retired twice (injected cycle %d, second retirement cycle %d)", resp.ID, entry.injectAt, now))
+		return
+	}
+	entry.retired = true
+	f.outstanding[resp.ID] = entry
+}
+
+// Outstanding returns how many tracked requests have not yet retired.
+func (f *FlowChecker) Outstanding() int {
+	n := 0
+	for _, e := range f.outstanding {
+		if !e.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// Check implements Checker: surface any violation seen by the taps, then
+// scan for lost requests and prune retired ones.
+func (f *FlowChecker) Check(now sim.Cycle) error {
+	if len(f.pending) > 0 {
+		err := f.pending[0]
+		f.pending = f.pending[1:]
+		return err
+	}
+	for id, e := range f.outstanding {
+		if e.retired {
+			delete(f.outstanding, id)
+			continue
+		}
+		if now-e.injectAt > f.maxAge {
+			delete(f.outstanding, id)
+			return fmt.Errorf("request %d lost: injected at cycle %d, still unretired after %d cycles (fake=%v)", id, e.injectAt, now-e.injectAt, e.fake)
+		}
+	}
+	return nil
+}
+
+func (f *FlowChecker) fail(now sim.Cycle, err error) {
+	if f.ring != nil {
+		f.ring.Record(now, "flow: %v", err)
+	}
+	f.pending = append(f.pending, err)
+}

@@ -1,0 +1,57 @@
+package check
+
+import (
+	"fmt"
+
+	"camouflage/internal/sim"
+)
+
+// Watchdog is the forward-progress checker: if the system holds in-flight
+// work but the progress counter has not moved for a whole window, the run
+// is deadlocked (nothing can move) or livelocked (ticking without
+// retiring), and the watchdog fires. An idle system — no in-flight work —
+// is never a hang; it just has nothing to do.
+type Watchdog struct {
+	name        string
+	outstanding func() int
+	progress    func() uint64
+	window      sim.Cycle
+
+	lastProgress uint64
+	lastChange   sim.Cycle
+	primed       bool
+}
+
+// NewWatchdog returns a watchdog. outstanding reports total in-flight
+// work (queues, pipes, controller occupancy); progress is a monotonic
+// completion counter; window 0 selects DefaultWatchdogWindow.
+func NewWatchdog(name string, outstanding func() int, progress func() uint64, window sim.Cycle) *Watchdog {
+	if window == 0 {
+		window = DefaultWatchdogWindow
+	}
+	return &Watchdog{name: name, outstanding: outstanding, progress: progress, window: window}
+}
+
+// Name implements Checker.
+func (w *Watchdog) Name() string { return w.name }
+
+// Check implements Checker.
+func (w *Watchdog) Check(now sim.Cycle) error {
+	p := w.progress()
+	if !w.primed || p != w.lastProgress {
+		w.primed = true
+		w.lastProgress = p
+		w.lastChange = now
+		return nil
+	}
+	n := w.outstanding()
+	if n == 0 {
+		w.lastChange = now
+		return nil
+	}
+	if now-w.lastChange >= w.window {
+		return fmt.Errorf("no forward progress for %d cycles with %d transaction(s) in flight (progress counter stuck at %d)",
+			now-w.lastChange, n, p)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"camouflage/internal/check"
+	"camouflage/internal/fault"
+	"camouflage/internal/sim"
+)
+
+// TestEnableChecksCleanRun is the baseline: a healthy system under full
+// invariant checking completes without any violation.
+func TestEnableChecksCleanRun(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+	m := sys.EnableChecks(check.Options{})
+	if err := sys.Run(200_000); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if m.Violated() {
+		t.Fatalf("clean run reported violations: %v", m.Err())
+	}
+}
+
+// TestFlowCheckerCatchesDrops injects request drops at the NoC and
+// expects the flow-conservation checker to declare the dropped requests
+// lost, stop the run, and attach a diagnostic ring dump.
+func TestFlowCheckerCatchesDrops(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+	inj := fault.NewInjector(fault.Options{DropProb: 0.02}, sim.NewRNG(7))
+	sys.InjectFaults(inj)
+	m := sys.EnableChecks(check.Options{FlowMaxAge: 20_000})
+
+	err := sys.Run(2_000_000)
+	if err == nil {
+		t.Fatalf("dropped requests went undetected (dropped %d)", inj.Stats().Dropped)
+	}
+	if !strings.Contains(err.Error(), "flow-conservation") {
+		t.Fatalf("violation not attributed to flow checker: %v", err)
+	}
+	vs := m.Violations()
+	if len(vs) == 0 {
+		t.Fatal("Violated but no recorded violations")
+	}
+	if vs[0].Dump == "" {
+		t.Fatal("violation carries no diagnostic ring dump")
+	}
+}
+
+// TestDuplicateFaultDetected: a duplicated request re-enters the request
+// NoC with an ID the flow checker already tracks, which it must flag.
+func TestDuplicateFaultDetected(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+	inj := fault.NewInjector(fault.Options{DupProb: 0.02}, sim.NewRNG(7))
+	sys.InjectFaults(inj)
+	sys.EnableChecks(check.Options{Stride: 256})
+
+	err := sys.Run(2_000_000)
+	if err == nil {
+		t.Fatalf("duplicated requests went undetected (duplicated %d)", inj.Stats().Duplicated)
+	}
+	if !strings.Contains(err.Error(), "flow-conservation") {
+		t.Fatalf("violation not attributed to flow checker: %v", err)
+	}
+}
+
+// TestDRAMCheckerCatchesPerturbedTiming builds the system with
+// fault-shrunk DRAM timing but hands the checker the reference timing;
+// the protocol checker must observe tRCD/tRRD/tFAW violations.
+func TestDRAMCheckerCatchesPerturbedTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	ref := cfg.Timing
+	inj := fault.NewInjector(fault.Options{Timing: true}, sim.NewRNG(11))
+	cfg.Timing = inj.PerturbTiming(cfg.Timing)
+	if cfg.Timing == ref {
+		t.Fatal("perturbation left timing unchanged")
+	}
+	sys := mustSystem(cfg, sources(4, "mcf", "astar", "gcc", "apache"))
+	sys.EnableChecks(check.Options{ReferenceTiming: &ref})
+
+	err := sys.Run(500_000)
+	if err == nil {
+		t.Fatal("perturbed DRAM timing went undetected")
+	}
+	if !strings.Contains(err.Error(), "dram-protocol") {
+		t.Fatalf("violation not attributed to DRAM protocol checker: %v", err)
+	}
+}
+
+// panicAt panics partway through the run to exercise the supervised
+// path's recover.
+type panicAt struct{ at sim.Cycle }
+
+func (p *panicAt) Tick(now sim.Cycle) {
+	if now >= p.at {
+		panic("injected test panic")
+	}
+}
+
+// TestSupervisedRunRecoversPanic: a panic inside the cycle loop surfaces
+// as an error (with the panic message and cycle) instead of crashing.
+func TestSupervisedRunRecoversPanic(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "astar"))
+	sys.Kernel.Register(&panicAt{at: 1_000})
+	err := sys.Run(10_000)
+	if err == nil {
+		t.Fatal("panic was not recovered into an error")
+	}
+	if !strings.Contains(err.Error(), "injected test panic") {
+		t.Fatalf("recovered error lost the panic message: %v", err)
+	}
+	if !strings.Contains(err.Error(), "panic at cycle") {
+		t.Fatalf("recovered error lost the cycle: %v", err)
+	}
+}
+
+// TestDeadlineExpires: an already-expired wall-clock deadline aborts the
+// run with a deadline error rather than running to completion.
+func TestDeadlineExpires(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "astar"))
+	sys.SetDeadline(time.Nanosecond)
+	err := sys.Run(5_000_000)
+	if err == nil {
+		t.Fatal("expired deadline did not abort the run")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("error does not mention the deadline: %v", err)
+	}
+	if sys.Kernel.Now() >= 5_000_000 {
+		t.Fatal("run completed despite deadline")
+	}
+}

@@ -25,11 +25,11 @@ func advLatencyNextTo(t *testing.T, cfg Config, victim string, cycles sim.Cycle)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srcs[0] = trace.NewGenerator(advP, rng.Fork())
+	srcs[0] = mustGen(advP, rng.Fork())
 	for i := 1; i < 4; i++ {
-		srcs[i] = trace.NewGenerator(vicP, rng.Fork())
+		srcs[i] = mustGen(vicP, rng.Fork())
 	}
-	sys := MustNewSystem(cfg, srcs)
+	sys := mustSystem(cfg, srcs)
 	probe := attack.NewObservableProbe(0)
 	sys.ReqNet.AddTap(probe.ObserveRequest)
 	sys.RespNet.AddTap(probe.ObserveResponse)
@@ -112,11 +112,11 @@ func TestBDCResponseDistributionsMatchAcrossWorkloads(t *testing.T) {
 		srcs := make([]trace.Source, 4)
 		advP, _ := trace.ProfileByName("gcc")
 		vicP, _ := trace.ProfileByName(victim)
-		srcs[0] = trace.NewGenerator(advP, rng.Fork())
+		srcs[0] = mustGen(advP, rng.Fork())
 		for i := 1; i < 4; i++ {
-			srcs[i] = trace.NewGenerator(vicP, rng.Fork())
+			srcs[i] = mustGen(vicP, rng.Fork())
 		}
-		sys := MustNewSystem(cfg, srcs)
+		sys := mustSystem(cfg, srcs)
 		rec := stats.NewInterArrivalRecorder(stats.DefaultBinning(), false)
 		sys.RespNet.AddTap(func(now sim.Cycle, r *mem.Request) {
 			if r.Core == 0 {

@@ -2,9 +2,13 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
+	"time"
 
+	"camouflage/internal/check"
 	"camouflage/internal/cpu"
 	"camouflage/internal/dram"
+	"camouflage/internal/fault"
 	"camouflage/internal/mem"
 	"camouflage/internal/memctrl"
 	"camouflage/internal/noc"
@@ -34,8 +38,12 @@ type System struct {
 	MC       *memctrl.Controller
 	Channel  *dram.Channel
 
-	amap   *dram.AddrMap
-	nextID uint64
+	// Monitor is the runtime invariant monitor, nil until EnableChecks.
+	Monitor *check.Monitor
+
+	amap     *dram.AddrMap
+	nextID   uint64
+	deadline time.Duration
 }
 
 // multiElevator fans priority warnings out to every controller, so a
@@ -113,7 +121,11 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 	// Cores and their workloads.
 	s.Cores = make([]*cpu.Core, cfg.Cores)
 	for i := range s.Cores {
-		s.Cores[i] = cpu.New(i, cfg.CPU, sources[i], &s.nextID)
+		c, err := cpu.New(i, cfg.CPU, sources[i], &s.nextID)
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", i, err)
+		}
+		s.Cores[i] = c
 	}
 	s.RespNet.SetRoute(func(req *mem.Request) mem.ReqPort { return s.Cores[req.Core] })
 
@@ -125,7 +137,10 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 	}
 	for i, c := range s.Cores {
 		if reqShaped[i] {
-			sh := shaper.NewRequestShaper(i, cfg.reqCfgFor(i), cfg.CPU.Cache.MSHRs+cfg.CPU.MaxPendingWB, s.ReqNet.Input(i), rng.Fork(), &s.nextID)
+			sh, err := shaper.NewRequestShaper(i, cfg.reqCfgFor(i), cfg.CPU.Cache.MSHRs+cfg.CPU.MaxPendingWB, s.ReqNet.Input(i), rng.Fork(), &s.nextID)
+			if err != nil {
+				return nil, fmt.Errorf("request shaper for core %d: %w", i, err)
+			}
 			s.ReqShapers[i] = sh
 			c.SetOut(sh)
 		} else {
@@ -142,7 +157,10 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 	elevator := multiElevator{mcs: s.MCs}
 	for i := range s.Cores {
 		if respShaped[i] {
-			sh := shaper.NewResponseShaper(i, cfg.respCfgFor(i), 64, s.RespNet.Input(i), elevator, rng.Fork(), &s.nextID)
+			sh, err := shaper.NewResponseShaper(i, cfg.respCfgFor(i), 64, s.RespNet.Input(i), elevator, rng.Fork(), &s.nextID)
+			if err != nil {
+				return nil, fmt.Errorf("response shaper for core %d: %w", i, err)
+			}
 			s.RespShapers[i] = sh
 			for _, mc := range s.MCs {
 				mc.SetEgress(i, sh)
@@ -180,30 +198,155 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 	return s, nil
 }
 
-// MustNewSystem is NewSystem panicking on error, for tests and examples.
-func MustNewSystem(cfg Config, sources []trace.Source) *System {
-	s, err := NewSystem(cfg, sources)
-	if err != nil {
-		panic(err)
+// EnableChecks installs the runtime invariant monitor: credit
+// conservation on every shaper, end-to-end flow conservation across the
+// NoC, the DRAM protocol checker on every channel, and the
+// forward-progress watchdog. It must be called once, after NewSystem and
+// before the first Run, so the monitor registers after every checked
+// component and observes each cycle's final state. The returned monitor
+// is also stored in s.Monitor; Run and RunUntilFinished consult it and
+// surface violations as errors.
+func (s *System) EnableChecks(opt check.Options) *check.Monitor {
+	m := check.NewMonitor(s.Kernel, opt)
+	ring := m.Ring()
+
+	flow := check.NewFlowChecker(ring, opt.FlowMaxAge)
+	s.ReqNet.AddTap(flow.Inject)
+	s.RespNet.AddTap(flow.Retire)
+	m.Add(flow)
+
+	ref := s.Config.Timing
+	if opt.ReferenceTiming != nil {
+		ref = *opt.ReferenceTiming
 	}
-	return s
+	for i, ch := range s.Channels {
+		d := check.NewDRAMChecker(fmt.Sprintf("dram-protocol[%d]", i), ref, s.Config.Geometry.RanksPerChannel, ring)
+		ch.SetObserver(d)
+		m.Add(d)
+	}
+
+	for i, sh := range s.ReqShapers {
+		if sh != nil {
+			m.Add(check.NewCreditChecker(fmt.Sprintf("credit-req[%d]", i), sh))
+		}
+	}
+	for i, sh := range s.RespShapers {
+		if sh != nil {
+			m.Add(check.NewCreditChecker(fmt.Sprintf("credit-resp[%d]", i), sh))
+		}
+	}
+
+	m.Add(check.NewWatchdog("watchdog", s.Outstanding, s.progress, opt.WatchdogWindow))
+
+	s.Kernel.Register(m)
+	s.Monitor = m
+	return m
 }
 
-// Run advances the system n cycles.
-func (s *System) Run(n sim.Cycle) { s.Kernel.Run(n) }
+// InjectFaults installs the injector's link-level fault hook on both
+// shared channels. Timing perturbation cannot be retrofitted — apply
+// fault.Injector.PerturbTiming to Config.Timing before NewSystem and pass
+// the unperturbed timing as check.Options.ReferenceTiming.
+func (s *System) InjectFaults(inj *fault.Injector) {
+	hook := inj.Hook()
+	s.ReqNet.SetFaultHook(hook)
+	s.RespNet.SetFaultHook(hook)
+}
 
-// RunUntilFinished runs until every finite workload has completed and all
-// cores are idle, or limit cycles elapse; it reports whether completion
-// was reached.
-func (s *System) RunUntilFinished(limit sim.Cycle) bool {
-	return s.Kernel.RunUntil(func() bool {
+// SetDeadline bounds each Run / RunUntilFinished call to d of wall-clock
+// time (0 disables). Exceeding it returns an error rather than hanging
+// the harness on a livelocked simulation.
+func (s *System) SetDeadline(d time.Duration) { s.deadline = d }
+
+// Outstanding returns the total number of transactions in flight across
+// the NoC links, memory controllers and shaper queues.
+func (s *System) Outstanding() int {
+	n := s.ReqNet.Outstanding() + s.RespNet.Outstanding()
+	for _, mc := range s.MCs {
+		n += mc.Outstanding()
+	}
+	for _, sh := range s.ReqShapers {
+		if sh != nil {
+			n += sh.QueueLen()
+		}
+	}
+	for _, sh := range s.RespShapers {
+		if sh != nil {
+			n += sh.QueueLen()
+		}
+	}
+	return n
+}
+
+// progress is the watchdog's completion counter: responses (real and
+// fake) delivered to the cores, the most downstream point of the
+// pipeline.
+func (s *System) progress() uint64 {
+	var p uint64
+	for _, c := range s.Cores {
+		st := c.Stats()
+		p += st.Responses + st.FakeResponses
+	}
+	return p
+}
+
+// deadlineStride is how many cycles pass between wall-clock deadline
+// checks on the supervised run path.
+const deadlineStride sim.Cycle = 1 << 14
+
+// Run advances the system n cycles under supervision: a panic inside any
+// component is recovered into an error, the invariant monitor (when
+// enabled) stops the run at the first violation, and an expired
+// wall-clock deadline aborts. The error carries the monitor's diagnostic
+// dump when an invariant broke.
+func (s *System) Run(n sim.Cycle) error {
+	_, err := s.runSupervised(n, nil)
+	return err
+}
+
+// RunUntilFinished runs until every finite workload has completed, or
+// limit cycles elapse, under the same supervision as Run; it reports
+// whether completion was reached.
+func (s *System) RunUntilFinished(limit sim.Cycle) (bool, error) {
+	return s.runSupervised(limit, func() bool {
 		for _, c := range s.Cores {
 			if !c.Finished() {
 				return false
 			}
 		}
 		return true
-	}, limit)
+	})
+}
+
+func (s *System) runSupervised(n sim.Cycle, pred func() bool) (done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: panic at cycle %d: %v\n%s", s.Kernel.Now(), r, debug.Stack())
+		}
+	}()
+	start := time.Now()
+	for ran := sim.Cycle(0); ran < n; ran++ {
+		if pred != nil && pred() {
+			done = true
+			break
+		}
+		if s.Monitor != nil && s.Monitor.Violated() {
+			break
+		}
+		if s.deadline > 0 && ran%deadlineStride == 0 && time.Since(start) > s.deadline {
+			return done, fmt.Errorf("core: wall-clock deadline %v exceeded at cycle %d after %d of %d cycles", s.deadline, s.Kernel.Now(), ran, n)
+		}
+		s.Kernel.Step()
+	}
+	if pred != nil && !done {
+		done = pred()
+	}
+	if s.Monitor != nil {
+		// Catch violations in the final partial stride.
+		s.Monitor.RunChecks(s.Kernel.Now())
+		return done, s.Monitor.Err()
+	}
+	return done, nil
 }
 
 // Elevate raises core's scheduling priority on every memory controller

@@ -18,42 +18,9 @@ func sources(n int, names ...string) []trace.Source {
 		if err != nil {
 			panic(err)
 		}
-		srcs[i] = trace.NewGenerator(p, rng.Fork())
+		srcs[i] = mustGen(p, rng.Fork())
 	}
 	return srcs
-}
-
-func TestConfigValidate(t *testing.T) {
-	if err := DefaultConfig().Validate(); err != nil {
-		t.Fatal(err)
-	}
-	bad := DefaultConfig()
-	bad.Cores = 0
-	if bad.Validate() == nil {
-		t.Fatal("zero cores accepted")
-	}
-	reqc := DefaultConfig()
-	reqc.Scheme = ReqC
-	if reqc.Validate() == nil {
-		t.Fatal("ReqC without shaper config accepted")
-	}
-	respc := DefaultConfig()
-	respc.Scheme = RespC
-	if respc.Validate() == nil {
-		t.Fatal("RespC without shaper config accepted")
-	}
-	tp := DefaultConfig()
-	tp.Scheme = TP
-	tp.TPTurnLength = 0
-	if tp.Validate() == nil {
-		t.Fatal("TP without turn length accepted")
-	}
-	percore := DefaultConfig()
-	percore.Scheme = ReqC
-	percore.PerCoreReqCfg = map[int]shaper.Config{99: DefaultShaperConfig()}
-	if percore.Validate() == nil {
-		t.Fatal("per-core config for invalid core accepted")
-	}
 }
 
 func TestSourceCountMustMatchCores(t *testing.T) {
@@ -64,7 +31,7 @@ func TestSourceCountMustMatchCores(t *testing.T) {
 }
 
 func TestSystemMakesProgress(t *testing.T) {
-	sys := MustNewSystem(DefaultConfig(), sources(4, "mcf", "astar", "bzip", "sjeng"))
+	sys := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "bzip", "sjeng"))
 	sys.Run(100_000)
 	for i := 0; i < 4; i++ {
 		st := sys.CoreStats(i)
@@ -81,7 +48,7 @@ func TestSystemMakesProgress(t *testing.T) {
 }
 
 func TestIntensityOrderingInSystem(t *testing.T) {
-	sys := MustNewSystem(DefaultConfig(), sources(4, "mcf", "astar", "astar", "sjeng"))
+	sys := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "astar", "sjeng"))
 	sys.Run(200_000)
 	if sys.IPC(0) >= sys.IPC(3) {
 		t.Fatalf("mcf IPC %.3f not below sjeng %.3f", sys.IPC(0), sys.IPC(3))
@@ -90,7 +57,7 @@ func TestIntensityOrderingInSystem(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() (float64, uint64) {
-		sys := MustNewSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+		sys := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
 		sys.Run(50_000)
 		return sys.SystemIPC(), sys.TotalWork()
 	}
@@ -103,7 +70,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestSeedChangesOutcome(t *testing.T) {
 	cfg := DefaultConfig()
-	a := MustNewSystem(cfg, sources(4, "mcf"))
+	a := mustSystem(cfg, sources(4, "mcf"))
 	a.Run(50_000)
 	cfg.Seed = 2
 	// Different workload seed too.
@@ -111,9 +78,9 @@ func TestSeedChangesOutcome(t *testing.T) {
 	srcs := make([]trace.Source, 4)
 	p, _ := trace.ProfileByName("mcf")
 	for i := range srcs {
-		srcs[i] = trace.NewGenerator(p, rng.Fork())
+		srcs[i] = mustGen(p, rng.Fork())
 	}
-	b := MustNewSystem(cfg, srcs)
+	b := mustSystem(cfg, srcs)
 	b.Run(50_000)
 	if a.TotalWork() == b.TotalWork() {
 		t.Log("warning: different seeds produced identical work (possible but unlikely)")
@@ -126,7 +93,7 @@ func TestReqCSchemeInstallsShapers(t *testing.T) {
 	sc := DefaultShaperConfig()
 	cfg.ReqShaperCfg = &sc
 	cfg.ReqShaperCores = []int{1, 2}
-	sys := MustNewSystem(cfg, sources(4, "astar"))
+	sys := mustSystem(cfg, sources(4, "astar"))
 	if sys.ReqShapers[0] != nil || sys.ReqShapers[3] != nil {
 		t.Fatal("unshaped cores received shapers")
 	}
@@ -148,7 +115,7 @@ func TestRespCSchemeInstallsShapers(t *testing.T) {
 	sc := DefaultShaperConfig()
 	cfg.RespShaperCfg = &sc
 	cfg.RespShaperCores = []int{0}
-	sys := MustNewSystem(cfg, sources(4, "mcf", "astar", "astar", "astar"))
+	sys := mustSystem(cfg, sources(4, "mcf", "astar", "astar", "astar"))
 	if sys.RespShapers[0] == nil || sys.RespShapers[1] != nil {
 		t.Fatal("RespC wiring wrong")
 	}
@@ -169,7 +136,7 @@ func TestBDCSchemeInstallsBoth(t *testing.T) {
 	cfg.ReqShaperCores = []int{1, 2, 3}
 	cfg.RespShaperCfg = &sc
 	cfg.RespShaperCores = []int{0}
-	sys := MustNewSystem(cfg, sources(4, "gcc", "astar", "astar", "astar"))
+	sys := mustSystem(cfg, sources(4, "gcc", "astar", "astar", "astar"))
 	if sys.ReqShapers[1] == nil || sys.RespShapers[0] == nil {
 		t.Fatal("BDC wiring incomplete")
 	}
@@ -186,7 +153,7 @@ func TestPerCoreShaperConfigs(t *testing.T) {
 	b := DefaultShaperConfig()
 	b.Credits[0] = 99
 	cfg.PerCoreReqCfg = map[int]shaper.Config{1: a, 2: b}
-	sys := MustNewSystem(cfg, sources(4, "astar"))
+	sys := mustSystem(cfg, sources(4, "astar"))
 	if sys.ReqShapers[0] != nil || sys.ReqShapers[3] != nil {
 		t.Fatal("per-core map shaped wrong cores")
 	}
@@ -202,7 +169,7 @@ func TestFakeTrafficReachesDRAM(t *testing.T) {
 	sc := DefaultShaperConfig() // fake on, generous budget
 	sc.Window = 4096
 	cfg.ReqShaperCfg = &sc
-	sys := MustNewSystem(cfg, sources(1, "sjeng")) // nearly idle workload
+	sys := mustSystem(cfg, sources(1, "sjeng")) // nearly idle workload
 	sys.Run(100_000)
 	st := sys.ReqShapers[0].Stats()
 	if st.ReleasedFake == 0 {
@@ -220,7 +187,7 @@ func TestFakeTrafficReachesDRAM(t *testing.T) {
 func TestTPSchemeUsesTPScheduler(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Scheme = TP
-	sys := MustNewSystem(cfg, sources(4, "astar"))
+	sys := mustSystem(cfg, sources(4, "astar"))
 	if sys.MC.Scheduler().Name() != "TP" {
 		t.Fatalf("scheduler %s", sys.MC.Scheduler().Name())
 	}
@@ -234,7 +201,7 @@ func TestFSSchemeWithBankPartition(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Scheme = FS
 	cfg.FSBankPartition = true
-	sys := MustNewSystem(cfg, sources(4, "astar"))
+	sys := mustSystem(cfg, sources(4, "astar"))
 	if sys.MC.Scheduler().Name() != "FS" {
 		t.Fatalf("scheduler %s", sys.MC.Scheduler().Name())
 	}
@@ -284,8 +251,12 @@ func TestRunUntilFinished(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Cores = 1
 	entries := []trace.Entry{{Gap: 10, Addr: 0x1000}, {Gap: 10, Addr: 0x2000}}
-	sys := MustNewSystem(cfg, []trace.Source{trace.NewSliceSource(entries)})
-	if !sys.RunUntilFinished(100_000) {
+	sys := mustSystem(cfg, []trace.Source{trace.NewSliceSource(entries)})
+	done, err := sys.RunUntilFinished(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
 		t.Fatal("finite trace did not finish")
 	}
 	if !sys.Cores[0].Finished() {
@@ -297,7 +268,7 @@ func TestSharedChannelInterferenceExists(t *testing.T) {
 	// The substrate must actually have the timing channel Camouflage
 	// closes: a core's IPC next to mcf must be lower than next to astar.
 	ipcNext := func(victim string) float64 {
-		sys := MustNewSystem(DefaultConfig(), sources(4, "gcc", victim, victim, victim))
+		sys := mustSystem(DefaultConfig(), sources(4, "gcc", victim, victim, victim))
 		sys.Run(150_000)
 		return sys.IPC(0)
 	}
@@ -311,7 +282,7 @@ func TestSharedChannelInterferenceExists(t *testing.T) {
 func TestMultiChannelSystem(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Geometry.Channels = 2
-	sys := MustNewSystem(cfg, sources(4, "mcf", "astar", "bzip", "gcc"))
+	sys := mustSystem(cfg, sources(4, "mcf", "astar", "bzip", "gcc"))
 	if len(sys.MCs) != 2 || len(sys.Channels) != 2 {
 		t.Fatalf("controllers %d channels %d, want 2/2", len(sys.MCs), len(sys.Channels))
 	}
@@ -340,7 +311,7 @@ func TestMultiChannelOutperformsSingle(t *testing.T) {
 	run := func(channels int) float64 {
 		cfg := DefaultConfig()
 		cfg.Geometry.Channels = channels
-		sys := MustNewSystem(cfg, sources(4, "mcf", "mcf", "libqt", "omnetpp"))
+		sys := mustSystem(cfg, sources(4, "mcf", "mcf", "libqt", "omnetpp"))
 		sys.Run(150_000)
 		return sys.SystemIPC()
 	}
@@ -354,7 +325,7 @@ func TestMultiChannelOutperformsSingle(t *testing.T) {
 func TestMultiChannelElevation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Geometry.Channels = 2
-	sys := MustNewSystem(cfg, sources(4, "astar"))
+	sys := mustSystem(cfg, sources(4, "astar"))
 	sys.Elevate(1, 77, 1000)
 	for ch, mc := range sys.MCs {
 		if mc.Priority(1) != 77 {
@@ -366,14 +337,14 @@ func TestMultiChannelElevation(t *testing.T) {
 func TestClosedPageConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ClosedPage = true
-	sys := MustNewSystem(cfg, sources(4, "libqt"))
+	sys := mustSystem(cfg, sources(4, "libqt"))
 	sys.Run(100_000)
 	if sys.Channel.Stats().RowHits != 0 {
 		t.Fatal("closed-page system recorded row hits")
 	}
 	// Open-page must beat closed-page for a streaming (row-friendly)
 	// workload.
-	open := MustNewSystem(DefaultConfig(), sources(4, "libqt"))
+	open := mustSystem(DefaultConfig(), sources(4, "libqt"))
 	open.Run(100_000)
 	if open.SystemIPC() <= sys.SystemIPC() {
 		t.Fatalf("open-page IPC %.3f not above closed-page %.3f", open.SystemIPC(), sys.SystemIPC())
@@ -391,16 +362,20 @@ func TestRequestConservation(t *testing.T) {
 		rng := sim.NewRNG(29)
 		for i := range srcs {
 			p, _ := trace.ProfileByName("astar")
-			srcs[i] = trace.NewSliceSource(trace.Capture(trace.NewGenerator(p, rng.Fork()), 2000))
+			srcs[i] = trace.NewSliceSource(trace.Capture(mustGen(p, rng.Fork()), 2000))
 		}
-		sys := MustNewSystem(cfg, srcs)
+		sys := mustSystem(cfg, srcs)
 		sent := make([]uint64, 4)
 		sys.ReqNet.AddTap(func(_ sim.Cycle, req *mem.Request) {
 			if !req.Fake {
 				sent[req.Core]++
 			}
 		})
-		if !sys.RunUntilFinished(5_000_000) {
+		done, err := sys.RunUntilFinished(5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !done {
 			t.Fatalf("%v: finite workload never finished", scheme)
 		}
 		// Drain in-flight traffic.
@@ -427,7 +402,7 @@ func TestRequestConservation(t *testing.T) {
 func TestBRSchemeCapsHog(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Scheme = BR
-	sys := MustNewSystem(cfg, sources(4, "libqt", "astar", "astar", "astar"))
+	sys := mustSystem(cfg, sources(4, "libqt", "astar", "astar", "astar"))
 	if sys.MC.Scheduler().Name() != "BWReserve" {
 		t.Fatalf("scheduler %s", sys.MC.Scheduler().Name())
 	}
@@ -441,4 +416,22 @@ func TestBRSchemeCapsHog(t *testing.T) {
 	if served > 150_000/90 {
 		t.Fatalf("hog served %d transactions, above its reservation", served)
 	}
+}
+
+// mustGen and mustSystem panic on construction errors; the tests here
+// use only known-valid profiles and configs.
+func mustGen(p trace.Profile, rng *sim.RNG) *trace.Generator {
+	g, err := trace.NewGenerator(p, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func mustSystem(cfg Config, srcs []trace.Source) *System {
+	sys, err := NewSystem(cfg, srcs)
+	if err != nil {
+		panic(err)
+	}
+	return sys
 }

@@ -98,15 +98,20 @@ type Core struct {
 }
 
 // New returns core id running src, with nextID supplying request IDs.
-func New(id int, cfg Config, src trace.Source, nextID *uint64) *Core {
+// An invalid cache configuration is reported as an error.
+func New(id int, cfg Config, src trace.Source, nextID *uint64) (*Core, error) {
+	llc, err := cache.New(cfg.Cache, id, nextID)
+	if err != nil {
+		return nil, err
+	}
 	c := &Core{
 		id:    id,
 		cfg:   cfg,
 		src:   src,
-		cache: cache.New(cfg.Cache, id, nextID),
+		cache: llc,
 	}
 	c.clock, _ = src.(trace.Clocked)
-	return c
+	return c, nil
 }
 
 // ID returns the core index.

@@ -24,7 +24,7 @@ func (p *echoPort) TrySend(_ sim.Cycle, req *mem.Request) bool {
 
 func newCore(entries []trace.Entry) (*Core, *echoPort) {
 	var id uint64
-	c := New(0, DefaultConfig(), trace.NewSliceSource(entries), &id)
+	c := mustNew(0, DefaultConfig(), trace.NewSliceSource(entries), &id)
 	p := &echoPort{}
 	c.SetOut(p)
 	return c, p
@@ -104,7 +104,7 @@ func TestMSHRLimitStallsCore(t *testing.T) {
 		entries[i] = trace.Entry{Gap: 0, Addr: uint64(i+1) * 0x10000}
 	}
 	var id uint64
-	c := New(0, cfg, trace.NewSliceSource(entries), &id)
+	c := mustNew(0, cfg, trace.NewSliceSource(entries), &id)
 	p := &echoPort{}
 	c.SetOut(p)
 	run(c, 1, 100)
@@ -189,7 +189,7 @@ func TestWritebackDrains(t *testing.T) {
 		entries = append(entries, trace.Entry{Gap: 0, Addr: uint64(w) * stride, Write: true})
 	}
 	var id uint64
-	c := New(0, cfg, trace.NewSliceSource(entries), &id)
+	c := mustNew(0, cfg, trace.NewSliceSource(entries), &id)
 	p := &echoPort{}
 	c.SetOut(p)
 	for now := sim.Cycle(1); now <= 2000; now++ {
@@ -215,7 +215,7 @@ func TestWritebackDrains(t *testing.T) {
 func TestClockedSourceReceivesTime(t *testing.T) {
 	sender := trace.NewCovertSender(0b1, 1, 100, 2, false)
 	var id uint64
-	c := New(0, DefaultConfig(), sender, &id)
+	c := mustNew(0, DefaultConfig(), sender, &id)
 	p := &echoPort{}
 	c.SetOut(p)
 	for now := sim.Cycle(1); now <= 300; now++ {
@@ -232,4 +232,14 @@ func TestClockedSourceReceivesTime(t *testing.T) {
 	if !c.Finished() {
 		t.Fatal("covert sender did not finish after its pulses")
 	}
+}
+
+// mustNew is New panicking on error, for tests whose configs are known
+// valid.
+func mustNew(id int, cfg Config, src trace.Source, nextID *uint64) *Core {
+	c, err := New(id, cfg, src, nextID)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -38,6 +38,8 @@ type Channel struct {
 	commandIssuedAt sim.Cycle
 	commandUsed     bool
 
+	observer Observer
+
 	stats ChannelStats
 }
 
@@ -76,6 +78,38 @@ func (s ChannelStats) HitRate() float64 {
 	return float64(s.RowHits) / float64(total)
 }
 
+// IssueEvent describes one transaction issue for protocol observers: the
+// command timings the channel computed plus enough bank history to verify
+// tRCD/tRC/tRRD/tFAW-class constraints independently.
+type IssueEvent struct {
+	Now        sim.Cycle
+	Rank, Bank int
+	Row        uint64
+	Write      bool
+	// BusyBank marks the protocol violation of issuing to a bank with a
+	// transaction already in flight (a scheduler bug, normally fatal).
+	BusyBank bool
+	// Activated reports whether this issue opened a row; ActAt is the
+	// activate command time and PrevActAt the bank's previous activate
+	// (zero when none).
+	Activated bool
+	ActAt     sim.Cycle
+	PrevActAt sim.Cycle
+	// Conflict marks a row-buffer conflict (precharge + activate).
+	Conflict bool
+	// ColAt is the column command time; DataAt when the burst starts.
+	ColAt  sim.Cycle
+	DataAt sim.Cycle
+}
+
+// Observer is notified of every transaction issue. The runtime DRAM
+// protocol checker implements it; when an observer is installed, a
+// busy-bank issue is reported through it instead of panicking, so the
+// supervised run path can surface a diagnostic dump and stop cleanly.
+type Observer interface {
+	ObserveIssue(ev IssueEvent)
+}
+
 // NewChannel returns a channel with the given timing and geometry.
 func NewChannel(t Timing, g Geometry, amap *AddrMap) *Channel {
 	if err := t.Validate(); err != nil {
@@ -106,6 +140,15 @@ func (c *Channel) SetClosedPage(on bool) { c.closedPage = on }
 
 // AddrMap returns the channel's address map.
 func (c *Channel) AddrMap() *AddrMap { return c.amap }
+
+// Timing returns the channel's timing parameters.
+func (c *Channel) Timing() Timing { return c.timing }
+
+// SetObserver installs a protocol observer (nil removes it). With an
+// observer installed, a busy-bank issue is reported as an IssueEvent with
+// BusyBank set — and the channel degrades gracefully by serializing behind
+// the bank — instead of panicking the process.
+func (c *Channel) SetObserver(o Observer) { c.observer = o }
 
 // Tick advances refresh state. Refresh is modeled analytically: when a
 // refresh comes due the rank drains (all banks' freeAt) and then blocks for
@@ -178,13 +221,32 @@ func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
 	loc := c.amap.Decode(req.Addr, req.Core)
 	rk := &c.ranks[loc.Rank]
 	b := &rk.banks[loc.Bank]
+	ev := IssueEvent{
+		Now:   now,
+		Rank:  loc.Rank,
+		Bank:  loc.Bank,
+		Row:   loc.Row,
+		Write: req.Op == mem.Write,
+	}
+	earliest := now
 	if b.inflight {
-		panic(fmt.Sprintf("dram: Issue to busy bank %d.%d at cycle %d", loc.Rank, loc.Bank, now))
+		// A scheduler bug: the bank still has a transaction in flight.
+		// Without an observer this is fatal; with one, the checker records
+		// the violation (and dumps diagnostics) while the channel degrades
+		// gracefully by serializing behind the busy bank.
+		if c.observer == nil {
+			panic(fmt.Sprintf("dram: Issue to busy bank %d.%d at cycle %d", loc.Rank, loc.Bank, now))
+		}
+		ev.BusyBank = true
+		if b.freeAt > earliest {
+			earliest = b.freeAt
+		}
 	}
 	t := c.timing
 
 	state := b.classify(loc.Row)
-	colCmdAt := now
+	colCmdAt := earliest
+	prevAct := b.activatedAt
 	switch state {
 	case rowHit:
 		b.hits++
@@ -192,16 +254,19 @@ func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
 	case rowEmpty:
 		b.misses++
 		c.stats.RowEmpty++
-		actAt := c.activateTime(rk, now)
+		actAt := c.activateTime(rk, earliest)
 		c.recordActivate(rk, actAt)
 		b.activatedAt = actAt
 		colCmdAt = actAt + t.TRCD
 		b.openRow = loc.Row
+		ev.Activated = true
+		ev.ActAt = actAt
+		ev.PrevActAt = prevAct
 	case rowConflict:
 		b.conflicts++
 		c.stats.RowConfl++
 		// Precharge must respect tRAS from the previous activate.
-		preAt := now
+		preAt := earliest
 		if min := b.activatedAt + t.TRAS; min > preAt {
 			preAt = min
 		}
@@ -210,6 +275,10 @@ func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
 		b.activatedAt = actAt
 		colCmdAt = actAt + t.TRCD
 		b.openRow = loc.Row
+		ev.Activated = true
+		ev.Conflict = true
+		ev.ActAt = actAt
+		ev.PrevActAt = prevAct
 	}
 
 	// Column command to data, by direction.
@@ -254,6 +323,11 @@ func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
 	c.commandIssuedAt = now
 	c.commandUsed = true
 
+	if c.observer != nil {
+		ev.ColAt = colCmdAt
+		ev.DataAt = dataAt
+		c.observer.ObserveIssue(ev)
+	}
 	return done
 }
 

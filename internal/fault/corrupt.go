@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+// CorruptSource wraps a workload trace source and corrupts entries with
+// the injector's TraceProb: a corrupted entry gets a random address bit
+// flip, its op toggled, or its gap perturbed. This models a buggy or
+// hostile workload generator; the interesting question it answers is
+// whether the *shaped* distribution survives, since the shaper's whole
+// contract is that the bus-visible traffic is independent of what the
+// application actually does.
+type CorruptSource struct {
+	src trace.Source
+	in  *Injector
+}
+
+// Corrupt wraps src with the injector's trace-corruption fault. When
+// TraceProb is zero the source is returned unwrapped.
+func (in *Injector) Corrupt(src trace.Source) trace.Source {
+	if in.opt.TraceProb <= 0 {
+		return src
+	}
+	return &CorruptSource{src: src, in: in}
+}
+
+// Next implements trace.Source.
+func (c *CorruptSource) Next() (trace.Entry, bool) {
+	e, ok := c.src.Next()
+	if !ok || !c.in.rng.Bool(c.in.opt.TraceProb) {
+		return e, ok
+	}
+	c.in.stats.Corrupted++
+	switch c.in.rng.Intn(3) {
+	case 0:
+		// Flip one bit somewhere in the usable address range.
+		e.Addr ^= 1 << c.in.rng.Intn(32)
+	case 1:
+		e.Write = !e.Write
+	default:
+		// Perturb the compute gap: halve or double it.
+		if c.in.rng.Bool(0.5) {
+			e.Gap /= 2
+		} else {
+			e.Gap *= 2
+		}
+	}
+	return e, true
+}
+
+// SetNow implements trace.Clocked by forwarding to the wrapped source
+// when it is clocked.
+func (c *CorruptSource) SetNow(now sim.Cycle) {
+	if clocked, ok := c.src.(trace.Clocked); ok {
+		clocked.SetNow(now)
+	}
+}

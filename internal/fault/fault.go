@@ -1,0 +1,190 @@
+// Package fault implements deterministic fault injection for the
+// Camouflage simulator. Faults are drawn from the simulation's seeded
+// random source, so a failing run replays bit-for-bit from its seed — the
+// property that makes an injected failure debuggable at all.
+//
+// Four fault classes cover the paths the invariant checkers guard
+// (package check): dropping, delaying and duplicating transactions inside
+// the NoC links; corrupting workload trace entries; and perturbing DRAM
+// timing parameters. The robustness experiment drives each class and
+// shows either that a checker catches it or that the shaped-traffic
+// guarantee (the Figure 11 distribution match) survives it.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/noc"
+	"camouflage/internal/sim"
+)
+
+// Options selects the fault classes and their rates.
+type Options struct {
+	// DropProb is the per-transaction probability a NoC link loses it.
+	DropProb float64
+	// DupProb is the per-transaction probability a NoC link duplicates it.
+	DupProb float64
+	// DelayProb is the per-transaction probability of an extra stall of
+	// DelayCycles inside the link.
+	DelayProb   float64
+	DelayCycles sim.Cycle
+	// TraceProb is the per-entry probability of corrupting a workload
+	// trace entry (address bit flips, op toggles, gap perturbation).
+	TraceProb float64
+	// Timing perturbs the DRAM timing parameters (illegally fast tRCD,
+	// tRP and tFAW), producing command schedules the protocol checker
+	// rejects against the reference timing.
+	Timing bool
+}
+
+// Enabled reports whether any fault class is active.
+func (o Options) Enabled() bool {
+	return o.DropProb > 0 || o.DupProb > 0 || o.DelayProb > 0 || o.TraceProb > 0 || o.Timing
+}
+
+// NoCEnabled reports whether any link-level fault class is active.
+func (o Options) NoCEnabled() bool {
+	return o.DropProb > 0 || o.DupProb > 0 || o.DelayProb > 0
+}
+
+// String renders the options in ParseSpec syntax.
+func (o Options) String() string {
+	var parts []string
+	if o.DropProb > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", o.DropProb))
+	}
+	if o.DupProb > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", o.DupProb))
+	}
+	if o.DelayProb > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%d", o.DelayProb, o.DelayCycles))
+	}
+	if o.TraceProb > 0 {
+		parts = append(parts, fmt.Sprintf("trace=%g", o.TraceProb))
+	}
+	if o.Timing {
+		parts = append(parts, "timing")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses a comma-separated fault specification, e.g.
+// "drop=0.001,dup=0.0005,delay=0.01:64,trace=0.02,timing". An empty spec
+// or "none" yields zero Options.
+func ParseSpec(spec string) (Options, error) {
+	var o Options
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return o, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "timing" {
+			o.Timing = true
+			continue
+		}
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			return Options{}, fmt.Errorf("fault: %q is not key=value (or \"timing\")", part)
+		}
+		switch key {
+		case "drop", "dup", "trace":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Options{}, fmt.Errorf("fault: %s wants a probability in [0,1], got %q", key, val)
+			}
+			switch key {
+			case "drop":
+				o.DropProb = p
+			case "dup":
+				o.DupProb = p
+			case "trace":
+				o.TraceProb = p
+			}
+		case "delay":
+			probStr, cyclesStr, hasCycles := strings.Cut(val, ":")
+			p, err := strconv.ParseFloat(probStr, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Options{}, fmt.Errorf("fault: delay wants prob[:cycles], got %q", val)
+			}
+			o.DelayProb = p
+			o.DelayCycles = DefaultDelayCycles
+			if hasCycles {
+				n, err := strconv.ParseUint(cyclesStr, 10, 32)
+				if err != nil || n == 0 {
+					return Options{}, fmt.Errorf("fault: delay cycles must be a positive integer, got %q", cyclesStr)
+				}
+				o.DelayCycles = sim.Cycle(n)
+			}
+		default:
+			return Options{}, fmt.Errorf("fault: unknown class %q (want drop, dup, delay, trace or timing)", key)
+		}
+	}
+	return o, nil
+}
+
+// DefaultDelayCycles is the extra stall applied by delay faults when the
+// spec gives no explicit duration.
+const DefaultDelayCycles sim.Cycle = 64
+
+// Stats counts injected faults.
+type Stats struct {
+	Dropped    uint64
+	Delayed    uint64
+	Duplicated uint64
+	Corrupted  uint64
+}
+
+// Injector turns Options into concrete fault hooks, drawing all
+// randomness from one forked RNG so injection is deterministic per seed.
+type Injector struct {
+	opt Options
+	rng *sim.RNG
+
+	stats Stats
+}
+
+// NewInjector returns an injector using rng (typically kernel.RNG().Fork()).
+func NewInjector(opt Options, rng *sim.RNG) *Injector {
+	return &Injector{opt: opt, rng: rng}
+}
+
+// Options returns the active fault configuration.
+func (in *Injector) Options() Options { return in.opt }
+
+// Stats returns a copy of the injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Hook returns a noc.FaultHook implementing the link-level fault classes,
+// or nil when none is enabled. Real and fake transactions are faulted
+// alike — on the wire they are indistinguishable, and a fault model that
+// spared fakes would be dishonest about the shaped distribution.
+func (in *Injector) Hook() noc.FaultHook {
+	if !in.opt.NoCEnabled() {
+		return nil
+	}
+	return func(now sim.Cycle, req *mem.Request) (noc.FaultAction, sim.Cycle) {
+		if in.opt.DropProb > 0 && in.rng.Bool(in.opt.DropProb) {
+			in.stats.Dropped++
+			return noc.FaultDrop, 0
+		}
+		if in.opt.DupProb > 0 && in.rng.Bool(in.opt.DupProb) {
+			in.stats.Duplicated++
+			return noc.FaultDuplicate, 0
+		}
+		if in.opt.DelayProb > 0 && in.rng.Bool(in.opt.DelayProb) {
+			in.stats.Delayed++
+			return noc.FaultDelay, in.opt.DelayCycles
+		}
+		return noc.FaultNone, 0
+	}
+}

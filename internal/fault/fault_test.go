@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"testing"
+
+	"camouflage/internal/dram"
+	"camouflage/internal/mem"
+	"camouflage/internal/noc"
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Options
+		wantErr bool
+	}{
+		{spec: "", want: Options{}},
+		{spec: "none", want: Options{}},
+		{spec: "drop=0.001", want: Options{DropProb: 0.001}},
+		{spec: "dup=0.5", want: Options{DupProb: 0.5}},
+		{spec: "delay=0.01:64", want: Options{DelayProb: 0.01, DelayCycles: 64}},
+		{spec: "delay=0.01", want: Options{DelayProb: 0.01, DelayCycles: DefaultDelayCycles}},
+		{spec: "trace=0.02", want: Options{TraceProb: 0.02}},
+		{spec: "timing", want: Options{Timing: true}},
+		{
+			spec: "drop=0.001,dup=0.0005,delay=0.01:32,trace=0.02,timing",
+			want: Options{DropProb: 0.001, DupProb: 0.0005, DelayProb: 0.01, DelayCycles: 32, TraceProb: 0.02, Timing: true},
+		},
+		{spec: "drop=2", wantErr: true},
+		{spec: "drop=x", wantErr: true},
+		{spec: "delay=0.1:0", wantErr: true},
+		{spec: "bogus=1", wantErr: true},
+		{spec: "timing=1", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): no error, got %+v", c.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestOptionsStringRoundTrips(t *testing.T) {
+	o := Options{DropProb: 0.001, DelayProb: 0.01, DelayCycles: 64, Timing: true}
+	back, err := ParseSpec(o.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", o.String(), err)
+	}
+	if back != o {
+		t.Errorf("round trip %q → %+v, want %+v", o.String(), back, o)
+	}
+	if (Options{}).String() != "none" {
+		t.Errorf("zero options render as %q, want none", (Options{}).String())
+	}
+}
+
+func TestHookInjectsAtConfiguredRates(t *testing.T) {
+	in := NewInjector(Options{DropProb: 0.1, DupProb: 0.1, DelayProb: 0.1, DelayCycles: 16}, sim.NewRNG(42))
+	hook := in.Hook()
+	if hook == nil {
+		t.Fatal("Hook() = nil with NoC faults enabled")
+	}
+	const n = 20000
+	var drops, dups, delays int
+	req := &mem.Request{}
+	for i := 0; i < n; i++ {
+		action, extra := hook(sim.Cycle(i), req)
+		switch action {
+		case noc.FaultDrop:
+			drops++
+		case noc.FaultDuplicate:
+			dups++
+		case noc.FaultDelay:
+			delays++
+			if extra != 16 {
+				t.Fatalf("delay fault extra = %d, want 16", extra)
+			}
+		}
+	}
+	// Drop fires at 10%; dup at 10% of the remainder; delay at 10% of that.
+	assertNear := func(name string, got, want int) {
+		t.Helper()
+		if diff := got - want; diff < -want/4 || diff > want/4 {
+			t.Errorf("%s = %d, want about %d", name, got, want)
+		}
+	}
+	assertNear("drops", drops, n/10)
+	assertNear("dups", dups, n*9/100)
+	assertNear("delays", delays, n*81/1000)
+	st := in.Stats()
+	if int(st.Dropped) != drops || int(st.Duplicated) != dups || int(st.Delayed) != delays {
+		t.Errorf("stats %+v disagree with observed %d/%d/%d", st, drops, dups, delays)
+	}
+}
+
+func TestHookNilWhenNoNoCFaults(t *testing.T) {
+	in := NewInjector(Options{TraceProb: 0.5, Timing: true}, sim.NewRNG(1))
+	if in.Hook() != nil {
+		t.Error("Hook() non-nil with only trace/timing faults")
+	}
+}
+
+func TestInjectionIsDeterministic(t *testing.T) {
+	run := func() []noc.FaultAction {
+		in := NewInjector(Options{DropProb: 0.05, DupProb: 0.05}, sim.NewRNG(7))
+		hook := in.Hook()
+		out := make([]noc.FaultAction, 0, 1000)
+		req := &mem.Request{}
+		for i := 0; i < 1000; i++ {
+			a, _ := hook(sim.Cycle(i), req)
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injection diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCorruptSourceMutatesEntries(t *testing.T) {
+	base := make([]trace.Entry, 5000)
+	for i := range base {
+		base[i] = trace.Entry{Gap: 10, Addr: uint64(i) * 64}
+	}
+	in := NewInjector(Options{TraceProb: 0.2}, sim.NewRNG(9))
+	src := in.Corrupt(trace.NewSliceSource(base))
+	changed := 0
+	for i := 0; ; i++ {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e != base[i] {
+			changed++
+		}
+	}
+	if in.Stats().Corrupted == 0 {
+		t.Fatal("no entries corrupted at 20% rate")
+	}
+	// Gap perturbation of Gap=10 always changes the entry; address flips
+	// and op toggles always change it too, so changed tracks Corrupted.
+	if changed == 0 || uint64(changed) != in.Stats().Corrupted {
+		t.Errorf("changed %d entries, stats say %d", changed, in.Stats().Corrupted)
+	}
+	if got := float64(changed) / float64(len(base)); got < 0.1 || got > 0.3 {
+		t.Errorf("corruption rate %.3f, want about 0.2", got)
+	}
+}
+
+func TestCorruptPassthroughWhenDisabled(t *testing.T) {
+	in := NewInjector(Options{}, sim.NewRNG(1))
+	src := trace.NewSliceSource([]trace.Entry{{Gap: 1}})
+	if in.Corrupt(src) != trace.Source(src) {
+		t.Error("Corrupt wrapped the source with TraceProb=0")
+	}
+}
+
+func TestPerturbTimingShrinksAndStaysValid(t *testing.T) {
+	ref := dram.DDR3_1333()
+	in := NewInjector(Options{Timing: true}, sim.NewRNG(3))
+	p := in.PerturbTiming(ref)
+	if p.TRCD >= ref.TRCD || p.TRRD >= ref.TRRD || p.TFAW >= ref.TFAW {
+		t.Errorf("perturbed timing not shortened: TRCD %d→%d TRRD %d→%d TFAW %d→%d",
+			ref.TRCD, p.TRCD, ref.TRRD, p.TRRD, ref.TFAW, p.TFAW)
+	}
+	if p.TRCD < 1 || p.TRRD < 1 || p.TFAW < 1 {
+		t.Errorf("perturbed timing went non-positive: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("perturbed timing fails Validate: %v", err)
+	}
+	// Other parameters untouched.
+	if p.TCAS != ref.TCAS || p.TRP != ref.TRP || p.TRAS != ref.TRAS {
+		t.Errorf("unrelated parameters changed: %+v vs %+v", p, ref)
+	}
+	// Disabled: identity.
+	off := NewInjector(Options{}, sim.NewRNG(3))
+	if off.PerturbTiming(ref) != ref {
+		t.Error("PerturbTiming changed timing with Timing=false")
+	}
+}

@@ -1,0 +1,34 @@
+package fault
+
+import (
+	"camouflage/internal/dram"
+	"camouflage/internal/sim"
+)
+
+// PerturbTiming returns a copy of t with the activate-path parameters
+// illegally shortened: tRCD, tRRD and tFAW each shrink by a random amount
+// up to roughly half. The channel then schedules column commands and
+// activates earlier than the reference protocol allows, which the DRAM
+// protocol checker (validating against the *unperturbed* timing) flags.
+// The perturbed timing still passes dram.Timing.Validate — every
+// parameter stays positive — so the fault is invisible to
+// construction-time checks and only a runtime checker can catch it.
+func (in *Injector) PerturbTiming(t dram.Timing) dram.Timing {
+	if !in.opt.Timing {
+		return t
+	}
+	cut := func(v sim.Cycle) sim.Cycle {
+		if v <= 1 {
+			return v
+		}
+		v -= 1 + sim.Cycle(in.rng.Uint64n(uint64(v)/2+1))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	t.TRCD = cut(t.TRCD)
+	t.TRRD = cut(t.TRRD)
+	t.TFAW = cut(t.TFAW)
+	return t
+}

@@ -59,7 +59,10 @@ func EpochRateComparison(benchmark string, cycles sim.Cycle, seed uint64) (*Epoc
 	}
 	mon := attack.NewBusMonitor(0)
 	sys.ReqNet.AddTap(mon.Observe)
-	rsBase := measureRun(sys, WarmupCycles, cycles)
+	rsBase, err := measureRun(sys, WarmupCycles, cycles)
+	if err != nil {
+		return nil, err
+	}
 	intrinsic := mon.InterArrivals()
 	demand := float64(mon.Count()) / float64(WarmupCycles+cycles) * float64(window)
 	if demand < 2 {
@@ -90,7 +93,10 @@ func EpochRateComparison(benchmark string, cycles sim.Cycle, seed uint64) (*Epoc
 			return err
 		}
 		s.ReqShapers[0].Shaped = stats.NewInterArrivalRecorder(binning, true)
-		rs := measureRun(s, WarmupCycles, cycles)
+		rs, err := measureRun(s, WarmupCycles, cycles)
+		if err != nil {
+			return err
+		}
 		row := EpochRateRow{
 			Scheme:        name,
 			IPC:           rs.ipc(0),

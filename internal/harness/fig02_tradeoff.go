@@ -53,7 +53,10 @@ func TradeoffSpace(benchmark string, cycles sim.Cycle, seed uint64) (*TradeoffSp
 	}
 	mon := attack.NewBusMonitor(0)
 	sys.ReqNet.AddTap(mon.Observe)
-	rsBase := measureRun(sys, WarmupCycles, cycles)
+	rsBase, err := measureRun(sys, WarmupCycles, cycles)
+	if err != nil {
+		return nil, err
+	}
 	intrinsic := mon.InterArrivals()
 	baseIPC := rsBase.ipc(0)
 	demand := float64(mon.Count()) / float64(WarmupCycles+cycles) * float64(window)
@@ -106,7 +109,10 @@ func TradeoffSpace(benchmark string, cycles sim.Cycle, seed uint64) (*TradeoffSp
 			return nil, err
 		}
 		s.ReqShapers[0].Shaped = stats.NewInterArrivalRecorder(binning, true)
-		rs := measureRun(s, WarmupCycles, cycles)
+		rs, err := measureRun(s, WarmupCycles, cycles)
+		if err != nil {
+			return nil, err
+		}
 		point := TradeoffPoint{
 			Label: p.label,
 			MI:    mi.SequenceMI(intrinsic, s.ReqShapers[0].Shaped.Raw, binning),

@@ -109,7 +109,10 @@ func runRespCMeasured(adversary, victim string, respCfg *shaper.Config, cycles s
 			rec.Observe(now)
 		}
 	})
-	rs := measureRun(sys, WarmupCycles, cycles)
+	rs, err := measureRun(sys, WarmupCycles, cycles)
+	if err != nil {
+		return runStats{}, nil, err
+	}
 	return rs, rec.Hist, nil
 }
 

@@ -73,7 +73,10 @@ func ReqCSpeedup(cycles sim.Cycle, seed uint64) (*ReqCSpeedupResult, error) {
 		}
 		mon := attack.NewBusMonitor(0)
 		sys.ReqNet.AddTap(mon.Observe)
-		rsBase := measureRun(sys, WarmupCycles, cycles)
+		rsBase, err := measureRun(sys, WarmupCycles, cycles)
+		if err != nil {
+			return nil, err
+		}
 
 		hist := stats.NewHistogram(stats.DefaultBinning())
 		for _, dt := range mon.InterArrivals() {

@@ -137,7 +137,7 @@ func runWorkload(cfg core.Config, adversary, victim string, cycles sim.Cycle, se
 	if err != nil {
 		return runStats{}, err
 	}
-	return measureRun(sys, WarmupCycles, cycles), nil
+	return measureRun(sys, WarmupCycles, cycles)
 }
 
 // buildBDCConfig derives the BDC system configuration for w(adversary,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"camouflage/internal/check"
 	"camouflage/internal/core"
 	"camouflage/internal/cpu"
 	"camouflage/internal/sim"
@@ -40,20 +41,15 @@ func Workload(adversary, victim string, seed uint64) ([]trace.Source, error) {
 	}
 	rng := sim.NewRNG(seed)
 	srcs := make([]trace.Source, 4)
-	srcs[0] = trace.NewGenerator(advP, rng.Fork())
+	if srcs[0], err = trace.NewGenerator(advP, rng.Fork()); err != nil {
+		return nil, err
+	}
 	for i := 1; i < 4; i++ {
-		srcs[i] = trace.NewGenerator(vicP, rng.Fork())
+		if srcs[i], err = trace.NewGenerator(vicP, rng.Fork()); err != nil {
+			return nil, err
+		}
 	}
 	return srcs, nil
-}
-
-// MustWorkload is Workload panicking on error.
-func MustWorkload(adversary, victim string, seed uint64) []trace.Source {
-	s, err := Workload(adversary, victim, seed)
-	if err != nil {
-		panic(err)
-	}
-	return s
 }
 
 // SoloSource builds a single-benchmark source list for a 1-core system.
@@ -62,7 +58,11 @@ func SoloSource(name string, seed uint64) ([]trace.Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []trace.Source{trace.NewGenerator(p, sim.NewRNG(seed))}, nil
+	g, err := trace.NewGenerator(p, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	return []trace.Source{g}, nil
 }
 
 // runStats captures the post-warmup counters of one run.
@@ -89,14 +89,22 @@ func (r runStats) systemIPC() float64 {
 }
 
 // measureRun runs sys for warmup+cycles and returns counters accumulated
-// after the warmup.
-func measureRun(sys *core.System, warmup, cycles sim.Cycle) runStats {
-	sys.Run(warmup)
+// after the warmup. Every measured run executes with the full runtime
+// invariant-checker stack enabled (checks are strided, so the overhead
+// is small); a supervised-run failure (invariant violation, panic,
+// deadline) is propagated with whatever was measured up to that point.
+func measureRun(sys *core.System, warmup, cycles sim.Cycle) (runStats, error) {
+	if sys.Monitor == nil {
+		sys.EnableChecks(check.Options{})
+	}
+	if err := sys.Run(warmup); err != nil {
+		return runStats{}, fmt.Errorf("warmup: %w", err)
+	}
 	before := make([]cpu.Stats, len(sys.Cores))
 	for i := range sys.Cores {
 		before[i] = sys.CoreStats(i)
 	}
-	sys.Run(cycles)
+	runErr := sys.Run(cycles)
 	out := runStats{perCore: make([]cpu.Stats, len(sys.Cores)), cycles: cycles}
 	for i := range sys.Cores {
 		after := sys.CoreStats(i)
@@ -110,7 +118,7 @@ func measureRun(sys *core.System, warmup, cycles sim.Cycle) runStats {
 			FakeResponses:     after.FakeResponses - before[i].FakeResponses,
 		}
 	}
-	return out
+	return out, runErr
 }
 
 // soloIPC runs benchmark name alone on a 1-core copy of cfg under
@@ -132,7 +140,10 @@ func soloIPC(cfg core.Config, name string, seed uint64, cycles sim.Cycle) (float
 	if err != nil {
 		return 0, err
 	}
-	rs := measureRun(sys, WarmupCycles, cycles)
+	rs, err := measureRun(sys, WarmupCycles, cycles)
+	if err != nil {
+		return 0, err
+	}
 	return rs.ipc(0), nil
 }
 

@@ -69,7 +69,9 @@ func MITTSFairness(cycles sim.Cycle, seed uint64) (*MITTSFairnessResult, error) 
 			if err != nil {
 				return nil, err
 			}
-			srcs[i] = trace.NewGenerator(p, rng.Fork())
+			if srcs[i], err = trace.NewGenerator(p, rng.Fork()); err != nil {
+				return nil, err
+			}
 		}
 		return core.NewSystem(cfg, srcs)
 	}
@@ -79,7 +81,10 @@ func MITTSFairness(cycles sim.Cycle, seed uint64) (*MITTSFairnessResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		rs := measureRun(sys, WarmupCycles, cycles)
+		rs, err := measureRun(sys, WarmupCycles, cycles)
+		if err != nil {
+			return nil, err
+		}
 		out := make([]float64, len(names))
 		for i, n := range names {
 			if ipc := rs.ipc(i); ipc > 0 {

@@ -77,14 +77,20 @@ func PhaseDetection(cycles sim.Cycle, seed uint64) (*PhaseDetectionResult, error
 		}
 
 		srcs := make([]trace.Source, 4)
-		srcs[0] = trace.NewGenerator(advP, rng.Fork())
+		if srcs[0], err = trace.NewGenerator(advP, rng.Fork()); err != nil {
+			return attack.PhaseDetection{}, nil, err
+		}
 		var truthSource *trace.PhasedSource
 		for i := 1; i < 4; i++ {
-			ps := trace.NewPhasedSource(
-				trace.NewGenerator(busyP, rng.Fork()),
-				trace.NewGenerator(quietP, rng.Fork()),
-				PhasePeriodCycles,
-			)
+			busy, err := trace.NewGenerator(busyP, rng.Fork())
+			if err != nil {
+				return attack.PhaseDetection{}, nil, err
+			}
+			quiet, err := trace.NewGenerator(quietP, rng.Fork())
+			if err != nil {
+				return attack.PhaseDetection{}, nil, err
+			}
+			ps := trace.NewPhasedSource(busy, quiet, PhasePeriodCycles)
 			srcs[i] = ps
 			truthSource = ps
 		}

@@ -1,0 +1,18 @@
+package harness
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Protect runs fn and converts a panic into an ordinary error carrying
+// the experiment name and the stack, so one failing experiment cannot
+// take down a whole suite run. Errors from fn pass through unchanged.
+func Protect(name string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: panic: %v\n%s", name, r, debug.Stack())
+		}
+	}()
+	return fn()
+}

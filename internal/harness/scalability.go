@@ -56,7 +56,9 @@ func Scalability(coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityR
 				if err != nil {
 					return nil, err
 				}
-				srcs[i] = trace.NewGenerator(p, rng.Fork())
+				if srcs[i], err = trace.NewGenerator(p, rng.Fork()); err != nil {
+					return nil, err
+				}
 			}
 			return srcs, nil
 		}
@@ -70,7 +72,7 @@ func Scalability(coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityR
 			if err != nil {
 				return runStats{}, err
 			}
-			return measureRun(sys, WarmupCycles, cycles), nil
+			return measureRun(sys, WarmupCycles, cycles)
 		}
 
 		base := core.DefaultConfig()

@@ -44,6 +44,9 @@ func runShapedSolo(base core.Config, name string, seed uint64, shaperCfg shaper.
 	if err != nil {
 		return 0, err
 	}
-	rs := measureRun(sys, WarmupCycles, cycles)
+	rs, err := measureRun(sys, WarmupCycles, cycles)
+	if err != nil {
+		return 0, err
+	}
 	return rs.ipc(0), nil
 }

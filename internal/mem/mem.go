@@ -165,6 +165,13 @@ func (p *DelayPipe) Push(now sim.Cycle, req *Request) {
 	p.items = append(p.items, pipeItem{ready: now + p.latency, req: req})
 }
 
+// PushAfter inserts req with extra cycles of latency on top of the pipe's
+// own. The pipe stays FIFO: items behind a delayed one wait for it (the
+// fault injector uses this to model a stalled flit holding the channel).
+func (p *DelayPipe) PushAfter(now, extra sim.Cycle, req *Request) {
+	p.items = append(p.items, pipeItem{ready: now + p.latency + extra, req: req})
+}
+
 // Len returns the number of in-flight items.
 func (p *DelayPipe) Len() int { return len(p.items) }
 

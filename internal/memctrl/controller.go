@@ -98,6 +98,11 @@ func (c *Controller) Stats() ControllerStats {
 // QueueLen returns the current transaction queue depth.
 func (c *Controller) QueueLen() int { return len(c.queue) }
 
+// Outstanding returns the number of transactions inside the controller:
+// queued plus issued-but-not-retired. The forward-progress watchdog folds
+// it into the system's total in-flight count.
+func (c *Controller) Outstanding() int { return len(c.queue) + len(c.inflight) }
+
 // TrySend implements mem.ReqPort: the request NoC delivers transactions
 // here. It returns false when the transaction queue is full.
 func (c *Controller) TrySend(now sim.Cycle, req *mem.Request) bool {

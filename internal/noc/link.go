@@ -20,6 +20,29 @@ import (
 // Taps.
 type Tap func(now sim.Cycle, req *mem.Request)
 
+// FaultAction is what a fault hook does to a transaction entering the link.
+type FaultAction uint8
+
+// Fault hook outcomes.
+const (
+	// FaultNone passes the transaction through unharmed.
+	FaultNone FaultAction = iota
+	// FaultDrop loses the transaction inside the link.
+	FaultDrop
+	// FaultDelay holds the transaction (and everything behind it) for the
+	// returned number of extra cycles.
+	FaultDelay
+	// FaultDuplicate injects a second copy of the transaction.
+	FaultDuplicate
+)
+
+// FaultHook decides, for each transaction after it has passed the taps,
+// whether the link misbehaves. It returns the action and, for FaultDelay,
+// the extra latency in cycles. Hooks run after the taps so observers (the
+// adversary, the flow-conservation checker) see the injection and can
+// detect the loss downstream.
+type FaultHook func(now sim.Cycle, req *mem.Request) (FaultAction, sim.Cycle)
+
 // Link is a shared, arbitrated, fixed-latency channel.
 type Link struct {
 	name    string
@@ -30,6 +53,7 @@ type Link struct {
 	pipe   *mem.DelayPipe
 	route  func(req *mem.Request) mem.ReqPort
 	taps   []Tap
+	fault  FaultHook
 
 	rr int
 
@@ -45,6 +69,10 @@ type LinkStats struct {
 	StallCycles uint64
 	// PerCoreInjected counts injections per input.
 	PerCoreInjected []uint64
+	// Dropped, Delayed and Duplicated count fault-hook interventions.
+	Dropped    uint64
+	Delayed    uint64
+	Duplicated uint64
 }
 
 // NewLink returns a link named name with cores input queues of capacity
@@ -86,6 +114,20 @@ func (l *Link) SetRoute(route func(req *mem.Request) mem.ReqPort) { l.route = ro
 // AddTap registers an observer of injected transactions.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
+// SetFaultHook installs a fault injector on the link (nil removes it).
+func (l *Link) SetFaultHook(h FaultHook) { l.fault = h }
+
+// Outstanding returns the number of transactions inside the link: queued
+// at the inputs or in flight in the pipe. The forward-progress watchdog
+// folds it into the system's total in-flight count.
+func (l *Link) Outstanding() int {
+	n := l.pipe.Len()
+	for _, q := range l.inputs {
+		n += q.Len()
+	}
+	return n
+}
+
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats {
 	s := l.stats
@@ -121,11 +163,28 @@ func (l *Link) Tick(now sim.Cycle) {
 		if req == nil {
 			continue
 		}
-		l.pipe.Push(now, req)
 		l.stats.Injected++
 		l.stats.PerCoreInjected[idx]++
 		for _, t := range l.taps {
 			t(now, req)
+		}
+		action, extra := FaultNone, sim.Cycle(0)
+		if l.fault != nil {
+			action, extra = l.fault(now, req)
+		}
+		switch action {
+		case FaultDrop:
+			l.stats.Dropped++
+		case FaultDelay:
+			l.stats.Delayed++
+			l.pipe.PushAfter(now, extra, req)
+		case FaultDuplicate:
+			l.stats.Duplicated++
+			l.pipe.Push(now, req)
+			dup := *req
+			l.pipe.Push(now, &dup)
+		default:
+			l.pipe.Push(now, req)
 		}
 		granted++
 	}

@@ -282,5 +282,5 @@ func resolveWorkload(name string, rng *sim.RNG) (trace.Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return trace.NewGenerator(p, rng), nil
+	return trace.NewGenerator(p, rng)
 }

@@ -137,7 +137,11 @@ func TestScenarioWithRecordedTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries := trace.Capture(trace.NewGenerator(p, sim.NewRNG(3)), 5000)
+	gen, err := trace.NewGenerator(p, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := trace.Capture(gen, 5000)
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,8 @@
 package shaper
 
 import (
+	"fmt"
+
 	"camouflage/internal/sim"
 )
 
@@ -39,7 +41,26 @@ type binCore struct {
 	nextRelease sim.Cycle
 	reservedBin int
 
+	led ledger
+
 	stats Stats
+}
+
+// ledger follows every credit from grant to disposal. The runtime credit
+// conservation checker asserts, at any cycle,
+//
+//	granted == consumed + banked + discarded + live credits
+//	banked  == fakeSpent + pending unused credits
+//
+// so a lost or double-spent credit — the failure that would silently bend
+// the shaped distribution away from the configured one — is caught while
+// the simulation is still running.
+type ledger struct {
+	granted   uint64 // credits placed into the live bins (initial fill + replenishments)
+	consumed  uint64 // live credits spent on real releases (or oblivious draws)
+	banked    uint64 // live credits moved into the unused bins at replenishment
+	discarded uint64 // live credits dropped at replenishment (fakes off, or cap)
+	fakeSpent uint64 // unused credits spent on fake releases
 }
 
 // Stats counts shaper activity.
@@ -64,9 +85,9 @@ type Stats struct {
 	RateChanges uint64
 }
 
-func newBinCore(cfg Config, rng *sim.RNG) *binCore {
+func newBinCore(cfg Config, rng *sim.RNG) (*binCore, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err.Error())
+		return nil, err
 	}
 	b := &binCore{
 		cfg:           cfg.Clone(),
@@ -79,11 +100,14 @@ func newBinCore(cfg Config, rng *sim.RNG) *binCore {
 		rng:           rng,
 		reservedBin:   -1,
 	}
+	for _, c := range cfg.Credits {
+		b.led.granted += uint64(c)
+	}
 	b.redrawJitter()
 	if cfg.Policy == PolicyOblivious {
 		b.drawRelease(0)
 	}
-	return b
+	return b, nil
 }
 
 // drawRelease schedules the next oblivious release: a bin is drawn from
@@ -113,6 +137,7 @@ func (b *binCore) drawRelease(now sim.Cycle) {
 		pick -= c
 	}
 	b.credits[bin]--
+	b.led.consumed++
 	b.reservedBin = bin
 
 	delay := b.cfg.Binning.Lower(bin)
@@ -244,13 +269,19 @@ func (b *binCore) maybeReplenish(now sim.Cycle) (bool, int) {
 		if b.credits[i] > 0 {
 			unusedTotal += b.credits[i]
 			if b.cfg.GenerateFake {
+				before := b.unused[i]
 				b.unused[i] += b.credits[i]
 				if cap := b.cfg.Credits[i] * maxWindows; b.unused[i] > cap {
 					b.unused[i] = cap
 				}
+				b.led.banked += uint64(b.unused[i] - before)
+				b.led.discarded += uint64(b.credits[i] - (b.unused[i] - before))
+			} else {
+				b.led.discarded += uint64(b.credits[i])
 			}
 		}
 		b.credits[i] = b.cfg.Credits[i]
+		b.led.granted += uint64(b.cfg.Credits[i])
 	}
 	b.stats.Replenishments++
 	b.stats.UnusedSaved += uint64(unusedTotal)
@@ -384,6 +415,7 @@ func (b *binCore) redrawJitter() {
 // commitReal records a real release at cycle now consuming bin.
 func (b *binCore) commitReal(now sim.Cycle, bin int) {
 	b.credits[bin]--
+	b.led.consumed++
 	b.lastRelease = now
 	b.released = true
 	b.stats.ReleasedReal++
@@ -393,10 +425,43 @@ func (b *binCore) commitReal(now sim.Cycle, bin int) {
 // commitFake records a fake release at cycle now consuming unused bin.
 func (b *binCore) commitFake(now sim.Cycle, bin int) {
 	b.unused[bin]--
+	b.led.fakeSpent++
 	b.lastRelease = now
 	b.released = true
 	b.stats.ReleasedFake++
 	b.redrawJitter()
+}
+
+// checkConservation verifies the credit ledger invariants. Strict periodic
+// mode bypasses the credit machinery entirely, so there is nothing to
+// check there.
+func (b *binCore) checkConservation() error {
+	if b.periodic() {
+		return nil
+	}
+	var live, pending uint64
+	for _, c := range b.credits {
+		if c < 0 {
+			return fmt.Errorf("shaper: negative live credits (%d)", c)
+		}
+		live += uint64(c)
+	}
+	for _, u := range b.unused {
+		if u < 0 {
+			return fmt.Errorf("shaper: negative unused credits (%d)", u)
+		}
+		pending += uint64(u)
+	}
+	l := b.led
+	if got := l.consumed + l.banked + l.discarded + live; got != l.granted {
+		return fmt.Errorf("shaper: credit conservation broken: granted %d != consumed %d + banked %d + discarded %d + live %d",
+			l.granted, l.consumed, l.banked, l.discarded, live)
+	}
+	if got := l.fakeSpent + pending; got != l.banked {
+		return fmt.Errorf("shaper: unused-credit conservation broken: banked %d != fake-spent %d + pending %d",
+			l.banked, l.fakeSpent, pending)
+	}
+	return nil
 }
 
 // creditsLeft returns the live credits in bin i (for tests).

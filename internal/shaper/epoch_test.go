@@ -47,7 +47,10 @@ func TestEpochRateAdaptsToDemand(t *testing.T) {
 	// rate selector.
 	p := &port{}
 	var id uint64
-	s := NewRequestShaper(0, cfg, 256, p, sim.NewRNG(1), &id)
+	s, err := NewRequestShaper(0, cfg, 256, p, sim.NewRNG(1), &id)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Epoch 1: heavy demand (one arrival every ~40 cycles = 102 per
 	// epoch; only the 32-cycle rate can serve >= 102 slots).

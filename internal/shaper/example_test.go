@@ -35,7 +35,10 @@ func ExampleRequestShaper() {
 
 	out := &collect{}
 	var nextID uint64
-	sh := shaper.NewRequestShaper(0, cfg, 16, out, sim.NewRNG(1), &nextID)
+	sh, err := shaper.NewRequestShaper(0, cfg, 16, out, sim.NewRNG(1), &nextID)
+	if err != nil {
+		panic(err)
+	}
 
 	for i := 0; i < 4; i++ {
 		sh.TrySend(1, &mem.Request{ID: uint64(i + 1), CreatedAt: 1})
@@ -60,7 +63,10 @@ func ExampleConstantRate() {
 	cfg := shaper.ConstantRate(stats.DefaultBinning(), 100, 4096, true)
 	out := &collect{}
 	var nextID uint64
-	sh := shaper.NewRequestShaper(0, cfg, 16, out, sim.NewRNG(1), &nextID)
+	sh, err := shaper.NewRequestShaper(0, cfg, 16, out, sim.NewRNG(1), &nextID)
+	if err != nil {
+		panic(err)
+	}
 
 	// One real request amid silence.
 	sh.TrySend(1, &mem.Request{ID: 1, CreatedAt: 1})

@@ -35,18 +35,24 @@ type RequestShaper struct {
 
 // NewRequestShaper returns a ReqC instance for core. inCap bounds the
 // input queue (backpressure depth, typically the MSHR count); out is the
-// NoC injection port; nextID supplies IDs for fake requests.
-func NewRequestShaper(core int, cfg Config, inCap int, out mem.ReqPort, rng *sim.RNG, nextID *uint64) *RequestShaper {
+// NoC injection port; nextID supplies IDs for fake requests. The
+// configuration is validated; an invalid one is a user input error, not a
+// panic.
+func NewRequestShaper(core int, cfg Config, inCap int, out mem.ReqPort, rng *sim.RNG, nextID *uint64) (*RequestShaper, error) {
+	bins, err := newBinCore(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
 	return &RequestShaper{
 		core:      core,
-		bins:      newBinCore(cfg, rng),
+		bins:      bins,
 		in:        mem.NewQueue(inCap),
 		out:       out,
 		rng:       rng,
 		nextID:    nextID,
 		Intrinsic: stats.NewInterArrivalRecorder(cfg.Binning, false),
 		Shaped:    stats.NewInterArrivalRecorder(cfg.Binning, false),
-	}
+	}, nil
 }
 
 // Config returns the active configuration.
@@ -54,15 +60,24 @@ func (s *RequestShaper) Config() Config { return s.bins.cfg.Clone() }
 
 // Reconfigure installs a new bin configuration (the hypervisor writing the
 // control registers; the online GA uses this between children). Credit
-// state resets; queued traffic is preserved.
-func (s *RequestShaper) Reconfigure(cfg Config) {
-	old := s.bins.stats
-	s.bins = newBinCore(cfg, s.rng)
-	s.bins.stats = old
+// state resets; queued traffic is preserved. An invalid configuration is
+// rejected without touching the running shaper.
+func (s *RequestShaper) Reconfigure(cfg Config) error {
+	bins, err := newBinCore(cfg, s.rng)
+	if err != nil {
+		return err
+	}
+	bins.stats = s.bins.stats
+	s.bins = bins
+	return nil
 }
 
 // Stats returns shaper counters.
 func (s *RequestShaper) Stats() Stats { return s.bins.stats }
+
+// CheckConservation verifies the credit ledger invariants (see binCore).
+// The runtime invariant monitor calls it periodically.
+func (s *RequestShaper) CheckConservation() error { return s.bins.checkConservation() }
 
 // QueueLen returns the number of requests awaiting release.
 func (s *RequestShaper) QueueLen() int { return s.in.Len() }

@@ -46,10 +46,14 @@ type ResponseShaper struct {
 // NewResponseShaper returns a RespC instance for core. queueCap bounds the
 // response queue; out is the response NoC injection port; mc receives
 // priority warnings (nil disables acceleration-by-priority).
-func NewResponseShaper(core int, cfg Config, queueCap int, out mem.RespPort, mc PriorityElevator, rng *sim.RNG, nextID *uint64) *ResponseShaper {
+func NewResponseShaper(core int, cfg Config, queueCap int, out mem.RespPort, mc PriorityElevator, rng *sim.RNG, nextID *uint64) (*ResponseShaper, error) {
+	bins, err := newBinCore(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
 	return &ResponseShaper{
 		core:      core,
-		bins:      newBinCore(cfg, rng),
+		bins:      bins,
 		queue:     mem.NewQueue(queueCap),
 		out:       out,
 		mc:        mc,
@@ -57,22 +61,30 @@ func NewResponseShaper(core int, cfg Config, queueCap int, out mem.RespPort, mc 
 		nextID:    nextID,
 		Intrinsic: stats.NewInterArrivalRecorder(cfg.Binning, false),
 		Shaped:    stats.NewInterArrivalRecorder(cfg.Binning, false),
-	}
+	}, nil
 }
 
 // Config returns the active configuration.
 func (s *ResponseShaper) Config() Config { return s.bins.cfg.Clone() }
 
 // Reconfigure installs a new bin configuration, preserving queued
-// responses and lifetime statistics.
-func (s *ResponseShaper) Reconfigure(cfg Config) {
-	old := s.bins.stats
-	s.bins = newBinCore(cfg, s.rng)
-	s.bins.stats = old
+// responses and lifetime statistics. An invalid configuration is rejected
+// without touching the running shaper.
+func (s *ResponseShaper) Reconfigure(cfg Config) error {
+	bins, err := newBinCore(cfg, s.rng)
+	if err != nil {
+		return err
+	}
+	bins.stats = s.bins.stats
+	s.bins = bins
+	return nil
 }
 
 // Stats returns shaper counters.
 func (s *ResponseShaper) Stats() Stats { return s.bins.stats }
+
+// CheckConservation verifies the credit ledger invariants (see binCore).
+func (s *ResponseShaper) CheckConservation() error { return s.bins.checkConservation() }
 
 // QueueLen returns the number of buffered responses.
 func (s *ResponseShaper) QueueLen() int { return s.queue.Len() }

@@ -26,7 +26,10 @@ func (e *elevator) Elevate(core, level int, until sim.Cycle) {
 func newRespShaper(cfg Config, mc PriorityElevator) (*ResponseShaper, *port) {
 	p := &port{}
 	var id uint64
-	s := NewResponseShaper(2, cfg, 8, p, mc, sim.NewRNG(3), &id)
+	s, err := NewResponseShaper(2, cfg, 8, p, mc, sim.NewRNG(3), &id)
+	if err != nil {
+		panic(err)
+	}
 	return s, p
 }
 
@@ -197,7 +200,9 @@ func TestResponseReconfigure(t *testing.T) {
 	s, _ := newRespShaper(cfgWith(credits, 512, false), nil)
 	newCredits := make([]int, 10)
 	newCredits[9] = 3
-	s.Reconfigure(cfgWith(newCredits, 1024, true))
+	if err := s.Reconfigure(cfgWith(newCredits, 1024, true)); err != nil {
+		t.Fatal(err)
+	}
 	got := s.Config()
 	if got.Credits[9] != 3 || got.Window != 1024 || !got.GenerateFake {
 		t.Fatalf("reconfigure not applied: %+v", got)

@@ -47,7 +47,10 @@ func cfgWith(credits []int, window sim.Cycle, fake bool) Config {
 func newReqShaper(cfg Config) (*RequestShaper, *port, *uint64) {
 	p := &port{}
 	var id uint64
-	s := NewRequestShaper(0, cfg, 16, p, sim.NewRNG(1), &id)
+	s, err := NewRequestShaper(0, cfg, 16, p, sim.NewRNG(1), &id)
+	if err != nil {
+		panic(err)
+	}
 	return s, p, &id
 }
 
@@ -307,7 +310,10 @@ func TestInputQueueBackpressure(t *testing.T) {
 	credits[9] = 1
 	p := &port{}
 	var id uint64
-	s := NewRequestShaper(0, cfgWith(credits, 4096, false), 2, p, sim.NewRNG(1), &id)
+	s, err := NewRequestShaper(0, cfgWith(credits, 4096, false), 2, p, sim.NewRNG(1), &id)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !s.TrySend(1, &mem.Request{ID: 1}) || !s.TrySend(1, &mem.Request{ID: 2}) {
 		t.Fatal("queue refused under capacity")
 	}
@@ -342,12 +348,51 @@ func TestReconfigurePreservesStats(t *testing.T) {
 	before := s.Stats()
 	newCredits := make([]int, 10)
 	newCredits[5] = 2
-	s.Reconfigure(cfgWith(newCredits, 512, true))
+	if err := s.Reconfigure(cfgWith(newCredits, 512, true)); err != nil {
+		t.Fatal(err)
+	}
 	after := s.Stats()
 	if after.ReleasedFake != before.ReleasedFake {
 		t.Fatal("reconfigure lost statistics")
 	}
 	if s.Config().Credits[5] != 2 {
 		t.Fatal("reconfigure did not apply")
+	}
+}
+
+func TestCreditConservationHoldsAcrossModes(t *testing.T) {
+	credits := []int{3, 2, 2, 1, 1, 1, 1, 1, 1, 1}
+	for _, pol := range []Policy{PolicyExact, PolicyAtMost, PolicyOblivious} {
+		cfg := cfgWith(credits, 512, true)
+		cfg.Policy = pol
+		s, _, _ := newReqShaper(cfg)
+		for now := sim.Cycle(1); now <= 20_000; now++ {
+			if now%37 == 0 {
+				s.TrySend(now, &mem.Request{ID: uint64(now), CreatedAt: now})
+			}
+			s.Tick(now)
+			if now%1000 == 0 {
+				if err := s.CheckConservation(); err != nil {
+					t.Fatalf("policy %v at cycle %d: %v", pol, now, err)
+				}
+			}
+		}
+		if err := s.CheckConservation(); err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+	}
+}
+
+func TestCreditConservationDetectsCorruption(t *testing.T) {
+	credits := make([]int, 10)
+	credits[0] = 4
+	s, _, _ := newReqShaper(cfgWith(credits, 512, true))
+	for now := sim.Cycle(1); now <= 600; now++ {
+		s.Tick(now)
+	}
+	// Forge a credit out of thin air: the ledger must notice.
+	s.bins.credits[0]++
+	if err := s.CheckConservation(); err == nil {
+		t.Fatal("forged credit went undetected")
 	}
 }

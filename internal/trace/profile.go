@@ -175,14 +175,15 @@ type Generator struct {
 }
 
 // NewGenerator returns a generator over profile p seeded from rng.
-// Different cores must use forked RNGs for independent streams.
-func NewGenerator(p Profile, rng *sim.RNG) *Generator {
+// Different cores must use forked RNGs for independent streams. Profiles
+// arrive from scenario files and flags, so an invalid one is an error.
+func NewGenerator(p Profile, rng *sim.RNG) (*Generator, error) {
 	if err := p.Validate(); err != nil {
-		panic(err.Error())
+		return nil, err
 	}
 	g := &Generator{p: p, rng: rng}
 	g.cursor = rng.Uint64n(p.FootprintLines)
-	return g
+	return g, nil
 }
 
 // Profile returns the generator's profile.

@@ -141,12 +141,12 @@ func TestRecorderForwardsClock(t *testing.T) {
 
 func TestCaptureAndReplayMatchesGenerator(t *testing.T) {
 	p, _ := ProfileByName("gcc")
-	captured := Capture(NewGenerator(p, sim.NewRNG(5)), 500)
+	captured := Capture(mustGenerator(p, sim.NewRNG(5)), 500)
 	if len(captured) != 500 {
 		t.Fatalf("captured %d", len(captured))
 	}
 	// A fresh same-seed generator must match the capture exactly.
-	g := NewGenerator(p, sim.NewRNG(5))
+	g := mustGenerator(p, sim.NewRNG(5))
 	replay := NewSliceSource(captured)
 	for i := 0; i < 500; i++ {
 		a, _ := g.Next()

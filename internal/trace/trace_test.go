@@ -102,8 +102,8 @@ func TestProfileValidateRejects(t *testing.T) {
 
 func TestGeneratorDeterministic(t *testing.T) {
 	p, _ := ProfileByName("gcc")
-	a := NewGenerator(p, sim.NewRNG(5))
-	b := NewGenerator(p, sim.NewRNG(5))
+	a := mustGenerator(p, sim.NewRNG(5))
+	b := mustGenerator(p, sim.NewRNG(5))
 	for i := 0; i < 1000; i++ {
 		ea, _ := a.Next()
 		eb, _ := b.Next()
@@ -115,7 +115,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 
 func TestGeneratorAddressesWithinFootprint(t *testing.T) {
 	p, _ := ProfileByName("mcf")
-	g := NewGenerator(p, sim.NewRNG(7))
+	g := mustGenerator(p, sim.NewRNG(7))
 	limit := p.FootprintLines * 64
 	for i := 0; i < 10000; i++ {
 		e, _ := g.Next()
@@ -127,7 +127,7 @@ func TestGeneratorAddressesWithinFootprint(t *testing.T) {
 
 func TestGeneratorWriteFraction(t *testing.T) {
 	p, _ := ProfileByName("bzip") // WriteFrac 0.35
-	g := NewGenerator(p, sim.NewRNG(11))
+	g := mustGenerator(p, sim.NewRNG(11))
 	writes := 0
 	const n = 20000
 	for i := 0; i < n; i++ {
@@ -226,7 +226,7 @@ func TestCovertSenderKeyLenBounds(t *testing.T) {
 
 func TestGeneratorGapsPositiveProperty(t *testing.T) {
 	p, _ := ProfileByName("astar")
-	g := NewGenerator(p, sim.NewRNG(13))
+	g := mustGenerator(p, sim.NewRNG(13))
 	check := func(_ uint8) bool {
 		e, ok := g.Next()
 		return ok && e.Gap >= 1
@@ -270,4 +270,14 @@ func TestPhasedSourceZeroPeriodPanics(t *testing.T) {
 		}
 	}()
 	NewPhasedSource(NewLoopSource([]Entry{{}}), NewLoopSource([]Entry{{}}), 0)
+}
+
+// mustGenerator is NewGenerator panicking on error, for tests using the
+// built-in (known valid) profiles.
+func mustGenerator(p Profile, rng *sim.RNG) *Generator {
+	g, err := NewGenerator(p, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
