@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz experiments
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke
 
 ci: vet build race fuzz-seeds
 
@@ -33,3 +33,8 @@ fuzz:
 # Regenerate the paper's full evaluation suite.
 experiments:
 	$(GO) run ./cmd/experiments
+
+# End-to-end resilience check: tiny-cycle campaign, SIGINT at ~50%,
+# resume to completion, output byte-identical to an uninterrupted run.
+campaign-smoke:
+	./scripts/campaign_smoke.sh

@@ -7,6 +7,7 @@
 package camouflage_test
 
 import (
+	"context"
 	"testing"
 
 	"camouflage/internal/attack"
@@ -25,7 +26,7 @@ const benchCycles sim.Cycle = 200_000
 func BenchmarkFig02TradeoffSpace(b *testing.B) {
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.TradeoffSpace("bzip", benchCycles, 1)
+		res, err := harness.TradeoffSpace(context.Background(), "bzip", benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +50,7 @@ func BenchmarkFig02TradeoffSpace(b *testing.B) {
 func BenchmarkFig03ShapedDistributions(b *testing.B) {
 	var csPeak float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.ShapedDistributions("bzip", benchCycles, 1)
+		res, err := harness.ShapedDistributions(context.Background(), "bzip", benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func BenchmarkFig03ShapedDistributions(b *testing.B) {
 func BenchmarkFig04KeyDistortion(b *testing.B) {
 	var distorted float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.KeyDistortion(0x2AAAAAAA, 32, 1)
+		res, err := harness.KeyDistortion(context.Background(), 0x2AAAAAAA, 32, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkFig04KeyDistortion(b *testing.B) {
 func BenchmarkMIMeasurement(b *testing.B) {
 	var leak float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.MutualInformation("astar", benchCycles, 1)
+		res, err := harness.MutualInformation(context.Background(), "astar", benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func BenchmarkMIMeasurement(b *testing.B) {
 func BenchmarkFig08GAOptimization(b *testing.B) {
 	var final float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.GATimeline("gcc", "astar", 10, 6, 1)
+		res, err := harness.GATimeline(context.Background(), "gcc", "astar", 10, 6, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func BenchmarkFig08GAOptimization(b *testing.B) {
 func BenchmarkFig09ReturnTimeDiff(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.ReturnTimeDifference("gcc", benchCycles, 1)
+		res, err := harness.ReturnTimeDifference(context.Background(), "gcc", benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func BenchmarkFig09ReturnTimeDiff(b *testing.B) {
 func BenchmarkFig10aRespCPerformance(b *testing.B) {
 	var adv float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.RespCPerformance("astar", "mcf", benchCycles, 1)
+		res, err := harness.RespCPerformance(context.Background(), "astar", "mcf", benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkFig10aRespCPerformance(b *testing.B) {
 func BenchmarkFig10bRespCPerformance(b *testing.B) {
 	var tp float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.RespCPerformance("mcf", "astar", benchCycles, 1)
+		res, err := harness.RespCPerformance(context.Background(), "mcf", "astar", benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func BenchmarkFig10bRespCPerformance(b *testing.B) {
 func BenchmarkFig11DistributionAccuracy(b *testing.B) {
 	var maxDev float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.DistributionAccuracy(benchCycles, 1)
+		res, err := harness.DistributionAccuracy(context.Background(), benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFig11DistributionAccuracy(b *testing.B) {
 func BenchmarkFig12ReqCSpeedup(b *testing.B) {
 	var geo float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.ReqCSpeedup(benchCycles, 1)
+		res, err := harness.ReqCSpeedup(context.Background(), benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func BenchmarkFig12ReqCSpeedup(b *testing.B) {
 func BenchmarkFig13aBDCComparison(b *testing.B) {
 	var tpRatio, fsRatio float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.BDCComparison("astar", false, benchCycles, 1)
+		res, err := harness.BDCComparison(context.Background(), "astar", false, benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func BenchmarkFig13aBDCComparison(b *testing.B) {
 func BenchmarkFig13bBDCComparison(b *testing.B) {
 	var tpRatio float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.BDCComparison("mcf", false, benchCycles, 1)
+		res, err := harness.BDCComparison(context.Background(), "mcf", false, benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +203,7 @@ func BenchmarkFig15Covert(b *testing.B) {
 func benchCovert(b *testing.B, key uint64) {
 	var ber float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.CovertChannel(key, 32, 1)
+		res, err := harness.CovertChannel(context.Background(), key, 32, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -424,7 +425,7 @@ func binLabel(n int) string {
 func BenchmarkScalability(b *testing.B) {
 	var tp16, cam16 float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Scalability([]int{4, 16}, benchCycles, 1)
+		res, err := harness.Scalability(context.Background(), []int{4, 16}, benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -440,7 +441,7 @@ func BenchmarkScalability(b *testing.B) {
 func BenchmarkEpochRateComparison(b *testing.B) {
 	var camOverCS float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.EpochRateComparison("gcc", benchCycles, 1)
+		res, err := harness.EpochRateComparison(context.Background(), "gcc", benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -464,7 +465,7 @@ func BenchmarkEpochRateComparison(b *testing.B) {
 func BenchmarkWithinWindowLeakage(b *testing.B) {
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.WithinWindowLeakage("bzip", nil, benchCycles, 1)
+		res, err := harness.WithinWindowLeakage(context.Background(), "bzip", nil, benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -487,7 +488,7 @@ func BenchmarkWithinWindowLeakage(b *testing.B) {
 func BenchmarkPhaseDetection(b *testing.B) {
 	var before, after float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.PhaseDetection(2*benchCycles, 1)
+		res, err := harness.PhaseDetection(context.Background(), 2*benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -501,7 +502,7 @@ func BenchmarkPhaseDetection(b *testing.B) {
 func BenchmarkMITTSFairness(b *testing.B) {
 	var tenant float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.MITTSFairness(benchCycles, 1)
+		res, err := harness.MITTSFairness(context.Background(), benchCycles, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -549,4 +550,3 @@ func mustGen(p trace.Profile, rng *sim.RNG) *trace.Generator {
 	}
 	return g
 }
-

@@ -7,11 +7,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"camouflage/internal/harness"
 )
@@ -27,7 +30,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "covert:", err)
 		os.Exit(1)
 	}
-	res, err := harness.CovertChannel(key, *bits, *seed)
+	// SIGINT/SIGTERM cancel the run; the cycle loop notices within one
+	// supervision quantum and the error reports the cycle reached.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := harness.CovertChannel(ctx, key, *bits, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "covert:", err)
 		os.Exit(1)

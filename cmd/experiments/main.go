@@ -1,9 +1,21 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation. Run it with no flags for the full suite, or select one
-// experiment with -run:
+// evaluation. Run it with no flags for the full suite, or select
+// experiments with -run:
 //
 //	experiments -run fig11
-//	experiments -run mi -cycles 800000
+//	experiments -run fig2,fig3,mi -cycles 800000
+//
+// Experiments run as a resilient campaign: jobs execute on a bounded
+// worker pool (-jobs), transient failures retry with exponential backoff
+// (-retries), and with -journal every result lands in a crash-safe JSONL
+// journal so an interrupted campaign picks up where it stopped:
+//
+//	experiments -journal out/campaign.jsonl            # ^C at any point
+//	experiments -journal out/campaign.jsonl -resume    # finishes the rest
+//
+// SIGINT/SIGTERM drain gracefully: no new jobs start, in-flight jobs get
+// -grace to finish, the journal is flushed, and a partial summary
+// (completed / retried / failed / remaining) is printed.
 //
 // The per-experiment index (what each id reproduces and with which
 // modules) is in DESIGN.md; measured-vs-paper numbers are recorded in
@@ -11,136 +23,343 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"syscall"
+	"time"
 
+	"camouflage/internal/campaign"
 	"camouflage/internal/harness"
 	"camouflage/internal/sim"
 )
 
+// experiment is one emission unit: a named result assembled from one or
+// more campaign jobs (sweeps fan out into a job per point and merge at
+// emission).
+type experiment struct {
+	name string
+	jobs []campaign.Job
+}
+
 func main() {
-	run := flag.String("run", "all", "experiment to run: table1, table2, fig2, fig3, fig4, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13a, fig13b, fig14, fig15, mi, headline, scalability, epochrate, windowleak, phasedetect, mitts, robustness, all")
+	run := flag.String("run", "all", "comma-separated experiments to run: table1, table2, fig2, fig3, fig4, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13a, fig13b, fig14, fig15, mi, headline, scalability, epochrate, windowleak, phasedetect, mitts, robustness, all")
 	cycles := flag.Uint64("cycles", uint64(harness.DefaultRunCycles), "measured cycles per run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	adversary := flag.String("adversary", "gcc", "adversary benchmark for fig9")
 	useGA := flag.Bool("ga", false, "refine BDC configurations with the online GA (fig13, slower)")
 	csvDir := flag.String("csv", "", "also write each result as CSV into this directory")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "concurrent experiment jobs")
+	retries := flag.Int("retries", 2, "retries per job after a transient failure")
+	journalPath := flag.String("journal", "", "crash-safe JSONL progress journal (enables -resume)")
+	resume := flag.Bool("resume", false, "skip jobs already completed in -journal")
+	grace := flag.Duration("grace", 30*time.Second, "how long in-flight jobs may finish after SIGINT/SIGTERM")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 	flag.Parse()
 
 	c := sim.Cycle(*cycles)
-	want := func(name string) bool { return *run == "all" || *run == name }
-	failed := false
-	emit := func(name string, table *harness.Table) {
-		fmt.Println(strings.TrimRight(table.String(), "\n") + "\n")
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, name+".csv")
-			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				failed = true
-			}
-		}
-	}
-	report := func(name string, r tabler, err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			failed = true
-			return
-		}
-		emit(name, r.Table())
-	}
-	// guard isolates each experiment: a panic in one becomes a reported
-	// failure and the remaining experiments still run.
-	guard := func(name string, fn func() (tabler, error)) {
-		var r tabler
-		err := harness.Protect(name, func() error {
-			var e error
-			r, e = fn()
-			return e
-		})
-		report(name, r, err)
+	exps := buildExperiments(c, *seed, *adversary, *useGA)
+
+	selected, err := selectExperiments(exps, *run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	if want("table1") {
-		emit("table1", harness.SchemeCapabilityTable())
-	}
-	if want("table2") {
-		emit("table2", harness.BaseConfigTable())
-	}
-	if want("fig2") {
-		guard("fig2", func() (tabler, error) { return harness.TradeoffSpace("bzip", c, *seed) })
-	}
-	if want("fig3") {
-		guard("fig3", func() (tabler, error) { return harness.ShapedDistributions("bzip", c, *seed) })
-	}
-	if want("fig4") {
-		guard("fig4", func() (tabler, error) { return harness.KeyDistortion(0x2AAAAAAA, 32, *seed) })
-	}
-	if want("fig8") {
-		guard("fig8", func() (tabler, error) { return harness.GATimeline("gcc", "astar", 16, 10, *seed) })
-	}
-	if want("fig9") {
-		guard("fig9", func() (tabler, error) { return harness.ReturnTimeDifference(*adversary, c, *seed) })
-	}
-	if want("fig10a") {
-		guard("fig10a", func() (tabler, error) { return harness.RespCPerformance("astar", "mcf", c, *seed) })
-	}
-	if want("fig10b") {
-		guard("fig10b", func() (tabler, error) { return harness.RespCPerformance("mcf", "astar", c, *seed) })
-	}
-	if want("fig11") {
-		guard("fig11", func() (tabler, error) { return harness.DistributionAccuracy(c, *seed) })
-	}
-	if want("fig12") {
-		guard("fig12", func() (tabler, error) { return harness.ReqCSpeedup(c, *seed) })
-	}
-	if want("fig13a") {
-		guard("fig13a", func() (tabler, error) { return harness.BDCComparison("astar", *useGA, c, *seed) })
-	}
-	if want("fig13b") {
-		guard("fig13b", func() (tabler, error) { return harness.BDCComparison("mcf", *useGA, c, *seed) })
-	}
-	if want("fig14") {
-		guard("fig14", func() (tabler, error) { return harness.CovertChannel(0x2AAAAAAA, 32, *seed) })
-	}
-	if want("fig15") {
-		guard("fig15", func() (tabler, error) { return harness.CovertChannel(0x01010101, 32, *seed) })
-	}
-	if want("mi") {
-		guard("mi", func() (tabler, error) { return harness.MutualInformation("astar", c, *seed) })
-	}
-	if want("headline") {
-		guard("headline", func() (tabler, error) { return harness.HeadlineSpeedups(c, *seed) })
-	}
-	if want("scalability") {
-		guard("scalability", func() (tabler, error) { return harness.Scalability([]int{4, 8, 16}, c, *seed) })
-	}
-	if want("epochrate") {
-		guard("epochrate", func() (tabler, error) { return harness.EpochRateComparison("gcc", c, *seed) })
-	}
-	if want("windowleak") {
-		guard("windowleak", func() (tabler, error) { return harness.WithinWindowLeakage("bzip", nil, c, *seed) })
-	}
-	if want("phasedetect") {
-		guard("phasedetect", func() (tabler, error) { return harness.PhaseDetection(2*c, *seed) })
-	}
-	if want("mitts") {
-		guard("mitts", func() (tabler, error) { return harness.MITTSFairness(c, *seed) })
-	}
-	if want("robustness") {
-		r, err := harness.Robustness(c, *seed)
-		report("robustness", r, err)
-		if err == nil && r.Failed() {
-			fmt.Fprintln(os.Stderr, "robustness: some fault classes missed their expectation")
-			failed = true
+	var journal *campaign.Journal
+	if *journalPath != "" {
+		journal, err = campaign.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
+		if !*resume {
+			if err := journal.Reset(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -journal")
+		os.Exit(2)
 	}
-	if failed {
+
+	// SIGINT/SIGTERM cancel the campaign: the pool stops handing out
+	// jobs, in-flight runs notice within one supervision quantum or get
+	// -grace to finish, and the journal holds everything completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var all []campaign.Job
+	for _, e := range selected {
+		all = append(all, e.jobs...)
+	}
+	sum, err := campaign.Run(ctx, all, campaign.Options{
+		Workers:    *jobs,
+		Retries:    *retries,
+		JobTimeout: *jobTimeout,
+		Grace:      *grace,
+		Journal:    journal,
+		Resume:     *resume,
+		Seed:       *seed,
+		Log:        func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	failed := emit(selected, sum, *csvDir)
+	if sum.Interrupted || journal != nil || sum.Resumed > 0 || sum.Retried > 0 || sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %s\n", sum)
+	}
+	switch {
+	case sum.Interrupted && sum.Remaining > 0:
+		os.Exit(130)
+	case failed:
 		os.Exit(1)
 	}
 }
 
-// tabler is any result exposing a text table.
-type tabler interface{ Table() *harness.Table }
+// emit prints every selected experiment's table in canonical order
+// (merging sweep jobs back into one table) and writes CSVs. It reports
+// whether any experiment failed.
+func emit(selected []experiment, sum *campaign.Summary, csvDir string) bool {
+	byHash := make(map[string]*campaign.Result, len(sum.Results))
+	for _, res := range sum.Results {
+		byHash[res.Hash] = res
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", csvDir, err)
+			return true
+		}
+	}
+	failed := false
+	for _, e := range selected {
+		var tables []*harness.Table
+		var errs []string
+		complete := true
+		for _, job := range e.jobs {
+			res := byHash[job.Hash()]
+			switch res.Status {
+			case campaign.Done, campaign.Resumed:
+				tables = append(tables, res.Table)
+			case campaign.Failed:
+				if res.Table != nil {
+					// A measured result that failed its expectation: show
+					// the table, then the verdict.
+					tables = append(tables, res.Table)
+				}
+				errs = append(errs, fmt.Sprintf("%s: %v", e.name, res.Err))
+				failed = true
+			default: // canceled / skipped: the resume picks it up
+				complete = false
+			}
+		}
+		if len(tables) == len(e.jobs) && complete {
+			table := mergeTables(tables)
+			fmt.Println(strings.TrimRight(table.String(), "\n") + "\n")
+			if csvDir != "" {
+				path := filepath.Join(csvDir, e.name+".csv")
+				if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+					failed = true
+				}
+			}
+		}
+		for _, line := range errs {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	return failed
+}
+
+// mergeTables folds a sweep's per-point tables into one: the first
+// table's title and columns, every table's rows in sweep order.
+func mergeTables(tables []*harness.Table) *harness.Table {
+	if len(tables) == 1 {
+		return tables[0]
+	}
+	merged := &harness.Table{Title: tables[0].Title, Columns: tables[0].Columns}
+	for _, t := range tables {
+		merged.Rows = append(merged.Rows, t.Rows...)
+	}
+	return merged
+}
+
+// selectExperiments resolves the -run list against the canonical
+// experiment set, preserving canonical order.
+func selectExperiments(exps []experiment, run string) ([]experiment, error) {
+	if run == "all" || run == "" {
+		return exps, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(run, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var out []experiment
+	for _, e := range exps {
+		if want[e.name] {
+			out = append(out, e)
+			delete(want, e.name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		valid := make([]string, len(exps))
+		for i, e := range exps {
+			valid[i] = e.name
+		}
+		return nil, fmt.Errorf("experiments: unknown experiment(s) %s (valid: %s, all)",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	return out, nil
+}
+
+// buildExperiments returns the canonical experiment list. Each job's
+// spec encodes every parameter that shapes its result, so the journal's
+// spec hash invalidates stale records when a flag changes.
+func buildExperiments(c sim.Cycle, seed uint64, adversary string, useGA bool) []experiment {
+	base := fmt.Sprintf("cycles=%d seed=%d", c, seed)
+	job := func(name, spec string, fn func(ctx context.Context) (*harness.Table, error)) campaign.Job {
+		return campaign.Job{
+			Name: name,
+			Spec: spec,
+			Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+				var table *harness.Table
+				err := harness.Protect(name, func() error {
+					var e error
+					table, e = fn(ctx)
+					return e
+				})
+				return table, err
+			},
+		}
+	}
+	single := func(name, spec string, fn func(ctx context.Context) (*harness.Table, error)) experiment {
+		return experiment{name: name, jobs: []campaign.Job{job(name, spec, fn)}}
+	}
+	tab := func(r interface{ Table() *harness.Table }, err error) (*harness.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	}
+
+	exps := []experiment{
+		single("table1", "static", func(ctx context.Context) (*harness.Table, error) {
+			return harness.SchemeCapabilityTable(), nil
+		}),
+		single("table2", "static", func(ctx context.Context) (*harness.Table, error) {
+			return harness.BaseConfigTable(), nil
+		}),
+		single("fig2", base+" bench=bzip", func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.TradeoffSpace(ctx, "bzip", c, seed))
+		}),
+		single("fig3", base+" bench=bzip", func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.ShapedDistributions(ctx, "bzip", c, seed))
+		}),
+		single("fig4", fmt.Sprintf("seed=%d key=0x2AAAAAAA bits=32", seed), func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.KeyDistortion(ctx, 0x2AAAAAAA, 32, seed))
+		}),
+		single("fig8", fmt.Sprintf("seed=%d victim=gcc coworker=astar pop=16 gens=10", seed), func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.GATimeline(ctx, "gcc", "astar", 16, 10, seed))
+		}),
+		single("fig9", base+" adversary="+adversary, func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.ReturnTimeDifference(ctx, adversary, c, seed))
+		}),
+		single("fig10a", base+" victim=astar coworker=mcf", func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.RespCPerformance(ctx, "astar", "mcf", c, seed))
+		}),
+		single("fig10b", base+" victim=mcf coworker=astar", func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.RespCPerformance(ctx, "mcf", "astar", c, seed))
+		}),
+		single("fig11", base, func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.DistributionAccuracy(ctx, c, seed))
+		}),
+		single("fig12", base, func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.ReqCSpeedup(ctx, c, seed))
+		}),
+		single("fig13a", fmt.Sprintf("%s bench=astar ga=%t", base, useGA), func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.BDCComparison(ctx, "astar", useGA, c, seed))
+		}),
+		single("fig13b", fmt.Sprintf("%s bench=mcf ga=%t", base, useGA), func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.BDCComparison(ctx, "mcf", useGA, c, seed))
+		}),
+		single("fig14", fmt.Sprintf("seed=%d key=0x2AAAAAAA bits=32", seed), func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.CovertChannel(ctx, 0x2AAAAAAA, 32, seed))
+		}),
+		single("fig15", fmt.Sprintf("seed=%d key=0x01010101 bits=32", seed), func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.CovertChannel(ctx, 0x01010101, 32, seed))
+		}),
+		single("mi", base+" bench=astar", func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.MutualInformation(ctx, "astar", c, seed))
+		}),
+		single("headline", base, func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.HeadlineSpeedups(ctx, c, seed))
+		}),
+		scalabilitySweep(c, seed, job),
+		single("epochrate", base+" bench=gcc", func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.EpochRateComparison(ctx, "gcc", c, seed))
+		}),
+		single("windowleak", base+" bench=bzip", func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.WithinWindowLeakage(ctx, "bzip", nil, c, seed))
+		}),
+		single("phasedetect", fmt.Sprintf("cycles=%d seed=%d", 2*c, seed), func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.PhaseDetection(ctx, 2*c, seed))
+		}),
+		single("mitts", base, func(ctx context.Context) (*harness.Table, error) {
+			return tab(harness.MITTSFairness(ctx, c, seed))
+		}),
+		single("robustness", base, func(ctx context.Context) (*harness.Table, error) {
+			r, err := harness.Robustness(ctx, c, seed)
+			if err != nil {
+				return nil, err
+			}
+			if r.Failed() {
+				// The measured matrix is still worth showing; the verdict
+				// is fatal (deterministic from the seed, retrying cannot
+				// change it).
+				return r.Table(), campaign.Fatal(errors.New("some fault classes missed their expectation"))
+			}
+			return r.Table(), nil
+		}),
+	}
+	return exps
+}
+
+// scalabilitySweep fans the §II-B scalability experiment into one job
+// per core count — each point derives its sources from seed+cores*31 and
+// is independent, so the sweep parallelizes and resumes point-by-point;
+// emit() merges the rows back into the canonical single table.
+func scalabilitySweep(c sim.Cycle, seed uint64, job func(name, spec string, fn func(ctx context.Context) (*harness.Table, error)) campaign.Job) experiment {
+	e := experiment{name: "scalability"}
+	for _, n := range []int{4, 8, 16} {
+		n := n
+		e.jobs = append(e.jobs, job(
+			fmt.Sprintf("scalability/%d", n),
+			fmt.Sprintf("cycles=%d seed=%d cores=%d", c, seed, n),
+			func(ctx context.Context) (*harness.Table, error) {
+				r, err := harness.Scalability(ctx, []int{n}, c, seed)
+				if err != nil {
+					return nil, err
+				}
+				return r.Table(), nil
+			}))
+	}
+	return e
+}

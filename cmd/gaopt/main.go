@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"camouflage/internal/harness"
 )
@@ -21,7 +24,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	res, err := harness.GATimeline(*adversary, *victim, *population, *generations, *seed)
+	// SIGINT/SIGTERM cancel the run; the cycle loop notices within one
+	// supervision quantum and the error reports the cycle reached.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := harness.GATimeline(ctx, *adversary, *victim, *population, *generations, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gaopt:", err)
 		os.Exit(1)

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"camouflage/internal/harness"
 	"camouflage/internal/sim"
@@ -22,7 +25,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	res, err := harness.MutualInformation(*adversary, sim.Cycle(*cycles), *seed)
+	// SIGINT/SIGTERM cancel the run; the cycle loop notices within one
+	// supervision quantum and the error reports the cycle reached.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := harness.MutualInformation(ctx, *adversary, sim.Cycle(*cycles), *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "miprobe:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/harness"
@@ -15,7 +16,7 @@ func main() {
 	const key = 0xDEADBEEF
 	const bits = 32
 
-	res, err := harness.CovertChannel(key, bits, 99)
+	res, err := harness.CovertChannel(context.Background(), key, bits, 99)
 	if err != nil {
 		panic(err)
 	}

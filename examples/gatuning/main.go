@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/harness"
@@ -16,7 +17,7 @@ func main() {
 	const adversary, victim = "mcf", "astar"
 
 	fmt.Printf("optimizing BDC bins for w(%s, %s) with the online GA...\n\n", adversary, victim)
-	res, err := harness.GATimeline(adversary, victim, 16, 10, 3)
+	res, err := harness.GATimeline(context.Background(), adversary, victim, 16, 10, 3)
 	if err != nil {
 		panic(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,7 +15,7 @@ import (
 func main() {
 	const app = "gcc"
 	fmt.Printf("sweeping Camouflage configurations for %s...\n\n", app)
-	res, err := harness.TradeoffSpace(app, 300_000, 7)
+	res, err := harness.TradeoffSpace(context.Background(), app, 300_000, 7)
 	if err != nil {
 		panic(err)
 	}

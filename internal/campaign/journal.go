@@ -1,0 +1,192 @@
+// Package campaign is the resilient job-runner behind the full
+// evaluation campaign: every experiment (and every sweep point) is a
+// named Job with a deterministic spec hash, executed on a bounded worker
+// pool with per-job deadlines, retry with exponential backoff for
+// transient failures, and a crash-safe JSONL progress journal so an
+// interrupted campaign resumes where it stopped instead of starting
+// over.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"camouflage/internal/harness"
+)
+
+// Record is one journal line: the terminal outcome of one job.
+type Record struct {
+	// Job is the job's name, Hash its deterministic spec hash. A resume
+	// matches on Hash, not Name, so a job whose parameters changed (new
+	// cycles, new seed) is re-run instead of wrongly skipped.
+	Job  string `json:"job"`
+	Hash string `json:"hash"`
+	// Status is "done" or "failed".
+	Status string `json:"status"`
+	// Attempts counts executions including the successful/final one.
+	Attempts int `json:"attempts"`
+	// Class and Error describe the failure for Status "failed".
+	Class string `json:"class,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Table is the rendered result for Status "done", stored so a resumed
+	// campaign can re-emit completed results without re-running them.
+	Table *harness.Table `json:"table,omitempty"`
+}
+
+// StatusDone and StatusFailed are the journal's terminal statuses.
+const (
+	StatusDone   = "done"
+	StatusFailed = "failed"
+)
+
+// Journal is the append-only JSONL progress log. Every Append rewrites
+// the whole file to a temp file in the same directory and renames it
+// over the journal path, so a crash at any instant leaves either the
+// previous complete journal or the new complete journal — never a
+// half-written line. Load additionally tolerates a torn final line
+// (a journal produced by a plain appender, or a filesystem that broke
+// the rename promise) by dropping it and reporting it, so every complete
+// record before the tear is still recovered.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	records []Record
+	// torn counts undecodable lines dropped by Load.
+	torn int
+}
+
+// OpenJournal loads the journal at path, creating its directory if
+// needed. A missing file is an empty journal, not an error.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return nil, fmt.Errorf("campaign: empty journal path")
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: journal dir: %w", err)
+		}
+	}
+	j := &Journal{path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return j, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil || rec.Hash == "" {
+			// A torn line: the process died mid-write. The record was not
+			// complete, so the job it belonged to simply re-runs.
+			j.torn++
+			continue
+		}
+		j.records = append(j.records, rec)
+	}
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Torn reports how many undecodable (torn) lines Load dropped.
+func (j *Journal) Torn() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.torn
+}
+
+// Len returns the number of loaded/appended records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.records)
+}
+
+// Records returns a copy of all records in append order.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.records...)
+}
+
+// Done returns the most recent StatusDone record per spec hash.
+func (j *Journal) Done() map[string]Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]Record)
+	for _, rec := range j.records {
+		if rec.Status == StatusDone {
+			out[rec.Hash] = rec
+		}
+	}
+	return out
+}
+
+// Reset drops every record and truncates the journal file (a fresh,
+// non-resumed campaign over an existing journal path).
+func (j *Journal) Reset() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.records = nil
+	j.torn = 0
+	return j.flushLocked()
+}
+
+// Append adds rec and atomically rewrites the journal file. The record
+// is kept in memory even if the flush fails, so a campaign on a full
+// disk still finishes and reports; the flush error is returned for the
+// runner to surface.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.records = append(j.records, rec)
+	return j.flushLocked()
+}
+
+// flushLocked writes all records to a temp file and renames it over the
+// journal path. Callers hold j.mu.
+func (j *Journal) flushLocked() error {
+	var b strings.Builder
+	for _, rec := range j.records {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("campaign: marshal journal record %q: %w", rec.Job, err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	dir, base := filepath.Split(j.path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: journal temp file: %w", err)
+	}
+	if _, err := tmp.WriteString(b.String()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: write journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: sync journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: close journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: rename journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"camouflage/internal/harness"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "journal.jsonl")
+	jn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &harness.Table{Title: "T", Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	if err := jn.Append(Record{Job: "fig11", Hash: "aaaa", Status: StatusDone, Attempts: 1, Table: tbl}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(Record{Job: "fig12", Hash: "bbbb", Status: StatusFailed, Attempts: 3, Class: "transient", Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 || re.Torn() != 0 {
+		t.Fatalf("reloaded %d records (%d torn), want 2/0", re.Len(), re.Torn())
+	}
+	recs := re.Records()
+	if recs[0].Table == nil || recs[0].Table.Title != "T" || len(recs[0].Table.Rows) != 1 {
+		t.Fatalf("table did not round-trip: %+v", recs[0].Table)
+	}
+	done := re.Done()
+	if _, ok := done["aaaa"]; !ok || len(done) != 1 {
+		t.Fatalf("Done() = %v, want only aaaa", done)
+	}
+}
+
+// TestJournalTornLastLine kills a campaign mid-write: the journal's last
+// line is truncated. Reload must recover every complete record and count
+// the torn line, and a resumed campaign must re-run only the torn job.
+func TestJournalTornLastLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{trivialJob("a"), trivialJob("b"), trivialJob("c")}
+	opt := fastOpts()
+	opt.Journal = jn
+	if _, err := Run(context.Background(), jobs, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record as a mid-write crash would: chop the file in
+	// the middle of its last line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	torn := strings.Join(lines[:2], "\n") + "\n" + lines[2][:len(lines[2])/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("recovered %d complete records, want 2", re.Len())
+	}
+	if re.Torn() != 1 {
+		t.Fatalf("torn count %d, want 1", re.Torn())
+	}
+
+	// Resume: the two intact jobs are served from the journal, the torn
+	// one re-runs.
+	var reruns atomic.Int32
+	resumed := make([]Job, len(jobs))
+	for i, j := range jobs {
+		j := j
+		inner := j.Run
+		j.Run = func(ctx context.Context, attempt int) (*harness.Table, error) {
+			reruns.Add(1)
+			return inner(ctx, attempt)
+		}
+		resumed[i] = j
+	}
+	opt2 := fastOpts()
+	opt2.Journal = re
+	opt2.Resume = true
+	sum, err := Run(context.Background(), resumed, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reruns.Load(); got != 1 {
+		t.Fatalf("resume re-ran %d jobs, want exactly the torn one", got)
+	}
+	if sum.Resumed != 2 || sum.Completed != 1 {
+		t.Fatalf("summary %s, want 2 resumed + 1 completed", sum)
+	}
+	// After the resume the journal is whole again: all three jobs done.
+	if len(re.Done()) != 3 {
+		t.Fatalf("journal has %d done records after resume, want 3", len(re.Done()))
+	}
+}
+
+// TestJournalGarbageMidFile: corruption anywhere (not just the tail) is
+// dropped without losing the records around it.
+func TestJournalGarbageMidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := `{"job":"a","hash":"h1","status":"done","attempts":1}
+not json at all
+{"job":"b","hash":"h2","status":"done","attempts":1}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jn.Len() != 2 || jn.Torn() != 1 {
+		t.Fatalf("recovered %d records (%d torn), want 2/1", jn.Len(), jn.Torn())
+	}
+}
+
+func TestJournalReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := jn.Append(Record{Job: fmt.Sprintf("j%d", i), Hash: fmt.Sprintf("h%d", i), Status: StatusDone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if jn.Len() != 0 {
+		t.Fatalf("reset left %d records", jn.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("reset left %d bytes on disk", len(data))
+	}
+}
+
+// TestJournalNoTempLeftovers: the atomic rewrite must not leave temp
+// files behind on the happy path.
+func TestJournalNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := OpenJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := jn.Append(Record{Job: "j", Hash: fmt.Sprintf("h%d", i), Status: StatusDone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "journal.jsonl" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only journal.jsonl", names)
+	}
+}

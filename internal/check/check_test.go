@@ -257,3 +257,32 @@ func TestCreditCheckerWrapsConserver(t *testing.T) {
 		t.Fatalf("violation not propagated: %v", err)
 	}
 }
+
+// TestMonitorErrWrapsViolation: the error returned by Monitor.Err can be
+// unwrapped to the first *Violation with errors.As, so retry policies
+// can recognise invariant violations and refuse to retry them.
+func TestMonitorErrWrapsViolation(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := NewMonitor(k, Options{Stride: 1})
+	boom := errors.New("ledger off by one")
+	m.Add(&stubChecker{name: "stub", err: boom})
+	k.Register(m)
+	k.Run(1)
+	err := m.Err()
+	if err == nil {
+		t.Fatal("violated monitor returned nil Err")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("Err does not wrap *Violation: %v", err)
+	}
+	if v.Checker != "stub" {
+		t.Errorf("wrapped violation names checker %q, want stub", v.Checker)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("Err does not unwrap to the checker error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "invariant violation(s)") {
+		t.Errorf("summary message lost: %v", err)
+	}
+}

@@ -139,7 +139,10 @@ func (m *Monitor) Violations() []*Violation {
 }
 
 // Err returns nil if no invariant has been violated, else an error
-// summarising every violation with the first one's diagnostic dump.
+// summarising every violation with the first one's diagnostic dump. The
+// returned error wraps the first *Violation, so callers can classify it
+// with errors.As — invariant violations are deterministic properties of
+// the simulated configuration, never worth retrying.
 func (m *Monitor) Err() error {
 	if len(m.violations) == 0 {
 		return nil
@@ -151,5 +154,17 @@ func (m *Monitor) Err() error {
 	}
 	b.WriteString("\n")
 	b.WriteString(m.violations[0].Dump)
-	return fmt.Errorf("%s", b.String())
+	return &monitorError{msg: b.String(), first: m.violations[0]}
 }
+
+// monitorError is the typed error returned by Err: the full multi-line
+// summary as its message, the first violation as its unwrap target.
+type monitorError struct {
+	msg   string
+	first *Violation
+}
+
+func (e *monitorError) Error() string { return e.msg }
+
+// Unwrap exposes the first violation for errors.As / errors.Is.
+func (e *monitorError) Unwrap() error { return e.first }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"camouflage/internal/sim"
+)
+
+// TestRunContextCancelStopsWithinQuantum: cancelling the context mid-run
+// stops the cycle loop within one supervision quantum and returns
+// ctx.Err() wrapped with the cycle reached.
+func TestRunContextCancelStopsWithinQuantum(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "astar"))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel from inside the simulation at a deterministic cycle that is
+	// not a quantum boundary, so the loop must run on to the next
+	// boundary before it may notice.
+	const cancelAt = 3 * SuperviseStride / 2
+	sys.Kernel.Register(sim.TickFunc(func(now sim.Cycle) {
+		if now == cancelAt {
+			cancel()
+		}
+	}))
+
+	err := sys.RunContext(ctx, 100*SuperviseStride)
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "at cycle") {
+		t.Fatalf("error does not carry the cycle reached: %v", err)
+	}
+	now := sys.Kernel.Now()
+	if now < cancelAt {
+		t.Fatalf("stopped at cycle %d, before the cancellation at %d", now, cancelAt)
+	}
+	if now > cancelAt+SuperviseStride {
+		t.Fatalf("stopped at cycle %d, more than one quantum (%d) after the cancellation at %d",
+			now, SuperviseStride, cancelAt)
+	}
+}
+
+// TestRunContextPreCanceled: an already-canceled context aborts before
+// the first cycle is simulated.
+func TestRunContextPreCanceled(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "astar"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := sys.RunContext(ctx, 10_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if sys.Kernel.Now() != 0 {
+		t.Fatalf("pre-canceled run still simulated %d cycles", sys.Kernel.Now())
+	}
+}
+
+// TestRunUntilFinishedContextCancel: the completion-predicate run path
+// honours cancellation too.
+func TestRunUntilFinishedContextCancel(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "astar"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := sys.RunUntilFinishedContext(ctx, 10_000)
+	if done {
+		t.Fatal("canceled run reported completion")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestErrDeadlineIsTyped: deadline expiry is matchable with errors.Is so
+// retry policies can classify it as transient.
+func TestErrDeadlineIsTyped(t *testing.T) {
+	sys := mustSystem(DefaultConfig(), sources(4, "astar"))
+	sys.SetDeadline(1) // one nanosecond: expires before the first quantum check
+	err := sys.Run(5_000_000)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -290,9 +292,17 @@ func (s *System) progress() uint64 {
 	return p
 }
 
-// deadlineStride is how many cycles pass between wall-clock deadline
-// checks on the supervised run path.
-const deadlineStride sim.Cycle = 1 << 14
+// SuperviseStride is the supervision quantum: how many cycles pass
+// between wall-clock deadline and context-cancellation checks on the
+// supervised run path. A canceled run stops within one quantum.
+const SuperviseStride sim.Cycle = 1 << 14
+
+// ErrDeadline marks a run aborted because it exceeded the wall-clock
+// deadline set with SetDeadline. Deadline expiry is a property of the
+// host (an overloaded machine, a slow CI runner), not of the simulated
+// configuration, so callers such as the campaign retry policy treat it
+// as transient. Match with errors.Is.
+var ErrDeadline = errors.New("wall-clock deadline exceeded")
 
 // Run advances the system n cycles under supervision: a panic inside any
 // component is recovered into an error, the invariant monitor (when
@@ -300,7 +310,15 @@ const deadlineStride sim.Cycle = 1 << 14
 // wall-clock deadline aborts. The error carries the monitor's diagnostic
 // dump when an invariant broke.
 func (s *System) Run(n sim.Cycle) error {
-	_, err := s.runSupervised(n, nil)
+	return s.RunContext(context.Background(), n)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled once
+// per supervision quantum (SuperviseStride cycles), so after ctx is
+// canceled the cycle loop stops within one quantum and returns ctx.Err()
+// wrapped with the cycle reached.
+func (s *System) RunContext(ctx context.Context, n sim.Cycle) error {
+	_, err := s.runSupervised(ctx, n, nil)
 	return err
 }
 
@@ -308,7 +326,13 @@ func (s *System) Run(n sim.Cycle) error {
 // limit cycles elapse, under the same supervision as Run; it reports
 // whether completion was reached.
 func (s *System) RunUntilFinished(limit sim.Cycle) (bool, error) {
-	return s.runSupervised(limit, func() bool {
+	return s.RunUntilFinishedContext(context.Background(), limit)
+}
+
+// RunUntilFinishedContext is RunUntilFinished with the cooperative
+// cancellation semantics of RunContext.
+func (s *System) RunUntilFinishedContext(ctx context.Context, limit sim.Cycle) (bool, error) {
+	return s.runSupervised(ctx, limit, func() bool {
 		for _, c := range s.Cores {
 			if !c.Finished() {
 				return false
@@ -318,7 +342,7 @@ func (s *System) RunUntilFinished(limit sim.Cycle) (bool, error) {
 	})
 }
 
-func (s *System) runSupervised(n sim.Cycle, pred func() bool) (done bool, err error) {
+func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() bool) (done bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: panic at cycle %d: %v\n%s", s.Kernel.Now(), r, debug.Stack())
@@ -333,8 +357,13 @@ func (s *System) runSupervised(n sim.Cycle, pred func() bool) (done bool, err er
 		if s.Monitor != nil && s.Monitor.Violated() {
 			break
 		}
-		if s.deadline > 0 && ran%deadlineStride == 0 && time.Since(start) > s.deadline {
-			return done, fmt.Errorf("core: wall-clock deadline %v exceeded at cycle %d after %d of %d cycles", s.deadline, s.Kernel.Now(), ran, n)
+		if ran%SuperviseStride == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return done, fmt.Errorf("core: run canceled at cycle %d after %d of %d cycles: %w", s.Kernel.Now(), ran, n, cerr)
+			}
+			if s.deadline > 0 && time.Since(start) > s.deadline {
+				return done, fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, s.Kernel.Now(), ran, n)
+			}
 		}
 		s.Kernel.Step()
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/attack"
@@ -54,7 +55,7 @@ type CovertChannelResult struct {
 // LSB first) on a protected core, first unshaped and then under Request
 // Camouflage with fake traffic, and decodes the key from the bus traffic
 // in both runs.
-func CovertChannel(key uint64, keyLen int, seed uint64) (*CovertChannelResult, error) {
+func CovertChannel(ctx context.Context, key uint64, keyLen int, seed uint64) (*CovertChannelResult, error) {
 	res := &CovertChannelResult{Key: key, KeyLen: keyLen}
 	cycles := CovertPulse * sim.Cycle(keyLen+2)
 
@@ -75,7 +76,9 @@ func CovertChannel(key uint64, keyLen int, seed uint64) (*CovertChannelResult, e
 		}
 		mon := attack.NewBusMonitor(0)
 		sys.ReqNet.AddTap(mon.Observe)
-		sys.Run(cycles)
+		if err := sys.RunContext(ctx, cycles); err != nil {
+			return nil, err
+		}
 		return mon.WindowCounts(0, CovertPulse, keyLen), nil
 	}
 

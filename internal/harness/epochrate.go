@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/attack"
@@ -38,7 +39,7 @@ type EpochRateResult struct {
 // EpochRateComparison runs benchmark solo under the three rate-shaping
 // designs at comparable budgets and reports throughput, measured MI and
 // the analytic leakage bound.
-func EpochRateComparison(benchmark string, cycles sim.Cycle, seed uint64) (*EpochRateResult, error) {
+func EpochRateComparison(ctx context.Context, benchmark string, cycles sim.Cycle, seed uint64) (*EpochRateResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -59,7 +60,7 @@ func EpochRateComparison(benchmark string, cycles sim.Cycle, seed uint64) (*Epoc
 	}
 	mon := attack.NewBusMonitor(0)
 	sys.ReqNet.AddTap(mon.Observe)
-	rsBase, err := measureRun(sys, WarmupCycles, cycles)
+	rsBase, err := measureRun(ctx, sys, WarmupCycles, cycles)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +94,7 @@ func EpochRateComparison(benchmark string, cycles sim.Cycle, seed uint64) (*Epoc
 			return err
 		}
 		s.ReqShapers[0].Shaped = stats.NewInterArrivalRecorder(binning, true)
-		rs, err := measureRun(s, WarmupCycles, cycles)
+		rs, err := measureRun(ctx, s, WarmupCycles, cycles)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 const testCycles = 250_000
 
 func TestFig11AllAppsShapedToDesired(t *testing.T) {
-	res, err := DistributionAccuracy(testCycles, 1)
+	res, err := DistributionAccuracy(context.Background(), testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestFig11AllAppsShapedToDesired(t *testing.T) {
 func TestFig12CamouflageBeatsConstantShaper(t *testing.T) {
 	// Longer run than the other integration tests: the GA-chosen configs
 	// need enough windows to measure stably.
-	res, err := ReqCSpeedup(400_000, 1)
+	res, err := ReqCSpeedup(context.Background(), 400_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFig12CamouflageBeatsConstantShaper(t *testing.T) {
 }
 
 func TestMIOrderingMatchesPaper(t *testing.T) {
-	res, err := MutualInformation("astar", testCycles, 1)
+	res, err := MutualInformation(context.Background(), "astar", testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestMIOrderingMatchesPaper(t *testing.T) {
 }
 
 func TestFig9RespCFlattensChannel(t *testing.T) {
-	res, err := ReturnTimeDifference("gcc", testCycles, 1)
+	res, err := ReturnTimeDifference(context.Background(), "gcc", testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFig9RespCFlattensChannel(t *testing.T) {
 }
 
 func TestFig10RespCPerformanceShape(t *testing.T) {
-	a, err := RespCPerformance("astar", "mcf", testCycles, 1)
+	a, err := RespCPerformance(context.Background(), "astar", "mcf", testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestFig10RespCPerformanceShape(t *testing.T) {
 	if a.GeoMeanThroughput > 1.12 {
 		t.Errorf("10(a) throughput geomean %.3f too costly", a.GeoMeanThroughput)
 	}
-	b, err := RespCPerformance("mcf", "astar", testCycles, 1)
+	b, err := RespCPerformance(context.Background(), "mcf", "astar", testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestFig10RespCPerformanceShape(t *testing.T) {
 
 func TestFig13CamouflageWins(t *testing.T) {
 	for _, victim := range []string{"astar", "mcf"} {
-		res, err := BDCComparison(victim, false, testCycles, 1)
+		res, err := BDCComparison(context.Background(), victim, false, testCycles, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestFig13CamouflageWins(t *testing.T) {
 
 func TestCovertChannelMitigated(t *testing.T) {
 	for _, key := range []uint64{0x2AAAAAAA, 0x01010101} {
-		res, err := CovertChannel(key, 32, 1)
+		res, err := CovertChannel(context.Background(), key, 32, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +210,7 @@ func TestCovertChannelMitigated(t *testing.T) {
 }
 
 func TestFig4KeyDistorted(t *testing.T) {
-	res, err := KeyDistortion(0x2AAAAAAA, 32, 1)
+	res, err := KeyDistortion(context.Background(), 0x2AAAAAAA, 32, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestFig4KeyDistorted(t *testing.T) {
 }
 
 func TestFig2TradeoffSpace(t *testing.T) {
-	res, err := TradeoffSpace("bzip", testCycles, 1)
+	res, err := TradeoffSpace(context.Background(), "bzip", testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestFig2TradeoffSpace(t *testing.T) {
 }
 
 func TestFig3DistributionsDiffer(t *testing.T) {
-	res, err := ShapedDistributions("bzip", testCycles, 1)
+	res, err := ShapedDistributions(context.Background(), "bzip", testCycles, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestFig3DistributionsDiffer(t *testing.T) {
 }
 
 func TestGATimelineConverges(t *testing.T) {
-	res, err := GATimeline("gcc", "astar", 10, 6, 1)
+	res, err := GATimeline(context.Background(), "gcc", "astar", 10, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestGATimelineConverges(t *testing.T) {
 }
 
 func TestHeadlineSpeedups(t *testing.T) {
-	r, err := HeadlineSpeedups(150_000, 1)
+	r, err := HeadlineSpeedups(context.Background(), 150_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

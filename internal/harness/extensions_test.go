@@ -1,9 +1,12 @@
 package harness
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestScalabilityTPGrowsCamouflageFlat(t *testing.T) {
-	res, err := Scalability([]int{4, 8, 16}, 150_000, 1)
+	res, err := Scalability(context.Background(), []int{4, 8, 16}, 150_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +35,7 @@ func TestScalabilityTPGrowsCamouflageFlat(t *testing.T) {
 }
 
 func TestEpochRateComparisonShape(t *testing.T) {
-	res, err := EpochRateComparison("gcc", 200_000, 1)
+	res, err := EpochRateComparison(context.Background(), "gcc", 200_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func TestEpochRateComparisonShape(t *testing.T) {
 }
 
 func TestWithinWindowLeakage(t *testing.T) {
-	res, err := WithinWindowLeakage("bzip", nil, 200_000, 1)
+	res, err := WithinWindowLeakage(context.Background(), "bzip", nil, 200_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +96,7 @@ func TestWithinWindowLeakage(t *testing.T) {
 }
 
 func TestPhaseDetectionSideChannel(t *testing.T) {
-	r, err := PhaseDetection(800_000, 1)
+	r, err := PhaseDetection(context.Background(), 800_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestPhaseDetectionSideChannel(t *testing.T) {
 }
 
 func TestMITTSTenantQoS(t *testing.T) {
-	r, err := MITTSFairness(300_000, 1)
+	r, err := MITTSFairness(context.Background(), 300_000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

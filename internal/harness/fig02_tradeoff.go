@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/attack"
 	"camouflage/internal/core"
 	"camouflage/internal/mi"
@@ -32,7 +34,7 @@ type TradeoffSpaceResult struct {
 // benchmark from constant-rate (one active bin, maximum security) to
 // generous multi-bin distributions (maximum performance), measuring MI and
 // relative performance for each, alongside the CS and no-shaping anchors.
-func TradeoffSpace(benchmark string, cycles sim.Cycle, seed uint64) (*TradeoffSpaceResult, error) {
+func TradeoffSpace(ctx context.Context, benchmark string, cycles sim.Cycle, seed uint64) (*TradeoffSpaceResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -53,7 +55,7 @@ func TradeoffSpace(benchmark string, cycles sim.Cycle, seed uint64) (*TradeoffSp
 	}
 	mon := attack.NewBusMonitor(0)
 	sys.ReqNet.AddTap(mon.Observe)
-	rsBase, err := measureRun(sys, WarmupCycles, cycles)
+	rsBase, err := measureRun(ctx, sys, WarmupCycles, cycles)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +111,7 @@ func TradeoffSpace(benchmark string, cycles sim.Cycle, seed uint64) (*TradeoffSp
 			return nil, err
 		}
 		s.ReqShapers[0].Shaped = stats.NewInterArrivalRecorder(binning, true)
-		rs, err := measureRun(s, WarmupCycles, cycles)
+		rs, err := measureRun(ctx, s, WarmupCycles, cycles)
 		if err != nil {
 			return nil, err
 		}

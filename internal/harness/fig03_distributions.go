@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/core"
 	"camouflage/internal/mem"
 	"camouflage/internal/shaper"
@@ -26,7 +28,7 @@ type ShapedDistributionsResult struct {
 // ShapedDistributions measures the observed service inter-arrival
 // distributions of one protected benchmark (co-run with three astar
 // copies) under each scheme.
-func ShapedDistributions(benchmark string, cycles sim.Cycle, seed uint64) (*ShapedDistributionsResult, error) {
+func ShapedDistributions(ctx context.Context, benchmark string, cycles sim.Cycle, seed uint64) (*ShapedDistributionsResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -52,7 +54,9 @@ func ShapedDistributions(benchmark string, cycles sim.Cycle, seed uint64) (*Shap
 				rec.Observe(now)
 			}
 		})
-		sys.Run(cycles)
+		if err := sys.RunContext(ctx, cycles); err != nil {
+			return nil, err
+		}
 		return rec.Hist.PMF(), nil
 	}
 
@@ -80,7 +84,9 @@ func ShapedDistributions(benchmark string, cycles sim.Cycle, seed uint64) (*Shap
 				count++
 			}
 		})
-		sys.Run(cycles)
+		if err := sys.RunContext(ctx, cycles); err != nil {
+			return nil, err
+		}
 		if count > 0 {
 			d := sim.Cycle(count) * window / cycles
 			if d >= 2 {

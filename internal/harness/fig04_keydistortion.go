@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/attack"
@@ -29,7 +30,7 @@ type KeyDistortionResult struct {
 // the full covert defense (CovertChannel), the point here is Figure 4's
 // "slightly changes the distribution" framing: even gentle shaping
 // corrupts the inferred key vector.
-func KeyDistortion(key uint64, keyLen int, seed uint64) (*KeyDistortionResult, error) {
+func KeyDistortion(ctx context.Context, key uint64, keyLen int, seed uint64) (*KeyDistortionResult, error) {
 	cycles := CovertPulse * sim.Cycle(keyLen+2)
 
 	cfg := core.DefaultConfig()
@@ -56,7 +57,9 @@ func KeyDistortion(key uint64, keyLen int, seed uint64) (*KeyDistortionResult, e
 	}
 	mon := attack.NewBusMonitor(0)
 	sys.ReqNet.AddTap(mon.Observe)
-	sys.Run(cycles)
+	if err := sys.RunContext(ctx, cycles); err != nil {
+		return nil, err
+	}
 
 	counts := mon.WindowCounts(0, CovertPulse, keyLen)
 	dec := attack.DecodeCovertChannel(counts, sender.Bits())

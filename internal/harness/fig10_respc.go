@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/core"
 	"camouflage/internal/mem"
 	"camouflage/internal/shaper"
@@ -39,7 +41,7 @@ type RespCPerformanceResult struct {
 // w(ADVERSARY, victim) with the adversary's responses shaped to the
 // distribution it would see next to targetVictim, and report the
 // adversary's and the system's slowdown relative to no shaping.
-func RespCPerformance(victim, targetVictim string, cycles sim.Cycle, seed uint64) (*RespCPerformanceResult, error) {
+func RespCPerformance(ctx context.Context, victim, targetVictim string, cycles sim.Cycle, seed uint64) (*RespCPerformanceResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -47,18 +49,18 @@ func RespCPerformance(victim, targetVictim string, cycles sim.Cycle, seed uint64
 	var advRatios, tpRatios []float64
 	for _, adv := range trace.BenchmarkNames() {
 		// Measure the target response distribution from w(adv, target).
-		_, targetHist, err := runRespCMeasured(adv, targetVictim, nil, cycles, seed)
+		_, targetHist, err := runRespCMeasured(ctx, adv, targetVictim, nil, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
 		target := shaper.FromHistogram(targetHist, 4*shaper.DefaultWindow, 0, true)
 
 		// Baseline and shaped runs of w(adv, victim).
-		base, _, err := runRespCMeasured(adv, victim, nil, cycles, seed)
+		base, _, err := runRespCMeasured(ctx, adv, victim, nil, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
-		shaped, _, err := runRespCMeasured(adv, victim, &target, cycles, seed)
+		shaped, _, err := runRespCMeasured(ctx, adv, victim, &target, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +88,7 @@ func RespCPerformance(victim, targetVictim string, cycles sim.Cycle, seed uint64
 // runRespCMeasured runs w(adversary, victim) with optional RespC on core 0
 // and returns the post-warmup run statistics and the adversary's response
 // inter-arrival histogram.
-func runRespCMeasured(adversary, victim string, respCfg *shaper.Config, cycles sim.Cycle, seed uint64) (runStats, *stats.Histogram, error) {
+func runRespCMeasured(ctx context.Context, adversary, victim string, respCfg *shaper.Config, cycles sim.Cycle, seed uint64) (runStats, *stats.Histogram, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	if respCfg != nil {
@@ -109,7 +111,7 @@ func runRespCMeasured(adversary, victim string, respCfg *shaper.Config, cycles s
 			rec.Observe(now)
 		}
 	})
-	rs, err := measureRun(sys, WarmupCycles, cycles)
+	rs, err := measureRun(ctx, sys, WarmupCycles, cycles)
 	if err != nil {
 		return runStats{}, nil, err
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/core"
@@ -53,7 +54,7 @@ type DistributionAccuracyResult struct {
 // DistributionAccuracy measures each benchmark's intrinsic request
 // distribution and its post-Camouflage distribution under the DESIRED
 // staircase configuration (Figure 11).
-func DistributionAccuracy(cycles sim.Cycle, seed uint64) (*DistributionAccuracyResult, error) {
+func DistributionAccuracy(ctx context.Context, cycles sim.Cycle, seed uint64) (*DistributionAccuracyResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -76,7 +77,9 @@ func DistributionAccuracy(cycles sim.Cycle, seed uint64) (*DistributionAccuracyR
 		if err != nil {
 			return nil, err
 		}
-		sys.Run(cycles)
+		if err := sys.RunContext(ctx, cycles); err != nil {
+			return nil, err
+		}
 
 		sh := sys.ReqShapers[0]
 		st := sh.Stats()

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/attack"
 	"camouflage/internal/core"
 	"camouflage/internal/ga"
@@ -47,7 +49,7 @@ type ReqCSpeedupResult struct {
 // shaper and (b) ReqC configured from the benchmark's measured intrinsic
 // distribution scaled to the identical credit budget, and reports the
 // speedups (Figure 12).
-func ReqCSpeedup(cycles sim.Cycle, seed uint64) (*ReqCSpeedupResult, error) {
+func ReqCSpeedup(ctx context.Context, cycles sim.Cycle, seed uint64) (*ReqCSpeedupResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -73,7 +75,7 @@ func ReqCSpeedup(cycles sim.Cycle, seed uint64) (*ReqCSpeedupResult, error) {
 		}
 		mon := attack.NewBusMonitor(0)
 		sys.ReqNet.AddTap(mon.Observe)
-		rsBase, err := measureRun(sys, WarmupCycles, cycles)
+		rsBase, err := measureRun(ctx, sys, WarmupCycles, cycles)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +87,7 @@ func ReqCSpeedup(cycles sim.Cycle, seed uint64) (*ReqCSpeedupResult, error) {
 
 		// Pass 2: constant-rate limiter at the bandwidth budget.
 		csCfg := shaperConstant(interval, window)
-		ipcCS, err := runShapedSolo(cfg, name, seed+13, csCfg, cycles)
+		ipcCS, err := runShapedSolo(ctx, cfg, name, seed+13, csCfg, cycles)
 		if err != nil {
 			return nil, err
 		}
@@ -97,11 +99,11 @@ func ReqCSpeedup(cycles sim.Cycle, seed uint64) (*ReqCSpeedupResult, error) {
 		opts := DefaultGAOptions(budget)
 		opts.Window = window
 		opts.Seeds = []ga.Genome{histGenome(hist, budget), shaperFromHist(hist, window, budget).Credits}
-		camCfg, err := gaOptimizeSoloReqC(cfg, name, seed+13, opts)
+		camCfg, err := gaOptimizeSoloReqC(ctx, cfg, name, seed+13, opts)
 		if err != nil {
 			return nil, err
 		}
-		ipcCam, err := runShapedSolo(cfg, name, seed+13, camCfg, cycles)
+		ipcCam, err := runShapedSolo(ctx, cfg, name, seed+13, camCfg, cycles)
 		if err != nil {
 			return nil, err
 		}

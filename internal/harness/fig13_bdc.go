@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/core"
 	"camouflage/internal/mem"
 	"camouflage/internal/shaper"
@@ -37,7 +39,7 @@ type BDCComparisonResult struct {
 // adversary, configurations derived from the workload's own measured
 // distributions as the GA's starting point; set useGA to run the online
 // genetic algorithm of §IV-C on top).
-func BDCComparison(victim string, useGA bool, cycles sim.Cycle, seed uint64) (*BDCComparisonResult, error) {
+func BDCComparison(ctx context.Context, victim string, useGA bool, cycles sim.Cycle, seed uint64) (*BDCComparisonResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -49,7 +51,7 @@ func BDCComparison(victim string, useGA bool, cycles sim.Cycle, seed uint64) (*B
 		if v, ok := solo[name]; ok {
 			return v, nil
 		}
-		v, err := soloIPC(core.DefaultConfig(), name, seed+99, cycles)
+		v, err := soloIPC(ctx, core.DefaultConfig(), name, seed+99, cycles)
 		if err != nil {
 			return 0, err
 		}
@@ -82,7 +84,7 @@ func BDCComparison(victim string, useGA bool, cycles sim.Cycle, seed uint64) (*B
 		tpCfg := core.DefaultConfig()
 		tpCfg.Seed = seed
 		tpCfg.Scheme = core.TP
-		rs, err := runWorkload(tpCfg, adv, victim, cycles, seed)
+		rs, err := runWorkload(ctx, tpCfg, adv, victim, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +97,7 @@ func BDCComparison(victim string, useGA bool, cycles sim.Cycle, seed uint64) (*B
 		fsCfg.Seed = seed
 		fsCfg.Scheme = core.FS
 		fsCfg.FSBankPartition = true
-		rs, err = runWorkload(fsCfg, adv, victim, cycles, seed)
+		rs, err = runWorkload(ctx, fsCfg, adv, victim, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -104,11 +106,11 @@ func BDCComparison(victim string, useGA bool, cycles sim.Cycle, seed uint64) (*B
 		}
 
 		// Bi-directional Camouflage.
-		bdcCfg, err := buildBDCConfig(adv, victim, useGA, cycles, seed)
+		bdcCfg, err := buildBDCConfig(ctx, adv, victim, useGA, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
-		rs, err = runWorkload(bdcCfg, adv, victim, cycles, seed)
+		rs, err = runWorkload(ctx, bdcCfg, adv, victim, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +130,7 @@ func BDCComparison(victim string, useGA bool, cycles sim.Cycle, seed uint64) (*B
 }
 
 // runWorkload builds and measures one w(adversary, victim) system.
-func runWorkload(cfg core.Config, adversary, victim string, cycles sim.Cycle, seed uint64) (runStats, error) {
+func runWorkload(ctx context.Context, cfg core.Config, adversary, victim string, cycles sim.Cycle, seed uint64) (runStats, error) {
 	srcs, err := Workload(adversary, victim, seed+5)
 	if err != nil {
 		return runStats{}, err
@@ -137,7 +139,7 @@ func runWorkload(cfg core.Config, adversary, victim string, cycles sim.Cycle, se
 	if err != nil {
 		return runStats{}, err
 	}
-	return measureRun(sys, WarmupCycles, cycles)
+	return measureRun(ctx, sys, WarmupCycles, cycles)
 }
 
 // buildBDCConfig derives the BDC system configuration for w(adversary,
@@ -145,7 +147,7 @@ func runWorkload(cfg core.Config, adversary, victim string, cycles sim.Cycle, se
 // response shaper for the adversary, with credits matching each core's own
 // measured distribution (keeping the camouflaged distributions fixed at
 // the workload's natural rates), optionally refined by the online GA.
-func buildBDCConfig(adversary, victim string, useGA bool, cycles sim.Cycle, seed uint64) (core.Config, error) {
+func buildBDCConfig(ctx context.Context, adversary, victim string, useGA bool, cycles sim.Cycle, seed uint64) (core.Config, error) {
 	window := 4 * shaper.DefaultWindow
 
 	// Measurement run: unshaped.
@@ -172,7 +174,9 @@ func buildBDCConfig(adversary, victim string, useGA bool, cycles sim.Cycle, seed
 			respRec.Observe(now)
 		}
 	})
-	sys.Run(cycles / 2)
+	if err := sys.RunContext(ctx, cycles/2); err != nil {
+		return core.Config{}, err
+	}
 
 	bdc := core.DefaultConfig()
 	bdc.Seed = seed
@@ -188,7 +192,7 @@ func buildBDCConfig(adversary, victim string, useGA bool, cycles sim.Cycle, seed
 	bdc.RespShaperCores = []int{0}
 
 	if useGA {
-		if err := gaRefineBDC(&bdc, adversary, victim, seed); err != nil {
+		if err := gaRefineBDC(ctx, &bdc, adversary, victim, seed); err != nil {
 			return core.Config{}, err
 		}
 	}

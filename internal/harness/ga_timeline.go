@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/core"
@@ -16,7 +17,7 @@ import (
 // applied to the hardware bins and measured for one epoch; fitness is the
 // MISE-estimated average slowdown. It returns the GA result and the bin
 // configurations of the best child.
-func onlineBDCGA(sys *core.System, population, generations int, rng *sim.RNG) (ga.Result, map[int]shaper.Config, map[int]shaper.Config, error) {
+func onlineBDCGA(ctx context.Context, sys *core.System, population, generations int, rng *sim.RNG) (ga.Result, map[int]shaper.Config, map[int]shaper.Config, error) {
 	type slot struct {
 		base  shaper.Config
 		apply func(credits []int)
@@ -60,7 +61,7 @@ func onlineBDCGA(sys *core.System, population, generations int, rng *sim.RNG) (g
 	sampleEpoch := func(core int) mise.Sample {
 		st := sys.CoreStats(core)
 		meters[core].Begin(st.Cycles, st.MemStallCycles, st.Responses)
-		sys.Run(GAEpochCycles)
+		_ = sys.RunContext(ctx, GAEpochCycles) // a canceled epoch no-ops; ctx is re-checked after ga.Run
 		st = sys.CoreStats(core)
 		return meters[core].End(st.Cycles, st.MemStallCycles, st.Responses)
 	}
@@ -111,7 +112,7 @@ func onlineBDCGA(sys *core.System, population, generations int, rng *sim.RNG) (g
 				resp   uint64
 			}{st.Cycles, st.MemStallCycles, st.Responses}
 		}
-		sys.Run(GAEpochCycles)
+		_ = sys.RunContext(ctx, GAEpochCycles)
 		slowdowns := make([]float64, 0, cores)
 		for c := 0; c < cores; c++ {
 			st := sys.CoreStats(c)
@@ -131,6 +132,9 @@ func onlineBDCGA(sys *core.System, population, generations int, rng *sim.RNG) (g
 	res, err := ga.Run(gaCfg, fitness, rng)
 	if err != nil {
 		return ga.Result{}, nil, nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return ga.Result{}, nil, nil, fmt.Errorf("harness: online GA canceled: %w", cerr)
 	}
 
 	// Decode the best genome back into per-core configurations.
@@ -163,7 +167,7 @@ func onlineBDCGA(sys *core.System, population, generations int, rng *sim.RNG) (g
 
 // gaRefineBDC runs the online GA for a BDC workload and folds the best
 // configurations back into cfg.
-func gaRefineBDC(cfg *core.Config, adversary, victim string, seed uint64) error {
+func gaRefineBDC(ctx context.Context, cfg *core.Config, adversary, victim string, seed uint64) error {
 	srcs, err := Workload(adversary, victim, seed+5)
 	if err != nil {
 		return err
@@ -172,8 +176,10 @@ func gaRefineBDC(cfg *core.Config, adversary, victim string, seed uint64) error 
 	if err != nil {
 		return err
 	}
-	sys.Run(WarmupCycles)
-	_, reqCfgs, respCfgs, err := onlineBDCGA(sys, 12, 8, sys.Kernel.RNG().Fork())
+	if err := sys.RunContext(ctx, WarmupCycles); err != nil {
+		return err
+	}
+	_, reqCfgs, respCfgs, err := onlineBDCGA(ctx, sys, 12, 8, sys.Kernel.RNG().Fork())
 	if err != nil {
 		return err
 	}
@@ -201,8 +207,8 @@ type GATimelineResult struct {
 
 // GATimeline runs the online GA on w(adversary, victim) under BDC and
 // reports its convergence (Figure 8's CONFIG_PHASE).
-func GATimeline(adversary, victim string, population, generations int, seed uint64) (*GATimelineResult, error) {
-	cfg, err := buildBDCConfig(adversary, victim, false, DefaultRunCycles/2, seed)
+func GATimeline(ctx context.Context, adversary, victim string, population, generations int, seed uint64) (*GATimelineResult, error) {
+	cfg, err := buildBDCConfig(ctx, adversary, victim, false, DefaultRunCycles/2, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -214,9 +220,11 @@ func GATimeline(adversary, victim string, population, generations int, seed uint
 	if err != nil {
 		return nil, err
 	}
-	sys.Run(WarmupCycles)
+	if err := sys.RunContext(ctx, WarmupCycles); err != nil {
+		return nil, err
+	}
 	startCycle := sys.Kernel.Now()
-	res, _, _, err := onlineBDCGA(sys, population, generations, sys.Kernel.RNG().Fork())
+	res, _, _, err := onlineBDCGA(ctx, sys, population, generations, sys.Kernel.RNG().Fork())
 	if err != nil {
 		return nil, err
 	}

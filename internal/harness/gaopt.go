@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"context"
+	"fmt"
+
 	"camouflage/internal/core"
 	"camouflage/internal/ga"
 	"camouflage/internal/shaper"
@@ -42,7 +45,7 @@ func DefaultGAOptions(totalMax int) GAOptions {
 // single benchmark running alone, maximizing its measured IPC at a fixed
 // per-window credit budget — the configuration step behind Figure 12.
 // It returns the best configuration found.
-func gaOptimizeSoloReqC(base core.Config, name string, seed uint64, opts GAOptions) (shaper.Config, error) {
+func gaOptimizeSoloReqC(ctx context.Context, base core.Config, name string, seed uint64, opts GAOptions) (shaper.Config, error) {
 	cfg := base
 	cfg.Cores = 1
 	cfg.Scheme = core.ReqC
@@ -56,7 +59,9 @@ func gaOptimizeSoloReqC(base core.Config, name string, seed uint64, opts GAOptio
 	if err != nil {
 		return shaper.Config{}, err
 	}
-	sys.Run(WarmupCycles)
+	if err := sys.RunContext(ctx, WarmupCycles); err != nil {
+		return shaper.Config{}, err
+	}
 
 	n := start.Binning.N()
 	gaCfg := ga.DefaultConfig(n)
@@ -73,7 +78,7 @@ func gaOptimizeSoloReqC(base core.Config, name string, seed uint64, opts GAOptio
 		ensureCredit(c.Credits)
 		sys.ReqShapers[0].Reconfigure(c)
 		before := sys.CoreStats(0)
-		sys.Run(GAEpochCycles)
+		_ = sys.RunContext(ctx, GAEpochCycles) // a canceled epoch no-ops; ctx is re-checked after ga.Run
 		after := sys.CoreStats(0)
 		dw := float64(after.Work - before.Work)
 		return -dw / float64(GAEpochCycles) // minimize negative IPC
@@ -81,6 +86,9 @@ func gaOptimizeSoloReqC(base core.Config, name string, seed uint64, opts GAOptio
 	res, err := ga.Run(gaCfg, fitness, sys.Kernel.RNG().Fork())
 	if err != nil {
 		return shaper.Config{}, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return shaper.Config{}, fmt.Errorf("harness: GA optimization canceled: %w", cerr)
 	}
 	best := start.Clone()
 	copy(best.Credits, res.Best)

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -93,18 +94,18 @@ func (r runStats) systemIPC() float64 {
 // invariant-checker stack enabled (checks are strided, so the overhead
 // is small); a supervised-run failure (invariant violation, panic,
 // deadline) is propagated with whatever was measured up to that point.
-func measureRun(sys *core.System, warmup, cycles sim.Cycle) (runStats, error) {
+func measureRun(ctx context.Context, sys *core.System, warmup, cycles sim.Cycle) (runStats, error) {
 	if sys.Monitor == nil {
 		sys.EnableChecks(check.Options{})
 	}
-	if err := sys.Run(warmup); err != nil {
+	if err := sys.RunContext(ctx, warmup); err != nil {
 		return runStats{}, fmt.Errorf("warmup: %w", err)
 	}
 	before := make([]cpu.Stats, len(sys.Cores))
 	for i := range sys.Cores {
 		before[i] = sys.CoreStats(i)
 	}
-	runErr := sys.Run(cycles)
+	runErr := sys.RunContext(ctx, cycles)
 	out := runStats{perCore: make([]cpu.Stats, len(sys.Cores)), cycles: cycles}
 	for i := range sys.Cores {
 		after := sys.CoreStats(i)
@@ -124,7 +125,7 @@ func measureRun(sys *core.System, warmup, cycles sim.Cycle) (runStats, error) {
 // soloIPC runs benchmark name alone on a 1-core copy of cfg under
 // FR-FCFS and returns its unshared IPC — the denominator of the paper's
 // slowdown metrics.
-func soloIPC(cfg core.Config, name string, seed uint64, cycles sim.Cycle) (float64, error) {
+func soloIPC(ctx context.Context, cfg core.Config, name string, seed uint64, cycles sim.Cycle) (float64, error) {
 	solo := cfg
 	solo.Cores = 1
 	solo.Scheme = core.NoShaping
@@ -140,7 +141,7 @@ func soloIPC(cfg core.Config, name string, seed uint64, cycles sim.Cycle) (float
 	if err != nil {
 		return 0, err
 	}
-	rs, err := measureRun(sys, WarmupCycles, cycles)
+	rs, err := measureRun(ctx, sys, WarmupCycles, cycles)
 	if err != nil {
 		return 0, err
 	}

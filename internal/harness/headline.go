@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/sim"
 	"camouflage/internal/stats"
 )
@@ -18,17 +20,17 @@ type HeadlineResult struct {
 // Figure 12 geometric-mean speedup over CS, and the Figure 13
 // average-slowdown ratios over TP and FS (aggregated over both victim
 // sets).
-func HeadlineSpeedups(cycles sim.Cycle, seed uint64) (*HeadlineResult, error) {
+func HeadlineSpeedups(ctx context.Context, cycles sim.Cycle, seed uint64) (*HeadlineResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
-	fig12, err := ReqCSpeedup(cycles, seed)
+	fig12, err := ReqCSpeedup(ctx, cycles, seed)
 	if err != nil {
 		return nil, err
 	}
 	var tpRatios, fsRatios []float64
 	for _, victim := range []string{"astar", "mcf"} {
-		fig13, err := BDCComparison(victim, false, cycles, seed)
+		fig13, err := BDCComparison(ctx, victim, false, cycles, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/attack"
 	"camouflage/internal/core"
 	"camouflage/internal/mi"
@@ -39,7 +41,7 @@ type MIResult struct {
 // co-running benchmark on core 0; the protected benchmark (bzip in the
 // paper) runs on cores 1–3 with ReqC on core 1, whose intrinsic-vs-shaped
 // timing is measured.
-func MutualInformation(adversary string, cycles sim.Cycle, seed uint64) (*MIResult, error) {
+func MutualInformation(ctx context.Context, adversary string, cycles sim.Cycle, seed uint64) (*MIResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -69,7 +71,9 @@ func MutualInformation(adversary string, cycles sim.Cycle, seed uint64) (*MIResu
 		}
 		mon := attack.NewBusMonitor(1)
 		sys.ReqNet.AddTap(mon.Observe)
-		sys.Run(cycles)
+		if err := sys.RunContext(ctx, cycles); err != nil {
+			return nil, err
+		}
 		intrinsic = mon.InterArrivals()
 		h := mi.SelfInformation(intrinsic, binning)
 		res.SelfInformation = h
@@ -98,7 +102,7 @@ func MutualInformation(adversary string, cycles sim.Cycle, seed uint64) (*MIResu
 		{"ReqC (fake)", withFake(DesiredStaircase(), true)},
 	}
 	for _, v := range variants {
-		m, err := measureShapedMI(adversary, protected, v.cfg, intrinsic, binning, cycles, seed)
+		m, err := measureShapedMI(ctx, adversary, protected, v.cfg, intrinsic, binning, cycles, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +146,7 @@ func withFake(cfg shaper.Config, fake bool) shaper.Config {
 // transaction — the paper's "before and after Camouflage" comparison. The
 // shaped run replays the identical trace seed, so index k refers to the
 // same program point in both sequences.
-func measureShapedMI(adversary, protected string, shCfg shaper.Config, intrinsic []sim.Cycle, binning stats.Binning, cycles sim.Cycle, seed uint64) (float64, error) {
+func measureShapedMI(ctx context.Context, adversary, protected string, shCfg shaper.Config, intrinsic []sim.Cycle, binning stats.Binning, cycles sim.Cycle, seed uint64) (float64, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Scheme = core.ReqC
@@ -159,7 +163,9 @@ func measureShapedMI(adversary, protected string, shCfg shaper.Config, intrinsic
 	}
 	sh := sys.ReqShapers[1]
 	sh.Shaped = stats.NewInterArrivalRecorder(binning, true)
-	sys.Run(cycles)
+	if err := sys.RunContext(ctx, cycles); err != nil {
+		return 0, err
+	}
 	return mi.SequenceMI(intrinsic, sh.Shaped.Raw, binning), nil
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/core"
@@ -35,7 +36,7 @@ type MITTSFairnessResult struct {
 // MITTSFairness runs the QoS experiment: two bandwidth hogs (libqt)
 // against two light tenants (astar), with every core shaped to the same
 // equal-share distribution.
-func MITTSFairness(cycles sim.Cycle, seed uint64) (*MITTSFairnessResult, error) {
+func MITTSFairness(ctx context.Context, cycles sim.Cycle, seed uint64) (*MITTSFairnessResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -47,7 +48,7 @@ func MITTSFairness(cycles sim.Cycle, seed uint64) (*MITTSFairnessResult, error) 
 		if _, ok := solo[n]; ok {
 			continue
 		}
-		v, err := soloIPC(core.DefaultConfig(), n, seed+71, cycles)
+		v, err := soloIPC(ctx, core.DefaultConfig(), n, seed+71, cycles)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +82,7 @@ func MITTSFairness(cycles sim.Cycle, seed uint64) (*MITTSFairnessResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		rs, err := measureRun(sys, WarmupCycles, cycles)
+		rs, err := measureRun(ctx, sys, WarmupCycles, cycles)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/attack"
 	"camouflage/internal/core"
 	"camouflage/internal/mem"
@@ -41,7 +43,7 @@ type PhaseDetectionResult struct {
 // PhasePeriodCycles; the adversary (gcc) on core 0 classifies windows by
 // its own observed latency. RespC with a fixed response cadence then
 // closes the channel.
-func PhaseDetection(cycles sim.Cycle, seed uint64) (*PhaseDetectionResult, error) {
+func PhaseDetection(ctx context.Context, cycles sim.Cycle, seed uint64) (*PhaseDetectionResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles * 2
 	}
@@ -108,7 +110,9 @@ func PhaseDetection(cycles sim.Cycle, seed uint64) (*PhaseDetectionResult, error
 				rec.Observe(now)
 			}
 		})
-		sys.Run(cycles)
+		if err := sys.RunContext(ctx, cycles); err != nil {
+			return attack.PhaseDetection{}, nil, err
+		}
 
 		times, lats := probe.PairedLatencies()
 		det := attack.DetectPhases(times, lats, PhaseObservationWindow, truthSource.PhaseAt)

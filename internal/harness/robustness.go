@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -82,13 +83,13 @@ func robustnessCases() []RobustnessCase {
 // absorbs — delays are reordering the shaper already hides, trace
 // corruption only changes the input the shaper is sworn to mask — must
 // leave the bus-visible distribution on target (Figure 11's metric).
-func Robustness(cycles sim.Cycle, seed uint64) (*RobustnessResult, error) {
+func Robustness(ctx context.Context, cycles sim.Cycle, seed uint64) (*RobustnessResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
 	res := &RobustnessResult{}
 	for _, tc := range robustnessCases() {
-		row, err := robustnessRun(tc, cycles, seed)
+		row, err := robustnessRun(ctx, tc, cycles, seed)
 		if err != nil {
 			return nil, fmt.Errorf("harness: robustness %s: %w", tc.Name, err)
 		}
@@ -98,7 +99,7 @@ func Robustness(cycles sim.Cycle, seed uint64) (*RobustnessResult, error) {
 }
 
 // robustnessRun executes one fault class and grades the outcome.
-func robustnessRun(tc RobustnessCase, cycles sim.Cycle, seed uint64) (RobustnessRow, error) {
+func robustnessRun(ctx context.Context, tc RobustnessCase, cycles sim.Cycle, seed uint64) (RobustnessRow, error) {
 	row := RobustnessRow{Fault: tc.Name, Checker: "-", MaxAbsDev: -1, MILeak: -1}
 
 	cfg := core.DefaultConfig()
@@ -130,7 +131,10 @@ func robustnessRun(tc RobustnessCase, cycles sim.Cycle, seed uint64) (Robustness
 
 	// The run error (when a checker fires) is part of the measured
 	// outcome, not a harness failure.
-	runErr := Protect("robustness/"+tc.Name, func() error { return sys.Run(cycles) })
+	runErr := Protect("robustness/"+tc.Name, func() error { return sys.RunContext(ctx, cycles) })
+	if cerr := ctx.Err(); cerr != nil {
+		return row, fmt.Errorf("harness: robustness run canceled: %w", cerr)
+	}
 
 	fs := inj.Stats()
 	row.Injected = fs.Dropped + fs.Delayed + fs.Duplicated + fs.Corrupted
@@ -164,7 +168,7 @@ func robustnessRun(tc RobustnessCase, cycles sim.Cycle, seed uint64) (Robustness
 	default:
 		// The fault must be absorbed: no violation, the shaped
 		// distribution still matches DESIRED, and the MI bound holds.
-		if row.MILeak, err = robustnessMILeak(tc, busMon.InterArrivals(), cycles, seed); err != nil {
+		if row.MILeak, err = robustnessMILeak(ctx, tc, busMon.InterArrivals(), cycles, seed); err != nil {
 			return row, err
 		}
 		if row.Checker == "-" && runErr == nil &&
@@ -185,7 +189,7 @@ func robustnessRun(tc RobustnessCase, cycles sim.Cycle, seed uint64) (Robustness
 // contaminate the intrinsic reference) but shares the corruption stream:
 // with only TraceProb drawing from the injector RNG, both runs corrupt
 // the trace identically.
-func robustnessMILeak(tc RobustnessCase, observed []sim.Cycle, cycles sim.Cycle, seed uint64) (float64, error) {
+func robustnessMILeak(ctx context.Context, tc RobustnessCase, observed []sim.Cycle, cycles sim.Cycle, seed uint64) (float64, error) {
 	cfg := core.DefaultConfig()
 	cfg.Cores = 1
 	cfg.Seed = seed
@@ -201,7 +205,7 @@ func robustnessMILeak(tc RobustnessCase, observed []sim.Cycle, cycles sim.Cycle,
 	}
 	mon := attack.NewBusMonitor(0)
 	sys.ReqNet.AddTap(mon.Observe)
-	if err := sys.Run(cycles); err != nil {
+	if err := sys.RunContext(ctx, cycles); err != nil {
 		return -1, err
 	}
 	intrinsic := mon.InterArrivals()

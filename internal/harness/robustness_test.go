@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -36,7 +37,7 @@ func TestProtectIsolatesFailure(t *testing.T) {
 // class to meet its expectation: checked faults caught with diagnostics,
 // absorbed faults leaving the shaped distribution on target.
 func TestRobustnessMatrix(t *testing.T) {
-	r, err := Robustness(0, 1)
+	r, err := Robustness(context.Background(), 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

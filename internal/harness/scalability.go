@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/core"
@@ -35,7 +36,7 @@ type ScalabilityResult struct {
 // Scalability measures TP vs Camouflage protection overhead at increasing
 // core counts (every core its own security domain), on a light workload
 // mix so the unshaped substrate itself is not the bottleneck.
-func Scalability(coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityResult, error) {
+func Scalability(ctx context.Context, coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -72,7 +73,7 @@ func Scalability(coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityR
 			if err != nil {
 				return runStats{}, err
 			}
-			return measureRun(sys, WarmupCycles, cycles)
+			return measureRun(ctx, sys, WarmupCycles, cycles)
 		}
 
 		base := core.DefaultConfig()
@@ -100,7 +101,7 @@ func Scalability(coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityR
 		// distribution (keep-rate with fake traffic).
 		camCfg := base
 		camCfg.Scheme = core.ReqC
-		perCore, err := measurePerCoreReqConfigs(base, buildSources, cycles/4)
+		perCore, err := measurePerCoreReqConfigs(ctx, base, buildSources, cycles/4)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +134,7 @@ func Scalability(coreCounts []int, cycles sim.Cycle, seed uint64) (*ScalabilityR
 
 // measurePerCoreReqConfigs runs the mix unshaped and derives a keep-rate
 // ReqC configuration per core.
-func measurePerCoreReqConfigs(base core.Config, buildSources func() ([]trace.Source, error), cycles sim.Cycle) (map[int]shaper.Config, error) {
+func measurePerCoreReqConfigs(ctx context.Context, base core.Config, buildSources func() ([]trace.Source, error), cycles sim.Cycle) (map[int]shaper.Config, error) {
 	srcs, err := buildSources()
 	if err != nil {
 		return nil, err
@@ -149,7 +150,9 @@ func measurePerCoreReqConfigs(base core.Config, buildSources func() ([]trace.Sou
 	sys.ReqNet.AddTap(func(now sim.Cycle, req *mem.Request) {
 		recs[req.Core].Observe(now)
 	})
-	sys.Run(cycles)
+	if err := sys.RunContext(ctx, cycles); err != nil {
+		return nil, err
+	}
 	out := map[int]shaper.Config{}
 	window := 4 * shaper.DefaultWindow
 	for i, rec := range recs {

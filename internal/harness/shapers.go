@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"camouflage/internal/core"
 	"camouflage/internal/shaper"
 	"camouflage/internal/sim"
@@ -30,7 +32,7 @@ func shaperFromHist(h *stats.Histogram, window sim.Cycle, budget int) shaper.Con
 
 // runShapedSolo runs benchmark name alone under ReqC with shaperCfg and
 // returns its measured IPC.
-func runShapedSolo(base core.Config, name string, seed uint64, shaperCfg shaper.Config, cycles sim.Cycle) (float64, error) {
+func runShapedSolo(ctx context.Context, base core.Config, name string, seed uint64, shaperCfg shaper.Config, cycles sim.Cycle) (float64, error) {
 	cfg := base
 	cfg.Cores = 1
 	cfg.Scheme = core.ReqC
@@ -44,7 +46,7 @@ func runShapedSolo(base core.Config, name string, seed uint64, shaperCfg shaper.
 	if err != nil {
 		return 0, err
 	}
-	rs, err := measureRun(sys, WarmupCycles, cycles)
+	rs, err := measureRun(ctx, sys, WarmupCycles, cycles)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./internal/harness -run TestTableGolden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// edgeTable exercises the rendering corner cases: cells wider than their
+// header, cells needing CSV quoting (commas, quotes, newlines), a ragged
+// row shorter than the header, and an empty cell.
+func edgeTable() *Table {
+	t := &Table{
+		Title:   "Edge cases — alignment and CSV quoting",
+		Columns: []string{"id", "value", "note"},
+	}
+	t.AddRow("a", "plain", "short")
+	t.AddRow("b", "has,comma", `says "quoted"`)
+	t.AddRow("c", "line\nbreak", "")
+	t.AddRow("d", "wider-than-its-header")
+	return t
+}
+
+func TestTableGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		table *Table
+	}{
+		{"table1", SchemeCapabilityTable()},
+		{"table2", BaseConfigTable()},
+		{"edge", edgeTable()},
+	}
+	for _, tc := range cases {
+		for ext, got := range map[string]string{
+			".txt": tc.table.String(),
+			".csv": tc.table.CSV(),
+		} {
+			path := filepath.Join("testdata", tc.name+ext)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%s: %v (run with -update to create)", path, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s: rendering drifted from golden file\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"camouflage/internal/attack"
@@ -32,7 +33,7 @@ type WindowLeakResult struct {
 // WithinWindowLeakage sweeps the replenishment window and the §IV-B4
 // randomization knob for a throttling-tight ReqC configuration (no fake
 // traffic, so the within-window release pattern is what leaks).
-func WithinWindowLeakage(benchmark string, windows []sim.Cycle, cycles sim.Cycle, seed uint64) (*WindowLeakResult, error) {
+func WithinWindowLeakage(ctx context.Context, benchmark string, windows []sim.Cycle, cycles sim.Cycle, seed uint64) (*WindowLeakResult, error) {
 	if cycles == 0 {
 		cycles = DefaultRunCycles
 	}
@@ -55,7 +56,9 @@ func WithinWindowLeakage(benchmark string, windows []sim.Cycle, cycles sim.Cycle
 	}
 	mon := attack.NewBusMonitor(0)
 	sys.ReqNet.AddTap(mon.Observe)
-	sys.Run(cycles)
+	if err := sys.RunContext(ctx, cycles); err != nil {
+		return nil, err
+	}
 	intrinsic := mon.InterArrivals()
 	demandPerCycle := float64(mon.Count()) / float64(cycles)
 
@@ -84,7 +87,9 @@ func WithinWindowLeakage(benchmark string, windows []sim.Cycle, cycles sim.Cycle
 				return nil, err
 			}
 			s.ReqShapers[0].Shaped = stats.NewInterArrivalRecorder(binning, true)
-			s.Run(cycles)
+			if err := s.RunContext(ctx, cycles); err != nil {
+				return nil, err
+			}
 			st := s.CoreStats(0)
 			res.Rows = append(res.Rows, WindowLeakRow{
 				Window:     w,
