@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke
 
 ci: vet build race fuzz-seeds
 
@@ -38,3 +38,9 @@ experiments:
 # resume to completion, output byte-identical to an uninterrupted run.
 campaign-smoke:
 	./scripts/campaign_smoke.sh
+
+# End-to-end observability check: campaign with the live introspection
+# server + tracer enabled, /metrics and /jobs scraped mid-run, trace
+# artifacts validated against the Chrome trace_event and span schemas.
+obs-smoke:
+	./scripts/obs_smoke.sh

@@ -26,6 +26,7 @@ import (
 	"camouflage/internal/fault"
 	"camouflage/internal/harness"
 	"camouflage/internal/mem"
+	"camouflage/internal/obs"
 	"camouflage/internal/scenario"
 	"camouflage/internal/shaper"
 	"camouflage/internal/sim"
@@ -33,11 +34,13 @@ import (
 	"camouflage/internal/trace"
 )
 
-// runOpts carries the supervision flags shared by both run paths.
+// runOpts carries the supervision and observability flags shared by
+// both run paths.
 type runOpts struct {
 	faults   fault.Options
 	watchdog bool
 	deadline time.Duration
+	obs      *obs.Bundle
 }
 
 func main() {
@@ -49,16 +52,51 @@ func main() {
 	faultsSpec := flag.String("faults", "", "fault injection: drop=P,dup=P,delay=P[:cycles],trace=P,timing (empty = none)")
 	watchdog := flag.Bool("watchdog", false, "enable runtime invariant checking (credit ledger, flow conservation, DRAM protocol, forward-progress watchdog)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the run, e.g. 30s (0 = none)")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, expvar, pprof) on this address, e.g. localhost:6060")
+	traceOut := flag.String("trace-out", "", "write request-lifecycle traces to PATH.json (Chrome trace_event) and PATH.jsonl (span log)")
+	traceSample := flag.Uint64("trace-sample", 64, "trace 1 in N requests, chosen deterministically from -seed (1 = all)")
 	flag.Parse()
 
 	opts := runOpts{watchdog: *watchdog, deadline: *deadline}
-	var err error
+
+	// Observability: registry + optional tracer on the measured system
+	// (probe/measurement pre-runs stay uninstrumented). All handles are
+	// nil-safe; camsim exits through os.Exit, so teardown is explicit.
+	var (
+		tracer *obs.Tracer
+		srv    *obs.Server
+		err    error
+	)
+	if *obsAddr != "" || *traceOut != "" {
+		reg := obs.NewRegistry()
+		if *traceOut != "" {
+			if tracer, err = obs.NewTracer(*traceOut, *traceSample, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "camsim:", err)
+				os.Exit(1)
+			}
+		}
+		opts.obs = &obs.Bundle{Registry: reg, Tracer: tracer}
+		if *obsAddr != "" {
+			srv = &obs.Server{Registry: reg}
+			addr, aerr := srv.Serve(*obsAddr)
+			if aerr != nil {
+				fmt.Fprintln(os.Stderr, "camsim:", aerr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "obs: serving /metrics /debug/vars /debug/pprof on http://%s\n", addr)
+		}
+	}
+
 	if opts.faults, err = fault.ParseSpec(*faultsSpec); err == nil {
 		if *scenarioPath != "" {
 			err = runScenario(*scenarioPath, sim.Cycle(*cycles), opts)
 		} else {
 			err = run(*workload, *schemeName, sim.Cycle(*cycles), *seed, opts)
 		}
+	}
+	srv.Close()
+	if cerr := tracer.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "camsim:", err)
@@ -92,6 +130,7 @@ func runScenario(path string, cycles sim.Cycle, opts runOpts) error {
 		inj = fault.NewInjector(opts.faults, sim.NewRNG(s.Seed+99))
 		sys.InjectFaults(inj)
 	}
+	sys.EnableObs(opts.obs, "scenario/"+s.Name)
 	supervise(sys, nil, opts)
 	return reportRun(sys, names, cycles, fmt.Sprintf("scenario=%s scheme=%s", s.Name, s.Scheme), inj)
 }
@@ -148,6 +187,7 @@ func run(workload, schemeName string, cycles sim.Cycle, seed uint64, opts runOpt
 	if inj != nil {
 		sys.InjectFaults(inj)
 	}
+	sys.EnableObs(opts.obs, schemeName)
 	supervise(sys, &ref, opts)
 	return reportRun(sys, names, cycles, fmt.Sprintf("scheme=%v", scheme), inj)
 }

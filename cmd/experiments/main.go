@@ -38,6 +38,7 @@ import (
 
 	"camouflage/internal/campaign"
 	"camouflage/internal/harness"
+	"camouflage/internal/obs"
 	"camouflage/internal/sim"
 )
 
@@ -62,6 +63,10 @@ func main() {
 	resume := flag.Bool("resume", false, "skip jobs already completed in -journal")
 	grace := flag.Duration("grace", 30*time.Second, "how long in-flight jobs may finish after SIGINT/SIGTERM")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /jobs, expvar, pprof) on this address, e.g. localhost:6060")
+	traceOut := flag.String("trace-out", "", "write request-lifecycle traces to PATH.json (Chrome trace_event) and PATH.jsonl (span log)")
+	traceSample := flag.Uint64("trace-sample", 64, "trace 1 in N requests, chosen deterministically from -seed (1 = all)")
+	progressEvery := flag.Duration("progress", 0, "print a one-line campaign progress report to stderr at this interval (0 = off)")
 	flag.Parse()
 
 	c := sim.Cycle(*cycles)
@@ -97,6 +102,47 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Observability: one shared metrics registry and (optionally) a
+	// lifecycle tracer, carried to every experiment through the context.
+	// Everything below is nil-safe, so the zero-flag path pays nothing.
+	var (
+		reg      *obs.Registry
+		tracer   *obs.Tracer
+		progress *campaign.Progress
+	)
+	if *obsAddr != "" || *traceOut != "" || *progressEvery > 0 {
+		reg = obs.NewRegistry()
+		progress = campaign.NewProgress(reg)
+	}
+	if *traceOut != "" {
+		if tracer, err = obs.NewTracer(*traceOut, *traceSample, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if reg != nil {
+		ctx = obs.NewContext(ctx, &obs.Bundle{Registry: reg, Tracer: tracer})
+	}
+	srv := &obs.Server{Registry: reg, Jobs: func() any { return progress.Snapshot() }}
+	if *obsAddr != "" {
+		addr, aerr := srv.Serve(*obsAddr)
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, aerr)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics /jobs /debug/vars /debug/pprof on http://%s\n", addr)
+	}
+	reporter := obs.StartProgress(os.Stderr, *progressEvery, progress.Line)
+	// main exits through os.Exit, which skips defers; every path below
+	// funnels through closeObs before exiting.
+	closeObs := func() {
+		reporter.Stop()
+		srv.Close()
+		if cerr := tracer.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "obs:", cerr)
+		}
+	}
+
 	var all []campaign.Job
 	for _, e := range selected {
 		all = append(all, e.jobs...)
@@ -109,14 +155,17 @@ func main() {
 		Journal:    journal,
 		Resume:     *resume,
 		Seed:       *seed,
+		Progress:   progress,
 		Log:        func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
+		closeObs()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	failed := emit(selected, sum, *csvDir)
+	closeObs()
 	if sum.Interrupted || journal != nil || sum.Resumed > 0 || sum.Retried > 0 || sum.Failed > 0 {
 		fmt.Fprintf(os.Stderr, "campaign: %s\n", sum)
 	}
@@ -240,6 +289,7 @@ func buildExperiments(c sim.Cycle, seed uint64, adversary string, useGA bool) []
 			Name: name,
 			Spec: spec,
 			Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+				ctx = obs.WithLabel(ctx, name)
 				var table *harness.Table
 				err := harness.Protect(name, func() error {
 					var e error

@@ -1,0 +1,272 @@
+// Command obscheck validates the observability layer's external
+// artifacts, as a CI gate and a debugging aid:
+//
+//	obscheck -trace out/trace            # out/trace.json + out/trace.jsonl
+//	obscheck -metrics http://host:port   # live /metrics scrape
+//	obscheck -metrics-file dump.txt      # saved /metrics dump
+//	obscheck -jobs http://host:port      # live /jobs scrape
+//
+// -trace checks the Chrome trace_event file against the schema the
+// viewers (Perfetto, chrome://tracing) require — a top-level traceEvents
+// array of complete ("X") events with non-negative ts/dur — and checks
+// the JSONL span log line-by-line for the fixed span fields and
+// monotonic hop timestamps. -metrics checks the text dump is sorted
+// `name value` lines; -require lists instrument names that must be
+// present (comma-separated).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "validate PATH.json (Chrome trace_event) and PATH.jsonl (span log)")
+	metricsURL := flag.String("metrics", "", "scrape this base URL's /metrics and validate the dump")
+	metricsFile := flag.String("metrics-file", "", "validate a saved /metrics text dump")
+	jobsURL := flag.String("jobs", "", "scrape this base URL's /jobs and validate the JSON")
+	require := flag.String("require", "", "comma-separated metric names that must be present in the dump")
+	flag.Parse()
+
+	if *tracePath == "" && *metricsURL == "" && *metricsFile == "" && *jobsURL == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -trace, -metrics, -metrics-file or -jobs")
+		os.Exit(2)
+	}
+	ok := true
+	if *tracePath != "" {
+		ok = checkChromeTrace(*tracePath+".json") && ok
+		ok = checkSpanLog(*tracePath+".jsonl") && ok
+	}
+	if *metricsURL != "" {
+		ok = checkMetricsURL(*metricsURL, splitNames(*require)) && ok
+	}
+	if *metricsFile != "" {
+		data, err := os.ReadFile(*metricsFile)
+		if err != nil {
+			fail("%v", err)
+		} else {
+			ok = checkMetricsDump(*metricsFile, string(data), splitNames(*require)) && ok
+		}
+		if err != nil {
+			ok = false
+		}
+	}
+	if *jobsURL != "" {
+		ok = checkJobsURL(*jobsURL) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// checkJobsURL scrapes base's /jobs and validates the campaign snapshot:
+// a JSON array whose entries all carry a name and a state.
+func checkJobsURL(base string) bool {
+	url := strings.TrimRight(base, "/") + "/jobs"
+	resp, err := http.Get(url)
+	if err != nil {
+		fail("%v", err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("%s: status %d", url, resp.StatusCode)
+		return false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("%s: %v", url, err)
+		return false
+	}
+	var jobs []struct {
+		Name  string `json:"name"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &jobs); err != nil {
+		fail("%s: not a JSON job array: %v", url, err)
+		return false
+	}
+	for i, j := range jobs {
+		if j.Name == "" || j.State == "" {
+			fail("%s: job %d missing name/state", url, i)
+			return false
+		}
+	}
+	fmt.Printf("obscheck: %s: %d jobs OK\n", url, len(jobs))
+	return true
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// chromeEvent is the subset of the trace_event schema the viewers need.
+type chromeEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	TS   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	PID  *int            `json:"pid"`
+	TID  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// checkChromeTrace validates the trace_event JSON object format.
+func checkChromeTrace(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+		return false
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s: not valid trace JSON: %v", path, err)
+		return false
+	}
+	if doc.TraceEvents == nil {
+		fail("%s: missing traceEvents array", path)
+		return false
+	}
+	for i, e := range doc.TraceEvents {
+		switch {
+		case e.Name == "":
+			fail("%s: event %d: empty name", path, i)
+		case e.Ph != "X":
+			fail("%s: event %d (%s): phase %q, want complete event \"X\"", path, i, e.Name, e.Ph)
+		case e.TS == nil || *e.TS < 0:
+			fail("%s: event %d (%s): missing or negative ts", path, i, e.Name)
+		case e.Dur == nil || *e.Dur < 0:
+			fail("%s: event %d (%s): missing or negative dur", path, i, e.Name)
+		case e.PID == nil || e.TID == nil:
+			fail("%s: event %d (%s): missing pid/tid", path, i, e.Name)
+		default:
+			continue
+		}
+		return false
+	}
+	fmt.Printf("obscheck: %s: %d events OK\n", path, len(doc.TraceEvents))
+	return true
+}
+
+// span mirrors the tracer's fixed JSONL schema.
+type span struct {
+	Run       string  `json:"run"`
+	ID        *uint64 `json:"id"`
+	Core      *int    `json:"core"`
+	Op        string  `json:"op"`
+	Created   *uint64 `json:"created"`
+	Delivered *uint64 `json:"delivered"`
+}
+
+// checkSpanLog validates the JSONL span log line-by-line.
+func checkSpanLog(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+		return false
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		lines = nil
+	}
+	for i, line := range lines {
+		var s span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			fail("%s:%d: not valid JSON: %v", path, i+1, err)
+			return false
+		}
+		switch {
+		case s.Run == "" || s.ID == nil || s.Core == nil || s.Op == "":
+			fail("%s:%d: missing span fields", path, i+1)
+		case s.Created == nil || s.Delivered == nil:
+			fail("%s:%d: missing lifecycle timestamps", path, i+1)
+		case *s.Delivered < *s.Created:
+			fail("%s:%d: delivered %d before created %d", path, i+1, *s.Delivered, *s.Created)
+		default:
+			continue
+		}
+		return false
+	}
+	fmt.Printf("obscheck: %s: %d spans OK\n", path, len(lines))
+	return true
+}
+
+// checkMetricsURL scrapes base's /metrics and validates the dump.
+func checkMetricsURL(base string, required []string) bool {
+	url := strings.TrimRight(base, "/") + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		fail("%v", err)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("%s: status %d", url, resp.StatusCode)
+		return false
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail("%s: %v", url, err)
+		return false
+	}
+	return checkMetricsDump(url, string(body), required)
+}
+
+// checkMetricsDump validates sorted `name value` lines and the presence
+// of every required instrument.
+func checkMetricsDump(src, dump string, required []string) bool {
+	lines := strings.Split(strings.TrimRight(dump, "\n"), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		lines = nil
+	}
+	have := make(map[string]bool, len(lines))
+	prev := ""
+	for i, line := range lines {
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || name == "" {
+			fail("%s:%d: malformed line %q", src, i+1, line)
+			return false
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			fail("%s:%d: non-numeric value in %q", src, i+1, line)
+			return false
+		}
+		if line < prev {
+			fail("%s:%d: dump not sorted (%q after %q)", src, i+1, line, prev)
+			return false
+		}
+		prev = line
+		// Histogram bins are name{ge="..."}; index by bare name too.
+		have[name] = true
+		if j := strings.IndexByte(name, '{'); j > 0 {
+			have[name[:j]] = true
+		}
+	}
+	for _, name := range required {
+		if !have[name] {
+			fail("%s: required metric %q missing from dump (%d lines)", src, name, len(lines))
+			return false
+		}
+	}
+	fmt.Printf("obscheck: %s: %d metrics OK\n", src, len(lines))
+	return true
+}

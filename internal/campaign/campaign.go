@@ -69,6 +69,9 @@ type Options struct {
 	// Log, when non-nil, receives progress lines (retries, failures,
 	// drain).
 	Log func(format string, args ...any)
+	// Progress, when non-nil, tracks live job states for the obs
+	// introspection endpoint and the periodic progress line.
+	Progress *Progress
 }
 
 // Status is a job's terminal state within one campaign run.
@@ -98,6 +101,9 @@ type Result struct {
 	Class    Class // meaningful when Err != nil
 	Attempts int
 	Elapsed  time.Duration
+	// RetryAt holds the offset from job start at which each retry attempt
+	// (attempt 2 onward) began.
+	RetryAt []time.Duration
 }
 
 // Summary aggregates a campaign run. Results holds one entry per input
@@ -117,12 +123,17 @@ type Summary struct {
 	Remaining int
 	// Interrupted reports whether the campaign context was canceled.
 	Interrupted bool
+	// TotalJobTime sums per-job wall-clock time across Done and Failed
+	// jobs plus the journal-recorded durations of Resumed ones, so a
+	// resumed campaign reports the compute the full result actually cost.
+	TotalJobTime time.Duration
 }
 
 // String renders the partial-results summary line.
 func (s *Summary) String() string {
-	return fmt.Sprintf("completed %d, resumed %d, retried %d, failed %d, remaining %d",
-		s.Completed, s.Resumed, s.Retried, s.Failed, s.Remaining)
+	return fmt.Sprintf("completed %d, resumed %d, retried %d, failed %d, remaining %d, total job time %s",
+		s.Completed, s.Resumed, s.Retried, s.Failed, s.Remaining,
+		s.TotalJobTime.Round(time.Millisecond))
 }
 
 // Run executes jobs on a bounded worker pool and blocks until every job
@@ -159,6 +170,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) (*Summary, error) {
 		}
 		seen[h] = job.Name
 		results[i] = &Result{Job: job, Hash: h, Status: Skipped}
+		opt.Progress.add(job.Name, h, StateQueued)
 	}
 
 	// Resume pass: serve completed jobs from the journal.
@@ -172,6 +184,8 @@ func Run(ctx context.Context, jobs []Job, opt Options) (*Summary, error) {
 			res.Status = Resumed
 			res.Table = rec.Table
 			res.Attempts = rec.Attempts
+			res.Elapsed = time.Duration(rec.ElapsedMS) * time.Millisecond
+			opt.Progress.set(res.Hash, StateResumed, rec.Attempts, nil)
 			continue
 		}
 		pending = append(pending, res)
@@ -179,8 +193,10 @@ func Run(ctx context.Context, jobs []Job, opt Options) (*Summary, error) {
 
 	// The grace context governs in-flight jobs: it is the campaign context
 	// until that cancels, then survives Options.Grace longer so a job near
-	// its end can still land its result in the journal.
-	graceCtx, graceCancel := context.WithCancel(context.Background())
+	// its end can still land its result in the journal. It keeps ctx's
+	// values (the observability bundle travels that way) but not its
+	// cancellation.
+	graceCtx, graceCancel := context.WithCancel(context.WithoutCancel(ctx))
 	defer graceCancel()
 	go func() {
 		select {
@@ -222,10 +238,12 @@ func Run(ctx context.Context, jobs []Job, opt Options) (*Summary, error) {
 				switch res.Status {
 				case Done:
 					record(Record{Job: res.Job.Name, Hash: res.Hash, Status: StatusDone,
-						Attempts: res.Attempts, Table: res.Table})
+						Attempts: res.Attempts, Table: res.Table,
+						ElapsedMS: res.Elapsed.Milliseconds(), RetryAtMS: retryOffsetsMS(res)})
 				case Failed:
 					record(Record{Job: res.Job.Name, Hash: res.Hash, Status: StatusFailed,
-						Attempts: res.Attempts, Class: res.Class.String(), Error: res.Err.Error()})
+						Attempts: res.Attempts, Class: res.Class.String(), Error: res.Err.Error(),
+						ElapsedMS: res.Elapsed.Milliseconds(), RetryAtMS: retryOffsetsMS(res)})
 				}
 			}
 		}()
@@ -249,13 +267,16 @@ feed:
 		switch res.Status {
 		case Done:
 			sum.Completed++
+			sum.TotalJobTime += res.Elapsed
 			if res.Attempts > 1 {
 				sum.Retried++
 			}
 		case Resumed:
 			sum.Resumed++
+			sum.TotalJobTime += res.Elapsed
 		case Failed:
 			sum.Failed++
+			sum.TotalJobTime += res.Elapsed
 		case Canceled, Skipped:
 			sum.Remaining++
 		}
@@ -272,6 +293,7 @@ func runJob(ctx, graceCtx context.Context, res *Result, opt Options, logf func(s
 	defer func() { res.Elapsed = time.Since(start) }()
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
+		opt.Progress.set(res.Hash, StateRunning, attempt, nil)
 		jobCtx := graceCtx
 		var cancel context.CancelFunc
 		if opt.JobTimeout > 0 {
@@ -285,6 +307,7 @@ func runJob(ctx, graceCtx context.Context, res *Result, opt Options, logf func(s
 			res.Status = Done
 			res.Table = table
 			res.Err = nil
+			opt.Progress.set(res.Hash, StateDone, attempt, nil)
 			return
 		}
 		// A job may return a table alongside its error (a measured result
@@ -300,32 +323,51 @@ func runJob(ctx, graceCtx context.Context, res *Result, opt Options, logf func(s
 		switch res.Class {
 		case ClassCanceled:
 			res.Status = Canceled
+			opt.Progress.set(res.Hash, StateCancel, attempt, err)
 			logf("campaign: %s canceled after %d attempt(s)", res.Job.Name, attempt)
 			return
 		case ClassFatal:
 			res.Status = Failed
+			opt.Progress.set(res.Hash, StateFailed, attempt, err)
 			logf("campaign: %s failed fatally (no retry): %v", res.Job.Name, err)
 			return
 		}
 		if attempt > opt.Retries {
 			res.Status = Failed
+			opt.Progress.set(res.Hash, StateFailed, attempt, err)
 			logf("campaign: %s failed after %d attempt(s): %v", res.Job.Name, attempt, err)
 			return
 		}
 		delay := backoff(opt, res.Hash, attempt)
+		opt.Progress.set(res.Hash, StateBackoff, attempt, err)
+		opt.Progress.addBackoff(delay)
 		logf("campaign: %s attempt %d failed (transient): %v; retrying in %v",
 			res.Job.Name, attempt, err, delay)
 		t := time.NewTimer(delay)
 		select {
 		case <-t.C:
+			res.RetryAt = append(res.RetryAt, time.Since(start))
 		case <-ctx.Done():
 			// Drain arrived while backing off: do not start another
 			// attempt, let resume re-run the job.
 			t.Stop()
 			res.Status = Canceled
+			opt.Progress.set(res.Hash, StateCancel, attempt, err)
 			return
 		}
 	}
+}
+
+// retryOffsetsMS renders a result's retry offsets for the journal.
+func retryOffsetsMS(res *Result) []int64 {
+	if len(res.RetryAt) == 0 {
+		return nil
+	}
+	out := make([]int64, len(res.RetryAt))
+	for i, d := range res.RetryAt {
+		out[i] = d.Milliseconds()
+	}
+	return out
 }
 
 // runAttempt runs the job once, converting a panic into a fatal error so

@@ -32,6 +32,14 @@ type Record struct {
 	// Class and Error describe the failure for Status "failed".
 	Class string `json:"class,omitempty"`
 	Error string `json:"error,omitempty"`
+	// ElapsedMS is the job's wall-clock duration in milliseconds across
+	// all attempts, so a resumed campaign can still report total compute
+	// time including the work done before the interrupt.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// RetryAtMS holds the start offset (ms since the job began) of each
+	// retry attempt — attempt 2 onward — for post-hoc analysis of backoff
+	// behaviour.
+	RetryAtMS []int64 `json:"retry_at_ms,omitempty"`
 	// Table is the rendered result for Status "done", stored so a resumed
 	// campaign can re-emit completed results without re-running them.
 	Table *harness.Table `json:"table,omitempty"`

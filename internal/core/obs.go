@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/obs"
+	"camouflage/internal/shaper"
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// EnableObs attaches the observability bundle to this system: every
+// component registers its pull gauges on a scope owned by the simulation
+// goroutine (published once per supervision quantum, so the HTTP scraper
+// never reads live simulator state), and the lifecycle tracer hooks each
+// core's delivery point. label distinguishes systems when one experiment
+// drives several through a shared bundle (fig09 runs four). Call it once,
+// after NewSystem and before the first Run; a nil bundle is a no-op.
+func (s *System) EnableObs(b *obs.Bundle, label string) {
+	if b == nil {
+		return
+	}
+	s.obs = b
+	reg := b.Registry
+	scope := reg.NewScope()
+	s.obsScope = scope
+
+	scope.GaugeFunc("sim.cycle", func() float64 { return float64(s.Kernel.Now()) })
+	scope.GaugeFunc("sim.outstanding", func() float64 { return float64(s.Outstanding()) })
+
+	if b.Tracer != nil {
+		b.Tracer.BeginRun(label)
+	}
+	for i, c := range s.Cores {
+		c := c
+		p := fmt.Sprintf("cpu.%d.", i)
+		scope.GaugeFunc(p+"ipc", func() float64 { return c.Stats().IPC() })
+		scope.GaugeFunc(p+"mem_stall_cycles", func() float64 { return float64(c.Stats().MemStallCycles) })
+		scope.GaugeFunc(p+"shaper_stall_cycles", func() float64 { return float64(c.Stats().ShaperStallCycles) })
+		scope.GaugeFunc(p+"mshr_occupancy", func() float64 { return float64(c.Cache().OutstandingMisses()) })
+		scope.GaugeFunc(p+"responses", func() float64 { return float64(c.Stats().Responses) })
+		scope.GaugeFunc(p+"fake_responses", func() float64 { return float64(c.Stats().FakeResponses) })
+		if b.Tracer != nil {
+			c.OnDelivered = func(_ sim.Cycle, resp *mem.Request) { b.Tracer.Delivered(resp) }
+		}
+	}
+
+	for i, sh := range s.ReqShapers {
+		if sh != nil {
+			registerShaperGauges(scope, fmt.Sprintf("shaper.req.%d.", i), shaperProbe{
+				queueLen: sh.QueueLen, credits: sh.CreditBalance, fakeCredits: sh.FakeCreditBalance,
+				stats: sh.Stats, drift: sh.DistributionDrift, target: sh.TargetPMF, shaped: sh.Shaped,
+			})
+		}
+	}
+	for i, sh := range s.RespShapers {
+		if sh != nil {
+			registerShaperGauges(scope, fmt.Sprintf("shaper.resp.%d.", i), shaperProbe{
+				queueLen: sh.QueueLen, credits: sh.CreditBalance, fakeCredits: sh.FakeCreditBalance,
+				stats: sh.Stats, drift: sh.DistributionDrift, target: sh.TargetPMF, shaped: sh.Shaped,
+			})
+		}
+	}
+
+	for ch, mc := range s.MCs {
+		mc := mc
+		p := fmt.Sprintf("memctrl.%d.", ch)
+		scope.GaugeFunc(p+"queue_depth", func() float64 { return float64(mc.QueueLen()) })
+		scope.GaugeFunc(p+"outstanding", func() float64 { return float64(mc.Outstanding()) })
+		scope.GaugeFunc(p+"occupancy_mean", func() float64 { return mc.Stats().MeanOccupancy() })
+		scope.GaugeFunc(p+"issued", func() float64 { return float64(mc.Stats().Issued) })
+		scope.GaugeFunc(p+"completed", func() float64 { return float64(mc.Stats().Completed) })
+	}
+
+	for ch, channel := range s.Channels {
+		channel := channel
+		p := fmt.Sprintf("dram.%d.", ch)
+		scope.GaugeFunc(p+"row_hits", func() float64 { return float64(channel.Stats().RowHits) })
+		scope.GaugeFunc(p+"row_empty", func() float64 { return float64(channel.Stats().RowEmpty) })
+		scope.GaugeFunc(p+"row_conflicts", func() float64 { return float64(channel.Stats().RowConfl) })
+		scope.GaugeFunc(p+"refreshes", func() float64 { return float64(channel.Stats().Refreshes) })
+		scope.GaugeFunc(p+"bus_busy_cycles", func() float64 { return float64(channel.Stats().BusyCycles) })
+		scope.GaugeFunc(p+"bus_utilization", func() float64 {
+			if now := s.Kernel.Now(); now > 0 {
+				return float64(channel.Stats().BusyCycles) / float64(now)
+			}
+			return 0
+		})
+		g := channel.Geometry()
+		for r := 0; r < g.RanksPerChannel; r++ {
+			for bk := 0; bk < g.BanksPerRank; bk++ {
+				r, bk := r, bk
+				scope.GaugeFunc(fmt.Sprintf("%sbank.%d.%d.busy_cycles", p, r, bk),
+					func() float64 { return float64(channel.BankBusy(r, bk)) })
+			}
+		}
+	}
+}
+
+// shaperProbe abstracts over request and response shapers for gauge
+// registration.
+type shaperProbe struct {
+	queueLen    func() int
+	credits     func() int
+	fakeCredits func() int
+	stats       func() shaper.Stats
+	drift       func() float64
+	target      func() []float64
+	shaped      *stats.InterArrivalRecorder
+}
+
+// registerShaperGauges wires one shaper's instruments, including the
+// paper's core security metric as two gauges: drift_l1 (cumulative
+// emitted-vs-target L1 distance) and drift_l1_epoch (the same distance
+// over only the releases since the previous publish, so a shaper that
+// drifts late in a run is visible immediately rather than diluted by
+// history).
+func registerShaperGauges(scope *obs.Scope, p string, pr shaperProbe) {
+	scope.GaugeFunc(p+"queue_depth", func() float64 { return float64(pr.queueLen()) })
+	scope.GaugeFunc(p+"credit_balance", func() float64 { return float64(pr.credits()) })
+	scope.GaugeFunc(p+"fake_credit_balance", func() float64 { return float64(pr.fakeCredits()) })
+	scope.GaugeFunc(p+"released_real", func() float64 { return float64(pr.stats().ReleasedReal) })
+	scope.GaugeFunc(p+"released_fake", func() float64 { return float64(pr.stats().ReleasedFake) })
+	scope.GaugeFunc(p+"delayed_cycles", func() float64 { return float64(pr.stats().DelayedCycles) })
+	scope.GaugeFunc(p+"drift_l1", pr.drift)
+
+	// Per-epoch drift closes over the previous publish's counts; the
+	// closure runs only from the sim goroutine (Scope.Publish), so the
+	// captured slice needs no lock.
+	prev := make([]uint64, len(pr.shaped.Hist.Counts))
+	scope.GaugeFunc(p+"drift_l1_epoch", func() float64 {
+		cur := pr.shaped.Hist.Counts
+		var total uint64
+		delta := make([]uint64, len(cur))
+		for i := range cur {
+			delta[i] = cur[i] - prev[i]
+			total += delta[i]
+		}
+		copy(prev, cur)
+		if total == 0 {
+			return 0
+		}
+		target := pr.target()
+		var d float64
+		for i := range delta {
+			e := float64(delta[i]) / float64(total)
+			diff := e - target[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			d += diff
+		}
+		return d
+	})
+}
+
+// PublishObs evaluates every registered pull gauge. The supervised run
+// path calls it once per supervision quantum; experiments that step the
+// kernel directly may call it at their own boundaries. Only the
+// simulation goroutine may call it.
+func (s *System) PublishObs() { s.obsScope.Publish() }

@@ -14,6 +14,7 @@ import (
 	"camouflage/internal/mem"
 	"camouflage/internal/memctrl"
 	"camouflage/internal/noc"
+	"camouflage/internal/obs"
 	"camouflage/internal/shaper"
 	"camouflage/internal/sim"
 	"camouflage/internal/trace"
@@ -46,6 +47,10 @@ type System struct {
 	amap     *dram.AddrMap
 	nextID   uint64
 	deadline time.Duration
+
+	// obs and obsScope carry the observability layer, nil until EnableObs.
+	obs      *obs.Bundle
+	obsScope *obs.Scope
 }
 
 // multiElevator fans priority warnings out to every controller, so a
@@ -364,11 +369,19 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 			if s.deadline > 0 && time.Since(start) > s.deadline {
 				return done, fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, s.Kernel.Now(), ran, n)
 			}
+			if s.obsScope != nil {
+				s.obsScope.Publish()
+			}
 		}
 		s.Kernel.Step()
 	}
 	if pred != nil && !done {
 		done = pred()
+	}
+	if s.obsScope != nil {
+		// Publish the final partial stride so end-of-run scrapes see the
+		// finished state.
+		s.obsScope.Publish()
 	}
 	if s.Monitor != nil {
 		// Catch violations in the final partial stride.

@@ -95,6 +95,11 @@ type Core struct {
 	// OnResponse, when set, observes every real response delivered to
 	// this core (the adversary's response-latency probe).
 	OnResponse func(now sim.Cycle, resp *mem.Request)
+	// OnDelivered, when set, observes every response — real and fake —
+	// after its DeliveredAt stamp is set. This is the lifecycle tracer's
+	// hook: at delivery a request carries all seven hop timestamps, so a
+	// single callback covers its whole life.
+	OnDelivered func(now sim.Cycle, resp *mem.Request)
 }
 
 // New returns core id running src, with nextID supplying request IDs.
@@ -134,6 +139,9 @@ func (c *Core) Finished() bool { return c.finished }
 // The core endpoint always accepts.
 func (c *Core) TrySend(now sim.Cycle, resp *mem.Request) bool {
 	resp.DeliveredAt = now
+	if c.OnDelivered != nil {
+		c.OnDelivered(now, resp)
+	}
 	if resp.Fake {
 		c.stats.FakeResponses++
 		return true

@@ -23,6 +23,10 @@ type bank struct {
 	hits      uint64
 	misses    uint64 // closed-row accesses
 	conflicts uint64 // wrong-row accesses
+	// busyCycles accumulates the cycles this bank was occupied by issued
+	// transactions (issue to freeAt), the per-bank utilization the obs
+	// layer exposes.
+	busyCycles sim.Cycle
 }
 
 func newBank() bank {

@@ -319,6 +319,7 @@ func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
 		b.openRow = rowClosed
 		b.freeAt += t.TRP
 	}
+	b.busyCycles += b.freeAt - earliest
 	b.inflight = true
 	c.commandIssuedAt = now
 	c.commandUsed = true
@@ -362,6 +363,15 @@ func (c *Channel) recordActivate(rk *rankState, at sim.Cycle) {
 	rk.actIdx = (rk.actIdx + 1) % len(rk.activates)
 	rk.actCount++
 	rk.lastAct = at
+}
+
+// Geometry returns the channel's geometry.
+func (c *Channel) Geometry() Geometry { return c.geom }
+
+// BankBusy returns (rank, bank)'s cumulative busy cycles: the time the
+// bank was occupied by issued transactions, issue through freeAt.
+func (c *Channel) BankBusy(rank, bankIdx int) sim.Cycle {
+	return c.ranks[rank].banks[bankIdx].busyCycles
 }
 
 // OpenRow returns the open row of (rank, bank), or false if closed.

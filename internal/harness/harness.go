@@ -13,6 +13,7 @@ import (
 	"camouflage/internal/check"
 	"camouflage/internal/core"
 	"camouflage/internal/cpu"
+	"camouflage/internal/obs"
 	"camouflage/internal/sim"
 	"camouflage/internal/trace"
 )
@@ -97,6 +98,9 @@ func (r runStats) systemIPC() float64 {
 func measureRun(ctx context.Context, sys *core.System, warmup, cycles sim.Cycle) (runStats, error) {
 	if sys.Monitor == nil {
 		sys.EnableChecks(check.Options{})
+	}
+	if b := obs.FromContext(ctx); b != nil {
+		sys.EnableObs(b, obs.Label(ctx))
 	}
 	if err := sys.RunContext(ctx, warmup); err != nil {
 		return runStats{}, fmt.Errorf("warmup: %w", err)

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the opt-in live-introspection endpoint. It serves:
+//
+//	/metrics      registry text dump (`name value` lines, sorted)
+//	/jobs         JSON snapshot from the Jobs function (campaign state)
+//	/debug/vars   expvar
+//	/debug/pprof  runtime profiles
+//
+// Everything it reads is atomic (registry) or snapshot-by-callback
+// (jobs), so scraping never blocks the simulation loop.
+type Server struct {
+	Registry *Registry
+	// Jobs, if set, returns the value rendered as JSON at /jobs.
+	Jobs func() any
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts listening on addr (e.g. "localhost:6060") in a background
+// goroutine and returns the bound address, useful when addr has port 0.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.Registry.WriteTo(w)
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s.Jobs == nil {
+			w.Write([]byte("[]\n"))
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Jobs())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener. Safe on a Server that never served.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// ProgressReporter prints a one-line status to w every interval until
+// stopped. The line function is called from the reporter goroutine, so
+// it must only read atomic/published state (Registry values, campaign
+// progress snapshots).
+type ProgressReporter struct {
+	stop chan struct{}
+	done sync.WaitGroup
+	once sync.Once
+}
+
+// StartProgress launches a reporter writing line() to w every interval.
+// A nil line or non-positive interval yields an inert reporter.
+func StartProgress(w io.Writer, interval time.Duration, line func() string) *ProgressReporter {
+	p := &ProgressReporter{stop: make(chan struct{})}
+	if line == nil || interval <= 0 {
+		close(p.stop)
+		return p
+	}
+	p.done.Add(1)
+	go func() {
+		defer p.done.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, line())
+			}
+		}
+	}()
+	return p
+}
+
+// Stop halts the reporter and waits for its final line to flush. Safe to
+// call multiple times and on a nil reporter.
+func (p *ProgressReporter) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		select {
+		case <-p.stop:
+		default:
+			close(p.stop)
+		}
+		p.done.Wait()
+	})
+}

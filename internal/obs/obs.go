@@ -1,0 +1,71 @@
+// Package obs is the simulator-wide observability layer: a lock-cheap
+// metrics registry of named instruments (counters, gauges, cycle
+// histograms), a request-lifecycle tracer that stamps every memory
+// transaction at each hop of the pipeline and emits Chrome trace_event
+// JSON plus a JSONL span log, and live introspection (an opt-in HTTP
+// endpoint serving expvar, pprof, a /metrics text dump and a /jobs JSON
+// view, plus a periodic one-line progress report).
+//
+// The layer is designed to cost nothing when off and almost nothing when
+// on:
+//
+//   - Every instrument method is nil-safe: a nil *Counter, *Gauge,
+//     *CycleHist, *Tracer or *Registry no-ops, so instrumented components
+//     pay one predictable branch when observability is disabled.
+//   - Counters, gauges and histogram bins are atomics, so the HTTP
+//     scraper never takes a lock against the simulation loop.
+//   - Pull-style gauges (GaugeFunc) read live simulator state, which is
+//     single-threaded; they are therefore evaluated only by their owning
+//     Scope's Publish, called from the simulation goroutine at
+//     supervision-stride boundaries. The scrape path reads the last
+//     published atomic values and never touches simulator state.
+//
+// Instrument naming follows `<component>.<instance>.<metric>`
+// (e.g. "shaper.req.1.queue_depth", "dram.0.bank.3.busy_cycles"); see
+// DESIGN.md §Observability for the full scheme.
+package obs
+
+import "context"
+
+// Bundle carries the observability handles one run threads through its
+// call tree: the metrics registry and the lifecycle tracer. Either field
+// may be nil; a nil *Bundle disables the whole layer.
+type Bundle struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying b. Harness experiments receive the
+// bundle this way so systems built deep inside an experiment can be
+// instrumented without threading a parameter through every signature.
+func NewContext(ctx context.Context, b *Bundle) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, b)
+}
+
+// FromContext returns the bundle carried by ctx, or nil.
+func FromContext(ctx context.Context) *Bundle {
+	b, _ := ctx.Value(ctxKey{}).(*Bundle)
+	return b
+}
+
+type labelKey struct{}
+
+// WithLabel returns ctx carrying a run label. Experiments that build
+// several systems set a distinct label per system so their trace spans
+// and metrics are distinguishable.
+func WithLabel(ctx context.Context, label string) context.Context {
+	return context.WithValue(ctx, labelKey{}, label)
+}
+
+// Label returns the run label carried by ctx, or "run".
+func Label(ctx context.Context) string {
+	if l, ok := ctx.Value(labelKey{}).(string); ok && l != "" {
+		return l
+	}
+	return "run"
+}

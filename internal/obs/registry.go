@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// Counter is a monotonically increasing instrument. All methods are
+// nil-safe and safe for concurrent use (atomic).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value instrument. All methods are nil-safe and safe
+// for concurrent use (the float64 is stored as atomic bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// CycleHist is a histogram of cycle-valued observations over a fixed
+// binning. Bin counts are atomics, so observation from the simulation
+// goroutine and scraping from the HTTP goroutine never contend on a
+// lock.
+type CycleHist struct {
+	binning stats.Binning
+	counts  []atomic.Uint64
+}
+
+// Observe records one observation (nil-safe).
+func (h *CycleHist) Observe(v sim.Cycle) {
+	if h == nil {
+		return
+	}
+	i := h.binning.Bin(v)
+	h.counts[i].Add(1)
+}
+
+// Snapshot returns the binning and a copy of the counts.
+func (h *CycleHist) Snapshot() (stats.Binning, []uint64) {
+	if h == nil {
+		return stats.Binning{}, nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return h.binning, out
+}
+
+// Registry holds named instruments. Registration takes a mutex;
+// instrument reads and writes are lock-free. A nil *Registry returns nil
+// instruments from every constructor, so components can instrument
+// themselves unconditionally and compile down to nil-check branches when
+// observability is off.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*CycleHist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*CycleHist),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// CycleHist returns the named cycle histogram, creating it over binning b
+// if needed. An existing histogram keeps its original binning.
+func (r *Registry) CycleHist(name string, b stats.Binning) *CycleHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &CycleHist{binning: b, counts: make([]atomic.Uint64, b.N())}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Value returns the current value of the named gauge or counter and
+// whether it exists. Progress reporters use it to render summary lines
+// without holding references to individual instruments.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	g, gok := r.gauges[name]
+	c, cok := r.counters[name]
+	r.mu.Unlock()
+	switch {
+	case gok:
+		return g.Value(), true
+	case cok:
+		return float64(c.Value()), true
+	}
+	return 0, false
+}
+
+// WriteTo renders every instrument as `name value` lines, sorted by
+// name, histograms as one `name{le="edge"} count` line per bin plus a
+// total. This is the /metrics text dump.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
+	}
+	for name, h := range r.hists {
+		b, counts := h.Snapshot()
+		var total uint64
+		for i, n := range counts {
+			lines = append(lines, fmt.Sprintf("%s{ge=%q} %d", name, fmt.Sprint(b.Lower(i)), n))
+			total += n
+		}
+		lines = append(lines, fmt.Sprintf("%s_total %d", name, total))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// Dump renders WriteTo as a string.
+func (r *Registry) Dump() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	return sb.String()
+}
+
+// scopeEntry pairs a pull function with the gauge it publishes into.
+type scopeEntry struct {
+	g  *Gauge
+	fn func() float64
+}
+
+// Scope is a set of pull-style gauges owned by one simulation. The pull
+// functions read live (single-threaded) simulator state, so only the
+// owning goroutine may call Publish; the published values land in atomic
+// gauges that any goroutine can scrape. One registry can serve many
+// scopes (a campaign runs many systems); name collisions mean the most
+// recently published system wins, which is what a live dashboard wants.
+type Scope struct {
+	reg     *Registry
+	entries []scopeEntry
+}
+
+// NewScope returns a scope publishing into r (nil-safe: a nil registry
+// yields a nil scope whose methods no-op).
+func (r *Registry) NewScope() *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{reg: r}
+}
+
+// GaugeFunc registers a pull gauge: fn is evaluated at each Publish and
+// its result stored into the named gauge.
+func (s *Scope) GaugeFunc(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
+	s.entries = append(s.entries, scopeEntry{g: s.reg.Gauge(name), fn: fn})
+}
+
+// Publish evaluates every pull function. Call it only from the goroutine
+// that owns the simulator state the functions read.
+func (s *Scope) Publish() {
+	if s == nil {
+		return
+	}
+	for _, e := range s.entries {
+		e.g.Set(e.fn())
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+// hop is one segment of a request's life, derived from a pair of the
+// timestamps mem.Request already carries. Segments with a zero or
+// regressive end are skipped (fake requests never cross every hop).
+type hop struct {
+	name       string
+	start, end func(*mem.Request) sim.Cycle
+}
+
+var hops = []hop{
+	{"shape_req", func(r *mem.Request) sim.Cycle { return r.CreatedAt }, func(r *mem.Request) sim.Cycle { return r.ShapedAt }},
+	{"noc_to_mc", func(r *mem.Request) sim.Cycle { return r.ShapedAt }, func(r *mem.Request) sim.Cycle { return r.ArrivedMC }},
+	{"mc_queue", func(r *mem.Request) sim.Cycle { return r.ArrivedMC }, func(r *mem.Request) sim.Cycle { return r.IssuedDRAM }},
+	{"dram", func(r *mem.Request) sim.Cycle { return r.IssuedDRAM }, func(r *mem.Request) sim.Cycle { return r.ReadyAt }},
+	{"shape_resp", func(r *mem.Request) sim.Cycle { return r.ReadyAt }, func(r *mem.Request) sim.Cycle { return r.RespShaped }},
+	{"noc_to_core", func(r *mem.Request) sim.Cycle { return r.RespShaped }, func(r *mem.Request) sim.Cycle { return r.DeliveredAt }},
+}
+
+// samplePrime decorrelates request IDs before seeding the per-request
+// RNG (splitmix64's golden-ratio increment).
+const samplePrime = 0x9E3779B97F4A7C15
+
+// Tracer records the lifecycle of sampled memory requests and emits two
+// artifacts: a Chrome trace_event JSON file (openable in Perfetto or
+// chrome://tracing) and a JSONL span log with one hand-marshaled line
+// per request, whose bytes depend only on the simulated timestamps and
+// the sampling seed — byte-identical across same-seed runs.
+//
+// Sampling is 1-in-N and deterministic per request ID: whether request
+// 4711 is sampled depends only on (seed, 4711), never on arrival order,
+// so two runs of the same scenario trace the same requests. A nil
+// *Tracer no-ops on every method.
+type Tracer struct {
+	mu      sync.Mutex
+	seed    uint64
+	sampleN uint64
+
+	run    string // current run label, set by BeginRun
+	runIdx int    // pid in the Chrome trace, one per run label
+
+	jsonF  *os.File
+	jsonW  *bufio.Writer
+	first  bool // next Chrome event is the first (no leading comma)
+	jsonlF *os.File
+	jsonlW *bufio.Writer
+
+	spans uint64 // requests recorded
+
+	closed bool
+	err    error
+}
+
+// NewTracer opens base+".json" (Chrome trace) and base+".jsonl" (span
+// log). sampleN 0 or 1 records every request; N>1 records ~1/N of them,
+// chosen deterministically from seed.
+func NewTracer(base string, sampleN, seed uint64) (*Tracer, error) {
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("obs: create trace: %w", err)
+	}
+	lf, err := os.Create(base + ".jsonl")
+	if err != nil {
+		jf.Close()
+		return nil, fmt.Errorf("obs: create span log: %w", err)
+	}
+	t := &Tracer{
+		seed:    seed,
+		sampleN: sampleN,
+		run:     "run",
+		jsonF:   jf,
+		jsonW:   bufio.NewWriterSize(jf, 1<<16),
+		first:   true,
+		jsonlF:  lf,
+		jsonlW:  bufio.NewWriterSize(lf, 1<<16),
+	}
+	t.jsonW.WriteString(`{"traceEvents":[`)
+	return t, nil
+}
+
+// BeginRun names the runs that follow (experiments like fig09 drive
+// several systems through one tracer; the label distinguishes their
+// spans and maps to a distinct pid in the Chrome trace).
+func (t *Tracer) BeginRun(label string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.run = label
+	t.runIdx++
+	t.mu.Unlock()
+}
+
+// Sampled reports whether the request with this ID is traced. The
+// decision is a pure function of (seed, id), so it is independent of
+// the order requests complete in.
+func (t *Tracer) Sampled(id uint64) bool {
+	if t == nil {
+		return false
+	}
+	if t.sampleN <= 1 {
+		return true
+	}
+	return sim.NewRNG(t.seed^(id*samplePrime)).Uint64()%t.sampleN == 0
+}
+
+// Delivered records req's full lifecycle if it is sampled. Call it once
+// per request after DeliveredAt is stamped (the cpu core's delivery
+// hook); fake requests are recorded too — hiding them would hide the
+// very traffic the shaper adds.
+func (t *Tracer) Delivered(req *mem.Request) {
+	if t == nil || req == nil || !t.Sampled(req.ID) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.spans++
+	t.writeJSONL(req)
+	t.writeChrome(req)
+}
+
+// Spans returns the number of requests recorded so far.
+func (t *Tracer) Spans() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
+}
+
+// writeJSONL emits one hand-marshaled line. Field order, formatting and
+// content are fixed so same-seed runs produce byte-identical logs.
+func (t *Tracer) writeJSONL(r *mem.Request) {
+	var sb strings.Builder
+	sb.Grow(192)
+	fmt.Fprintf(&sb,
+		`{"run":%q,"id":%d,"core":%d,"op":%q,"fake":%t,"created":%d,"shaped":%d,"arrived_mc":%d,"issued_dram":%d,"ready":%d,"resp_shaped":%d,"delivered":%d}`,
+		t.run, r.ID, r.Core, r.Op.String(), r.Fake,
+		r.CreatedAt, r.ShapedAt, r.ArrivedMC, r.IssuedDRAM,
+		r.ReadyAt, r.RespShaped, r.DeliveredAt)
+	sb.WriteByte('\n')
+	t.jsonlW.WriteString(sb.String())
+}
+
+// writeChrome emits one complete ("X") event per populated hop plus a
+// whole-lifetime event, using cycles as the microsecond timebase (the
+// viewer only needs relative magnitudes).
+func (t *Tracer) writeChrome(r *mem.Request) {
+	t.event("request", r.CreatedAt, r.DeliveredAt, r)
+	for _, h := range hops {
+		s, e := h.start(r), h.end(r)
+		if e == 0 || e < s || (s == 0 && h.name != "shape_req") {
+			continue
+		}
+		t.event(h.name, s, e, r)
+	}
+}
+
+func (t *Tracer) event(name string, start, end sim.Cycle, r *mem.Request) {
+	if end < start {
+		return
+	}
+	if !t.first {
+		t.jsonW.WriteByte(',')
+	}
+	t.first = false
+	fmt.Fprintf(t.jsonW,
+		`{"name":%q,"cat":"mem","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"id":%d,"run":%q,"fake":%t,"op":%q}}`,
+		name, start, end-start, t.runIdx, r.Core, r.ID, t.run, r.Fake, r.Op.String())
+}
+
+// Close flushes and finalizes both files. Safe to call more than once.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	t.jsonW.WriteString("]}\n")
+	if err := t.jsonW.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if err := t.jsonF.Close(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if err := t.jsonlW.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if err := t.jsonlF.Close(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

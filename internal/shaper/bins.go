@@ -2,8 +2,10 @@ package shaper
 
 import (
 	"fmt"
+	"math"
 
 	"camouflage/internal/sim"
+	"camouflage/internal/stats"
 )
 
 // binCore is the credit machinery shared by the request and response
@@ -462,6 +464,64 @@ func (b *binCore) checkConservation() error {
 			l.banked, l.fakeSpent, pending)
 	}
 	return nil
+}
+
+// liveCredits returns the total live credits across all bins.
+func (b *binCore) liveCredits() int {
+	n := 0
+	for _, c := range b.credits {
+		n += c
+	}
+	return n
+}
+
+// unusedCredits returns the total banked (fake-generator) credits.
+func (b *binCore) unusedCredits() int {
+	n := 0
+	for _, u := range b.unused {
+		n += u
+	}
+	return n
+}
+
+// targetPMF returns the release distribution the shaper is configured to
+// emit: the normalized credit vector, or — in strict periodic mode,
+// which has no credits — unit mass on the bin holding the active
+// interval. This is the reference the drift gauge measures against.
+func (b *binCore) targetPMF() []float64 {
+	p := make([]float64, b.cfg.Binning.N())
+	if b.periodic() {
+		p[b.cfg.Binning.Bin(b.curInterval)] = 1
+		return p
+	}
+	total := 0
+	for _, c := range b.cfg.Credits {
+		total += c
+	}
+	if total == 0 {
+		return p
+	}
+	for i, c := range b.cfg.Credits {
+		p[i] = float64(c) / float64(total)
+	}
+	return p
+}
+
+// distributionDrift returns the L1 distance between the emitted
+// distribution recorded by shaped and the core's target PMF, or 0 before
+// the first release (an empty recorder normalizes to uniform, which
+// would read as spurious drift).
+func distributionDrift(shaped *stats.InterArrivalRecorder, b *binCore) float64 {
+	if shaped.Hist.Total() == 0 {
+		return 0
+	}
+	emitted := shaped.Hist.PMF()
+	target := b.targetPMF()
+	var d float64
+	for i := range emitted {
+		d += math.Abs(emitted[i] - target[i])
+	}
+	return d
 }
 
 // creditsLeft returns the live credits in bin i (for tests).

@@ -82,6 +82,26 @@ func (s *RequestShaper) CheckConservation() error { return s.bins.checkConservat
 // QueueLen returns the number of requests awaiting release.
 func (s *RequestShaper) QueueLen() int { return s.in.Len() }
 
+// CreditBalance returns the live credits remaining in the current window.
+func (s *RequestShaper) CreditBalance() int { return s.bins.liveCredits() }
+
+// FakeCreditBalance returns the banked credits backing the fake-traffic
+// generator.
+func (s *RequestShaper) FakeCreditBalance() int { return s.bins.unusedCredits() }
+
+// TargetPMF returns the configured release distribution (see
+// binCore.targetPMF).
+func (s *RequestShaper) TargetPMF() []float64 { return s.bins.targetPMF() }
+
+// DistributionDrift returns the L1 distance between the emitted (bus
+// visible) inter-arrival distribution and the configured target — the
+// paper's core security metric: a drift of 0 means the bus shows exactly
+// the configured distribution; 2 is maximal divergence. Returns 0 until
+// the shaper has released anything.
+func (s *RequestShaper) DistributionDrift() float64 {
+	return distributionDrift(s.Shaped, s.bins)
+}
+
 // TrySend implements mem.ReqPort: the core offers its misses here. A full
 // queue is the stall signal.
 func (s *RequestShaper) TrySend(now sim.Cycle, req *mem.Request) bool {

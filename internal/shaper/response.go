@@ -89,6 +89,24 @@ func (s *ResponseShaper) CheckConservation() error { return s.bins.checkConserva
 // QueueLen returns the number of buffered responses.
 func (s *ResponseShaper) QueueLen() int { return s.queue.Len() }
 
+// CreditBalance returns the live credits remaining in the current window.
+func (s *ResponseShaper) CreditBalance() int { return s.bins.liveCredits() }
+
+// FakeCreditBalance returns the banked credits backing the fake-response
+// generator.
+func (s *ResponseShaper) FakeCreditBalance() int { return s.bins.unusedCredits() }
+
+// TargetPMF returns the configured release distribution (see
+// binCore.targetPMF).
+func (s *ResponseShaper) TargetPMF() []float64 { return s.bins.targetPMF() }
+
+// DistributionDrift returns the L1 distance between the emitted response
+// inter-arrival distribution and the configured target (see
+// RequestShaper.DistributionDrift).
+func (s *ResponseShaper) DistributionDrift() float64 {
+	return distributionDrift(s.Shaped, s.bins)
+}
+
 // TrySend implements mem.RespPort: the memory controller egress delivers
 // completed transactions here. A full response queue refuses delivery,
 // which stalls controller retirement (the return-channel overflow

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"camouflage/internal/sim"
+)
+
+// A binning whose first edge is nonzero: values below it must clamp into
+// bin 0 rather than index out of range.
+func TestBinBelowFirstEdgeClamps(t *testing.T) {
+	b := Binning{Edges: []sim.Cycle{10, 20, 40}}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []sim.Cycle{0, 1, 9} {
+		if got := b.Bin(dt); got != 0 {
+			t.Fatalf("Bin(%d) = %d, want 0 (clamped)", dt, got)
+		}
+	}
+	if got := b.Bin(10); got != 0 {
+		t.Fatalf("Bin(10) = %d, want 0", got)
+	}
+	if got := b.Bin(19); got != 0 {
+		t.Fatalf("Bin(19) = %d, want 0", got)
+	}
+	if got := b.Bin(20); got != 1 {
+		t.Fatalf("Bin(20) = %d, want 1", got)
+	}
+}
+
+func TestHistogramAddBelowFirstEdge(t *testing.T) {
+	h := NewHistogram(Binning{Edges: []sim.Cycle{10, 20}})
+	h.Add(3) // must not panic; lands in bin 0
+	if h.Counts[0] != 1 || h.Total() != 1 {
+		t.Fatalf("counts %v total %d", h.Counts, h.Total())
+	}
+}
+
+func TestBinAboveLastEdgeIsLastBin(t *testing.T) {
+	b := DefaultBinning()
+	last := b.N() - 1
+	for _, dt := range []sim.Cycle{b.Lower(last), b.Lower(last) + 1, math.MaxUint64} {
+		if got := b.Bin(dt); got != last {
+			t.Fatalf("Bin(%d) = %d, want %d", dt, got, last)
+		}
+	}
+	h := NewHistogram(b)
+	h.Add(math.MaxUint64)
+	if h.Counts[last] != 1 {
+		t.Fatalf("open-ended bin missed: %v", h.Counts)
+	}
+}
+
+func TestL1DistanceMismatchedBinningsPanics(t *testing.T) {
+	a := NewHistogram(DefaultBinning())
+	b := NewHistogram(LinearBinning(10, 5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L1Distance across different binnings did not panic")
+		}
+	}()
+	a.L1Distance(b)
+}
+
+func TestL1DistanceMismatchedBinCountPanics(t *testing.T) {
+	a := NewHistogram(DefaultBinning())
+	b := NewHistogram(ExponentialBinning(4, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L1Distance across different bin counts did not panic")
+		}
+	}()
+	a.L1Distance(b)
+}

@@ -68,10 +68,15 @@ func DefaultBinning() Binning {
 func (b Binning) N() int { return len(b.Edges) }
 
 // Bin returns the index of the bin containing inter-arrival time dt.
+// Values below the first edge clamp into bin 0 (binnings whose Edges[0]
+// is nonzero would otherwise index out of range).
 func (b Binning) Bin(dt sim.Cycle) int {
 	// The bin count is small (10–32); binary search via sort.Search keeps
 	// this O(log n) and allocation-free.
 	i := sort.Search(len(b.Edges), func(i int) bool { return b.Edges[i] > dt })
+	if i == 0 {
+		return 0
+	}
 	return i - 1
 }
 

@@ -11,12 +11,18 @@ import (
 type Summary struct {
 	samples []float64
 	sum     float64
+
+	// sorted caches the samples in ascending order for Percentile, which
+	// experiment reports call several times per run (p50/p95/p99). It is
+	// rebuilt lazily and invalidated by Add.
+	sorted []float64
 }
 
 // Add records one sample.
 func (s *Summary) Add(v float64) {
 	s.samples = append(s.samples, v)
 	s.sum += v
+	s.sorted = nil
 }
 
 // N returns the number of samples.
@@ -52,22 +58,26 @@ func (s *Summary) Variance() float64 {
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// The sort is performed once and cached until the next Add, so the usual
+// p50/p95/p99 triple costs one sort instead of three.
 func (s *Summary) Percentile(p float64) float64 {
 	n := len(s.samples)
 	if n == 0 {
 		return 0
 	}
-	sorted := make([]float64, n)
-	copy(sorted, s.samples)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = make([]float64, n)
+		copy(s.sorted, s.samples)
+		sort.Float64s(s.sorted)
+	}
 	if p <= 0 {
-		return sorted[0]
+		return s.sorted[0]
 	}
 	if p >= 100 {
-		return sorted[n-1]
+		return s.sorted[n-1]
 	}
 	rank := int(math.Ceil(p / 100 * float64(n)))
-	return sorted[rank-1]
+	return s.sorted[rank-1]
 }
 
 // Max returns the largest sample, or 0 with no samples.

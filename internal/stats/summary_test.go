@@ -51,6 +51,64 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileCacheInvalidatedByAdd(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	if p := s.Percentile(50); p != 10 {
+		t.Fatalf("p50 = %v, want 10", p)
+	}
+	// An Add after a Percentile call must invalidate the sorted cache.
+	s.Add(1)
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 after Add = %v, want 1 (stale cache?)", p)
+	}
+	if p := s.Percentile(100); p != 10 {
+		t.Fatalf("p100 after Add = %v, want 10", p)
+	}
+}
+
+func TestPercentileRepeatedCallsConsistent(t *testing.T) {
+	var s Summary
+	for i := 0; i < 1000; i++ {
+		s.Add(float64((i * 7919) % 1000))
+	}
+	first := []float64{s.Percentile(50), s.Percentile(95), s.Percentile(99)}
+	second := []float64{s.Percentile(50), s.Percentile(95), s.Percentile(99)}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("percentile drifted between calls: %v vs %v", first, second)
+		}
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	var s Summary
+	for i := 0; i < 100_000; i++ {
+		s.Add(float64((i * 2654435761) % 1_000_000))
+	}
+	s.Percentile(50) // warm the cache once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Percentile(50)
+		s.Percentile(95)
+		s.Percentile(99)
+	}
+}
+
+func BenchmarkPercentileColdCache(b *testing.B) {
+	var s Summary
+	for i := 0; i < 100_000; i++ {
+		s.Add(float64((i * 2654435761) % 1_000_000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.sorted = nil // what every call paid before the cache
+		s.Percentile(50)
+		s.Percentile(95)
+		s.Percentile(99)
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
 		t.Fatalf("geomean %v, want 2", g)

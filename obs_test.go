@@ -1,0 +1,112 @@
+package camouflage_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"camouflage/internal/core"
+	"camouflage/internal/harness"
+	"camouflage/internal/obs"
+	"camouflage/internal/trace"
+
+	"camouflage/internal/sim"
+)
+
+// obsBenchSystem builds the BenchmarkSystemThroughput 4-core mix.
+func obsBenchSystem(b *testing.B) *core.System {
+	b.Helper()
+	srcs := make([]trace.Source, 4)
+	rng := sim.NewRNG(3)
+	names := []string{"mcf", "astar", "gcc", "apache"}
+	for i := range srcs {
+		p, err := trace.ProfileByName(names[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs[i] = mustGen(p, rng.Fork())
+	}
+	sys, err := core.NewSystem(core.DefaultConfig(), srcs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkObsDisabled is the tentpole's overhead contract: the tier-1
+// simulation path with observability never enabled. Compare against
+// BenchmarkSystemThroughput (identical workload) and BenchmarkObsEnabled;
+// the disabled path must stay within noise of the seed (<2%).
+func BenchmarkObsDisabled(b *testing.B) {
+	sys := obsBenchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(1)
+	}
+	b.ReportMetric(float64(sys.TotalWork()), "work-units")
+}
+
+// BenchmarkObsEnabled runs the same workload with the full bundle live:
+// registry gauges, per-bank DRAM instruments and a 1-in-64 sampled
+// tracer writing real files.
+func BenchmarkObsEnabled(b *testing.B) {
+	sys := obsBenchSystem(b)
+	tr, err := obs.NewTracer(filepath.Join(b.TempDir(), "bench"), 64, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	sys.EnableObs(&obs.Bundle{Registry: obs.NewRegistry(), Tracer: tr}, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(1)
+	}
+	b.ReportMetric(float64(sys.TotalWork()), "work-units")
+}
+
+// TestFig09TraceReplaysIdentically is the tentpole's determinism
+// acceptance test: two same-seed runs of the Figure 9 harness through a
+// sampled tracer must produce byte-identical JSONL span logs (and, with
+// single-threaded runs, byte-identical Chrome traces).
+func TestFig09TraceReplaysIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig09 runs four full systems")
+	}
+	run := func(dir string) (jsonl, chrome []byte) {
+		t.Helper()
+		base := filepath.Join(dir, "fig09")
+		tr, err := obs.NewTracer(base, 16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := obs.NewContext(context.Background(), &obs.Bundle{Registry: obs.NewRegistry(), Tracer: tr})
+		if _, err := harness.ReturnTimeDifference(ctx, "gcc", 100_000, 1); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Spans() == 0 {
+			t.Fatal("tracer recorded no spans")
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		jb, err := os.ReadFile(base + ".jsonl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := os.ReadFile(base + ".json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jb, cb
+	}
+	j1, c1 := run(t.TempDir())
+	j2, c2 := run(t.TempDir())
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("fig09 JSONL span logs differ across same-seed runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("fig09 Chrome traces differ across same-seed runs")
+	}
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Observability smoke test: run a small campaign with the live
+# introspection server, the lifecycle tracer and the progress reporter
+# all enabled, then require (a) /metrics and /jobs scrape cleanly while
+# jobs run, (b) the scraped dump carries campaign, cpu, shaper, memctrl
+# and dram instruments, (c) the progress reporter wrote its one-line
+# status, and (d) the emitted trace validates against the Chrome
+# trace_event schema and the span-log schema.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+bin="$workdir/experiments"
+check="$workdir/obscheck"
+go build -o "$bin" ./cmd/experiments
+go build -o "$check" ./cmd/obscheck
+
+# A run list heavy enough to keep the server up for a few seconds.
+"$bin" -run headline,fig11,fig9 -cycles 200000 -jobs 2 \
+  -obs-addr 127.0.0.1:0 -trace-out "$workdir/trace" -trace-sample 32 \
+  -progress 200ms >"$workdir/out.txt" 2>"$workdir/err.txt" &
+pid=$!
+
+# The server logs its bound address (port 0 → kernel-assigned) first.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's!^obs: serving .* on http://!!p' "$workdir/err.txt" | head -n1)
+  [ -n "$addr" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "obs-smoke: campaign exited before the server came up" >&2
+    cat "$workdir/err.txt" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "obs-smoke: server address never appeared on stderr" >&2
+  exit 1
+fi
+
+# Scrape while jobs run: poll until per-component gauges registered by a
+# live system show up, then validate the full dump and the /jobs view.
+scraped=0
+for _ in $(seq 1 100); do
+  if "$check" -metrics "http://$addr" \
+       -require campaign.jobs.done,cpu.0.ipc,shaper.resp.0.drift_l1,memctrl.0.queue_depth,dram.0.bus_utilization \
+       >"$workdir/scrape.txt" 2>/dev/null; then
+    scraped=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+if [ "$scraped" -ne 1 ]; then
+  echo "obs-smoke: /metrics never served the required instruments" >&2
+  "$check" -metrics "http://$addr" \
+    -require campaign.jobs.done,cpu.0.ipc,shaper.resp.0.drift_l1,memctrl.0.queue_depth,dram.0.bus_utilization || true
+  exit 1
+fi
+cat "$workdir/scrape.txt"
+"$check" -jobs "http://$addr"
+
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "obs-smoke: campaign failed (exit $rc)" >&2
+  cat "$workdir/err.txt" >&2
+  exit 1
+fi
+
+grep -q '^campaign: ' "$workdir/err.txt" || {
+  echo "obs-smoke: progress reporter wrote no status line" >&2
+  exit 1
+}
+
+# The trace files are finalized on exit; validate both artifacts.
+"$check" -trace "$workdir/trace"
+spans=$(wc -l <"$workdir/trace.jsonl")
+if [ "$spans" -lt 1 ]; then
+  echo "obs-smoke: trace recorded no spans" >&2
+  exit 1
+fi
+echo "obs-smoke: PASS ($spans sampled spans, live scrape OK)"
