@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke
 
 ci: vet build race fuzz-seeds
 
@@ -24,11 +24,14 @@ race:
 fuzz-seeds:
 	$(GO) test ./internal/scenario -run FuzzLoad
 	$(GO) test ./internal/trace -run FuzzReadTrace
+	$(GO) test ./internal/ckpt -run 'FuzzDecode|FuzzDecoderPayload'
 
 # Live coverage-guided fuzzing for local hardening sessions.
 fuzz:
 	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzLoad -fuzztime 30s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadTrace -fuzztime 30s
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 30s
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzDecoderPayload$$' -fuzztime 30s
 
 # Regenerate the paper's full evaluation suite.
 experiments:
@@ -44,3 +47,9 @@ campaign-smoke:
 # artifacts validated against the Chrome trace_event and span schemas.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# End-to-end checkpoint check: SIGKILL a checkpointing run mid-flight,
+# validate the surviving files, resume from the newest checkpoint, and
+# byte-diff the resumed report against an uninterrupted run.
+ckpt-smoke:
+	./scripts/ckpt_smoke.sh

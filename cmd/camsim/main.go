@@ -14,13 +14,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"camouflage/internal/check"
+	"camouflage/internal/ckpt"
 	"camouflage/internal/core"
 	"camouflage/internal/dram"
 	"camouflage/internal/fault"
@@ -34,13 +39,20 @@ import (
 	"camouflage/internal/trace"
 )
 
-// runOpts carries the supervision and observability flags shared by
-// both run paths.
+// runOpts carries the supervision, observability and checkpoint flags
+// shared by both run paths.
 type runOpts struct {
 	faults   fault.Options
 	watchdog bool
 	deadline time.Duration
 	obs      *obs.Bundle
+
+	// ckptDir arms periodic crash-safe checkpoints every ckptEvery
+	// cycles; resumeFrom restarts from a checkpoint file (or the newest
+	// valid one in a directory) instead of cycle 0.
+	ckptDir    string
+	ckptEvery  sim.Cycle
+	resumeFrom string
 }
 
 func main() {
@@ -55,9 +67,18 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, expvar, pprof) on this address, e.g. localhost:6060")
 	traceOut := flag.String("trace-out", "", "write request-lifecycle traces to PATH.json (Chrome trace_event) and PATH.jsonl (span log)")
 	traceSample := flag.Uint64("trace-sample", 64, "trace 1 in N requests, chosen deterministically from -seed (1 = all)")
+	ckptDir := flag.String("checkpoint-dir", "", "write periodic crash-safe checkpoints into this directory (keeps the newest 2)")
+	ckptEvery := flag.Uint64("checkpoint-every", 100_000, "simulated cycles between automatic checkpoints (with -checkpoint-dir)")
+	resumeFrom := flag.String("resume-from", "", "resume from this checkpoint file, or the newest valid checkpoint in this directory; -cycles is the total, so the run covers only the remainder")
 	flag.Parse()
 
-	opts := runOpts{watchdog: *watchdog, deadline: *deadline}
+	opts := runOpts{
+		watchdog:   *watchdog,
+		deadline:   *deadline,
+		ckptDir:    *ckptDir,
+		ckptEvery:  sim.Cycle(*ckptEvery),
+		resumeFrom: *resumeFrom,
+	}
 
 	// Observability: registry + optional tracer on the measured system
 	// (probe/measurement pre-runs stay uninstrumented). All handles are
@@ -114,10 +135,6 @@ func runScenario(path string, cycles sim.Cycle, opts runOpts) error {
 	if err != nil {
 		return err
 	}
-	sys, err := s.Build()
-	if err != nil {
-		return err
-	}
 	if s.Cycles > 0 {
 		cycles = sim.Cycle(s.Cycles)
 	}
@@ -125,14 +142,23 @@ func runScenario(path string, cycles sim.Cycle, opts runOpts) error {
 	for i, c := range s.Cores {
 		names[i] = c.Workload
 	}
-	var inj *fault.Injector
-	if opts.faults.NoCEnabled() {
-		inj = fault.NewInjector(opts.faults, sim.NewRNG(s.Seed+99))
-		sys.InjectFaults(inj)
+	// Assembly is a closure so a failed checkpoint restore can fall back
+	// to a clean, freshly built system.
+	build := func() (*core.System, *fault.Injector, error) {
+		sys, err := s.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		var inj *fault.Injector
+		if opts.faults.NoCEnabled() {
+			inj = fault.NewInjector(opts.faults, sim.NewRNG(s.Seed+99))
+			sys.InjectFaults(inj)
+		}
+		sys.EnableObs(opts.obs, "scenario/"+s.Name)
+		supervise(sys, nil, opts)
+		return sys, inj, nil
 	}
-	sys.EnableObs(opts.obs, "scenario/"+s.Name)
-	supervise(sys, nil, opts)
-	return reportRun(sys, names, cycles, fmt.Sprintf("scenario=%s scheme=%s", s.Name, s.Scheme), inj)
+	return reportRun(build, names, cycles, fmt.Sprintf("scenario=%s scheme=%s", s.Name, s.Scheme), opts)
 }
 
 func run(workload, schemeName string, cycles sim.Cycle, seed uint64, opts runOpts) error {
@@ -146,11 +172,6 @@ func run(workload, schemeName string, cycles sim.Cycle, seed uint64, opts runOpt
 	cfg.Cores = len(names)
 	cfg.Seed = seed
 	cfg.Scheme = scheme
-
-	sources, err := buildSources(names, seed)
-	if err != nil {
-		return err
-	}
 
 	// Shaping schemes need configurations; derive them from a short
 	// unshaped measurement run so the shaped distributions match each
@@ -168,28 +189,37 @@ func run(workload, schemeName string, cycles sim.Cycle, seed uint64, opts runOpt
 		}
 	}
 
-	// Fault injection: the reference timing is captured before the
+	// Assembly is a closure (sources, fault injector and system are all
+	// rebuilt together) so a failed checkpoint restore can fall back to a
+	// clean start. The reference timing is captured before the fault
 	// perturbation so the protocol checker validates against the truth.
 	ref := cfg.Timing
-	var inj *fault.Injector
-	if opts.faults.Enabled() {
-		inj = fault.NewInjector(opts.faults, sim.NewRNG(seed+99))
-		cfg.Timing = inj.PerturbTiming(cfg.Timing)
-		for i := range sources {
-			sources[i] = inj.Corrupt(sources[i])
+	build := func() (*core.System, *fault.Injector, error) {
+		sources, err := buildSources(names, seed)
+		if err != nil {
+			return nil, nil, err
 		}
+		runCfg := cfg
+		var inj *fault.Injector
+		if opts.faults.Enabled() {
+			inj = fault.NewInjector(opts.faults, sim.NewRNG(seed+99))
+			runCfg.Timing = inj.PerturbTiming(runCfg.Timing)
+			for i := range sources {
+				sources[i] = inj.Corrupt(sources[i])
+			}
+		}
+		sys, err := core.NewSystem(runCfg, sources)
+		if err != nil {
+			return nil, nil, err
+		}
+		if inj != nil {
+			sys.InjectFaults(inj)
+		}
+		sys.EnableObs(opts.obs, schemeName)
+		supervise(sys, &ref, opts)
+		return sys, inj, nil
 	}
-
-	sys, err := core.NewSystem(cfg, sources)
-	if err != nil {
-		return err
-	}
-	if inj != nil {
-		sys.InjectFaults(inj)
-	}
-	sys.EnableObs(opts.obs, schemeName)
-	supervise(sys, &ref, opts)
-	return reportRun(sys, names, cycles, fmt.Sprintf("scheme=%v", scheme), inj)
+	return reportRun(build, names, cycles, fmt.Sprintf("scheme=%v", scheme), opts)
 }
 
 // supervise applies the -watchdog and -deadline flags to a built system.
@@ -202,19 +232,86 @@ func supervise(sys *core.System, ref *dram.Timing, opts runOpts) {
 	}
 }
 
-// reportRun attaches latency probes, runs the system under supervision
-// and prints the per-core and system report. A supervised-run failure is
-// reported after whatever statistics accumulated.
-func reportRun(sys *core.System, names []string, cycles sim.Cycle, header string, inj *fault.Injector) error {
-	latencies := make([]*stats.Summary, len(names))
+// attachLatency installs per-core latency probes and returns them both
+// as summaries (for the report) and as staters (so they ride in
+// checkpoints and a resumed run's percentiles are byte-identical).
+func attachLatency(sys *core.System) ([]*stats.Summary, []ckpt.Stater) {
+	latencies := make([]*stats.Summary, len(sys.Cores))
+	extras := make([]ckpt.Stater, len(sys.Cores))
 	for i := range latencies {
 		s := &stats.Summary{}
 		latencies[i] = s
+		extras[i] = s
 		sys.Cores[i].OnResponse = func(_ sim.Cycle, resp *mem.Request) {
 			s.Add(float64(resp.Latency()))
 		}
 	}
-	runErr := sys.Run(cycles)
+	return latencies, extras
+}
+
+// loadResume reads the checkpoint to resume from: a file loads directly,
+// a directory yields its newest valid checkpoint.
+func loadResume(from string) (ckpt.Header, []byte, string, error) {
+	if fi, err := os.Stat(from); err == nil && fi.IsDir() {
+		return ckpt.NewManager(from, 1).Latest()
+	}
+	h, payload, err := ckpt.ReadFile(from)
+	return h, payload, from, err
+}
+
+// reportRun builds the system, applies the resume/checkpoint flags,
+// attaches latency probes, runs under supervision (SIGINT/SIGTERM cancel
+// the run, leaving a final checkpoint when -checkpoint-dir is armed) and
+// prints the per-core and system report. A supervised-run failure is
+// reported after whatever statistics accumulated. -cycles is the total
+// simulated length: a resumed run covers only the remainder.
+func reportRun(build func() (*core.System, *fault.Injector, error), names []string, cycles sim.Cycle, header string, opts runOpts) error {
+	sys, inj, err := build()
+	if err != nil {
+		return err
+	}
+	latencies, extras := attachLatency(sys)
+
+	remaining := cycles
+	if opts.resumeFrom != "" {
+		h, payload, path, lerr := loadResume(opts.resumeFrom)
+		switch {
+		case lerr == nil:
+			if rerr := sys.RestoreState(h, payload, extras...); rerr != nil {
+				if !errors.Is(rerr, ckpt.ErrCorrupt) {
+					return rerr
+				}
+				// The half-restored system is tainted; rebuild clean.
+				fmt.Fprintf(os.Stderr, "camsim: checkpoint %s unusable (%v); starting clean\n", path, rerr)
+				if sys, inj, err = build(); err != nil {
+					return err
+				}
+				latencies, extras = attachLatency(sys)
+			} else {
+				fmt.Fprintf(os.Stderr, "camsim: resumed from %s at cycle %d\n", path, h.Cycle)
+				if at := sim.Cycle(h.Cycle); at < cycles {
+					remaining = cycles - at
+				} else {
+					remaining = 0
+				}
+			}
+		case errors.Is(lerr, ckpt.ErrNoCheckpoint), errors.Is(lerr, ckpt.ErrCorrupt), os.IsNotExist(lerr):
+			fmt.Fprintf(os.Stderr, "camsim: no usable checkpoint at %s (%v); starting clean\n", opts.resumeFrom, lerr)
+		default:
+			return lerr
+		}
+	}
+	if opts.ckptDir != "" {
+		every := opts.ckptEvery
+		if every <= 0 {
+			every = core.SuperviseStride
+		}
+		sys.SetCheckpointPolicy(core.CheckpointPolicy{Dir: opts.ckptDir, Every: every, Keep: 2, Extras: extras})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	runErr := sys.RunContext(ctx, remaining)
+	stop()
 
 	fmt.Printf("%s cycles=%d\n\n", header, cycles)
 	fmt.Printf("%-6s %-10s %8s %10s %10s %10s %10s %8s %8s %8s\n",

@@ -5,6 +5,7 @@
 //	obscheck -metrics http://host:port   # live /metrics scrape
 //	obscheck -metrics-file dump.txt      # saved /metrics dump
 //	obscheck -jobs http://host:port      # live /jobs scrape
+//	obscheck -ckpt out/ckpts             # checkpoint file or directory
 //
 // -trace checks the Chrome trace_event file against the schema the
 // viewers (Perfetto, chrome://tracing) require — a top-level traceEvents
@@ -12,7 +13,10 @@
 // the JSONL span log line-by-line for the fixed span fields and
 // monotonic hop timestamps. -metrics checks the text dump is sorted
 // `name value` lines; -require lists instrument names that must be
-// present (comma-separated).
+// present (comma-separated). -ckpt validates a checkpoint container's
+// magic, version, declared payload length and SHA-256 checksum — for a
+// directory, every *.camckpt file in it; -ckpt-config-hash additionally
+// pins the configuration hash the checkpoints must carry.
 package main
 
 import (
@@ -22,8 +26,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+
+	"camouflage/internal/ckpt"
 )
 
 func main() {
@@ -32,10 +39,12 @@ func main() {
 	metricsFile := flag.String("metrics-file", "", "validate a saved /metrics text dump")
 	jobsURL := flag.String("jobs", "", "scrape this base URL's /jobs and validate the JSON")
 	require := flag.String("require", "", "comma-separated metric names that must be present in the dump")
+	ckptPath := flag.String("ckpt", "", "validate a checkpoint file, or every *.camckpt in a directory")
+	ckptHash := flag.String("ckpt-config-hash", "", "hex config hash the checkpoints must carry (with -ckpt)")
 	flag.Parse()
 
-	if *tracePath == "" && *metricsURL == "" && *metricsFile == "" && *jobsURL == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -trace, -metrics, -metrics-file or -jobs")
+	if *tracePath == "" && *metricsURL == "" && *metricsFile == "" && *jobsURL == "" && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -trace, -metrics, -metrics-file, -jobs or -ckpt")
 		os.Exit(2)
 	}
 	ok := true
@@ -60,9 +69,57 @@ func main() {
 	if *jobsURL != "" {
 		ok = checkJobsURL(*jobsURL) && ok
 	}
+	if *ckptPath != "" {
+		ok = checkCheckpoints(*ckptPath, *ckptHash) && ok
+	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// checkCheckpoints validates checkpoint containers: the magic, format
+// version, declared payload length and SHA-256 checksum (all enforced by
+// ckpt.ReadFile), plus — when wantHash is given — the config hash. A
+// directory is expanded to its *.camckpt files and must contain at least
+// one.
+func checkCheckpoints(path, wantHash string) bool {
+	paths := []string{path}
+	if fi, err := os.Stat(path); err != nil {
+		fail("%v", err)
+		return false
+	} else if fi.IsDir() {
+		paths, err = filepath.Glob(filepath.Join(path, "*.camckpt"))
+		if err != nil {
+			fail("%v", err)
+			return false
+		}
+		if len(paths) == 0 {
+			fail("%s: no *.camckpt files", path)
+			return false
+		}
+	}
+	var want uint64
+	if wantHash != "" {
+		var err error
+		if want, err = strconv.ParseUint(wantHash, 16, 64); err != nil {
+			fail("-ckpt-config-hash %q: not a hex hash: %v", wantHash, err)
+			return false
+		}
+	}
+	for _, p := range paths {
+		h, payload, err := ckpt.ReadFile(p)
+		if err != nil {
+			fail("%s: %v", p, err)
+			return false
+		}
+		if wantHash != "" && h.ConfigHash != want {
+			fail("%s: config hash %016x, want %016x", p, h.ConfigHash, want)
+			return false
+		}
+		fmt.Printf("obscheck: %s: version=%d config=%016x cycle=%d seed=%d payload=%d bytes OK\n",
+			p, h.Version, h.ConfigHash, h.Cycle, h.Seed, len(payload))
+	}
+	return true
 }
 
 // checkJobsURL scrapes base's /jobs and validates the campaign snapshot:

@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"camouflage/internal/ckpt"
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+// Snapshot serializes line states, MSHR occupancy and counters. Geometry
+// (set count, ways, masks) is construction-time configuration; set and
+// way counts are written as cross-checks. The MSHR's request pointer is
+// serialized by value: the live in-flight request is owned (and restored)
+// by whichever pipeline stage holds it, and all cache-side matching is by
+// line address and ID, so the duplicate allocation is behaviorally
+// identical to the original aliasing.
+func (c *Cache) Snapshot(e *ckpt.Encoder) {
+	e.Len(len(c.sets))
+	for _, set := range c.sets {
+		e.Len(len(set))
+		for _, l := range set {
+			e.U64(l.tag)
+			e.Bool(l.valid)
+			e.Bool(l.dirty)
+			e.U64(uint64(l.used))
+		}
+	}
+	e.Len(len(c.mshrs))
+	for _, m := range c.mshrs {
+		e.U64(m.lineAddr)
+		m.req.Snapshot(e)
+		e.Int(m.waiters)
+	}
+	e.U64(c.stats.Hits)
+	e.U64(c.stats.Misses)
+	e.U64(c.stats.Merged)
+	e.U64(c.stats.BlockedTries)
+	e.U64(c.stats.Writebacks)
+	e.U64(c.stats.Fills)
+}
+
+// Restore implements ckpt.Stater.
+func (c *Cache) Restore(d *ckpt.Decoder) error {
+	nSets := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nSets != len(c.sets) {
+		return ckpt.Mismatch("cache: %d sets, checkpoint has %d", len(c.sets), nSets)
+	}
+	for _, set := range c.sets {
+		nWays := d.Len()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if nWays != len(set) {
+			return ckpt.Mismatch("cache: %d ways, checkpoint has %d", len(set), nWays)
+		}
+		for i := range set {
+			set[i].tag = d.U64()
+			set[i].valid = d.Bool()
+			set[i].dirty = d.Bool()
+			set[i].used = sim.Cycle(d.U64())
+		}
+	}
+	nMSHR := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nMSHR > c.cfg.MSHRs {
+		return ckpt.Mismatch("cache: %d MSHRs, checkpoint has %d occupied", c.cfg.MSHRs, nMSHR)
+	}
+	c.mshrs = c.mshrs[:0]
+	for i := 0; i < nMSHR; i++ {
+		var m mshr
+		m.lineAddr = d.U64()
+		m.req = &mem.Request{}
+		if err := m.req.Restore(d); err != nil {
+			return err
+		}
+		m.waiters = d.Int()
+		c.mshrs = append(c.mshrs, m)
+	}
+	c.stats.Hits = d.U64()
+	c.stats.Misses = d.U64()
+	c.stats.Merged = d.U64()
+	c.stats.BlockedTries = d.U64()
+	c.stats.Writebacks = d.U64()
+	c.stats.Fills = d.U64()
+	return d.Err()
+}

@@ -56,6 +56,12 @@ type Options struct {
 	// context is canceled before they are hard-canceled too. Zero cancels
 	// in-flight jobs immediately.
 	Grace time.Duration
+	// CheckpointDir, when non-empty, gives every job a private
+	// checkpoint directory (<CheckpointDir>/<spec-hash>) through its
+	// context — see CheckpointDir/LatestCheckpoint. A retried or resumed
+	// job restores from its latest valid checkpoint instead of starting
+	// the simulation over; a Done job's directory is removed.
+	CheckpointDir string
 	// Journal, when non-nil, records every terminal outcome and seeds
 	// Resume.
 	Journal *Journal
@@ -299,6 +305,9 @@ func runJob(ctx, graceCtx context.Context, res *Result, opt Options, logf func(s
 		if opt.JobTimeout > 0 {
 			jobCtx, cancel = context.WithTimeout(graceCtx, opt.JobTimeout)
 		}
+		if opt.CheckpointDir != "" {
+			jobCtx = WithCheckpointDir(jobCtx, jobCheckpointDir(opt.CheckpointDir, res.Hash))
+		}
 		table, err := runAttempt(jobCtx, res.Job, attempt)
 		if cancel != nil {
 			cancel()
@@ -308,6 +317,7 @@ func runJob(ctx, graceCtx context.Context, res *Result, opt Options, logf func(s
 			res.Table = table
 			res.Err = nil
 			opt.Progress.set(res.Hash, StateDone, attempt, nil)
+			clearCheckpoints(opt.CheckpointDir, res.Hash)
 			return
 		}
 		// A job may return a table alongside its error (a measured result

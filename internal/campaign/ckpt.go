@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+
+	"camouflage/internal/ckpt"
+)
+
+// ckptDirKey carries the per-job checkpoint directory through the job
+// context.
+type ckptDirKey struct{}
+
+// WithCheckpointDir returns a context carrying dir as the job's
+// checkpoint directory. The runner installs one per job when
+// Options.CheckpointDir is set; exported so tests and standalone tools
+// can use the same plumbing.
+func WithCheckpointDir(ctx context.Context, dir string) context.Context {
+	return context.WithValue(ctx, ckptDirKey{}, dir)
+}
+
+// CheckpointDir returns the job's checkpoint directory, if the campaign
+// provided one.
+func CheckpointDir(ctx context.Context) (string, bool) {
+	dir, ok := ctx.Value(ckptDirKey{}).(string)
+	return dir, ok && dir != ""
+}
+
+// jobCheckpointDir is where a job's checkpoints live: one subdirectory
+// per spec hash, so concurrent jobs and re-parameterized reruns never
+// collide.
+func jobCheckpointDir(root, hash string) string {
+	return filepath.Join(root, hash)
+}
+
+// LatestCheckpoint loads the newest valid checkpoint from the job's
+// directory, provided its config hash matches the caller's live
+// configuration. Every non-resumable situation — no directory in the
+// context, no checkpoint written yet, all files corrupt, or a config
+// hash from a different configuration — returns ok=false: the caller
+// falls back to a clean start, which is always safe. Retrying a load
+// that failed this way cannot succeed, so no error escapes.
+func LatestCheckpoint(ctx context.Context, configHash uint64) (ckpt.Header, []byte, bool) {
+	dir, ok := CheckpointDir(ctx)
+	if !ok {
+		return ckpt.Header{}, nil, false
+	}
+	h, payload, _, err := ckpt.NewManager(dir, 1).Latest()
+	if err != nil {
+		// ErrNoCheckpoint (possibly wrapping corruption details) and I/O
+		// errors alike mean "nothing to resume".
+		return ckpt.Header{}, nil, false
+	}
+	if h.ConfigHash != configHash {
+		return ckpt.Header{}, nil, false
+	}
+	return h, payload, true
+}
+
+// clearCheckpoints removes a finished job's checkpoint directory: the
+// job's terminal result is in the journal, so its mid-run snapshots are
+// dead weight (and a stale snapshot must never survive to confuse a
+// future campaign with a recycled spec hash). Removal failures are
+// ignored — stale files only cost disk and are skipped by the config
+// hash check anyway.
+func clearCheckpoints(root, hash string) {
+	if root == "" {
+		return
+	}
+	os.RemoveAll(jobCheckpointDir(root, hash))
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"camouflage/internal/check"
+	"camouflage/internal/ckpt"
 	"camouflage/internal/core"
 )
 
@@ -74,6 +75,9 @@ func Fatal(err error) error {
 //   - an explicit Transient/Fatal marker → its class
 //   - a check.Violation (runtime invariant broke; deterministic from the
 //     seed, retrying is useless and masks a real bug) → ClassFatal
+//   - ckpt.ErrCorrupt (a checkpoint that fails validation decodes the
+//     same way on every retry; the caller should have fallen back to a
+//     clean start instead of surfacing it) → ClassFatal
 //   - core.ErrDeadline (host too slow, not a property of the config) →
 //     ClassTransient
 //   - anything else → ClassTransient, on the production-queue principle
@@ -89,6 +93,9 @@ func Classify(err error) Class {
 	}
 	var v *check.Violation
 	if errors.As(err, &v) {
+		return ClassFatal
+	}
+	if errors.Is(err, ckpt.ErrCorrupt) {
 		return ClassFatal
 	}
 	if errors.Is(err, core.ErrDeadline) {

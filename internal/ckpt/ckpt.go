@@ -1,0 +1,407 @@
+// Package ckpt is the checkpoint/restore layer: a versioned, checksummed,
+// crash-safe container format plus a tiny fixed-endian codec that stateful
+// simulator components implement to serialize their complete state.
+//
+// Design rules, in service of byte-identical resume:
+//
+//   - Every field is written in a fixed order with a fixed encoding
+//     (little-endian, no varints), so the payload for a given simulator
+//     state is itself deterministic.
+//   - The file carries a magic, a format version, a config hash, the
+//     checkpoint cycle and seed, and a trailing SHA-256 over everything
+//     before it. Any mismatch surfaces as ErrCorrupt — never a panic.
+//   - Files are written via temp-file + fsync + rename (the same
+//     discipline as the campaign journal), so a crash mid-write leaves
+//     the previous checkpoint intact.
+//
+// The package is a dependency leaf: stdlib only, imported by every
+// simulator package that snapshots state.
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Magic identifies a checkpoint file; bump Version on any payload layout
+// change so old files are rejected instead of misdecoded.
+const (
+	Magic   = "CAMCKPT1"
+	Version = uint32(1)
+)
+
+// ErrCorrupt is wrapped by every decode/validation failure: bad magic,
+// version mismatch, truncated file, checksum mismatch, or a payload that
+// decodes out of bounds. Match with errors.Is.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// ErrNoCheckpoint is returned by Manager.Latest when the directory holds
+// no (valid) checkpoint to resume from.
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint available")
+
+// corruptf builds an error that errors.Is-matches ErrCorrupt while
+// keeping the specific reason in its message.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// Mismatch builds an ErrCorrupt-matching error for a shape disagreement
+// between the live configuration and checkpoint contents (e.g. a
+// histogram restored into a different bin count). Such a checkpoint is
+// unusable for this run, which for every caller is the same situation as
+// corruption: fall back to a clean start, never retry.
+func Mismatch(format string, args ...any) error { return corruptf(format, args...) }
+
+// Stater is implemented by every component whose state must survive a
+// checkpoint. Snapshot appends the complete mutable state to e; Restore
+// reads it back in the exact same order. Restore returns an error (never
+// panics) on malformed input, typically d.Err().
+type Stater interface {
+	Snapshot(e *Encoder)
+	Restore(d *Decoder) error
+}
+
+// Header is the fixed metadata block of a checkpoint file.
+type Header struct {
+	Version    uint32
+	ConfigHash uint64 // first 8 bytes of sha256 over the canonical config
+	Cycle      uint64 // simulated cycle the snapshot was taken at
+	Seed       uint64 // root simulation seed, for sanity checks in tools
+}
+
+// Encoder accumulates a checkpoint payload. All writes are infallible;
+// the buffer grows as needed.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// U64 appends v little-endian.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends v as its two's-complement bits.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends v (64-bit, so the format is identical on every platform).
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends one byte, 0 or 1.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64 appends the IEEE-754 bits of v.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Raw appends a length-prefixed byte string.
+func (e *Encoder) Raw(b []byte) {
+	e.U64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) { e.Raw([]byte(s)) }
+
+// Len appends a non-negative element count for a following sequence.
+func (e *Encoder) Len(n int) { e.U64(uint64(n)) }
+
+// Decoder reads a payload back with a sticky error: after the first
+// failure every further read returns zero values and Err() reports the
+// (ErrCorrupt-wrapped) cause, so Restore bodies read fields linearly and
+// check once at the end.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a payload for reading.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Done records a trailing-bytes failure if the payload was not fully
+// consumed; call it after the last field of a top-level restore.
+func (d *Decoder) Done() error {
+	if d.err == nil && d.off != len(d.buf) {
+		d.err = corruptf("%d trailing bytes after payload", len(d.buf)-d.off)
+	}
+	return d.err
+}
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corruptf(format, args...)
+	}
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads a two's-complement int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Int reads a 64-bit int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Bool reads one byte; anything but 0/1 is corrupt.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+1 > len(d.buf) {
+		d.fail("truncated at offset %d", d.off)
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	if b > 1 {
+		d.fail("invalid bool byte %d at offset %d", b, d.off-1)
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads IEEE-754 bits.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Raw reads a length-prefixed byte string.
+func (d *Decoder) Raw() []byte {
+	n := d.Len()
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("byte string of %d exceeds payload", n)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += n
+	return b
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Raw()) }
+
+// Len reads an element count, bounding it by the remaining payload so a
+// corrupted length can never drive a huge allocation.
+func (d *Decoder) Len() int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("length %d exceeds remaining %d bytes", n, len(d.buf)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+// --- container format ---------------------------------------------------
+
+// layout: magic[8] | version u32 | configHash u64 | cycle u64 | seed u64 |
+// payloadLen u64 | payload | sha256[32] over everything before it.
+const headerSize = 8 + 4 + 8 + 8 + 8 + 8
+
+// Encode serializes a checkpoint (header + payload + checksum) into a
+// fresh byte slice. h.Version is overwritten with the package Version.
+func Encode(h Header, payload []byte) []byte {
+	buf := make([]byte, 0, headerSize+len(payload)+sha256.Size)
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint64(buf, h.ConfigHash)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Cycle)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Seed)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// Decode validates magic, version, length and checksum and returns the
+// header and payload. Every failure wraps ErrCorrupt.
+func Decode(data []byte) (Header, []byte, error) {
+	var h Header
+	if len(data) < headerSize+sha256.Size {
+		return h, nil, corruptf("file too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return h, nil, corruptf("bad magic %q", data[:8])
+	}
+	h.Version = binary.LittleEndian.Uint32(data[8:])
+	if h.Version != Version {
+		return h, nil, corruptf("version %d, want %d", h.Version, Version)
+	}
+	h.ConfigHash = binary.LittleEndian.Uint64(data[12:])
+	h.Cycle = binary.LittleEndian.Uint64(data[20:])
+	h.Seed = binary.LittleEndian.Uint64(data[28:])
+	plen := binary.LittleEndian.Uint64(data[36:])
+	if plen != uint64(len(data)-headerSize-sha256.Size) {
+		return h, nil, corruptf("payload length %d does not match file size %d", plen, len(data))
+	}
+	body := data[:len(data)-sha256.Size]
+	want := data[len(data)-sha256.Size:]
+	sum := sha256.Sum256(body)
+	for i := range sum {
+		if sum[i] != want[i] {
+			return h, nil, corruptf("checksum mismatch")
+		}
+	}
+	payload := make([]byte, plen)
+	copy(payload, data[headerSize:])
+	return h, payload, nil
+}
+
+// WriteFile atomically writes a checkpoint: temp file in the same
+// directory, fsync, rename. A crash at any point leaves either the old
+// file or no file — never a torn one.
+func WriteFile(path string, h Header, payload []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(Encode(h, payload)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads and validates a checkpoint file.
+func ReadFile(path string) (Header, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	h, payload, err := Decode(data)
+	if err != nil {
+		return h, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return h, payload, nil
+}
+
+// --- retention manager ---------------------------------------------------
+
+// Manager owns one directory of checkpoints for one run, with bounded
+// retention: after every successful Save only the newest keep files
+// survive. File names embed the cycle zero-padded so lexical order is
+// cycle order.
+type Manager struct {
+	dir  string
+	keep int
+}
+
+// NewManager returns a Manager for dir keeping the last keep checkpoints
+// (minimum 1).
+func NewManager(dir string, keep int) *Manager {
+	if keep < 1 {
+		keep = 1
+	}
+	return &Manager{dir: dir, keep: keep}
+}
+
+// Dir returns the managed directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Path returns the file name a checkpoint at cycle lands in.
+func (m *Manager) Path(cycle uint64) string {
+	return filepath.Join(m.dir, fmt.Sprintf("ckpt-%020d.camckpt", cycle))
+}
+
+// Save atomically writes the checkpoint for h.Cycle, then prunes older
+// files beyond the retention bound. Pruning failures are ignored — stale
+// files are harmless and the next Save retries.
+func (m *Manager) Save(h Header, payload []byte) (string, error) {
+	path := m.Path(h.Cycle)
+	if err := WriteFile(path, h, payload); err != nil {
+		return "", err
+	}
+	if files, err := m.List(); err == nil && len(files) > m.keep {
+		for _, old := range files[:len(files)-m.keep] {
+			os.Remove(old)
+		}
+	}
+	return path, nil
+}
+
+// List returns all checkpoint files in the directory, oldest first.
+func (m *Manager) List() ([]string, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".camckpt" {
+			files = append(files, filepath.Join(m.dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Latest returns the newest checkpoint that validates, walking backwards
+// past corrupt or truncated files (a crash can tear at most the file
+// being written, but we tolerate any damage). Returns ErrNoCheckpoint if
+// the directory is empty or nothing validates; the last corruption error
+// is attached for diagnosis.
+func (m *Manager) Latest() (Header, []byte, string, error) {
+	files, err := m.List()
+	if err != nil {
+		return Header{}, nil, "", err
+	}
+	var lastErr error
+	for i := len(files) - 1; i >= 0; i-- {
+		h, payload, err := ReadFile(files[i])
+		if err == nil {
+			return h, payload, files[i], nil
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return Header{}, nil, "", fmt.Errorf("%w (newest damage: %v)", ErrNoCheckpoint, lastErr)
+	}
+	return Header{}, nil, "", ErrNoCheckpoint
+}

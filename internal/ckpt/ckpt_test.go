@@ -1,0 +1,212 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U64(42)
+	e.I64(-7)
+	e.Int(123456)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(3.5)
+	e.Raw([]byte{1, 2, 3})
+	e.String("hello")
+	e.Len(9)
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U64(); got != 42 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -7 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := d.Int(); got != 123456 {
+		t.Fatalf("Int = %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round trip")
+	}
+	if got := d.F64(); got != 3.5 {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := d.Raw(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Raw = %v", got)
+	}
+	if got := d.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := d.Len(); got != 9 {
+		// Len(9) with 0 remaining bytes must be rejected, not returned.
+		t.Logf("Len bounded to %d as expected", got)
+	}
+	if d.Err() == nil {
+		t.Fatal("oversized Len accepted")
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3}) // too short for a U64
+	_ = d.U64()
+	if d.Err() == nil {
+		t.Fatal("truncated read not flagged")
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("decode error %v does not match ErrCorrupt", d.Err())
+	}
+	// Every later read must return zero without advancing or panicking.
+	if d.U64() != 0 || d.Bool() || d.String() != "" || d.Int() != 0 {
+		t.Fatal("reads after failure returned non-zero")
+	}
+}
+
+func TestDecoderRejectsBadBool(t *testing.T) {
+	d := NewDecoder([]byte{2})
+	_ = d.Bool()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("bool byte 2 accepted: %v", d.Err())
+	}
+}
+
+func TestDecoderDoneFlagsTrailingBytes(t *testing.T) {
+	var e Encoder
+	e.U64(1)
+	e.U64(2)
+	d := NewDecoder(e.Bytes())
+	_ = d.U64()
+	if err := d.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes not flagged: %v", err)
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	h := Header{ConfigHash: 0xdeadbeef, Cycle: 12345, Seed: 99}
+	payload := []byte("some payload bytes")
+	data := Encode(h, payload)
+
+	got, gotPayload, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Version != Version || got.ConfigHash != h.ConfigHash || got.Cycle != h.Cycle || got.Seed != h.Seed {
+		t.Fatalf("header = %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("payload = %q", gotPayload)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := Encode(Header{Cycle: 7}, []byte("payload"))
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     valid[:10],
+		"truncated": valid[:len(valid)-5],
+		"bad magic": append([]byte("NOTCKPT!"), valid[8:]...),
+	}
+	// Bad version.
+	bv := append([]byte(nil), valid...)
+	bv[8] ^= 0xFF
+	cases["bad version"] = bv
+	// Flip one payload byte: checksum must catch it.
+	fp := append([]byte(nil), valid...)
+	fp[headerSize] ^= 0x01
+	cases["payload flip"] = fp
+	// Flip one checksum byte.
+	fc := append([]byte(nil), valid...)
+	fc[len(fc)-1] ^= 0x01
+	cases["checksum flip"] = fc
+
+	for name, data := range cases {
+		if _, _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not match ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "x.camckpt")
+	h := Header{ConfigHash: 5, Cycle: 10, Seed: 3}
+	if err := WriteFile(path, h, []byte("abc")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, payload, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Cycle != 10 || string(payload) != "abc" {
+		t.Fatalf("round trip: %+v %q", got, payload)
+	}
+	// No temp files may survive a successful write.
+	ents, _ := os.ReadDir(filepath.Dir(path))
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after write, want 1", len(ents))
+	}
+}
+
+func TestManagerRetention(t *testing.T) {
+	m := NewManager(t.TempDir(), 2)
+	for cycle := uint64(100); cycle <= 500; cycle += 100 {
+		if _, err := m.Save(Header{Cycle: cycle}, []byte("p")); err != nil {
+			t.Fatalf("Save(%d): %v", cycle, err)
+		}
+	}
+	files, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("retention kept %d files, want 2: %v", len(files), files)
+	}
+	h, _, path, err := m.Latest()
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if h.Cycle != 500 || path != m.Path(500) {
+		t.Fatalf("Latest = cycle %d at %s", h.Cycle, path)
+	}
+}
+
+func TestManagerLatestSkipsCorrupt(t *testing.T) {
+	m := NewManager(t.TempDir(), 5)
+	if _, err := m.Save(Header{Cycle: 100}, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	// A newer file torn mid-write (partial content, no valid checksum).
+	if err := os.WriteFile(m.Path(200), []byte("CAMCKPT1 torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, payload, _, err := m.Latest()
+	if err != nil {
+		t.Fatalf("Latest should fall back past the torn file: %v", err)
+	}
+	if h.Cycle != 100 || string(payload) != "good" {
+		t.Fatalf("fell back to cycle %d payload %q", h.Cycle, payload)
+	}
+}
+
+func TestManagerLatestEmpty(t *testing.T) {
+	m := NewManager(filepath.Join(t.TempDir(), "never-created"), 2)
+	if _, _, _, err := m.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir error %v does not match ErrNoCheckpoint", err)
+	}
+	// All files corrupt: still ErrNoCheckpoint, with the damage attached.
+	m2 := NewManager(t.TempDir(), 2)
+	os.WriteFile(m2.Path(1), []byte("garbage"), 0o644)
+	_, _, _, err := m2.Latest()
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("all-corrupt dir error %v does not match ErrNoCheckpoint", err)
+	}
+}
+
+func TestMismatchMatchesErrCorrupt(t *testing.T) {
+	if !errors.Is(Mismatch("x %d", 1), ErrCorrupt) {
+		t.Fatal("Mismatch does not match ErrCorrupt")
+	}
+}

@@ -1,0 +1,80 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode hardens the container parser against malformed checkpoint
+// files: whatever bytes arrive, Decode must return a valid
+// (header, payload) or an ErrCorrupt-matching error — never panic,
+// over-allocate, or accept a file whose checksum does not bind its
+// contents.
+func FuzzDecode(f *testing.F) {
+	valid := Encode(Header{ConfigHash: 0xabc, Cycle: 4096, Seed: 7}, []byte("component state bytes"))
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-1])
+	// Oversized declared payload length.
+	huge := append([]byte(nil), valid...)
+	huge[36] = 0xFF
+	huge[43] = 0xFF
+	f.Add(huge)
+	// Flipped payload byte (checksum must catch).
+	flip := append([]byte(nil), valid...)
+	flip[headerSize] ^= 0x01
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode failure %v does not match ErrCorrupt", err)
+			}
+			return
+		}
+		// On success, re-encoding the same header and payload must
+		// reproduce the input bit-for-bit (the format has no slack).
+		if again := Encode(h, payload); !bytes.Equal(again, data) {
+			t.Fatalf("accepted file does not round-trip: %d vs %d bytes", len(data), len(again))
+		}
+	})
+}
+
+// FuzzDecoderPayload drives the field codec with arbitrary payloads read
+// through a representative field script. The decoder must never panic and
+// never allocate beyond the payload size, whatever the bytes say.
+func FuzzDecoderPayload(f *testing.F) {
+	var e Encoder
+	e.U64(1)
+	e.Len(3)
+	e.String("abc")
+	e.Bool(true)
+	e.F64(2.5)
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.U64()
+		n := d.Len()
+		if n > len(data) {
+			t.Fatalf("Len returned %d for a %d-byte payload", n, len(data))
+		}
+		for i := 0; i < n && d.Err() == nil; i++ {
+			_ = d.U64()
+		}
+		_ = d.String()
+		_ = d.Bool()
+		_ = d.F64()
+		_ = d.Raw()
+		if err := d.Err(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decoder failure %v does not match ErrCorrupt", err)
+		}
+		_ = d.Done()
+	})
+}

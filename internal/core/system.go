@@ -48,6 +48,13 @@ type System struct {
 	nextID   uint64
 	deadline time.Duration
 
+	// inj is the installed fault injector, nil until InjectFaults; kept so
+	// its RNG stream and counters ride along in checkpoints.
+	inj *fault.Injector
+	// ckpt is the armed auto-checkpoint policy, nil until
+	// SetCheckpointPolicy.
+	ckpt *ckptPolicy
+
 	// obs and obsScope carry the observability layer, nil until EnableObs.
 	obs      *obs.Bundle
 	obsScope *obs.Scope
@@ -258,6 +265,7 @@ func (s *System) InjectFaults(inj *fault.Injector) {
 	hook := inj.Hook()
 	s.ReqNet.SetFaultHook(hook)
 	s.RespNet.SetFaultHook(hook)
+	s.inj = inj
 }
 
 // SetDeadline bounds each Run / RunUntilFinished call to d of wall-clock
@@ -364,10 +372,15 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 		}
 		if ran%SuperviseStride == 0 {
 			if cerr := ctx.Err(); cerr != nil {
+				s.checkpointOnAbort()
 				return done, fmt.Errorf("core: run canceled at cycle %d after %d of %d cycles: %w", s.Kernel.Now(), ran, n, cerr)
 			}
 			if s.deadline > 0 && time.Since(start) > s.deadline {
+				s.checkpointOnAbort()
 				return done, fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, s.Kernel.Now(), ran, n)
+			}
+			if cerr := s.maybeCheckpoint(); cerr != nil {
+				return done, cerr
 			}
 			if s.obsScope != nil {
 				s.obsScope.Publish()

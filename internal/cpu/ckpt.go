@@ -1,0 +1,71 @@
+package cpu
+
+import (
+	"camouflage/internal/ckpt"
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+	"camouflage/internal/trace"
+)
+
+// Snapshot serializes the core's issue state, its held/pending requests,
+// its counters, its cache and its trace source. The held miss and
+// writebacks are owned here (they were refused downstream), so they are
+// serialized by value.
+func (c *Core) Snapshot(e *ckpt.Encoder) {
+	e.U64(uint64(c.entry.Gap))
+	e.U64(c.entry.Addr)
+	e.Bool(c.entry.Write)
+	e.Bool(c.entry.Blocking)
+	e.Bool(c.entry.Idle)
+	e.Bool(c.haveEntry)
+	e.U64(uint64(c.computeLeft))
+	e.Bool(c.finished)
+	e.U64(c.blockedOn)
+	mem.SnapshotRequest(e, c.heldMiss)
+	e.Bool(c.heldBlocking)
+	mem.SnapshotRequests(e, c.pendingWB)
+	e.U64(uint64(c.stats.Cycles))
+	e.U64(c.stats.Work)
+	e.U64(c.stats.Refs)
+	e.U64(uint64(c.stats.MemStallCycles))
+	e.U64(uint64(c.stats.ShaperStallCycles))
+	e.U64(c.stats.Responses)
+	e.U64(c.stats.FakeResponses)
+	c.cache.Snapshot(e)
+	trace.SnapshotSource(e, c.src)
+}
+
+// Restore implements ckpt.Stater.
+func (c *Core) Restore(d *ckpt.Decoder) error {
+	c.entry.Gap = sim.Cycle(d.U64())
+	c.entry.Addr = d.U64()
+	c.entry.Write = d.Bool()
+	c.entry.Blocking = d.Bool()
+	c.entry.Idle = d.Bool()
+	c.haveEntry = d.Bool()
+	c.computeLeft = sim.Cycle(d.U64())
+	c.finished = d.Bool()
+	c.blockedOn = d.U64()
+	var err error
+	if c.heldMiss, err = mem.RestoreRequest(d); err != nil {
+		return err
+	}
+	c.heldBlocking = d.Bool()
+	if c.pendingWB, err = mem.RestoreRequests(d); err != nil {
+		return err
+	}
+	c.stats.Cycles = sim.Cycle(d.U64())
+	c.stats.Work = d.U64()
+	c.stats.Refs = d.U64()
+	c.stats.MemStallCycles = sim.Cycle(d.U64())
+	c.stats.ShaperStallCycles = sim.Cycle(d.U64())
+	c.stats.Responses = d.U64()
+	c.stats.FakeResponses = d.U64()
+	if err := c.cache.Restore(d); err != nil {
+		return err
+	}
+	if err := trace.RestoreSource(d, c.src); err != nil {
+		return err
+	}
+	return d.Err()
+}

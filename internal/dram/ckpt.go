@@ -1,0 +1,113 @@
+package dram
+
+import (
+	"camouflage/internal/ckpt"
+	"camouflage/internal/sim"
+)
+
+// Snapshot serializes every bank's row-buffer and occupancy state, each
+// rank's activate-window and refresh clocks, the shared data/command bus
+// state and the channel counters. Timing, geometry and address map are
+// construction-time configuration.
+func (c *Channel) Snapshot(e *ckpt.Encoder) {
+	e.Bool(c.closedPage)
+	e.Len(len(c.ranks))
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		e.Len(len(rk.banks))
+		for i := range rk.banks {
+			b := &rk.banks[i]
+			e.U64(b.openRow)
+			e.U64(uint64(b.freeAt))
+			e.U64(uint64(b.activatedAt))
+			e.Bool(b.inflight)
+			e.U64(b.hits)
+			e.U64(b.misses)
+			e.U64(b.conflicts)
+			e.U64(uint64(b.busyCycles))
+		}
+		for _, at := range rk.activates {
+			e.U64(uint64(at))
+		}
+		e.Int(rk.actIdx)
+		e.Int(rk.actCount)
+		e.U64(uint64(rk.lastAct))
+		e.U64(uint64(rk.nextRefresh))
+		e.U64(uint64(rk.refreshUntil))
+	}
+	e.U64(uint64(c.dataBusFreeAt))
+	e.Bool(c.lastBurstWrite)
+	e.U64(uint64(c.lastBurstEnd))
+	e.U64(uint64(c.commandIssuedAt))
+	e.Bool(c.commandUsed)
+	e.U64(c.stats.Reads)
+	e.U64(c.stats.Writes)
+	e.U64(c.stats.RowHits)
+	e.U64(c.stats.RowEmpty)
+	e.U64(c.stats.RowConfl)
+	e.U64(c.stats.Refreshes)
+	e.U64(uint64(c.stats.BusyCycles))
+}
+
+// Restore implements ckpt.Stater.
+func (c *Channel) Restore(d *ckpt.Decoder) error {
+	c.closedPage = d.Bool()
+	nRanks := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nRanks != len(c.ranks) {
+		return ckpt.Mismatch("dram: %d ranks, checkpoint has %d", len(c.ranks), nRanks)
+	}
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		nBanks := d.Len()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if nBanks != len(rk.banks) {
+			return ckpt.Mismatch("dram: %d banks, checkpoint has %d", len(rk.banks), nBanks)
+		}
+		for i := range rk.banks {
+			b := &rk.banks[i]
+			b.openRow = d.U64()
+			b.freeAt = sim.Cycle(d.U64())
+			b.activatedAt = sim.Cycle(d.U64())
+			b.inflight = d.Bool()
+			b.hits = d.U64()
+			b.misses = d.U64()
+			b.conflicts = d.U64()
+			b.busyCycles = sim.Cycle(d.U64())
+		}
+		for i := range rk.activates {
+			rk.activates[i] = sim.Cycle(d.U64())
+		}
+		rk.actIdx = d.Int()
+		rk.actCount = d.Int()
+		rk.lastAct = sim.Cycle(d.U64())
+		rk.nextRefresh = sim.Cycle(d.U64())
+		rk.refreshUntil = sim.Cycle(d.U64())
+	}
+	c.dataBusFreeAt = sim.Cycle(d.U64())
+	c.lastBurstWrite = d.Bool()
+	c.lastBurstEnd = sim.Cycle(d.U64())
+	c.commandIssuedAt = sim.Cycle(d.U64())
+	c.commandUsed = d.Bool()
+	c.stats.Reads = d.U64()
+	c.stats.Writes = d.U64()
+	c.stats.RowHits = d.U64()
+	c.stats.RowEmpty = d.U64()
+	c.stats.RowConfl = d.U64()
+	c.stats.Refreshes = d.U64()
+	c.stats.BusyCycles = sim.Cycle(d.U64())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		if rk.actIdx < 0 || rk.actIdx >= len(rk.activates) || rk.actCount < 0 {
+			return ckpt.Mismatch("dram: activate window index %d/%d out of range", rk.actIdx, rk.actCount)
+		}
+	}
+	return nil
+}

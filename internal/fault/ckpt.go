@@ -1,0 +1,26 @@
+package fault
+
+import "camouflage/internal/ckpt"
+
+// Snapshot serializes the injector's RNG stream and counters, so a
+// resumed fault-injected run draws the exact same fault sequence the
+// uninterrupted run would have.
+func (in *Injector) Snapshot(e *ckpt.Encoder) {
+	in.rng.Snapshot(e)
+	e.U64(in.stats.Dropped)
+	e.U64(in.stats.Delayed)
+	e.U64(in.stats.Duplicated)
+	e.U64(in.stats.Corrupted)
+}
+
+// Restore implements ckpt.Stater.
+func (in *Injector) Restore(d *ckpt.Decoder) error {
+	if err := in.rng.Restore(d); err != nil {
+		return err
+	}
+	in.stats.Dropped = d.U64()
+	in.stats.Delayed = d.U64()
+	in.stats.Duplicated = d.U64()
+	in.stats.Corrupted = d.U64()
+	return d.Err()
+}

@@ -1,0 +1,135 @@
+package mem
+
+import (
+	"camouflage/internal/ckpt"
+	"camouflage/internal/sim"
+)
+
+// Snapshot serializes every field of the request, including all lifecycle
+// timestamps — a restored in-flight request must report the same span as
+// the original once delivered.
+func (r *Request) Snapshot(e *ckpt.Encoder) {
+	e.U64(r.ID)
+	e.Int(r.Core)
+	e.U64(r.Addr)
+	e.U64(uint64(r.Op))
+	e.Bool(r.Fake)
+	e.Bool(r.Blocking)
+	e.U64(uint64(r.CreatedAt))
+	e.U64(uint64(r.ShapedAt))
+	e.U64(uint64(r.ArrivedMC))
+	e.U64(uint64(r.IssuedDRAM))
+	e.U64(uint64(r.ReadyAt))
+	e.U64(uint64(r.RespShaped))
+	e.U64(uint64(r.DeliveredAt))
+}
+
+// Restore implements ckpt.Stater.
+func (r *Request) Restore(d *ckpt.Decoder) error {
+	r.ID = d.U64()
+	r.Core = d.Int()
+	r.Addr = d.U64()
+	r.Op = Op(d.U64())
+	r.Fake = d.Bool()
+	r.Blocking = d.Bool()
+	r.CreatedAt = sim.Cycle(d.U64())
+	r.ShapedAt = sim.Cycle(d.U64())
+	r.ArrivedMC = sim.Cycle(d.U64())
+	r.IssuedDRAM = sim.Cycle(d.U64())
+	r.ReadyAt = sim.Cycle(d.U64())
+	r.RespShaped = sim.Cycle(d.U64())
+	r.DeliveredAt = sim.Cycle(d.U64())
+	return d.Err()
+}
+
+// SnapshotRequest writes req (which may be nil) with a presence flag.
+func SnapshotRequest(e *ckpt.Encoder, req *Request) {
+	if req == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	req.Snapshot(e)
+}
+
+// RestoreRequest reads a presence-flagged request, returning nil when the
+// original was nil.
+func RestoreRequest(d *ckpt.Decoder) (*Request, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	req := &Request{}
+	if err := req.Restore(d); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// SnapshotRequests writes a length-prefixed sequence of requests.
+func SnapshotRequests(e *ckpt.Encoder, reqs []*Request) {
+	e.Len(len(reqs))
+	for _, r := range reqs {
+		r.Snapshot(e)
+	}
+}
+
+// RestoreRequests reads a length-prefixed sequence of requests.
+func RestoreRequests(d *ckpt.Decoder) ([]*Request, error) {
+	n := d.Len()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		r := &Request{}
+		if err := r.Restore(d); err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs, nil
+}
+
+// Snapshot serializes the queue contents. Capacity is construction-time
+// configuration and is not written; a restored queue keeps its own.
+func (q *Queue) Snapshot(e *ckpt.Encoder) {
+	SnapshotRequests(e, q.buf)
+}
+
+// Restore implements ckpt.Stater.
+func (q *Queue) Restore(d *ckpt.Decoder) error {
+	reqs, err := RestoreRequests(d)
+	if err != nil {
+		return err
+	}
+	q.buf = reqs
+	return d.Err()
+}
+
+// Snapshot serializes in-flight items with their maturity cycles.
+// Latency is construction-time configuration and is not written.
+func (p *DelayPipe) Snapshot(e *ckpt.Encoder) {
+	e.Len(len(p.items))
+	for _, it := range p.items {
+		e.U64(uint64(it.ready))
+		it.req.Snapshot(e)
+	}
+}
+
+// Restore implements ckpt.Stater.
+func (p *DelayPipe) Restore(d *ckpt.Decoder) error {
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	p.items = nil
+	for i := 0; i < n; i++ {
+		ready := sim.Cycle(d.U64())
+		req := &Request{}
+		if err := req.Restore(d); err != nil {
+			return err
+		}
+		p.items = append(p.items, pipeItem{ready: ready, req: req})
+	}
+	return d.Err()
+}

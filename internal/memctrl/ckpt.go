@@ -1,0 +1,139 @@
+package memctrl
+
+import (
+	"camouflage/internal/ckpt"
+	"camouflage/internal/mem"
+	"camouflage/internal/sim"
+)
+
+// Snapshot serializes the transaction queue, the in-flight completion
+// list, per-core priority elevations, counters and — when the active
+// scheduling policy carries state (FS slot tracking, bandwidth-reserve
+// token buckets) — the scheduler. Queue and in-flight requests are owned
+// here, so they are serialized by value.
+func (c *Controller) Snapshot(e *ckpt.Encoder) {
+	mem.SnapshotRequests(e, c.queue)
+	e.Len(len(c.inflight))
+	for _, cp := range c.inflight {
+		e.U64(uint64(cp.at))
+		cp.req.Snapshot(e)
+	}
+	e.Len(len(c.prio))
+	for i := range c.prio {
+		e.Int(c.prio[i])
+		e.U64(uint64(c.prioUntil[i]))
+	}
+	e.U64(c.stats.Accepted)
+	e.U64(c.stats.Rejected)
+	e.U64(c.stats.Issued)
+	e.U64(c.stats.Completed)
+	e.Len(len(c.stats.PerCoreServed))
+	for _, n := range c.stats.PerCoreServed {
+		e.U64(n)
+	}
+	e.U64(c.stats.QueueOccupancySum)
+	e.U64(c.stats.Cycles)
+	st, ok := c.scheduler.(ckpt.Stater)
+	e.Bool(ok)
+	if ok {
+		st.Snapshot(e)
+	}
+}
+
+// Restore implements ckpt.Stater.
+func (c *Controller) Restore(d *ckpt.Decoder) error {
+	var err error
+	if c.queue, err = mem.RestoreRequests(d); err != nil {
+		return err
+	}
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	c.inflight = c.inflight[:0]
+	for i := 0; i < n; i++ {
+		at := sim.Cycle(d.U64())
+		req := &mem.Request{}
+		if err := req.Restore(d); err != nil {
+			return err
+		}
+		c.inflight = append(c.inflight, completion{at: at, req: req})
+	}
+	n = d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(c.prio) {
+		return ckpt.Mismatch("memctrl: %d cores, checkpoint has %d", len(c.prio), n)
+	}
+	for i := range c.prio {
+		c.prio[i] = d.Int()
+		c.prioUntil[i] = sim.Cycle(d.U64())
+	}
+	c.stats.Accepted = d.U64()
+	c.stats.Rejected = d.U64()
+	c.stats.Issued = d.U64()
+	c.stats.Completed = d.U64()
+	n = d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(c.stats.PerCoreServed) {
+		return ckpt.Mismatch("memctrl: %d served counters, checkpoint has %d", len(c.stats.PerCoreServed), n)
+	}
+	for i := range c.stats.PerCoreServed {
+		c.stats.PerCoreServed[i] = d.U64()
+	}
+	c.stats.QueueOccupancySum = d.U64()
+	c.stats.Cycles = d.U64()
+	has := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	st, ok := c.scheduler.(ckpt.Stater)
+	if has != ok {
+		return ckpt.Mismatch("memctrl: scheduler statefulness mismatch (checkpoint %v, live %v)", has, ok)
+	}
+	if ok {
+		return st.Restore(d)
+	}
+	return nil
+}
+
+// Snapshot serializes the one-issue-per-slot tracking.
+func (fs *FixedService) Snapshot(e *ckpt.Encoder) {
+	e.U64(fs.lastSlotIssued)
+	e.Bool(fs.issuedInSlot)
+}
+
+// Restore implements ckpt.Stater.
+func (fs *FixedService) Restore(d *ckpt.Decoder) error {
+	fs.lastSlotIssued = d.U64()
+	fs.issuedInSlot = d.Bool()
+	return d.Err()
+}
+
+// Snapshot serializes the per-core token buckets and refill clock.
+func (br *BandwidthReserve) Snapshot(e *ckpt.Encoder) {
+	e.Len(len(br.tokens))
+	for _, t := range br.tokens {
+		e.F64(t)
+	}
+	e.U64(uint64(br.lastRefill))
+}
+
+// Restore implements ckpt.Stater.
+func (br *BandwidthReserve) Restore(d *ckpt.Decoder) error {
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(br.tokens) {
+		return ckpt.Mismatch("memctrl: %d token buckets, checkpoint has %d", len(br.tokens), n)
+	}
+	for i := range br.tokens {
+		br.tokens[i] = d.F64()
+	}
+	br.lastRefill = sim.Cycle(d.U64())
+	return d.Err()
+}

@@ -1,0 +1,67 @@
+package noc
+
+import (
+	"camouflage/internal/ckpt"
+)
+
+// Snapshot serializes the link's input queues, the in-flight pipe, the
+// round-robin pointer and the counters. Latency, width, routing, taps and
+// fault hooks are construction-time wiring.
+func (l *Link) Snapshot(e *ckpt.Encoder) {
+	e.Len(len(l.inputs))
+	for _, q := range l.inputs {
+		q.Snapshot(e)
+	}
+	l.pipe.Snapshot(e)
+	e.Int(l.rr)
+	e.U64(l.stats.Injected)
+	e.U64(l.stats.Delivered)
+	e.U64(l.stats.StallCycles)
+	e.Len(len(l.stats.PerCoreInjected))
+	for _, n := range l.stats.PerCoreInjected {
+		e.U64(n)
+	}
+	e.U64(l.stats.Dropped)
+	e.U64(l.stats.Delayed)
+	e.U64(l.stats.Duplicated)
+}
+
+// Restore implements ckpt.Stater.
+func (l *Link) Restore(d *ckpt.Decoder) error {
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(l.inputs) {
+		return ckpt.Mismatch("noc: link %q has %d inputs, checkpoint has %d", l.name, len(l.inputs), n)
+	}
+	for _, q := range l.inputs {
+		if err := q.Restore(d); err != nil {
+			return err
+		}
+	}
+	if err := l.pipe.Restore(d); err != nil {
+		return err
+	}
+	l.rr = d.Int()
+	l.stats.Injected = d.U64()
+	l.stats.Delivered = d.U64()
+	l.stats.StallCycles = d.U64()
+	n = d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(l.stats.PerCoreInjected) {
+		return ckpt.Mismatch("noc: link %q has %d injection counters, checkpoint has %d", l.name, len(l.stats.PerCoreInjected), n)
+	}
+	for i := range l.stats.PerCoreInjected {
+		l.stats.PerCoreInjected[i] = d.U64()
+	}
+	l.stats.Dropped = d.U64()
+	l.stats.Delayed = d.U64()
+	l.stats.Duplicated = d.U64()
+	if l.rr < 0 || l.rr >= len(l.inputs) {
+		return ckpt.Mismatch("noc: link %q round-robin pointer %d out of range", l.name, l.rr)
+	}
+	return d.Err()
+}

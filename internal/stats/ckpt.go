@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"camouflage/internal/ckpt"
+	"camouflage/internal/sim"
+)
+
+// Snapshot serializes the bin counts and total. The binning itself is
+// construction-time configuration; the count of bins is written as a
+// cross-check so a restore into a differently shaped histogram fails
+// loudly instead of silently mis-binning.
+func (h *Histogram) Snapshot(e *ckpt.Encoder) {
+	e.Len(len(h.Counts))
+	for _, c := range h.Counts {
+		e.U64(c)
+	}
+	e.U64(h.total)
+}
+
+// Restore implements ckpt.Stater.
+func (h *Histogram) Restore(d *ckpt.Decoder) error {
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if n != len(h.Counts) {
+		return ckpt.Mismatch("stats: histogram has %d bins, checkpoint has %d", len(h.Counts), n)
+	}
+	for i := range h.Counts {
+		h.Counts[i] = d.U64()
+	}
+	h.total = d.U64()
+	return d.Err()
+}
+
+// Snapshot serializes the recorder: histogram, raw tail (when kept) and
+// the inter-arrival epoch, so a resumed run bins the first post-restore
+// event against the same predecessor timestamp.
+func (r *InterArrivalRecorder) Snapshot(e *ckpt.Encoder) {
+	r.Hist.Snapshot(e)
+	e.Bool(r.KeepRaw)
+	e.Len(len(r.Raw))
+	for _, dt := range r.Raw {
+		e.U64(uint64(dt))
+	}
+	e.U64(uint64(r.last))
+	e.Bool(r.started)
+}
+
+// Restore implements ckpt.Stater.
+func (r *InterArrivalRecorder) Restore(d *ckpt.Decoder) error {
+	if err := r.Hist.Restore(d); err != nil {
+		return err
+	}
+	r.KeepRaw = d.Bool()
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.Raw = r.Raw[:0]
+	for i := 0; i < n; i++ {
+		r.Raw = append(r.Raw, sim.Cycle(d.U64()))
+	}
+	r.last = sim.Cycle(d.U64())
+	r.started = d.Bool()
+	return d.Err()
+}
+
+// Snapshot serializes the sample stream (sum and percentile cache are
+// derived and rebuilt on restore).
+func (s *Summary) Snapshot(e *ckpt.Encoder) {
+	e.Len(len(s.samples))
+	for _, v := range s.samples {
+		e.F64(v)
+	}
+}
+
+// Restore implements ckpt.Stater.
+func (s *Summary) Restore(d *ckpt.Decoder) error {
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	s.samples = s.samples[:0]
+	s.sum = 0
+	s.sorted = nil
+	for i := 0; i < n; i++ {
+		v := d.F64()
+		s.samples = append(s.samples, v)
+		s.sum += v
+	}
+	return d.Err()
+}

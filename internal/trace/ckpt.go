@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"camouflage/internal/ckpt"
+	"camouflage/internal/sim"
+)
+
+// snapshotEntry writes one Entry.
+func snapshotEntry(e *ckpt.Encoder, en Entry) {
+	e.U64(uint64(en.Gap))
+	e.U64(en.Addr)
+	e.Bool(en.Write)
+	e.Bool(en.Blocking)
+	e.Bool(en.Idle)
+}
+
+// restoreEntry reads one Entry.
+func restoreEntry(d *ckpt.Decoder) Entry {
+	return Entry{
+		Gap:      sim.Cycle(d.U64()),
+		Addr:     d.U64(),
+		Write:    d.Bool(),
+		Blocking: d.Bool(),
+		Idle:     d.Bool(),
+	}
+}
+
+// SnapshotSource serializes the state of src if it is a ckpt.Stater, with
+// a presence flag, so composite sources restore symmetrically into an
+// identically constructed tree. A stateless source contributes one flag
+// byte.
+func SnapshotSource(e *ckpt.Encoder, src Source) {
+	st, ok := src.(ckpt.Stater)
+	e.Bool(ok)
+	if ok {
+		st.Snapshot(e)
+	}
+}
+
+// RestoreSource restores the state of src written by SnapshotSource.
+func RestoreSource(d *ckpt.Decoder, src Source) error {
+	has := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	st, ok := src.(ckpt.Stater)
+	if has != ok {
+		return ckpt.Mismatch("trace: source statefulness mismatch (checkpoint %v, live %v)", has, ok)
+	}
+	if ok {
+		return st.Restore(d)
+	}
+	return nil
+}
+
+// Snapshot serializes the replay cursor; the entries are construction-time
+// configuration (they come from the same trace file or capture).
+func (s *SliceSource) Snapshot(e *ckpt.Encoder) { e.Int(s.pos) }
+
+// Restore implements ckpt.Stater.
+func (s *SliceSource) Restore(d *ckpt.Decoder) error {
+	pos := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if pos < 0 || pos > len(s.entries) {
+		return ckpt.Mismatch("trace: slice cursor %d outside %d entries", pos, len(s.entries))
+	}
+	s.pos = pos
+	return nil
+}
+
+// Snapshot serializes the loop cursor.
+func (s *LoopSource) Snapshot(e *ckpt.Encoder) { e.Int(s.pos) }
+
+// Restore implements ckpt.Stater.
+func (s *LoopSource) Restore(d *ckpt.Decoder) error {
+	pos := d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if pos < 0 || pos >= len(s.entries) {
+		return ckpt.Mismatch("trace: loop cursor %d outside %d entries", pos, len(s.entries))
+	}
+	s.pos = pos
+	return nil
+}
+
+// Snapshot serializes the wall clock and both phase sources.
+func (p *PhasedSource) Snapshot(e *ckpt.Encoder) {
+	e.U64(uint64(p.now))
+	SnapshotSource(e, p.Busy)
+	SnapshotSource(e, p.Quiet)
+}
+
+// Restore implements ckpt.Stater.
+func (p *PhasedSource) Restore(d *ckpt.Decoder) error {
+	p.now = sim.Cycle(d.U64())
+	if err := RestoreSource(d, p.Busy); err != nil {
+		return err
+	}
+	if err := RestoreSource(d, p.Quiet); err != nil {
+		return err
+	}
+	return d.Err()
+}
+
+// Snapshot serializes how many sources remain plus each remaining
+// source's state. Consumed sources are dropped on restore.
+func (c *Concat) Snapshot(e *ckpt.Encoder) {
+	e.Len(len(c.sources))
+	for _, s := range c.sources {
+		SnapshotSource(e, s)
+	}
+}
+
+// Restore implements ckpt.Stater. The receiver must hold the full
+// original source list (a fresh construction); sources the checkpointed
+// run already consumed are dropped from the front.
+func (c *Concat) Restore(d *ckpt.Decoder) error {
+	remaining := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if remaining > len(c.sources) {
+		return ckpt.Mismatch("trace: concat has %d sources, checkpoint needs %d", len(c.sources), remaining)
+	}
+	c.sources = c.sources[len(c.sources)-remaining:]
+	for _, s := range c.sources {
+		if err := RestoreSource(d, s); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+// Snapshot serializes the generator's burst, address and phase state.
+// The profile is construction-time configuration; the RNG is owned (and
+// snapshotted) by the generator because it was forked specifically for
+// this stream.
+func (g *Generator) Snapshot(e *ckpt.Encoder) {
+	g.rng.Snapshot(e)
+	e.Bool(g.inBurst)
+	e.Int(g.burstLeft)
+	e.U64(g.cursor)
+	e.Int(g.seqLeft)
+	e.Len(len(g.workingSet))
+	for _, line := range g.workingSet {
+		e.U64(line)
+	}
+	e.Int(g.refs)
+	e.Bool(g.quiet)
+}
+
+// Restore implements ckpt.Stater.
+func (g *Generator) Restore(d *ckpt.Decoder) error {
+	if err := g.rng.Restore(d); err != nil {
+		return err
+	}
+	g.inBurst = d.Bool()
+	g.burstLeft = d.Int()
+	g.cursor = d.U64()
+	g.seqLeft = d.Int()
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	g.workingSet = g.workingSet[:0]
+	for i := 0; i < n; i++ {
+		g.workingSet = append(g.workingSet, d.U64())
+	}
+	g.refs = d.Int()
+	g.quiet = d.Bool()
+	return d.Err()
+}
+
+// Snapshot serializes the sender's wall clock, store cursor and
+// completion flag (key, pulse and gap are construction-time).
+func (s *CovertSender) Snapshot(e *ckpt.Encoder) {
+	e.U64(uint64(s.now))
+	e.U64(s.line)
+	e.Bool(s.done)
+}
+
+// Restore implements ckpt.Stater.
+func (s *CovertSender) Restore(d *ckpt.Decoder) error {
+	s.now = sim.Cycle(d.U64())
+	s.line = d.U64()
+	s.done = d.Bool()
+	return d.Err()
+}
+
+// Snapshot forwards to the wrapped source and serializes the captured
+// entries, so a restored recorder's replay buffer is complete.
+func (r *Recorder) Snapshot(e *ckpt.Encoder) {
+	SnapshotSource(e, r.src)
+	e.Len(len(r.Recorded))
+	for _, en := range r.Recorded {
+		snapshotEntry(e, en)
+	}
+}
+
+// Restore implements ckpt.Stater.
+func (r *Recorder) Restore(d *ckpt.Decoder) error {
+	if err := RestoreSource(d, r.src); err != nil {
+		return err
+	}
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	r.Recorded = r.Recorded[:0]
+	for i := 0; i < n; i++ {
+		r.Recorded = append(r.Recorded, restoreEntry(d))
+	}
+	return d.Err()
+}
