@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke bench-kernel bench-kernel-check
 
 ci: vet build race fuzz-seeds
 
@@ -47,6 +47,28 @@ campaign-smoke:
 # artifacts validated against the Chrome trace_event and span schemas.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Kernel throughput benchmark: measures simulated cycles per second per
+# shaping scheme with the idle fast path on and forced off, and rewrites
+# the committed BENCH_kernel.json baseline. Each benchmark runs
+# BENCH_KERNEL_COUNT times and the summary keeps the best observation
+# (interference only ever slows a run down). Run on a quiet machine when
+# kernel performance work intentionally moves the numbers.
+BENCH_KERNEL_TOL   ?= 0.20
+BENCH_KERNEL_COUNT ?= 3
+
+bench-kernel:
+	$(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchmem -count $(BENCH_KERNEL_COUNT) . | tee bench_kernel.txt
+	$(GO) run ./scripts/benchkernel -emit -in bench_kernel.txt -out BENCH_kernel.json
+
+# CI gate: re-measures and compares the fast/stepped speedup ratios
+# against the committed baseline. The ratio is machine-independent (both
+# sides ran on the same runner moments apart), so it fails only on real
+# fast-path regressions, with BENCH_KERNEL_TOL slack for noise.
+bench-kernel-check:
+	$(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchmem -count $(BENCH_KERNEL_COUNT) . | tee bench_kernel_current.txt
+	$(GO) run ./scripts/benchkernel -emit -in bench_kernel_current.txt -out BENCH_kernel_current.json
+	$(GO) run ./scripts/benchkernel -check -baseline BENCH_kernel.json -current BENCH_kernel_current.json -tol $(BENCH_KERNEL_TOL)
 
 # End-to-end checkpoint check: SIGKILL a checkpointing run mid-flight,
 # validate the surviving files, resume from the newest checkpoint, and

@@ -103,6 +103,14 @@ func (m *Monitor) Tick(now sim.Cycle) {
 	m.RunChecks(now)
 }
 
+// NextWake implements sim.NextWaker: the next stride boundary. Between
+// boundaries Tick is a pure no-op, and the checkers themselves only
+// mutate state (the watchdog's progress latch, checker counters) at
+// boundary cycles, which fast-path and stepped runs both hit exactly.
+func (m *Monitor) NextWake(now sim.Cycle) sim.Cycle {
+	return now + m.stride - now%m.stride
+}
+
 // RunChecks runs every checker immediately (the supervised run path also
 // calls it once at end-of-run so violations in the final partial stride
 // are not missed). It reports whether all invariants held.

@@ -28,6 +28,12 @@ func (s *System) EnableObs(b *obs.Bundle, label string) {
 
 	scope.GaugeFunc("sim.cycle", func() float64 { return float64(s.Kernel.Now()) })
 	scope.GaugeFunc("sim.outstanding", func() float64 { return float64(s.Outstanding()) })
+	// Fast-path telemetry: how much of the clock's advance came from
+	// idle-span jumps rather than per-cycle stepping. These describe how
+	// the simulator ran, not where the simulation is, so they live only
+	// in the registry — never in checkpoints.
+	scope.GaugeFunc("sim.skipped_cycles", func() float64 { return float64(s.Kernel.SkippedCycles()) })
+	scope.GaugeFunc("sim.clock_jumps", func() float64 { return float64(s.Kernel.Jumps()) })
 
 	if b.Tracer != nil {
 		b.Tracer.BeginRun(label)

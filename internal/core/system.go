@@ -200,7 +200,9 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 	}
 	s.Kernel.Register(s.ReqNet)
 	for ch := range s.Channels {
-		s.Kernel.Register(sim.TickFunc(s.Channels[ch].Tick))
+		// Registered directly (not through a TickFunc wrapper) so the
+		// channel's NextWake hint is visible to the kernel's fast path.
+		s.Kernel.Register(s.Channels[ch])
 		s.Kernel.Register(s.MCs[ch])
 	}
 	for _, sh := range s.RespShapers {
@@ -362,7 +364,15 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 		}
 	}()
 	start := time.Now()
-	for ran := sim.Cycle(0); ran < n; ran++ {
+	// Supervision points sit on a fixed grid of absolute cycles
+	// (startCycle, startCycle+Stride, ...). The kernel's fast path never
+	// jumps past the next grid point, so auto-checkpoints land on the
+	// same cycles — with byte-identical state — whether the run skipped
+	// idle spans or stepped every cycle.
+	startCycle := s.Kernel.Now()
+	end := startCycle + n
+	supAt := startCycle
+	for s.Kernel.Now() < end {
 		if pred != nil && pred() {
 			done = true
 			break
@@ -370,14 +380,15 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 		if s.Monitor != nil && s.Monitor.Violated() {
 			break
 		}
-		if ran%SuperviseStride == 0 {
+		if now := s.Kernel.Now(); now >= supAt {
+			ran := now - startCycle
 			if cerr := ctx.Err(); cerr != nil {
 				s.checkpointOnAbort()
-				return done, fmt.Errorf("core: run canceled at cycle %d after %d of %d cycles: %w", s.Kernel.Now(), ran, n, cerr)
+				return done, fmt.Errorf("core: run canceled at cycle %d after %d of %d cycles: %w", now, ran, n, cerr)
 			}
 			if s.deadline > 0 && time.Since(start) > s.deadline {
 				s.checkpointOnAbort()
-				return done, fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, s.Kernel.Now(), ran, n)
+				return done, fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, now, ran, n)
 			}
 			if cerr := s.maybeCheckpoint(); cerr != nil {
 				return done, cerr
@@ -385,8 +396,13 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 			if s.obsScope != nil {
 				s.obsScope.Publish()
 			}
+			supAt = now + SuperviseStride
 		}
-		s.Kernel.Step()
+		limit := end
+		if supAt < limit {
+			limit = supAt
+		}
+		s.Kernel.Advance(limit - s.Kernel.Now())
 	}
 	if pred != nil && !done {
 		done = pred()

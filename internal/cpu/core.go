@@ -159,6 +159,49 @@ func (c *Core) TrySend(now sim.Cycle, resp *mem.Request) bool {
 	return true
 }
 
+// NextWake implements sim.NextWaker. The core knows its next
+// interesting cycle exactly in two long-lived states: a compute phase
+// (nothing happens until the countdown ends) and a fully drained,
+// finished trace (nothing ever happens again). A blocking load in
+// flight also parks the core — the response network's own wake covers
+// the delivery cycle, and the cycles in between are pure stall
+// accounting. Anything touching a downstream port (held miss, pending
+// writebacks) must retry every cycle because acceptance depends on
+// another component's state.
+func (c *Core) NextWake(now sim.Cycle) sim.Cycle {
+	if c.heldMiss != nil || len(c.pendingWB) > 0 {
+		return now + 1
+	}
+	if c.blockedOn != 0 {
+		return sim.NeverWake
+	}
+	if c.computeLeft > 0 {
+		return now + c.computeLeft + 1
+	}
+	if c.finished {
+		return sim.NeverWake
+	}
+	return now + 1
+}
+
+// Skip implements sim.Skipper: bulk-apply the per-cycle accounting that
+// to-from+1 idle Ticks would have done. The kernel only skips while
+// NextWake's long-lived states hold, so exactly one of the branches
+// below matches the whole span.
+func (c *Core) Skip(from, to sim.Cycle) {
+	n := to - from + 1
+	c.stats.Cycles += n
+	if c.blockedOn != 0 {
+		c.stats.MemStallCycles += n
+		return
+	}
+	if c.computeLeft > 0 {
+		c.computeLeft -= n
+		c.stats.Work += uint64(n)
+	}
+	// A finished core only counts cycles.
+}
+
 // Tick advances the core one cycle.
 func (c *Core) Tick(now sim.Cycle) {
 	c.stats.Cycles++
@@ -196,8 +239,13 @@ func (c *Core) Tick(now sim.Cycle) {
 		return
 	}
 
-	// Fetch the next reference if needed.
+	// Fetch the next reference if needed. A finished trace stays
+	// finished — the source is not polled again, so an exhausted core's
+	// tick is pure accounting and the kernel's fast path can skip it.
 	if !c.haveEntry {
+		if c.finished {
+			return
+		}
 		if c.clock != nil {
 			c.clock.SetNow(now)
 		}

@@ -150,6 +150,36 @@ func (c *Channel) Timing() Timing { return c.timing }
 // the bank — instead of panicking the process.
 func (c *Channel) SetObserver(o Observer) { c.observer = o }
 
+// NextWake implements sim.NextWaker: the earliest pending refresh
+// deadline, or never when refresh is disabled — between refreshes the
+// channel's tick only refreshes the one-command-per-cycle latch, which
+// Skip reproduces. A refresh already due but blocked by an in-flight
+// bank retries every cycle (and the controller owning that bank keeps
+// the kernel stepping anyway).
+func (c *Channel) NextWake(now sim.Cycle) sim.Cycle {
+	if c.timing.TREFI == 0 {
+		return sim.NeverWake
+	}
+	w := sim.NeverWake
+	for r := range c.ranks {
+		nr := c.ranks[r].nextRefresh
+		if nr <= now {
+			return now + 1
+		}
+		if nr < w {
+			w = nr
+		}
+	}
+	return w
+}
+
+// Skip implements sim.Skipper. The only per-cycle effect of an idle
+// tick is commandUsed = (commandIssuedAt == now); no command issues
+// during a skipped span, so the latch is simply clear at its end.
+func (c *Channel) Skip(from, to sim.Cycle) {
+	c.commandUsed = false
+}
+
 // Tick advances refresh state. Refresh is modeled analytically: when a
 // refresh comes due the rank drains (all banks' freeAt) and then blocks for
 // tRFC with every row closed.

@@ -175,6 +175,17 @@ func (p *DelayPipe) PushAfter(now, extra sim.Cycle, req *Request) {
 // Len returns the number of in-flight items.
 func (p *DelayPipe) Len() int { return len(p.items) }
 
+// NextReady returns the cycle at which the oldest in-flight item
+// matures, and whether the pipe holds anything. The kernel's idle fast
+// path uses it as a wake hint: an empty pipe has no self-driven future
+// work.
+func (p *DelayPipe) NextReady() (sim.Cycle, bool) {
+	if len(p.items) == 0 {
+		return 0, false
+	}
+	return p.items[0].ready, true
+}
+
 // Ready returns the oldest item if it has matured by cycle now, else nil.
 // The item is not removed.
 func (p *DelayPipe) Ready(now sim.Cycle) *Request {

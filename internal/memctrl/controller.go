@@ -136,6 +136,47 @@ func (c *Controller) Priority(core int) int {
 	return c.prio[core]
 }
 
+// NextWake implements sim.NextWaker. A non-empty queue consults the
+// scheduler every cycle (policies like temporal partitioning are
+// time-dependent, so no cheap bound exists). Otherwise the controller
+// next acts at the earliest in-flight completion or the earliest
+// pending priority expiry — skipping past an expiry would leave a stale
+// elevated priority visible in a checkpoint that a stepped run would
+// have cleared.
+func (c *Controller) NextWake(now sim.Cycle) sim.Cycle {
+	if len(c.queue) > 0 {
+		return now + 1
+	}
+	w := sim.NeverWake
+	if len(c.inflight) > 0 {
+		at := c.inflight[0].at
+		if at <= now {
+			return now + 1 // egress-blocked completion retrying
+		}
+		w = at
+	}
+	for i := range c.prio {
+		if c.prio[i] != 0 {
+			u := c.prioUntil[i]
+			if u <= now {
+				return now + 1
+			}
+			if u < w {
+				w = u
+			}
+		}
+	}
+	return w
+}
+
+// Skip implements sim.Skipper: bulk-apply the per-cycle occupancy
+// accounting an idle tick performs.
+func (c *Controller) Skip(from, to sim.Cycle) {
+	n := uint64(to - from + 1)
+	c.stats.Cycles += n
+	c.stats.QueueOccupancySum += n * uint64(len(c.queue))
+}
+
 // Tick advances the controller one cycle: expire priority elevations,
 // retire finished bursts to egress, then issue at most one transaction.
 func (c *Controller) Tick(now sim.Cycle) {

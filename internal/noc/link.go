@@ -135,6 +135,35 @@ func (l *Link) Stats() LinkStats {
 	return s
 }
 
+// NextWake implements sim.NextWaker. Anything queued at an input wants
+// arbitration next cycle; an in-flight pipe wakes when its head matures
+// (a mature head that could not deliver retries every cycle). An empty
+// link only acts when a sender injects, and that sender's own wake
+// covers the cycle.
+func (l *Link) NextWake(now sim.Cycle) sim.Cycle {
+	for _, q := range l.inputs {
+		if q.Len() > 0 {
+			return now + 1
+		}
+	}
+	if ready, ok := l.pipe.NextReady(); ok {
+		if ready <= now {
+			return now + 1
+		}
+		return ready
+	}
+	return sim.NeverWake
+}
+
+// Skip implements sim.Skipper: an idle tick still rotates the
+// round-robin pointer, so a skipped span must rotate it by the span
+// length to keep fast-path state (and checkpoints) byte-identical to a
+// stepped run.
+func (l *Link) Skip(from, to sim.Cycle) {
+	n := len(l.inputs)
+	l.rr = (l.rr + int((to-from+1)%sim.Cycle(n))) % n
+}
+
 // Tick advances the link one cycle: deliver matured transactions (in
 // order, stopping at backpressure), then arbitrate new injections
 // round-robin across the input queues.

@@ -46,6 +46,18 @@ type binCore struct {
 	led ledger
 
 	stats Stats
+
+	// wakeGen counts mutations of the state the nextWake scan reads
+	// (credits, unused, released/lastRelease, jitterFrac, the clocks).
+	// wakeCache memoizes the last credit-mode scan result keyed by
+	// (wakeGen, pending): the scan is a pure function of that state and
+	// the cycle, and a result computed at an earlier cycle stays the
+	// first admission point until the state mutates. Derived state —
+	// never serialized; Restore invalidates it.
+	wakeGen          uint64
+	wakeCacheGen     uint64
+	wakeCachePending bool
+	wakeCache        sim.Cycle
 }
 
 // ledger follows every credit from grant to disposal. The runtime credit
@@ -118,6 +130,7 @@ func newBinCore(cfg Config, rng *sim.RNG) (*binCore, error) {
 // when RandomizeWithinBin is set. With no credits left, the draw is
 // deferred to replenishment.
 func (b *binCore) drawRelease(now sim.Cycle) {
+	b.wakeGen++
 	total := 0
 	for _, c := range b.credits {
 		total += c
@@ -242,6 +255,7 @@ func (b *binCore) maybeEpochSwitch(now sim.Cycle) {
 
 // markReal records a real periodic-mode release at cycle now.
 func (b *binCore) markReal(now sim.Cycle) {
+	b.wakeGen++
 	b.lastRelease = now
 	b.released = true
 	b.stats.ReleasedReal++
@@ -249,6 +263,7 @@ func (b *binCore) markReal(now sim.Cycle) {
 
 // markFake records a fake periodic-mode release at cycle now.
 func (b *binCore) markFake(now sim.Cycle) {
+	b.wakeGen++
 	b.lastRelease = now
 	b.released = true
 	b.stats.ReleasedFake++
@@ -261,6 +276,7 @@ func (b *binCore) maybeReplenish(now sim.Cycle) (bool, int) {
 	if now < b.nextReplenish {
 		return false, 0
 	}
+	b.wakeGen++
 	b.nextReplenish += b.cfg.Window
 	unusedTotal := 0
 	maxWindows := b.cfg.MaxUnusedWindows
@@ -291,6 +307,88 @@ func (b *binCore) maybeReplenish(now sim.Cycle) (bool, int) {
 		b.drawRelease(now)
 	}
 	return true, unusedTotal
+}
+
+// wakeScanCap bounds the forward scan nextWake performs in credit mode.
+// Past the cap the shaper reports a conservative early wake; the kernel
+// then re-evaluates from there, so a long dead stretch is covered in
+// wakeScanCap-sized jumps rather than one.
+const wakeScanCap = 4096
+
+// nextWake returns the earliest cycle at which Tick could do something
+// observable, given that no new traffic arrives in between (the kernel
+// only consults the hint while every other component is idle too).
+// pending reports whether a real transaction is queued for release.
+//
+// Every branch exploits the fact that the release predicates
+// (releaseBin, fakeBin, slotOpen, obliviousDue) are pure functions of
+// (state, cycle): the wake is the first cycle where one of them flips,
+// clamped to the next clock edge (replenishment window, periodic slot,
+// epoch boundary) whose handler mutates state when due. Returning
+// early is always safe; returning a cycle past a true release
+// opportunity would desynchronize fast-path and stepped runs.
+func (b *binCore) nextWake(now sim.Cycle, pending bool) sim.Cycle {
+	if b.periodic() {
+		// A slot left open (downstream backpressure) retries every cycle.
+		if b.nextSlot <= now {
+			return now + 1
+		}
+		w := b.nextSlot
+		if len(b.cfg.EpochRates) > 0 && b.nextEpoch < w {
+			w = b.nextEpoch
+		}
+		if w <= now {
+			return now + 1
+		}
+		return w
+	}
+	// Replenishment mutates credit state whenever it comes due; never
+	// look past it.
+	if b.nextReplenish <= now {
+		return now + 1
+	}
+	limit := b.nextReplenish
+	if b.cfg.Policy == PolicyOblivious {
+		if b.reservedBin >= 0 {
+			if b.nextRelease <= now {
+				return now + 1 // due slot retrying against backpressure
+			}
+			if b.nextRelease < limit {
+				return b.nextRelease
+			}
+		}
+		return limit
+	}
+	// Credit mode: scan forward for the first cycle whose release
+	// predicate admits a transaction. The scan is pure in (state, cycle)
+	// and time is monotone, so a result computed at an earlier cycle
+	// remains the first admission point until the state mutates — the
+	// memo below keeps the per-cycle cost O(1) when the kernel polls the
+	// hint every cycle because some other component is busy.
+	if b.wakeCacheGen == b.wakeGen && b.wakeCachePending == pending && b.wakeCache > now {
+		return b.wakeCache
+	}
+	if c := now + wakeScanCap; c < limit {
+		limit = c
+	}
+	w := limit
+	if pending {
+		for c := now + 1; c < limit; c++ {
+			if _, ok := b.releaseBin(c); ok {
+				w = c
+				break
+			}
+		}
+	} else if b.cfg.GenerateFake && b.unusedCredits() > 0 {
+		for c := now + 1; c < limit; c++ {
+			if _, ok := b.fakeBin(c); ok {
+				w = c
+				break
+			}
+		}
+	}
+	b.wakeCacheGen, b.wakeCachePending, b.wakeCache = b.wakeGen, pending, w
+	return w
 }
 
 // interArrival returns the observed inter-arrival time if the shaper
@@ -416,6 +514,7 @@ func (b *binCore) redrawJitter() {
 
 // commitReal records a real release at cycle now consuming bin.
 func (b *binCore) commitReal(now sim.Cycle, bin int) {
+	b.wakeGen++
 	b.credits[bin]--
 	b.led.consumed++
 	b.lastRelease = now
@@ -426,6 +525,7 @@ func (b *binCore) commitReal(now sim.Cycle, bin int) {
 
 // commitFake records a fake release at cycle now consuming unused bin.
 func (b *binCore) commitFake(now sim.Cycle, bin int) {
+	b.wakeGen++
 	b.unused[bin]--
 	b.led.fakeSpent++
 	b.lastRelease = now

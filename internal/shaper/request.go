@@ -113,6 +113,13 @@ func (s *RequestShaper) TrySend(now sim.Cycle, req *mem.Request) bool {
 	return true
 }
 
+// NextWake implements sim.NextWaker: the next replenishment, slot,
+// epoch boundary or credit-admitted release cycle (see binCore.nextWake).
+// An idle Tick before that cycle mutates nothing, so no Skip is needed.
+func (s *RequestShaper) NextWake(now sim.Cycle) sim.Cycle {
+	return s.bins.nextWake(now, s.in.Peek() != nil)
+}
+
 // Tick advances the shaper: replenish if due, then release at most one
 // transaction — a credited real request if one is pending, else a fake
 // request if the generator owes traffic (fake traffic has strictly lower

@@ -120,6 +120,13 @@ func (s *ResponseShaper) TrySend(now sim.Cycle, resp *mem.Request) bool {
 	return true
 }
 
+// NextWake implements sim.NextWaker (see binCore.nextWake). The
+// replenishment clamp also covers the priority-warning side effect:
+// Elevate fires only on replenishment cycles, which are never skipped.
+func (s *ResponseShaper) NextWake(now sim.Cycle) sim.Cycle {
+	return s.bins.nextWake(now, s.queue.Peek() != nil)
+}
+
 // Tick advances the shaper: on replenishment, unused credits trigger a
 // priority warning to the memory scheduler; then at most one response is
 // released — a buffered real response if credited, else a fake response.

@@ -35,6 +35,48 @@ type TickFunc func(now Cycle)
 // Tick implements Tickable.
 func (f TickFunc) Tick(now Cycle) { f(now) }
 
+// NeverWake is the NextWake return value of a component with no future
+// work of its own: it only acts again in response to another component
+// (a request arriving on a queue, an event firing).
+const NeverWake = Cycle(1<<64 - 1)
+
+// NextWaker is the optional idle hint. A component that implements it
+// promises that between now (exclusive) and NextWake(now) (exclusive)
+// its Tick is a pure bulk-accountable no-op: no queue moves, no message
+// is produced or consumed, no decision is taken. The kernel may then
+// skip those cycles entirely, calling Skip (if implemented) once for
+// the whole span instead of Tick once per cycle.
+//
+// The contract is asymmetric. Returning an EARLY wake (any value down
+// to now+1) is always correct — the kernel simply falls back to
+// stepping, which is what happens today on every cycle. Returning a
+// LATE wake is a correctness bug: the kernel would jump past a cycle
+// where the component wanted to act, and the run would diverge from a
+// cycle-stepped one. When a component cannot cheaply bound its next
+// interesting cycle it must return now+1, never a guess.
+//
+// The fast path only engages when every registered component implements
+// NextWaker; a single hint-less component pins the kernel to
+// cycle-stepped mode.
+type NextWaker interface {
+	// NextWake returns the earliest cycle at which the component's Tick
+	// may do something observable, or NeverWake if it has no
+	// self-driven future work. Values <= now mean "tick me next cycle".
+	NextWake(now Cycle) Cycle
+}
+
+// Skipper is the optional bulk-accounting hook paired with NextWaker.
+// When the kernel skips the span [from, to] (inclusive on both ends),
+// it calls Skip exactly once instead of Tick to..from times. Skip must
+// leave the component in the byte-identical state that to-from+1
+// no-op Ticks would have: counters that increment every cycle advance
+// by the span length, round-robin pointers rotate by it, and so on.
+// Components whose idle Tick mutates nothing at all need not implement
+// Skipper.
+type Skipper interface {
+	Skip(from, to Cycle)
+}
+
 // event is a scheduled callback.
 type event struct {
 	at  Cycle
@@ -50,12 +92,42 @@ type Kernel struct {
 	seq        uint64
 	rng        *RNG
 	stopped    bool
+
+	// Fast-path state. wakers is parallel to components and only
+	// consulted when allHinted holds; skippers is the subset of
+	// components that need bulk accounting for skipped spans.
+	wakers       []NextWaker
+	skippers     []Skipper
+	allHinted    bool
+	fastDisabled bool
+
+	// skipped and jumps are observability-only: they describe how the
+	// clock advanced, not where it is, so they are deliberately absent
+	// from Snapshot — a fast-path run and a stepped run must produce
+	// byte-identical checkpoints.
+	skipped Cycle
+	jumps   uint64
+
+	// busyStreak/holdoff throttle hint polling while the system is
+	// continuously busy: each fruitless earliestWake sweep grows the
+	// streak (capped), and the kernel then steps that many cycles
+	// without polling. Stepping is always correct, so this trades at
+	// most maxHintHoldoff cycles of skip latency for O(1) amortized
+	// hint cost on busy phases. Like skipped/jumps this is not state —
+	// it only shapes how the clock advances — and is never serialized.
+	busyStreak Cycle
+	holdoff    Cycle
 }
+
+// maxHintHoldoff bounds how long the kernel steps blind between
+// earliestWake sweeps during busy phases (and therefore how late a
+// skippable idle span can be noticed).
+const maxHintHoldoff = 32
 
 // NewKernel returns a kernel whose random source is seeded with seed.
 // The same seed always reproduces the same simulation.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRNG(seed)}
+	return &Kernel{rng: NewRNG(seed), allHinted: true}
 }
 
 // Now returns the current cycle.
@@ -67,12 +139,22 @@ func (k *Kernel) Now() Cycle { return k.now }
 func (k *Kernel) RNG() *RNG { return k.rng }
 
 // Register adds a component to the per-cycle tick list. Components tick in
-// registration order.
+// registration order. Components implementing NextWaker (and optionally
+// Skipper) opt in to the idle fast path; one component without the hint
+// keeps the whole kernel cycle-stepped.
 func (k *Kernel) Register(c Tickable) {
 	if c == nil {
 		panic("sim: Register(nil)")
 	}
 	k.components = append(k.components, c)
+	w, ok := c.(NextWaker)
+	if !ok {
+		k.allHinted = false
+	}
+	k.wakers = append(k.wakers, w)
+	if sk, ok := c.(Skipper); ok {
+		k.skippers = append(k.skippers, sk)
+	}
 }
 
 // Schedule runs fn at cycle at. Scheduling in the past (or present) panics:
@@ -106,21 +188,119 @@ func (k *Kernel) Step() {
 	}
 }
 
+// SetFastPath enables or disables the idle-cycle fast path (enabled by
+// default when every registered component implements NextWaker).
+// Disabling forces classic cycle-by-cycle stepping — the reference mode
+// the differential tests compare against.
+func (k *Kernel) SetFastPath(on bool) { k.fastDisabled = !on }
+
+// FastPathEligible reports whether the fast path can engage: it is not
+// disabled and every registered component provides a wake hint.
+func (k *Kernel) FastPathEligible() bool {
+	return !k.fastDisabled && k.allHinted
+}
+
+// SkippedCycles returns how many cycles the fast path has skipped over
+// the kernel's lifetime. Observability only — not checkpoint state.
+func (k *Kernel) SkippedCycles() Cycle { return k.skipped }
+
+// Jumps returns how many clock jumps the fast path has taken.
+// Observability only — not checkpoint state.
+func (k *Kernel) Jumps() uint64 { return k.jumps }
+
+// earliestWake returns the earliest cycle anything wants to run at,
+// clamped to bound: the first pending event or the minimum component
+// wake, whichever comes first. A component returning <= now is
+// normalized to now+1 ("tick me next cycle").
+func (k *Kernel) earliestWake(bound Cycle) Cycle {
+	w := bound
+	if len(k.events) > 0 && k.events[0].at < w {
+		w = k.events[0].at
+	}
+	soon := k.now + 1
+	if w <= soon {
+		return soon
+	}
+	for _, nw := range k.wakers {
+		c := nw.NextWake(k.now)
+		if c <= soon {
+			return soon
+		}
+		if c < w {
+			w = c
+		}
+	}
+	return w
+}
+
+// Advance moves the simulation forward by at most limit cycles and
+// returns how many it covered. When the fast path is eligible and every
+// component reports its next wake beyond now+1 (and no event is due
+// sooner), the clock jumps straight to the cycle before the earliest
+// wake — calling each Skipper once for the span — and then steps the
+// wake cycle itself. Otherwise it takes a single classic Step. Either
+// way the resulting state is byte-identical to stepping every cycle.
+func (k *Kernel) Advance(limit Cycle) Cycle {
+	if limit == 0 {
+		return 0
+	}
+	if k.FastPathEligible() {
+		if k.holdoff > 0 {
+			k.holdoff--
+			k.Step()
+			return 1
+		}
+		end := k.now + limit
+		if w := k.earliestWake(end + 1); w > k.now+1 {
+			k.busyStreak = 0
+			target := w - 1
+			if target > end {
+				target = end
+			}
+			n := target - k.now
+			from := k.now + 1
+			k.now = target
+			for _, sk := range k.skippers {
+				sk.Skip(from, target)
+			}
+			k.skipped += n
+			k.jumps++
+			if k.now >= end {
+				return n
+			}
+			k.Step()
+			return n + 1
+		}
+		if k.busyStreak < maxHintHoldoff {
+			k.busyStreak++
+		}
+		k.holdoff = k.busyStreak
+	}
+	k.Step()
+	return 1
+}
+
 // Run advances the simulation n cycles, or fewer if Stop is called.
-// It returns the number of cycles actually simulated.
+// It returns the number of cycles actually simulated (skipped idle
+// cycles count: they were simulated, just in bulk).
 func (k *Kernel) Run(n Cycle) Cycle {
 	k.stopped = false
 	var done Cycle
-	for done = 0; done < n && !k.stopped; done++ {
-		k.Step()
+	for done < n && !k.stopped {
+		done += k.Advance(n - done)
 	}
 	return done
 }
 
-// RunUntil steps the simulation until pred returns true or limit cycles have
-// elapsed, and reports whether pred was satisfied.
+// RunUntil steps the simulation until pred returns true, Stop is
+// called, or limit cycles have elapsed, and reports whether pred was
+// satisfied. Like Run it honors Stop: a watchdog or checker calling
+// Stop mid-cycle ends the loop after that cycle completes. It always
+// steps cycle-by-cycle — pred may observe any intermediate state, so
+// the kernel must not jump over cycles where it could flip.
 func (k *Kernel) RunUntil(pred func() bool, limit Cycle) bool {
-	for i := Cycle(0); i < limit; i++ {
+	k.stopped = false
+	for i := Cycle(0); i < limit && !k.stopped; i++ {
 		if pred() {
 			return true
 		}
@@ -162,6 +342,11 @@ func (h *eventHeap) pop() event {
 	top := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
+	// Zero the vacated tail slot so the popped event's closure (and
+	// everything it captures — requests, whole cores) becomes
+	// collectable instead of staying reachable through the heap's
+	// backing array for the rest of the run.
+	old[n] = event{}
 	*h = old[:n]
 	i := 0
 	for {

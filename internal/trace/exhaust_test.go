@@ -1,0 +1,46 @@
+package trace
+
+import "testing"
+
+// TestExhaustionIsTerminal pins the Source contract the kernel's idle
+// fast path depends on: after the first ok == false, every further Next
+// keeps returning ok == false with a zero entry and no side effects.
+// The core stops polling a source once it reports end-of-trace, so a
+// source violating this would behave differently under fast-path and
+// cycle-stepped runs.
+func TestExhaustionIsTerminal(t *testing.T) {
+	entries := []Entry{{Gap: 3, Addr: 64}, {Idle: true, Gap: 5}}
+
+	covert := NewCovertSender(0b10, 2, 16, 2, false)
+	covert.SetNow(1000) // past both pulses: the transmission is over
+
+	phased := NewPhasedSource(NewSliceSource(entries), NewSliceSource(entries), 128)
+
+	sources := map[string]Source{
+		"slice":    NewSliceSource(entries),
+		"concat":   NewConcat(NewSliceSource(entries), NewSliceSource(entries)),
+		"recorder": NewRecorder(NewSliceSource(entries)),
+		"covert":   covert,
+		"phased":   phased,
+	}
+	for name, src := range sources {
+		drained := 0
+		for ; drained < 1000; drained++ {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+		}
+		if drained == 1000 {
+			t.Fatalf("%s: did not exhaust", name)
+		}
+		for i := 0; i < 10; i++ {
+			e, ok := src.Next()
+			if ok {
+				t.Fatalf("%s: revived on Next %d after exhaustion", name, i)
+			}
+			if e != (Entry{}) {
+				t.Fatalf("%s: non-zero entry %+v after exhaustion", name, e)
+			}
+		}
+	}
+}

@@ -30,6 +30,14 @@ type Entry struct {
 // Source produces an instruction stream. Generators are infinite; ok
 // reports end-of-trace for finite sources such as recorded covert-channel
 // transmissions.
+//
+// Exhaustion is terminal: once Next has returned ok == false the source
+// must return ok == false forever, without side effects. The core stops
+// polling a source after its first end-of-trace (so a finished core is
+// pure idle the kernel's fast path can skip), which means a source that
+// "revived" after reporting exhaustion would never be heard — and a
+// stateful Next-at-exhaustion would make fast-path and stepped runs
+// diverge.
 type Source interface {
 	Next() (Entry, bool)
 }

@@ -1,0 +1,221 @@
+// Command benchkernel turns `go test -bench BenchmarkKernel -benchmem`
+// output into BENCH_kernel.json and gates CI on it.
+//
+// Emit mode parses the benchmark text and writes a JSON summary: per
+// benchmark ns/op, allocs/op, B/op and cycles/s, plus per-group
+// fast-over-stepped speedup ratios. Check mode compares a freshly
+// emitted summary against the committed baseline: the speedup ratio is
+// (mostly) machine-independent — both sides of the division ran on the
+// same machine seconds apart — so it is what the gate tracks, with a
+// tolerance for scheduling noise; absolute ns/op is recorded for humans
+// but never gated, because CI runners are heterogeneous.
+//
+// Usage:
+//
+//	go run ./scripts/benchkernel -emit -in bench_kernel.txt -out BENCH_kernel.json
+//	go run ./scripts/benchkernel -check -baseline BENCH_kernel.json -current BENCH_kernel_current.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measured values.
+type Metrics struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// Summary is the BENCH_kernel.json schema.
+type Summary struct {
+	// Benchmarks maps "scheme/workload/mode" to its metrics.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// Speedups maps "scheme/workload" to fast cycles/s over stepped
+	// cycles/s — the machine-independent number the CI gate tracks.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func main() {
+	var (
+		emit     = flag.Bool("emit", false, "parse benchmark text and write a JSON summary")
+		check    = flag.Bool("check", false, "compare a current summary against the baseline")
+		in       = flag.String("in", "", "emit: benchmark text input (default stdin)")
+		out      = flag.String("out", "", "emit: JSON output path (default stdout)")
+		baseline = flag.String("baseline", "BENCH_kernel.json", "check: committed baseline summary")
+		current  = flag.String("current", "", "check: freshly emitted summary")
+		tol      = flag.Float64("tol", 0.20, "check: allowed fractional speedup regression")
+		minIdle  = flag.Float64("min-idle-speedup", 2.0, "check: required fast/stepped ratio on the idle headline group")
+		idleKey  = flag.String("idle-key", "noshaping/sjeng", "check: the idle headline group")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit:
+		if err := runEmit(*in, *out); err != nil {
+			fatal(err)
+		}
+	case *check:
+		if err := runCheck(*baseline, *current, *tol, *minIdle, *idleKey); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -emit or -check is required"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchkernel:", err)
+	os.Exit(1)
+}
+
+func runEmit(in, out string) error {
+	r := os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sum, err := parse(bufio.NewScanner(r))
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+// parse extracts BenchmarkKernel sub-benchmark lines. A line looks like
+//
+//	BenchmarkKernel/cs/sjeng/fast-8  2  1853806 ns/op  107917852 cycles/s  277520 B/op  2481 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs in any order.
+// With `-count N` each benchmark repeats N times; parse keeps the best
+// observation per name (max throughput, min ns/op) — best-of-N filters
+// out scheduler noise far better than averaging, since interference only
+// ever makes a run slower.
+func parse(sc *bufio.Scanner) (*Summary, error) {
+	sum := &Summary{Benchmarks: map[string]Metrics{}, Speedups: map[string]float64{}}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkKernel/") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "BenchmarkKernel/")
+		if i := strings.LastIndex(name, "-"); i >= 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		var m Metrics
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "cycles/s":
+				m.CyclesPerSec = v
+			}
+		}
+		if prev, ok := sum.Benchmarks[name]; ok {
+			if prev.CyclesPerSec > m.CyclesPerSec {
+				m.CyclesPerSec = prev.CyclesPerSec
+			}
+			if prev.NsPerOp < m.NsPerOp {
+				m.NsPerOp = prev.NsPerOp
+			}
+		}
+		sum.Benchmarks[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no BenchmarkKernel lines found")
+	}
+	for name, m := range sum.Benchmarks {
+		group, ok := strings.CutSuffix(name, "/fast")
+		if !ok {
+			continue
+		}
+		stepped, ok := sum.Benchmarks[group+"/stepped"]
+		if !ok || stepped.CyclesPerSec == 0 {
+			return nil, fmt.Errorf("%s has no stepped counterpart", name)
+		}
+		sum.Speedups[group] = m.CyclesPerSec / stepped.CyclesPerSec
+	}
+	return sum, nil
+}
+
+func load(path string) (*Summary, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum Summary
+	if err := json.Unmarshal(buf, &sum); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &sum, nil
+}
+
+func runCheck(basePath, curPath string, tol, minIdle float64, idleKey string) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for group, want := range base.Speedups {
+		got, ok := cur.Speedups[group]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from current run", group))
+			continue
+		}
+		floor := want * (1 - tol)
+		status := "ok"
+		if got < floor {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: fast/stepped speedup %.2fx below %.2fx (baseline %.2fx - %.0f%% tolerance)",
+				group, got, floor, want, tol*100))
+		}
+		fmt.Printf("%-24s baseline %6.2fx  current %6.2fx  %s\n", group, want, got, status)
+	}
+	if got, ok := cur.Speedups[idleKey]; !ok {
+		failures = append(failures, fmt.Sprintf("idle headline group %s missing from current run", idleKey))
+	} else if got < minIdle {
+		failures = append(failures, fmt.Sprintf(
+			"idle headline group %s: speedup %.2fx below the required %.2fx", idleKey, got, minIdle))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("kernel throughput gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("kernel throughput gate passed")
+	return nil
+}
