@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke bench-kernel bench-kernel-check
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke chaos-soak bench-kernel bench-kernel-check
 
 ci: vet build race fuzz-seeds
 
@@ -75,3 +75,12 @@ bench-kernel-check:
 # byte-diff the resumed report against an uninterrupted run.
 ckpt-smoke:
 	./scripts/ckpt_smoke.sh
+
+# Chaos soak: random SIGKILL + injected disk faults + at-rest checkpoint
+# corruption, resumed every iteration and byte-compared against a clean
+# reference, plus per-iteration goroutine-leak and heap-growth checks.
+# The default 20-iteration deterministic profile is the CI gate; set
+# CHAOS_SOAK_FULL=1 (and optionally CHAOS_SOAK_ITERS/CHAOS_SOAK_SEED)
+# for the full randomized profile.
+chaos-soak:
+	./scripts/chaos_soak.sh

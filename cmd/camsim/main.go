@@ -30,6 +30,7 @@ import (
 	"camouflage/internal/dram"
 	"camouflage/internal/fault"
 	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
 	"camouflage/internal/mem"
 	"camouflage/internal/obs"
 	"camouflage/internal/scenario"
@@ -53,6 +54,21 @@ type runOpts struct {
 	ckptDir    string
 	ckptEvery  sim.Cycle
 	resumeFrom string
+
+	// ioInj, when non-nil, is the chaos layer: every checkpoint and
+	// resume file operation and the obs listener route through it.
+	ioInj *iofault.Injector
+}
+
+// fs returns the filesystem checkpoint/resume I/O should use: the
+// injector when armed, the real filesystem otherwise. (Returning the
+// injector only when non-nil keeps a typed-nil *Injector out of the FS
+// interface.)
+func (o runOpts) fs() iofault.FS {
+	if o.ioInj == nil {
+		return iofault.OS
+	}
+	return o.ioInj
 }
 
 func main() {
@@ -70,6 +86,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "write periodic crash-safe checkpoints into this directory (keeps the newest 2)")
 	ckptEvery := flag.Uint64("checkpoint-every", 100_000, "simulated cycles between automatic checkpoints (with -checkpoint-dir)")
 	resumeFrom := flag.String("resume-from", "", "resume from this checkpoint file, or the newest valid checkpoint in this directory; -cycles is the total, so the run covers only the remainder")
+	ioFaultsSpec := flag.String("io-faults", "", "inject infrastructure faults into checkpoint/resume file I/O and the obs listener: write=P,torn=P,sync=P,rename=P,read=P,corrupt=P,slow=P[:dur],accept=P,connwrite=P,seed=N (empty = none)")
 	flag.Parse()
 
 	opts := runOpts{
@@ -78,6 +95,14 @@ func main() {
 		ckptDir:    *ckptDir,
 		ckptEvery:  sim.Cycle(*ckptEvery),
 		resumeFrom: *resumeFrom,
+	}
+	if *ioFaultsSpec != "" {
+		iopt, perr := iofault.ParseSpec(*ioFaultsSpec)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "camsim:", perr)
+			os.Exit(1)
+		}
+		opts.ioInj = iofault.NewInjector(iopt)
 	}
 
 	// Observability: registry + optional tracer on the measured system
@@ -98,7 +123,7 @@ func main() {
 		}
 		opts.obs = &obs.Bundle{Registry: reg, Tracer: tracer}
 		if *obsAddr != "" {
-			srv = &obs.Server{Registry: reg}
+			srv = &obs.Server{Registry: reg, Faults: opts.ioInj}
 			addr, aerr := srv.Serve(*obsAddr)
 			if aerr != nil {
 				fmt.Fprintln(os.Stderr, "camsim:", aerr)
@@ -115,9 +140,18 @@ func main() {
 			err = run(*workload, *schemeName, sim.Cycle(*cycles), *seed, opts)
 		}
 	}
-	srv.Close()
+	// Graceful teardown: in-flight scrapes get a bounded grace period,
+	// then the server hard-closes.
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	srv.Shutdown(sctx)
+	scancel()
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = cerr
+	}
+	if opts.ioInj != nil {
+		// Stats go to stderr so chaos runs keep stdout byte-comparable to
+		// clean runs.
+		fmt.Fprintf(os.Stderr, "iofaults [%s]: %s\n", opts.ioInj.Options(), opts.ioInj.Stats())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "camsim:", err)
@@ -250,12 +284,13 @@ func attachLatency(sys *core.System) ([]*stats.Summary, []ckpt.Stater) {
 }
 
 // loadResume reads the checkpoint to resume from: a file loads directly,
-// a directory yields its newest valid checkpoint.
-func loadResume(from string) (ckpt.Header, []byte, string, error) {
+// a directory yields its newest valid checkpoint. All reads go through
+// fsys so the chaos layer covers the resume path too.
+func loadResume(fsys iofault.FS, from string) (ckpt.Header, []byte, string, error) {
 	if fi, err := os.Stat(from); err == nil && fi.IsDir() {
-		return ckpt.NewManager(from, 1).Latest()
+		return ckpt.NewManager(from, 1).SetFS(fsys).Latest()
 	}
-	h, payload, err := ckpt.ReadFile(from)
+	h, payload, err := ckpt.ReadFileFS(fsys, from)
 	return h, payload, from, err
 }
 
@@ -274,7 +309,7 @@ func reportRun(build func() (*core.System, *fault.Injector, error), names []stri
 
 	remaining := cycles
 	if opts.resumeFrom != "" {
-		h, payload, path, lerr := loadResume(opts.resumeFrom)
+		h, payload, path, lerr := loadResume(opts.fs(), opts.resumeFrom)
 		switch {
 		case lerr == nil:
 			if rerr := sys.RestoreState(h, payload, extras...); rerr != nil {
@@ -306,7 +341,11 @@ func reportRun(build func() (*core.System, *fault.Injector, error), names []stri
 		if every <= 0 {
 			every = core.SuperviseStride
 		}
-		sys.SetCheckpointPolicy(core.CheckpointPolicy{Dir: opts.ckptDir, Every: every, Keep: 2, Extras: extras})
+		pol := core.CheckpointPolicy{Dir: opts.ckptDir, Every: every, Keep: 2, Extras: extras}
+		if opts.ioInj != nil {
+			pol.FS = opts.ioInj
+		}
+		sys.SetCheckpointPolicy(pol)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -137,7 +137,11 @@ func main() {
 	// funnels through closeObs before exiting.
 	closeObs := func() {
 		reporter.Stop()
-		srv.Close()
+		// Graceful teardown: in-flight scrapes get a bounded grace
+		// period, then the server hard-closes.
+		sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+		srv.Shutdown(sctx)
+		scancel()
 		if cerr := tracer.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "obs:", cerr)
 		}

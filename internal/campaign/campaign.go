@@ -268,6 +268,24 @@ feed:
 	close(queue)
 	wg.Wait()
 
+	// Degraded-journal recovery: flush failures during the run buffered
+	// records in memory instead of losing them. One more attempt at drain
+	// leaves a complete journal when the disk has healed — and clears the
+	// surfaced error, because nothing was actually lost. A journal that is
+	// already clean here healed mid-run (a later Append flushed every
+	// buffered record), so its earlier failures are equally moot.
+	if opt.Journal != nil && journalErr != nil {
+		journalMu.Lock()
+		err := opt.Journal.Flush()
+		if err == nil {
+			logf("campaign: journal recovered after %d flush failure(s)", opt.Journal.FlushFailures())
+			journalErr = nil
+		} else {
+			logf("campaign: journal still failing at drain (%d failure(s)): %v", opt.Journal.FlushFailures(), err)
+		}
+		journalMu.Unlock()
+	}
+
 	sum := &Summary{Results: results, Interrupted: ctx.Err() != nil}
 	for _, res := range results {
 		switch res.Status {

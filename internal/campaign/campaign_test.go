@@ -14,6 +14,7 @@ import (
 	"camouflage/internal/core"
 	"camouflage/internal/fault"
 	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
 	"camouflage/internal/sim"
 )
 
@@ -426,5 +427,154 @@ func TestBackoffGrowsAndIsDeterministic(t *testing.T) {
 	}
 	if a, b := backoff(opt, "deadbeef", 1), backoff(opt, "cafef00d", 1); a == b {
 		t.Error("different jobs share identical jitter (thundering herd)")
+	}
+}
+
+// TestRetryBudgetExhaustion (satellite): a job whose every attempt fails
+// with an injected transient I/O error exhausts Retries+1 attempts, the
+// summary counts it failed, and the journal's terminal record carries
+// the attempt count, the transient class, and one retry offset per
+// retry.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	var attempts atomic.Int32
+	doomed := Job{
+		Name: "doomed",
+		Spec: "cycles=1",
+		Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+			attempts.Add(1)
+			return nil, Transient(fmt.Errorf("checkpoint write: %w", iofault.ErrInjected))
+		},
+	}
+	jn, err := OpenJournal(filepath.Join(t.TempDir(), "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpts()
+	opt.Retries = 2
+	opt.Journal = jn
+	sum, err := Run(context.Background(), []Job{doomed, trivialJob("survivor")}, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("doomed ran %d attempts, want Retries+1 = 3", got)
+	}
+	if sum.Failed != 1 || sum.Completed != 1 || sum.Remaining != 0 {
+		t.Fatalf("summary failed=%d completed=%d remaining=%d, want 1/1/0", sum.Failed, sum.Completed, sum.Remaining)
+	}
+	var res *Result
+	for _, r := range sum.Results {
+		if r.Job.Name == "doomed" {
+			res = r
+		}
+	}
+	if res.Status != Failed || res.Class != ClassTransient || res.Attempts != 3 {
+		t.Fatalf("doomed result status=%v class=%v attempts=%d", res.Status, res.Class, res.Attempts)
+	}
+	if len(res.RetryAt) != 2 {
+		t.Fatalf("doomed recorded %d retry offsets, want 2", len(res.RetryAt))
+	}
+
+	// The journal record mirrors the result, so a post-hoc reader sees
+	// exactly how the budget was spent.
+	var rec *Record
+	for _, r := range jn.Records() {
+		if r.Job == "doomed" {
+			r := r
+			rec = &r
+		}
+	}
+	if rec == nil {
+		t.Fatal("no journal record for the exhausted job")
+	}
+	if rec.Status != StatusFailed || rec.Class != "transient" || rec.Attempts != 3 {
+		t.Fatalf("journal record %+v", rec)
+	}
+	if len(rec.RetryAtMS) != 2 {
+		t.Fatalf("journal recorded %d retry offsets, want 2", len(rec.RetryAtMS))
+	}
+	if !strings.Contains(rec.Error, "injected") {
+		t.Fatalf("journal error %q lost the cause", rec.Error)
+	}
+	// A resume run does not re-serve a failed job from the journal: it
+	// re-runs it.
+	attempts.Store(0)
+	opt.Resume = true
+	sum2, err := Run(context.Background(), []Job{doomed}, opt)
+	if err != nil || sum2.Failed != 1 || attempts.Load() != 3 {
+		t.Fatalf("resume of failed job: err=%v failed=%d attempts=%d", err, sum2.Failed, attempts.Load())
+	}
+}
+
+// TestCampaignDrainsCleanlyWithFailingJournal: every mid-run journal
+// flush fails, yet the campaign completes all jobs and reports a full
+// summary; the drain-time retry then recovers the journal once the
+// disk heals, clearing the surfaced error.
+func TestCampaignDrainsCleanlyWithFailingJournal(t *testing.T) {
+	const jobs = 3
+	// Exactly `jobs` renames fail: every per-job append flush breaks, the
+	// drain-time Flush succeeds.
+	fsys := &flakyFS{FS: iofault.OS, renameFailsLeft: jobs}
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	jn, err := OpenJournalFS(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js []Job
+	for i := 0; i < jobs; i++ {
+		js = append(js, trivialJob(fmt.Sprintf("job%d", i)))
+	}
+	opt := fastOpts()
+	opt.Journal = jn
+	var logs []string
+	opt.Log = func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }
+	sum, err := Run(context.Background(), js, opt)
+	if err != nil {
+		t.Fatalf("drain-time recovery should clear the journal error, got %v", err)
+	}
+	if sum.Completed != jobs {
+		t.Fatalf("completed %d of %d despite journal faults", sum.Completed, jobs)
+	}
+	if jn.Dirty() {
+		t.Fatal("journal still dirty after drain recovery")
+	}
+	if jn.FlushFailures() != jobs {
+		t.Fatalf("flush failures %d, want %d", jn.FlushFailures(), jobs)
+	}
+	re, err := OpenJournal(path)
+	if err != nil || re.Len() != jobs {
+		t.Fatalf("recovered journal holds %d records, want %d (%v)", re.Len(), jobs, err)
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "journal recovered") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no recovery log line in %q", logs)
+	}
+}
+
+// TestCampaignSurfacesUnhealedJournal: when the disk never heals, the
+// campaign still completes every job and reports the journal error
+// without losing the in-memory records.
+func TestCampaignSurfacesUnhealedJournal(t *testing.T) {
+	fsys := &flakyFS{FS: iofault.OS, renameFailsLeft: 1 << 30}
+	jn, err := OpenJournalFS(fsys, filepath.Join(t.TempDir(), "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpts()
+	opt.Journal = jn
+	sum, err := Run(context.Background(), []Job{trivialJob("a"), trivialJob("b")}, opt)
+	if err == nil {
+		t.Fatal("want the journal failure surfaced when the disk never heals")
+	}
+	if sum.Completed != 2 {
+		t.Fatalf("completed %d of 2: journal faults must not fail jobs", sum.Completed)
+	}
+	if !jn.Dirty() || jn.Len() != 2 {
+		t.Fatalf("dirty=%v len=%d, want buffered records intact", jn.Dirty(), jn.Len())
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
 )
 
 // Record is one journal line: the terminal outcome of one job.
@@ -53,34 +54,56 @@ const (
 
 // Journal is the append-only JSONL progress log. Every Append rewrites
 // the whole file to a temp file in the same directory and renames it
-// over the journal path, so a crash at any instant leaves either the
-// previous complete journal or the new complete journal — never a
-// half-written line. Load additionally tolerates a torn final line
-// (a journal produced by a plain appender, or a filesystem that broke
-// the rename promise) by dropping it and reporting it, so every complete
-// record before the tear is still recovered.
+// over the journal path (then fsyncs the directory — see flushLocked),
+// so a crash at any instant leaves either the previous complete journal
+// or the new complete journal — never a half-written line. Load
+// additionally tolerates a torn final line (a journal produced by a
+// plain appender, or a filesystem that broke the rename promise) by
+// dropping it and reporting it, so every complete record before the
+// tear is still recovered.
+//
+// Degradation policy: a failed flush never loses records — they stay
+// buffered in memory, the journal is marked dirty, and every subsequent
+// Append (and an explicit Flush) retries the full rewrite. A campaign on
+// a sick disk therefore still drains cleanly, reports its summary, and
+// recovers its journal the moment the disk heals.
 type Journal struct {
 	path string
+	fs   iofault.FS
 
 	mu      sync.Mutex
 	records []Record
 	// torn counts undecodable lines dropped by Load.
 	torn int
+	// dirty marks records not yet durably flushed; flushFails counts
+	// failed flush attempts for the degraded-mode report.
+	dirty      bool
+	flushFails uint64
 }
 
 // OpenJournal loads the journal at path, creating its directory if
 // needed. A missing file is an empty journal, not an error.
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalFS(iofault.OS, path)
+}
+
+// OpenJournalFS is OpenJournal with all file I/O routed through fsys, so
+// the chaos layer can inject flush failures underneath the exact
+// production code path.
+func OpenJournalFS(fsys iofault.FS, path string) (*Journal, error) {
+	if fsys == nil {
+		fsys = iofault.OS
+	}
 	if path == "" {
 		return nil, fmt.Errorf("campaign: empty journal path")
 	}
 	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("campaign: journal dir: %w", err)
 		}
 	}
-	j := &Journal{path: path}
-	data, err := os.ReadFile(path)
+	j := &Journal{path: path, fs: fsys}
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return j, nil
 	}
@@ -111,6 +134,35 @@ func (j *Journal) Torn() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.torn
+}
+
+// Dirty reports whether the journal holds records that have not been
+// durably flushed (a previous flush failed and no retry has succeeded
+// yet).
+func (j *Journal) Dirty() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dirty
+}
+
+// FlushFailures counts failed flush attempts over the journal's
+// lifetime — the degraded-mode gauge for journal I/O.
+func (j *Journal) FlushFailures() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushFails
+}
+
+// Flush retries the full rewrite of a dirty journal. On a clean journal
+// it is a no-op. The campaign runner calls it once more at drain so a
+// transient disk fault that has healed leaves a complete journal behind.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.dirty {
+		return nil
+	}
+	return j.flushLocked()
 }
 
 // Len returns the number of loaded/appended records.
@@ -151,7 +203,8 @@ func (j *Journal) Reset() error {
 }
 
 // Append adds rec and atomically rewrites the journal file. The record
-// is kept in memory even if the flush fails, so a campaign on a full
+// is kept in memory even if the flush fails (the journal goes dirty and
+// later Appends/Flush retry the whole rewrite), so a campaign on a full
 // disk still finishes and reports; the flush error is returned for the
 // runner to surface.
 func (j *Journal) Append(rec Record) error {
@@ -161,9 +214,25 @@ func (j *Journal) Append(rec Record) error {
 	return j.flushLocked()
 }
 
-// flushLocked writes all records to a temp file and renames it over the
-// journal path. Callers hold j.mu.
+// flushLocked writes all records to a temp file, renames it over the
+// journal path, and fsyncs the parent directory. Crash-safety contract:
+// the rename makes the new journal visible, but only the directory
+// fsync makes the rename itself durable across power failure — without
+// it the old journal (or none) can silently come back. A failure
+// anywhere marks the journal dirty for retry; success clears it.
+// Callers hold j.mu.
 func (j *Journal) flushLocked() error {
+	err := j.writeLocked()
+	if err != nil {
+		j.dirty = true
+		j.flushFails++
+	} else {
+		j.dirty = false
+	}
+	return err
+}
+
+func (j *Journal) writeLocked() error {
 	var b strings.Builder
 	for _, rec := range j.records {
 		line, err := json.Marshal(rec)
@@ -173,28 +242,31 @@ func (j *Journal) flushLocked() error {
 		b.Write(line)
 		b.WriteByte('\n')
 	}
-	dir, base := filepath.Split(j.path)
-	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	dir := filepath.Dir(j.path)
+	tmp, err := j.fs.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("campaign: journal temp file: %w", err)
 	}
-	if _, err := tmp.WriteString(b.String()); err != nil {
+	if _, err := tmp.Write([]byte(b.String())); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		j.fs.Remove(tmp.Name())
 		return fmt.Errorf("campaign: write journal: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		j.fs.Remove(tmp.Name())
 		return fmt.Errorf("campaign: sync journal: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		j.fs.Remove(tmp.Name())
 		return fmt.Errorf("campaign: close journal: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), j.path); err != nil {
-		os.Remove(tmp.Name())
+	if err := j.fs.Rename(tmp.Name(), j.path); err != nil {
+		j.fs.Remove(tmp.Name())
 		return fmt.Errorf("campaign: rename journal: %w", err)
+	}
+	if err := j.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("campaign: sync journal dir: %w", err)
 	}
 	return nil
 }

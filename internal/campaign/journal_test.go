@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
 )
 
 func TestJournalRoundTrip(t *testing.T) {
@@ -187,5 +189,118 @@ func TestJournalNoTempLeftovers(t *testing.T) {
 			names[i] = e.Name()
 		}
 		t.Fatalf("directory holds %v, want only journal.jsonl", names)
+	}
+}
+
+// flakyFS fails the first N renames, then heals — the shape of a disk
+// that fills up and is later cleared.
+type flakyFS struct {
+	iofault.FS
+	renameFailsLeft int
+}
+
+func (f *flakyFS) Rename(oldpath, newpath string) error {
+	if f.renameFailsLeft > 0 {
+		f.renameFailsLeft--
+		return errors.New("flaky: injected rename failure")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// TestJournalBuffersAcrossFlushFailures: a failed flush loses nothing —
+// records stay buffered, the journal reports dirty, and the first
+// successful flush writes every record.
+func TestJournalBuffersAcrossFlushFailures(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fsys := &flakyFS{FS: iofault.OS, renameFailsLeft: 2}
+	jn, err := OpenJournalFS(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(Record{Job: "a", Hash: "aaaa", Status: StatusDone, Attempts: 1}); err == nil {
+		t.Fatal("first append should surface the injected flush failure")
+	}
+	if !jn.Dirty() || jn.FlushFailures() != 1 {
+		t.Fatalf("dirty=%v failures=%d after failed flush", jn.Dirty(), jn.FlushFailures())
+	}
+	// The second append also fails, but both records stay buffered.
+	jn.Append(Record{Job: "b", Hash: "bbbb", Status: StatusDone, Attempts: 1})
+	if jn.Len() != 2 {
+		t.Fatalf("buffered %d records, want 2", jn.Len())
+	}
+	// Disk heals: the third append flushes everything.
+	if err := jn.Append(Record{Job: "c", Hash: "cccc", Status: StatusDone, Attempts: 1}); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if jn.Dirty() {
+		t.Fatal("journal still dirty after successful flush")
+	}
+	re, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("reloaded %d records, want all 3", re.Len())
+	}
+}
+
+// TestJournalFlushRetries: Flush is a no-op when clean and retries the
+// rewrite when dirty.
+func TestJournalFlushRetries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fsys := &flakyFS{FS: iofault.OS, renameFailsLeft: 1}
+	jn, err := OpenJournalFS(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Flush(); err != nil {
+		t.Fatalf("Flush on a clean journal: %v", err)
+	}
+	jn.Append(Record{Job: "a", Hash: "aaaa", Status: StatusDone, Attempts: 1})
+	if !jn.Dirty() {
+		t.Fatal("want dirty after failed append flush")
+	}
+	if err := jn.Flush(); err != nil {
+		t.Fatalf("Flush after heal: %v", err)
+	}
+	if jn.Dirty() {
+		t.Fatal("still dirty after successful Flush")
+	}
+	re, _ := OpenJournal(path)
+	if re.Len() != 1 {
+		t.Fatalf("reloaded %d records, want 1", re.Len())
+	}
+}
+
+// TestJournalUnderInjectedFaultSchedule: a probabilistic write/sync/
+// rename fault schedule never loses a record — whatever lands on disk is
+// a complete JSONL prefix-consistent journal, and the in-memory view
+// always holds everything.
+func TestJournalUnderInjectedFaultSchedule(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	in := iofault.NewInjector(iofault.Options{Seed: 31, WriteFail: 0.2, TornWrite: 0.2, SyncFail: 0.15, RenameFail: 0.15})
+	jn, err := OpenJournalFS(in, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flushErrs int
+	for i := 0; i < 40; i++ {
+		if err := jn.Append(Record{Job: fmt.Sprintf("job%d", i), Hash: fmt.Sprintf("%016x", i), Status: StatusDone, Attempts: 1}); err != nil {
+			flushErrs++
+		}
+		// The on-disk journal, when readable, must always decode with no
+		// torn lines (atomic rename discipline).
+		if re, err := OpenJournal(path); err == nil && re.Torn() != 0 {
+			t.Fatalf("iteration %d: on-disk journal has %d torn lines", i, re.Torn())
+		}
+	}
+	if jn.Len() != 40 {
+		t.Fatalf("in-memory journal lost records: %d of 40", jn.Len())
+	}
+	if flushErrs == 0 {
+		t.Fatal("fault schedule injected nothing; raise probabilities")
+	}
+	if jn.FlushFailures() == 0 {
+		t.Fatal("flush failures not counted")
 	}
 }

@@ -10,12 +10,17 @@
 //   - The file carries a magic, a format version, a config hash, the
 //     checkpoint cycle and seed, and a trailing SHA-256 over everything
 //     before it. Any mismatch surfaces as ErrCorrupt — never a panic.
-//   - Files are written via temp-file + fsync + rename (the same
-//     discipline as the campaign journal), so a crash mid-write leaves
-//     the previous checkpoint intact.
+//   - Files are written via temp-file + fsync + rename + parent-dir
+//     fsync (the same discipline as the campaign journal), so a crash
+//     mid-write leaves the previous checkpoint intact and a completed
+//     rename survives power failure.
+//   - All file I/O goes through an iofault.FS, so the chaos layer can
+//     inject ENOSPC, torn writes, fsync/rename failures and at-rest
+//     corruption underneath the exact code paths production runs use.
 //
-// The package is a dependency leaf: stdlib only, imported by every
-// simulator package that snapshots state.
+// The package is a dependency leaf: stdlib plus the (equally leaf)
+// iofault package, imported by every simulator package that snapshots
+// state.
 package ckpt
 
 import (
@@ -27,6 +32,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"camouflage/internal/iofault"
 )
 
 // Magic identifies a checkpoint file; bump Version on any payload layout
@@ -279,19 +286,33 @@ func Decode(data []byte) (Header, []byte, error) {
 	return h, payload, nil
 }
 
-// WriteFile atomically writes a checkpoint: temp file in the same
-// directory, fsync, rename. A crash at any point leaves either the old
-// file or no file — never a torn one.
+// WriteFile atomically writes a checkpoint through the real filesystem;
+// see WriteFileFS for the crash-safety contract.
 func WriteFile(path string, h Header, payload []byte) error {
+	return WriteFileFS(iofault.OS, path, h, payload)
+}
+
+// WriteFileFS atomically writes a checkpoint through fsys: temp file in
+// the same directory, fsync, rename, then fsync of the parent
+// directory. A crash at any point leaves either the old file or no file
+// — never a torn one.
+//
+// Crash-safety contract: the rename makes the checkpoint visible under
+// its final name, but on POSIX filesystems the directory entry itself is
+// only durable once the parent directory has been fsynced — a rename
+// without it can be lost on power failure, silently resurrecting the old
+// file (or nothing). Every temp-file+rename writer in this repo (this
+// function, the campaign journal) therefore ends with SyncDir.
+func WriteFileFS(fsys iofault.FS, path string, h Header, payload []byte) error {
 	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(Encode(h, payload)); err != nil {
 		tmp.Close()
 		return err
@@ -303,12 +324,21 @@ func WriteFile(path string, h Header, payload []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
-// ReadFile loads and validates a checkpoint file.
+// ReadFile loads and validates a checkpoint file from the real
+// filesystem.
 func ReadFile(path string) (Header, []byte, error) {
-	data, err := os.ReadFile(path)
+	return ReadFileFS(iofault.OS, path)
+}
+
+// ReadFileFS loads and validates a checkpoint file through fsys.
+func ReadFileFS(fsys iofault.FS, path string) (Header, []byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return Header{}, nil, err
 	}
@@ -328,6 +358,7 @@ func ReadFile(path string) (Header, []byte, error) {
 type Manager struct {
 	dir  string
 	keep int
+	fs   iofault.FS
 }
 
 // NewManager returns a Manager for dir keeping the last keep checkpoints
@@ -336,7 +367,18 @@ func NewManager(dir string, keep int) *Manager {
 	if keep < 1 {
 		keep = 1
 	}
-	return &Manager{dir: dir, keep: keep}
+	return &Manager{dir: dir, keep: keep, fs: iofault.OS}
+}
+
+// SetFS routes the manager's file I/O through fsys (nil restores the
+// real filesystem) and returns the manager for chaining. The chaos layer
+// installs an iofault.Injector here.
+func (m *Manager) SetFS(fsys iofault.FS) *Manager {
+	if fsys == nil {
+		fsys = iofault.OS
+	}
+	m.fs = fsys
+	return m
 }
 
 // Dir returns the managed directory.
@@ -352,20 +394,21 @@ func (m *Manager) Path(cycle uint64) string {
 // files are harmless and the next Save retries.
 func (m *Manager) Save(h Header, payload []byte) (string, error) {
 	path := m.Path(h.Cycle)
-	if err := WriteFile(path, h, payload); err != nil {
+	if err := WriteFileFS(m.fs, path, h, payload); err != nil {
 		return "", err
 	}
 	if files, err := m.List(); err == nil && len(files) > m.keep {
 		for _, old := range files[:len(files)-m.keep] {
-			os.Remove(old)
+			m.fs.Remove(old)
 		}
 	}
 	return path, nil
 }
 
 // List returns all checkpoint files in the directory, oldest first.
+// Quarantined (.corrupt) files are invisible here.
 func (m *Manager) List() ([]string, error) {
-	ents, err := os.ReadDir(m.dir)
+	ents, err := m.fs.ReadDir(m.dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -384,9 +427,14 @@ func (m *Manager) List() ([]string, error) {
 
 // Latest returns the newest checkpoint that validates, walking backwards
 // past corrupt or truncated files (a crash can tear at most the file
-// being written, but we tolerate any damage). Returns ErrNoCheckpoint if
-// the directory is empty or nothing validates; the last corruption error
-// is attached for diagnosis.
+// being written, but we tolerate any damage). A file that fails
+// *validation* — bad magic, truncation, checksum mismatch — is
+// quarantined: renamed to <name>.corrupt so it is never re-read on every
+// subsequent retry and never shadows an older good snapshot again, while
+// staying on disk for post-mortem inspection. Files that fail with plain
+// I/O errors (which may be transient) are left alone. Returns
+// ErrNoCheckpoint if the directory is empty or nothing validates; the
+// last error is attached for diagnosis.
 func (m *Manager) Latest() (Header, []byte, string, error) {
 	files, err := m.List()
 	if err != nil {
@@ -394,11 +442,16 @@ func (m *Manager) Latest() (Header, []byte, string, error) {
 	}
 	var lastErr error
 	for i := len(files) - 1; i >= 0; i-- {
-		h, payload, err := ReadFile(files[i])
+		h, payload, err := ReadFileFS(m.fs, files[i])
 		if err == nil {
 			return h, payload, files[i], nil
 		}
 		lastErr = err
+		if errors.Is(err, ErrCorrupt) {
+			// Best-effort: a failed quarantine rename costs only repeated
+			// validation attempts, never correctness.
+			m.fs.Rename(files[i], files[i]+".corrupt")
+		}
 	}
 	if lastErr != nil {
 		return Header{}, nil, "", fmt.Errorf("%w (newest damage: %v)", ErrNoCheckpoint, lastErr)

@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"camouflage/internal/ckpt"
+	"camouflage/internal/iofault"
 	"camouflage/internal/sim"
 	"camouflage/internal/trace"
 )
@@ -296,14 +298,62 @@ type CheckpointPolicy struct {
 	// Extras are serialized into (and restored from) every checkpoint
 	// after the system state — a CLI's latency recorders, for example.
 	Extras []ckpt.Stater
+	// FS, if set, routes all checkpoint file I/O through it (the chaos
+	// layer installs an iofault.Injector here); nil means the real
+	// filesystem.
+	FS iofault.FS
+	// Warn receives one-line degradation/recovery notices; nil selects
+	// os.Stderr.
+	Warn io.Writer
 }
 
-// ckptPolicy is the armed form of a CheckpointPolicy.
+// ckptPolicy is the armed form of a CheckpointPolicy, including its
+// degradation state. All fields are touched only from the simulation
+// goroutine (supervised run path and Scope gauge closures), so none
+// need locking.
 type ckptPolicy struct {
 	mgr       *ckpt.Manager
 	every     sim.Cycle
 	extras    []ckpt.Stater
+	warn      io.Writer
 	lastSaved sim.Cycle
+
+	// Degradation state: failStreak counts consecutive failed saves
+	// (drives the exponential backoff), retryAt is the next attempt
+	// cycle while degraded, saveFails the lifetime failure count, and
+	// mem the bounded in-memory retention (oldest first) holding the
+	// checkpoints the disk refused.
+	degraded   bool
+	failStreak int
+	retryAt    sim.Cycle
+	saveFails  uint64
+	memKeep    int
+	mem        []memCkpt
+}
+
+// memCkpt is one in-memory retained checkpoint.
+type memCkpt struct {
+	h       ckpt.Header
+	payload []byte
+}
+
+// retain appends one checkpoint to the in-memory ring, evicting the
+// oldest past the retention bound.
+func (p *ckptPolicy) retain(h ckpt.Header, payload []byte) {
+	p.mem = append(p.mem, memCkpt{h: h, payload: payload})
+	if n := len(p.mem); n > p.memKeep {
+		p.mem = append(p.mem[:0:0], p.mem[n-p.memKeep:]...)
+	}
+}
+
+// warnf writes one degradation-lifecycle notice to the policy's Warn
+// writer (stderr by default).
+func (p *ckptPolicy) warnf(format string, args ...any) {
+	w := p.warn
+	if w == nil {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format+"\n", args...)
 }
 
 // SetCheckpointPolicy arms (or, with an empty Dir or zero Every, disarms)
@@ -322,11 +372,35 @@ func (s *System) SetCheckpointPolicy(p CheckpointPolicy) {
 		keep = DefaultCheckpointKeep
 	}
 	s.ckpt = &ckptPolicy{
-		mgr:       ckpt.NewManager(p.Dir, keep),
+		mgr:       ckpt.NewManager(p.Dir, keep).SetFS(p.FS),
 		every:     p.Every,
 		extras:    p.Extras,
+		warn:      p.Warn,
 		lastSaved: s.Kernel.Now(),
+		memKeep:   keep,
 	}
+}
+
+// CheckpointHealth reports the armed policy's degradation state: whether
+// disk saves are currently failing (and the run is riding on in-memory
+// retention), plus the lifetime count of failed save attempts. A system
+// with no policy armed is healthy by definition.
+func (s *System) CheckpointHealth() (degraded bool, saveFailures uint64) {
+	if s.ckpt == nil {
+		return false, 0
+	}
+	return s.ckpt.degraded, s.ckpt.saveFails
+}
+
+// MemCheckpoint returns the newest in-memory retained checkpoint — the
+// fallback the degradation path keeps when the disk refuses saves — or
+// ok=false when none is held.
+func (s *System) MemCheckpoint() (ckpt.Header, []byte, bool) {
+	if s.ckpt == nil || len(s.ckpt.mem) == 0 {
+		return ckpt.Header{}, nil, false
+	}
+	last := s.ckpt.mem[len(s.ckpt.mem)-1]
+	return last.h, last.payload, true
 }
 
 // CheckpointManager exposes the armed policy's retention manager (nil
@@ -339,7 +413,9 @@ func (s *System) CheckpointManager() *ckpt.Manager {
 }
 
 // SaveCheckpoint immediately writes one checkpoint through the armed
-// policy and returns its path.
+// policy and returns its path. Success clears any degradation episode
+// (the disk demonstrably works again); failure feeds the same
+// degradation bookkeeping as the automatic path.
 func (s *System) SaveCheckpoint() (string, error) {
 	if s.ckpt == nil {
 		return "", fmt.Errorf("core: no checkpoint policy set")
@@ -350,30 +426,84 @@ func (s *System) SaveCheckpoint() (string, error) {
 	}
 	path, err := s.ckpt.mgr.Save(h, payload)
 	if err != nil {
+		s.ckpt.noteSaveFailure(s.Kernel.Now(), h, payload, err)
 		return "", err
 	}
-	s.ckpt.lastSaved = s.Kernel.Now()
+	s.ckpt.noteSaveSuccess(s.Kernel.Now())
 	return path, nil
 }
 
-// maybeCheckpoint saves when the policy spacing has elapsed. A save
-// failure aborts the run loudly: a checkpoint that silently stopped being
-// written is worse than a stopped run, because the operator believes
-// resume protection exists.
-func (s *System) maybeCheckpoint() error {
-	if s.ckpt == nil || s.Kernel.Now()-s.ckpt.lastSaved < s.ckpt.every {
-		return nil
+// noteSaveFailure records one failed disk save: the checkpoint moves to
+// bounded in-memory retention, the retry schedule backs off
+// exponentially (every << streak, capped at 2^6), and the transition
+// into the degraded episode emits exactly one notice.
+func (p *ckptPolicy) noteSaveFailure(now sim.Cycle, h ckpt.Header, payload []byte, cause error) {
+	p.saveFails++
+	p.retain(h, payload)
+	p.retryAt = now + p.every<<min(p.failStreak, 6)
+	p.failStreak++
+	if !p.degraded {
+		p.degraded = true
+		p.warnf("core: checkpoint save failing at cycle %d, degrading to in-memory retention (run continues): %v", now, cause)
 	}
-	if _, err := s.SaveCheckpoint(); err != nil {
-		return fmt.Errorf("core: auto-checkpoint at cycle %d: %w", s.Kernel.Now(), err)
+}
+
+// noteSaveSuccess records one successful disk save, ending any
+// degradation episode: the newest state is durable again, so the
+// in-memory retention is released.
+func (p *ckptPolicy) noteSaveSuccess(now sim.Cycle) {
+	p.lastSaved = now
+	if p.degraded {
+		p.degraded = false
+		p.failStreak = 0
+		p.mem = nil
+		p.warnf("core: checkpoint saves recovered at cycle %d after %d failed attempt(s)", now, p.saveFails)
 	}
-	return nil
+}
+
+// maybeCheckpoint saves when the policy spacing has elapsed.
+//
+// Degradation policy: a failed save must never abort or stall the run —
+// an infrastructure fault costs durability, not simulation progress, and
+// the simulated state is entirely unaffected (outputs stay byte-identical
+// to an undisturbed run). On failure the checkpoint is retained in a
+// bounded in-memory ring (MemCheckpoint exposes the newest), save
+// attempts back off exponentially so a dead disk is not hammered every
+// stride, one notice per episode lands on Warn/stderr, and the
+// ckpt.degraded / ckpt.save_failures / ckpt.mem_retained gauges report
+// the state. The first successful save ends the episode.
+func (s *System) maybeCheckpoint() {
+	p := s.ckpt
+	if p == nil {
+		return
+	}
+	now := s.Kernel.Now()
+	if p.degraded {
+		if now < p.retryAt {
+			return
+		}
+	} else if now-p.lastSaved < p.every {
+		return
+	}
+	h, payload, err := s.CheckpointBytes(p.extras...)
+	if err != nil {
+		// Not an I/O fault: the kernel has pending events at this grid
+		// point, so there is no serializable state. Skip; the next grid
+		// point retries.
+		return
+	}
+	if _, err := p.mgr.Save(h, payload); err != nil {
+		p.noteSaveFailure(now, h, payload, err)
+		return
+	}
+	p.noteSaveSuccess(now)
 }
 
 // checkpointOnAbort is the best-effort save on the cancellation and
 // deadline return paths. Its error is deliberately dropped: the abort
-// cause is the error the caller needs, and an older valid checkpoint (or
-// a clean restart) remains available either way.
+// cause is the error the caller needs, and an older valid checkpoint, the
+// in-memory retention (which SaveCheckpoint fed on failure), or a clean
+// restart remains available either way.
 func (s *System) checkpointOnAbort() {
 	if s.ckpt == nil {
 		return

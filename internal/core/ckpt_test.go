@@ -3,11 +3,13 @@ package core
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 
 	"camouflage/internal/check"
 	"camouflage/internal/ckpt"
 	"camouflage/internal/fault"
+	"camouflage/internal/iofault"
 	"camouflage/internal/mem"
 	"camouflage/internal/sim"
 	"camouflage/internal/stats"
@@ -361,5 +363,140 @@ func TestRestoreNeverPanicsOnGarbage(t *testing.T) {
 		// A flip may land in don't-care bits and legitimately restore;
 		// the property under test is only "no panic, no crash".
 		_ = fresh().RestoreState(h, mut)
+	}
+}
+
+// failNRenames is an FS whose first n renames fail, then heals — the
+// shape of a disk that fills up and is later cleared.
+type failNRenames struct {
+	iofault.FS
+	failsLeft int
+}
+
+func (f *failNRenames) Rename(oldpath, newpath string) error {
+	if f.failsLeft > 0 {
+		f.failsLeft--
+		return errors.New("injected: rename failure")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// TestCheckpointDegradationByteIdentity is the chaos layer's core
+// oracle: with every disk save failing, the supervised run must (a)
+// finish without error, (b) end in a state byte-identical to a run with
+// no checkpoint policy at all, (c) report the degradation through
+// CheckpointHealth, (d) back off exponentially instead of hammering the
+// dead disk every stride, and (e) hold a usable in-memory fallback that
+// resumes byte-identically.
+func TestCheckpointDegradationByteIdentity(t *testing.T) {
+	const total = 8 * SuperviseStride
+	build := func() *System {
+		return mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+	}
+
+	ref := build()
+	if err := ref.Run(total); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := encodeState(t, ref)
+
+	var warn bytes.Buffer
+	faulty := build()
+	faulty.SetCheckpointPolicy(CheckpointPolicy{
+		Dir:   t.TempDir(),
+		Every: SuperviseStride,
+		FS:    iofault.NewInjector(iofault.Options{Seed: 11, RenameFail: 1}),
+		Warn:  &warn,
+	})
+	if err := faulty.Run(total); err != nil {
+		t.Fatalf("run with failing checkpoint disk must not abort: %v", err)
+	}
+	if got := encodeState(t, faulty); !bytes.Equal(want, got) {
+		t.Fatal("failing checkpoint saves perturbed the simulation state")
+	}
+
+	degraded, fails := faulty.CheckpointHealth()
+	if !degraded || fails == 0 {
+		t.Fatalf("CheckpointHealth = (%v, %d), want degraded with failures", degraded, fails)
+	}
+	// Grid points at strides 1..7 are eligible; exponential backoff must
+	// attempt only a subset (1, 2, 4 → 3 attempts), never all of them.
+	if fails < 2 || fails >= 7 {
+		t.Fatalf("save failures = %d, want backoff to land in [2,7)", fails)
+	}
+	if got := strings.Count(warn.String(), "\n"); got != 1 {
+		t.Fatalf("want exactly one degradation notice, got %d:\n%s", got, warn.String())
+	}
+	if len(faulty.ckpt.mem) == 0 || len(faulty.ckpt.mem) > faulty.ckpt.memKeep {
+		t.Fatalf("in-memory retention holds %d, want within (0, %d]", len(faulty.ckpt.mem), faulty.ckpt.memKeep)
+	}
+
+	// The newest in-memory checkpoint is a real resume point: restoring
+	// it into a fresh system and finishing the run reproduces the
+	// reference state byte for byte.
+	h, payload, ok := faulty.MemCheckpoint()
+	if !ok {
+		t.Fatal("MemCheckpoint empty while degraded")
+	}
+	if h.Cycle == 0 || h.Cycle >= uint64(total) {
+		t.Fatalf("mem checkpoint at cycle %d, want within (0, %d)", h.Cycle, total)
+	}
+	resumed := build()
+	if err := resumed.RestoreState(h, payload); err != nil {
+		t.Fatalf("RestoreState from mem retention: %v", err)
+	}
+	if err := resumed.Run(total - sim.Cycle(h.Cycle)); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got := encodeState(t, resumed); !bytes.Equal(want, got) {
+		t.Fatal("resume from in-memory retention diverged from reference run")
+	}
+}
+
+// TestCheckpointDegradationRecovers: when the disk heals, the next save
+// succeeds, the episode ends (health clean, memory retention released,
+// recovery notice emitted), and the on-disk checkpoint is the usual
+// valid resume point.
+func TestCheckpointDegradationRecovers(t *testing.T) {
+	const total = 3 * SuperviseStride
+	dir := t.TempDir()
+	var warn bytes.Buffer
+
+	sys := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+	sys.SetCheckpointPolicy(CheckpointPolicy{
+		Dir:   dir,
+		Every: SuperviseStride,
+		FS:    &failNRenames{FS: iofault.OS, failsLeft: 1},
+		Warn:  &warn,
+	})
+	if err := sys.Run(total); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	degraded, fails := sys.CheckpointHealth()
+	if degraded || fails != 1 {
+		t.Fatalf("CheckpointHealth = (%v, %d), want recovered after exactly 1 failure", degraded, fails)
+	}
+	if _, _, ok := sys.MemCheckpoint(); ok {
+		t.Fatal("in-memory retention not released after recovery")
+	}
+	notices := warn.String()
+	if !strings.Contains(notices, "degrading") || !strings.Contains(notices, "recovered") {
+		t.Fatalf("want degradation + recovery notices, got:\n%s", notices)
+	}
+
+	h, payload, _, err := sys.CheckpointManager().Latest()
+	if err != nil {
+		t.Fatalf("Latest after recovery: %v", err)
+	}
+	resumed := mustSystem(DefaultConfig(), sources(4, "mcf", "astar", "gcc", "apache"))
+	if err := resumed.RestoreState(h, payload); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if err := resumed.Run(total - sim.Cycle(h.Cycle)); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got, want := encodeState(t, resumed), encodeState(t, sys); !bytes.Equal(got, want) {
+		t.Fatal("resume from post-recovery checkpoint diverged")
 	}
 }

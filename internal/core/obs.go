@@ -34,6 +34,29 @@ func (s *System) EnableObs(b *obs.Bundle, label string) {
 	// in the registry — never in checkpoints.
 	scope.GaugeFunc("sim.skipped_cycles", func() float64 { return float64(s.Kernel.SkippedCycles()) })
 	scope.GaugeFunc("sim.clock_jumps", func() float64 { return float64(s.Kernel.Jumps()) })
+	// Checkpoint-health gauges (the degraded-mode dashboard): whether disk
+	// saves are failing, how often they have failed, and how many
+	// checkpoints are riding on in-memory retention. The closures read
+	// s.ckpt at publish time (sim goroutine only), so they are accurate
+	// whether the policy is armed before or after EnableObs.
+	scope.GaugeFunc("ckpt.degraded", func() float64 {
+		if s.ckpt != nil && s.ckpt.degraded {
+			return 1
+		}
+		return 0
+	})
+	scope.GaugeFunc("ckpt.save_failures", func() float64 {
+		if s.ckpt == nil {
+			return 0
+		}
+		return float64(s.ckpt.saveFails)
+	})
+	scope.GaugeFunc("ckpt.mem_retained", func() float64 {
+		if s.ckpt == nil {
+			return 0
+		}
+		return float64(len(s.ckpt.mem))
+	})
 
 	if b.Tracer != nil {
 		b.Tracer.BeginRun(label)

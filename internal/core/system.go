@@ -390,9 +390,7 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 				s.checkpointOnAbort()
 				return done, fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, now, ran, n)
 			}
-			if cerr := s.maybeCheckpoint(); cerr != nil {
-				return done, cerr
-			}
+			s.maybeCheckpoint()
 			if s.obsScope != nil {
 				s.obsScope.Publish()
 			}

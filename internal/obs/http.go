@@ -1,15 +1,21 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"camouflage/internal/iofault"
 )
 
 // Server is the opt-in live-introspection endpoint. It serves:
@@ -21,13 +27,29 @@ import (
 //
 // Everything it reads is atomic (registry) or snapshot-by-callback
 // (jobs), so scraping never blocks the simulation loop.
+//
+// Degradation policy: observability is an accessory, never a
+// load-bearing wall. If the accept loop dies — a broken listener, an
+// injected accept fault, fd exhaustion — the server degrades to
+// disabled: the simulation keeps running untouched, the registry's
+// "obs.server.degraded" gauge goes to 1 (visible to anything still able
+// to read the registry in-process), and a one-line notice lands on
+// stderr. Per-connection write failures only cost that response.
 type Server struct {
 	Registry *Registry
 	// Jobs, if set, returns the value rendered as JSON at /jobs.
 	Jobs func() any
+	// Faults, if set, wraps the listener with injected accept/write
+	// faults (the chaos layer).
+	Faults *iofault.Injector
+	// Warn receives the one-line degradation notice; nil selects
+	// os.Stderr.
+	Warn io.Writer
 
-	ln  net.Listener
-	srv *http.Server
+	ln       net.Listener
+	srv      *http.Server
+	degraded atomic.Bool
+	done     chan struct{}
 }
 
 // Serve starts listening on addr (e.g. "localhost:6060") in a background
@@ -60,16 +82,73 @@ func (s *Server) Serve(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln)
+	s.done = make(chan struct{})
+	// The degraded gauge starts published at 0 so a healthy run's
+	// registry dump names it (and a scrape-based alert can watch it).
+	s.Registry.Gauge("obs.server.degraded").Set(0)
+	served := s.Faults.WrapListener(ln)
+	go func() {
+		defer close(s.done)
+		err := s.srv.Serve(served)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.degrade(err)
+		}
+	}()
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener. Safe on a Server that never served.
+// degrade flips the server into disabled mode after a fatal accept-loop
+// failure: gauge, one stderr line, done. The simulation is untouched.
+func (s *Server) degrade(cause error) {
+	s.degraded.Store(true)
+	s.Registry.Gauge("obs.server.degraded").Set(1)
+	w := s.Warn
+	if w == nil {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, "obs: introspection server degraded to disabled: %v\n", cause)
+	// Release the port and any lingering connections; nothing will be
+	// served again on this Server.
+	s.srv.Close()
+}
+
+// Degraded reports whether the accept loop died and the server disabled
+// itself.
+func (s *Server) Degraded() bool {
+	if s == nil {
+		return false
+	}
+	return s.degraded.Load()
+}
+
+// Close hard-stops the listener and every in-flight connection. Safe on
+// a Server that never served. Prefer Shutdown for orderly teardown.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight scrapes get until ctx's deadline to finish, then the
+// remaining connections are hard-closed (so teardown is bounded even
+// with a stuck client). Safe on a nil Server and on one that never
+// served.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline expired with connections still open: bound the
+		// teardown with a hard close, reporting the graceful failure.
+		s.srv.Close()
+	}
+	<-s.done
+	return err
 }
 
 // ProgressReporter prints a one-line status to w every interval until

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"camouflage/internal/iofault"
 	"camouflage/internal/mem"
 	"camouflage/internal/sim"
 	"camouflage/internal/stats"
@@ -415,6 +416,98 @@ func TestServerJobsNilFunc(t *testing.T) {
 	b, _ := io.ReadAll(resp.Body)
 	if strings.TrimSpace(string(b)) != "[]" {
 		t.Fatalf("/jobs without Jobs func = %q", b)
+	}
+}
+
+func TestServerShutdownGraceful(t *testing.T) {
+	s := &Server{Registry: NewRegistry()}
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scrape works, then Shutdown stops the listener and returns.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+	if s.Degraded() {
+		t.Fatal("orderly shutdown must not count as degradation")
+	}
+}
+
+func TestServerShutdownSafeOnNilAndUnserved(t *testing.T) {
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("nil Shutdown: %v", err)
+	}
+	if nilSrv.Degraded() {
+		t.Fatal("nil server cannot be degraded")
+	}
+	s := &Server{Registry: NewRegistry()}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("unserved Shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("unserved Close: %v", err)
+	}
+}
+
+// TestServerDegradesOnAcceptFaults: with every accept injected to fail,
+// the accept loop dies, and the server degrades to disabled — gauge to
+// 1, one stderr-style notice, Degraded() true — without the caller
+// doing anything.
+func TestServerDegradesOnAcceptFaults(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	var warn bytes.Buffer
+	s := &Server{
+		Registry: r,
+		Faults:   iofault.NewInjector(iofault.Options{Seed: 9, AcceptFail: 1}),
+		Warn: writerFunc(func(b []byte) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return warn.Write(b)
+		}),
+	}
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if v, ok := r.Value("obs.server.degraded"); !ok || v != 0 {
+		t.Fatalf("degraded gauge at start = %v/%v, want published 0", v, ok)
+	}
+	// Poke the listener so the accept loop meets its injected fault.
+	http.Get("http://" + addr + "/metrics")
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never degraded under 100% accept faults")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, _ := r.Value("obs.server.degraded"); v != 1 {
+		t.Fatalf("degraded gauge = %v, want 1", v)
+	}
+	mu.Lock()
+	notice := warn.String()
+	mu.Unlock()
+	if got := strings.Count(notice, "\n"); got != 1 || !strings.Contains(notice, "degraded") {
+		t.Fatalf("want exactly one degradation notice line, got %q", notice)
+	}
+	// Close after degradation is still safe and returns promptly.
+	if err := s.Close(); err != nil && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Close after degrade: %v", err)
 	}
 }
 
