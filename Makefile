@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke chaos-soak bench-kernel bench-kernel-check
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke chaos-soak worker-smoke bench-kernel bench-kernel-check
 
 ci: vet build race fuzz-seeds
 
@@ -75,6 +75,13 @@ bench-kernel-check:
 # byte-diff the resumed report against an uninterrupted run.
 ckpt-smoke:
 	./scripts/ckpt_smoke.sh
+
+# Process-isolation smoke: SIGKILL a re-exec'd camsim worker mid-run;
+# the supervisor must restart it, the retry must resume from checkpoints,
+# and the final report (and a process-isolated experiments campaign) must
+# stay byte-identical to plain in-process runs.
+worker-smoke:
+	./scripts/worker_crash_smoke.sh
 
 # Chaos soak: random SIGKILL + injected disk faults + at-rest checkpoint
 # corruption, resumed every iteration and byte-compared against a clean

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"camouflage/internal/campaign"
 	"camouflage/internal/check"
 	"camouflage/internal/ckpt"
 	"camouflage/internal/core"
@@ -58,6 +59,10 @@ type runOpts struct {
 	// ioInj, when non-nil, is the chaos layer: every checkpoint and
 	// resume file operation and the obs listener route through it.
 	ioInj *iofault.Injector
+
+	// hb, when non-nil, streams supervision-grid heartbeats to a
+	// process-isolation supervisor (this process is a re-exec'd worker).
+	hb *campaign.HeartbeatWriter
 }
 
 // fs returns the filesystem checkpoint/resume I/O should use: the
@@ -87,7 +92,24 @@ func main() {
 	ckptEvery := flag.Uint64("checkpoint-every", 100_000, "simulated cycles between automatic checkpoints (with -checkpoint-dir)")
 	resumeFrom := flag.String("resume-from", "", "resume from this checkpoint file, or the newest valid checkpoint in this directory; -cycles is the total, so the run covers only the remainder")
 	ioFaultsSpec := flag.String("io-faults", "", "inject infrastructure faults into checkpoint/resume file I/O and the obs listener: write=P,torn=P,sync=P,rename=P,read=P,corrupt=P,slow=P[:dur],accept=P,connwrite=P,seed=N (empty = none)")
+	isolation := flag.String("isolation", "inproc", "run execution mode: inproc, or process (re-exec the run in a supervised worker restarted on crash/stall/RSS breach, resuming from -checkpoint-dir)")
+	memLimit := flag.String("mem-limit", "", "with -isolation=process: kill and restart a worker whose RSS exceeds this (e.g. 2GiB; empty = no ceiling)")
+	stallTimeout := flag.Duration("stall-timeout", campaign.DefaultStallTimeout, "with -isolation=process: escalate a worker with no heartbeat for this long (SIGTERM, then SIGKILL)")
 	flag.Parse()
+
+	memBytes, merr := campaign.ParseBytes(*memLimit)
+	if merr != nil {
+		fmt.Fprintln(os.Stderr, "camsim:", merr)
+		os.Exit(1)
+	}
+	switch campaign.Isolation(*isolation) {
+	case campaign.IsolationProcess:
+		os.Exit(superviseSelf(*stallTimeout, memBytes, *ckptDir, *resumeFrom))
+	case campaign.IsolationInProc, "":
+	default:
+		fmt.Fprintf(os.Stderr, "camsim: unknown -isolation mode %q (inproc or process)\n", *isolation)
+		os.Exit(1)
+	}
 
 	opts := runOpts{
 		watchdog:   *watchdog,
@@ -95,6 +117,7 @@ func main() {
 		ckptDir:    *ckptDir,
 		ckptEvery:  sim.Cycle(*ckptEvery),
 		resumeFrom: *resumeFrom,
+		hb:         workerHeartbeats(),
 	}
 	if *ioFaultsSpec != "" {
 		iopt, perr := iofault.ParseSpec(*ioFaultsSpec)
@@ -152,6 +175,9 @@ func main() {
 		// Stats go to stderr so chaos runs keep stdout byte-comparable to
 		// clean runs.
 		fmt.Fprintf(os.Stderr, "iofaults [%s]: %s\n", opts.ioInj.Options(), opts.ioInj.Stats())
+	}
+	if opts.hb != nil {
+		opts.hb.Emit(campaign.FrameDone)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "camsim:", err)
@@ -256,13 +282,18 @@ func run(workload, schemeName string, cycles sim.Cycle, seed uint64, opts runOpt
 	return reportRun(build, names, cycles, fmt.Sprintf("scheme=%v", scheme), opts)
 }
 
-// supervise applies the -watchdog and -deadline flags to a built system.
+// supervise applies the -watchdog and -deadline flags to a built system
+// and, in a re-exec'd worker, hooks the simulation's supervision grid
+// into the heartbeat pipe.
 func supervise(sys *core.System, ref *dram.Timing, opts runOpts) {
 	if opts.watchdog {
 		sys.EnableChecks(check.Options{ReferenceTiming: ref})
 	}
 	if opts.deadline > 0 {
 		sys.SetDeadline(opts.deadline)
+	}
+	if opts.hb != nil {
+		sys.SetHeartbeat(opts.hb.Beat)
 	}
 }
 

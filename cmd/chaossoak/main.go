@@ -43,6 +43,12 @@ import (
 )
 
 func main() {
+	// The process-isolation soak re-execs this binary as a campaign
+	// worker; serve that before flag parsing.
+	if len(os.Args) > 1 && os.Args[1] == campaign.WorkerFlag {
+		os.Exit(campaign.ServeWorker(soakWorkerJobs()))
+	}
+
 	camsim := flag.String("camsim", "", "path to a prebuilt camsim binary (required)")
 	iters := flag.Int("iters", 20, "soak iterations")
 	cycles := flag.Uint64("cycles", 2_000_000, "simulated cycles per subprocess run")
@@ -109,6 +115,9 @@ func (s *soak) run(iters int) error {
 		}
 		if err := s.degradationSuite(iterSeed); err != nil {
 			return fmt.Errorf("iteration %d (seed %d): in-process suite: %w", it, iterSeed, err)
+		}
+		if err := s.processIsolation(iterSeed); err != nil {
+			return fmt.Errorf("iteration %d (seed %d): process isolation: %w", it, iterSeed, err)
 		}
 		if err := s.leakChecks(it); err != nil {
 			return fmt.Errorf("iteration %d (seed %d): %w", it, iterSeed, err)
@@ -271,9 +280,16 @@ func cleanSystemState() ([]byte, error) {
 	return encodeState(sys)
 }
 
-func buildSystem() (*core.System, error) {
+// soakConfig is the configuration every in-process soak simulation uses;
+// checkpoint resumes hash it to validate compatibility.
+func soakConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Cores = 2
+	return cfg
+}
+
+func buildSystem() (*core.System, error) {
+	cfg := soakConfig()
 	names := []string{"gcc", "astar"}
 	rng := sim.NewRNG(cfg.Seed + 17)
 	sources := make([]trace.Source, len(names))

@@ -51,6 +51,15 @@ type experiment struct {
 }
 
 func main() {
+	// Worker mode: a process-isolated campaign re-execs this binary with
+	// the hidden worker flag plus the supervisor's own arguments, so both
+	// sides parse identical flags and build identical job lists. The flag
+	// is stripped before flag.Parse ever sees it.
+	workerMode := len(os.Args) > 1 && os.Args[1] == campaign.WorkerFlag
+	if workerMode {
+		os.Args = append(os.Args[:1], os.Args[2:]...)
+	}
+
 	run := flag.String("run", "all", "comma-separated experiments to run: table1, table2, fig2, fig3, fig4, fig8, fig9, fig10a, fig10b, fig11, fig12, fig13a, fig13b, fig14, fig15, mi, headline, scalability, epochrate, windowleak, phasedetect, mitts, robustness, all")
 	cycles := flag.Uint64("cycles", uint64(harness.DefaultRunCycles), "measured cycles per run")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -67,15 +76,46 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write request-lifecycle traces to PATH.json (Chrome trace_event) and PATH.jsonl (span log)")
 	traceSample := flag.Uint64("trace-sample", 64, "trace 1 in N requests, chosen deterministically from -seed (1 = all)")
 	progressEvery := flag.Duration("progress", 0, "print a one-line campaign progress report to stderr at this interval (0 = off)")
+	isolation := flag.String("isolation", "inproc", "job execution mode: inproc (jobs run in this process) or process (each attempt runs in a re-exec'd worker supervised for liveness)")
+	memLimit := flag.String("mem-limit", "", "with -isolation=process: kill and retry a worker whose RSS exceeds this (e.g. 2GiB; empty = no ceiling)")
+	stallTimeout := flag.Duration("stall-timeout", campaign.DefaultStallTimeout, "with -isolation=process: escalate a worker with no heartbeat for this long (SIGTERM, then SIGKILL)")
+	ckptRoot := flag.String("checkpoint-dir", "", "per-job crash-safe checkpoints under this directory; a retried or restarted job resumes mid-simulation")
+	hedge := flag.Float64("hedge", 0, "with -isolation=process: duplicate a job still running past this multiple of the completed-job p95; first finisher wins (0 = off)")
+	hedgeVerify := flag.Bool("hedge-verify", false, "let hedged duplicates finish and byte-compare their tables (a determinism cross-check; implies slower stragglers)")
 	flag.Parse()
 
 	c := sim.Cycle(*cycles)
 	exps := buildExperiments(c, *seed, *adversary, *useGA)
 
+	if workerMode {
+		var all []campaign.Job
+		for _, e := range exps {
+			all = append(all, e.jobs...)
+		}
+		os.Exit(campaign.ServeWorker(all))
+	}
+
 	selected, err := selectExperiments(exps, *run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	memBytes, err := campaign.ParseBytes(*memLimit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var workerCmd []string
+	if campaign.Isolation(*isolation) == campaign.IsolationProcess {
+		exe, eerr := os.Executable()
+		if eerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", eerr)
+			os.Exit(2)
+		}
+		// Workers re-parse the supervisor's exact arguments so
+		// buildExperiments produces the same specs on both sides.
+		workerCmd = append([]string{exe, campaign.WorkerFlag}, os.Args[1:]...)
 	}
 
 	var journal *campaign.Journal
@@ -152,15 +192,22 @@ func main() {
 		all = append(all, e.jobs...)
 	}
 	sum, err := campaign.Run(ctx, all, campaign.Options{
-		Workers:    *jobs,
-		Retries:    *retries,
-		JobTimeout: *jobTimeout,
-		Grace:      *grace,
-		Journal:    journal,
-		Resume:     *resume,
-		Seed:       *seed,
-		Progress:   progress,
-		Log:        func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Workers:       *jobs,
+		Retries:       *retries,
+		JobTimeout:    *jobTimeout,
+		Grace:         *grace,
+		Journal:       journal,
+		Resume:        *resume,
+		Seed:          *seed,
+		Progress:      progress,
+		Isolation:     campaign.Isolation(*isolation),
+		WorkerCommand: workerCmd,
+		MemLimit:      memBytes,
+		StallTimeout:  *stallTimeout,
+		CheckpointDir: *ckptRoot,
+		HedgeMultiple: *hedge,
+		HedgeVerify:   *hedgeVerify,
+		Log:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
 		closeObs()

@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffClampAllAttempts drives the backoff schedule across the
+// whole attempt range a long campaign can reach. The left-shift must
+// saturate at MaxBackoff instead of overflowing into negative or zero
+// durations (attempt 64+ shifts would previously wrap).
+func TestBackoffClampAllAttempts(t *testing.T) {
+	opt := Options{Backoff: 250 * time.Millisecond, MaxBackoff: 8 * time.Second}
+	for attempt := 1; attempt <= 128; attempt++ {
+		d := backoff(opt, "job-hash", attempt)
+		// Jitter keeps the result in [base/2, 1.5*base].
+		base := opt.MaxBackoff
+		if shift := uint(attempt - 1); shift < 63 && opt.Backoff <= opt.MaxBackoff>>shift {
+			base = opt.Backoff << shift
+		}
+		if attempt >= 6 && base != opt.MaxBackoff {
+			t.Fatalf("attempt %d: base %v did not saturate at cap %v", attempt, base, opt.MaxBackoff)
+		}
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, d)
+		}
+		if d < base/2 || d > base+base/2 {
+			t.Errorf("attempt %d: backoff %v outside jitter window [%v, %v]",
+				attempt, d, base/2, base+base/2)
+		}
+	}
+}
+
+// TestBackoffDegenerateAttempts covers the pathological inputs the
+// clamp must survive: attempt values at and past the shift width, and
+// attempt 0/negative from a miscounting caller.
+func TestBackoffDegenerateAttempts(t *testing.T) {
+	opt := Options{Backoff: time.Millisecond, MaxBackoff: time.Second}
+	for _, attempt := range []int{-5, 0, 1, 62, 63, 64, 65, 1 << 20} {
+		d := backoff(opt, "job-hash", attempt)
+		if d <= 0 || d > opt.MaxBackoff+opt.MaxBackoff/2 {
+			t.Errorf("attempt %d: backoff %v outside (0, %v]", attempt, d, opt.MaxBackoff+opt.MaxBackoff/2)
+		}
+	}
+}

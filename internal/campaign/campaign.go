@@ -78,7 +78,52 @@ type Options struct {
 	// Progress, when non-nil, tracks live job states for the obs
 	// introspection endpoint and the periodic progress line.
 	Progress *Progress
+
+	// Isolation selects where attempts execute: "" or IsolationInProc
+	// runs them on the pool's own goroutines (the historical path);
+	// IsolationProcess re-execs WorkerCommand per attempt and supervises
+	// it with heartbeat liveness, an RSS ceiling and exit-status
+	// classification — a crashing, leaking or wedged job then costs one
+	// worker process, not the campaign.
+	Isolation Isolation
+	// WorkerCommand is the argv spawned per attempt under
+	// IsolationProcess; it must reach ServeWorker with a job list built
+	// identically to the supervisor's (same names and specs). Typically
+	// the current binary with WorkerFlag prepended to its arguments.
+	WorkerCommand []string
+	// MemLimit is the per-worker RSS ceiling in bytes (0 = none). A
+	// heartbeat reporting a larger RSS gets the worker SIGKILLed and the
+	// attempt retried as transient, resuming from its checkpoints.
+	MemLimit int64
+	// HeartbeatEvery throttles worker heartbeat frames (0 selects
+	// DefaultHeartbeatEvery).
+	HeartbeatEvery time.Duration
+	// StallTimeout declares a worker stalled when its heartbeats go
+	// silent this long (0 selects DefaultStallTimeout); escalation is
+	// SIGTERM (soft cancel), then SIGKILL after StallGrace.
+	StallTimeout time.Duration
+	// StallGrace is the SIGTERM → SIGKILL escalation window (0 selects
+	// DefaultStallGrace).
+	StallGrace time.Duration
+	// HedgeMultiple, when >0, launches a duplicate worker for any job
+	// still running past HedgeMultiple × the completed-attempt p95; the
+	// first finisher wins. Requires IsolationProcess.
+	HedgeMultiple float64
+	// HedgeVerify lets a hedge's straggler run to completion and
+	// byte-compares both tables, turning determinism into a differential
+	// oracle; a mismatch fails the job fatally.
+	HedgeVerify bool
 }
+
+// Isolation names a job execution mode.
+type Isolation string
+
+const (
+	// IsolationInProc runs attempts in the supervisor's address space.
+	IsolationInProc Isolation = "inproc"
+	// IsolationProcess runs each attempt in a supervised worker process.
+	IsolationProcess Isolation = "process"
+)
 
 // Status is a job's terminal state within one campaign run.
 type Status string
@@ -166,6 +211,10 @@ func Run(ctx context.Context, jobs []Job, opt Options) (*Summary, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	exec, err := newExecutor(opt, logf)
+	if err != nil {
+		return nil, err
+	}
 
 	seen := make(map[string]string, len(jobs))
 	results := make([]*Result, len(jobs))
@@ -240,7 +289,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) (*Summary, error) {
 		go func() {
 			defer wg.Done()
 			for res := range queue {
-				runJob(ctx, graceCtx, res, opt, logf)
+				runJob(ctx, graceCtx, res, opt, exec, logf)
 				switch res.Status {
 				case Done:
 					record(Record{Job: res.Job.Name, Hash: res.Hash, Status: StatusDone,
@@ -311,8 +360,46 @@ feed:
 	return sum, journalErr
 }
 
+// executor runs one job attempt; the in-process executor calls the job
+// function directly, the process executor re-execs a supervised worker,
+// and the hedged executor wraps either with straggler duplication.
+type executor interface {
+	execute(ctx context.Context, job Job, attempt int) (*harness.Table, error)
+}
+
+// inprocExecutor is the historical path: the attempt runs on the worker
+// pool goroutine itself.
+type inprocExecutor struct{}
+
+func (inprocExecutor) execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
+	return runAttempt(ctx, job, attempt)
+}
+
+// newExecutor validates the isolation options and builds the attempt
+// executor.
+func newExecutor(opt Options, logf func(string, ...any)) (executor, error) {
+	switch opt.Isolation {
+	case "", IsolationInProc:
+		if opt.HedgeMultiple > 0 {
+			return nil, fmt.Errorf("campaign: hedged execution requires Isolation=%q", IsolationProcess)
+		}
+		return inprocExecutor{}, nil
+	case IsolationProcess:
+		if len(opt.WorkerCommand) == 0 {
+			return nil, fmt.Errorf("campaign: Isolation=%q requires WorkerCommand", IsolationProcess)
+		}
+		var ex executor = newProcExecutor(opt, logf)
+		if opt.HedgeMultiple > 0 {
+			ex = newHedgedExecutor(ex, opt, logf)
+		}
+		return ex, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown isolation mode %q", opt.Isolation)
+	}
+}
+
 // runJob drives one job through its attempt/backoff loop and fills res.
-func runJob(ctx, graceCtx context.Context, res *Result, opt Options, logf func(string, ...any)) {
+func runJob(ctx, graceCtx context.Context, res *Result, opt Options, exec executor, logf func(string, ...any)) {
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
 	for attempt := 1; ; attempt++ {
@@ -326,7 +413,7 @@ func runJob(ctx, graceCtx context.Context, res *Result, opt Options, logf func(s
 		if opt.CheckpointDir != "" {
 			jobCtx = WithCheckpointDir(jobCtx, jobCheckpointDir(opt.CheckpointDir, res.Hash))
 		}
-		table, err := runAttempt(jobCtx, res.Job, attempt)
+		table, err := exec.execute(jobCtx, res.Job, attempt)
 		if cancel != nil {
 			cancel()
 		}
@@ -414,9 +501,17 @@ func runAttempt(ctx context.Context, job Job, attempt int) (table *harness.Table
 // pure function of (seed, job hash, attempt) so tests are reproducible
 // and concurrent retries de-synchronize.
 func backoff(opt Options, hash string, attempt int) time.Duration {
-	d := opt.Backoff << (attempt - 1)
-	if d <= 0 || d > opt.MaxBackoff {
-		d = opt.MaxBackoff
+	if attempt < 1 {
+		attempt = 1
+	}
+	// Clamp the exponential explicitly: Backoff<<shift overflows int64
+	// around attempt 63 (and shifts ≥64 are undefined for the value
+	// range), so instead of shifting and testing the wrapped result,
+	// shift MaxBackoff down — Backoff ≤ MaxBackoff>>shift implies
+	// Backoff<<shift ≤ MaxBackoff with no possibility of overflow.
+	d := opt.MaxBackoff
+	if shift := uint(attempt - 1); shift < 63 && opt.Backoff <= opt.MaxBackoff>>shift {
+		d = opt.Backoff << shift
 	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d/%s/%d", opt.Seed, hash, attempt)

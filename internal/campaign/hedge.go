@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"camouflage/internal/harness"
+)
+
+// Hedged execution: once enough attempts have completed to estimate a
+// p95 duration, a job still running past HedgeMultiple × p95 gets a
+// duplicate worker launched against a private checkpoint directory; the
+// first finisher wins and the straggler is soft-canceled. Because every
+// job is a deterministic function of its spec, the duplicate computes
+// the *same* table — so with Options.HedgeVerify the straggler is
+// instead left to finish and the two tables are byte-compared, turning
+// tail-latency insurance into a free differential oracle over the whole
+// stack (simulator, checkpointing, worker protocol).
+
+// hedgeMinSamples is how many completed attempts the duration tracker
+// needs before hedging arms.
+const hedgeMinSamples = 3
+
+// hedgeMinDelay floors the hedge trigger so sub-second campaigns do not
+// storm duplicate processes off a noisy p95.
+const hedgeMinDelay = 250 * time.Millisecond
+
+// durTracker accumulates completed-attempt durations for the p95
+// estimate.
+type durTracker struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (t *durTracker) add(d time.Duration) {
+	t.mu.Lock()
+	t.durs = append(t.durs, d)
+	t.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile completed duration, or false until
+// hedgeMinSamples have been recorded.
+func (t *durTracker) p95() (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.durs) < hedgeMinSamples {
+		return 0, false
+	}
+	sorted := make([]time.Duration, len(t.durs))
+	copy(sorted, t.durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx], true
+}
+
+// hedgedExecutor wraps another executor with straggler hedging.
+type hedgedExecutor struct {
+	inner executor
+	opt   Options
+	logf  func(string, ...any)
+	wm    workerMetrics
+	durs  durTracker
+}
+
+func newHedgedExecutor(inner executor, opt Options, logf func(string, ...any)) *hedgedExecutor {
+	return &hedgedExecutor{inner: inner, opt: opt, logf: logf, wm: opt.Progress.workerMetrics()}
+}
+
+func (h *hedgedExecutor) execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
+	start := time.Now()
+	table, err := h.run(ctx, job, attempt)
+	if err == nil {
+		h.durs.add(time.Since(start))
+	}
+	return table, err
+}
+
+type hedgeOutcome struct {
+	table *harness.Table
+	err   error
+}
+
+func (h *hedgedExecutor) run(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
+	p95, ok := h.durs.p95()
+	if !ok {
+		return h.inner.execute(ctx, job, attempt)
+	}
+	delay := time.Duration(float64(p95) * h.opt.HedgeMultiple)
+	if delay < hedgeMinDelay {
+		delay = hedgeMinDelay
+	}
+
+	primCtx, primCancel := context.WithCancel(ctx)
+	defer primCancel()
+	primCh := make(chan hedgeOutcome, 1)
+	go func() {
+		t, e := h.inner.execute(primCtx, job, attempt)
+		primCh <- hedgeOutcome{t, e}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case o := <-primCh:
+		return o.table, o.err
+	case <-timer.C:
+	}
+
+	// Straggler: launch the hedge against a sibling checkpoint directory
+	// so the two workers never share checkpoint state.
+	h.wm.hedgesLaunched.Inc()
+	h.logf("campaign: %s still running after %v (%.1f× p95); hedging with a duplicate worker",
+		job.Name, delay.Round(time.Millisecond), h.opt.HedgeMultiple)
+	secCtx, secCancel := context.WithCancel(ctx)
+	defer secCancel()
+	hedgeDir := ""
+	runCtx := secCtx
+	if dir, ok := CheckpointDir(secCtx); ok {
+		hedgeDir = dir + "-hedge"
+		runCtx = WithCheckpointDir(secCtx, hedgeDir)
+	}
+	secCh := make(chan hedgeOutcome, 1)
+	go func() {
+		t, e := h.inner.execute(runCtx, job, attempt)
+		secCh <- hedgeOutcome{t, e}
+	}()
+	defer func() {
+		if hedgeDir != "" {
+			os.RemoveAll(hedgeDir)
+		}
+	}()
+
+	var winner, loser hedgeOutcome
+	var loserCh chan hedgeOutcome
+	var loserCancel context.CancelFunc
+	select {
+	case winner = <-primCh:
+		loserCh, loserCancel = secCh, secCancel
+	case winner = <-secCh:
+		loserCh, loserCancel = primCh, primCancel
+		h.wm.hedgesWon.Inc()
+		h.logf("campaign: hedge won for %s", job.Name)
+	}
+	verify := h.opt.HedgeVerify && winner.err == nil
+	if !verify {
+		loserCancel()
+	}
+	// Wait for the straggler either way: a canceled worker is reaped
+	// within the stall grace window, and returning before it exits would
+	// leak a process past the campaign.
+	loser = <-loserCh
+	if verify && loser.err == nil {
+		if !tablesEqual(winner.table, loser.table) {
+			h.wm.hedgeMismatches.Inc()
+			return winner.table, Fatal(fmt.Errorf(
+				"campaign: hedge verification failed for %s: duplicate deterministic runs produced different tables", job.Name))
+		}
+	}
+	if winner.err != nil && loser.err == nil {
+		// The first finisher failed but the straggler completed.
+		return loser.table, nil
+	}
+	return winner.table, winner.err
+}
+
+// tablesEqual byte-compares two result tables via their canonical JSON
+// form.
+func tablesEqual(a, b *harness.Table) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
+}

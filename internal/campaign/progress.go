@@ -50,12 +50,45 @@ type Progress struct {
 	gauges  map[JobState]*obs.Gauge
 	retries *obs.Counter
 	backoff *obs.Counter // cumulative backoff wait, milliseconds
+	wm      workerMetrics
+}
+
+// workerMetrics holds the process-isolation instruments
+// (campaign.worker.*). The zero value is fully usable: every obs
+// instrument is nil-safe, so executors can record unconditionally
+// whether or not a Progress (or a registry) is attached.
+type workerMetrics struct {
+	// restarts counts worker deaths that will be retried (crash, signal,
+	// OOM kill, stall kill).
+	restarts *obs.Counter
+	// stallsKilled / oomKilled count supervisor-initiated escalations.
+	stallsKilled *obs.Counter
+	oomKilled    *obs.Counter
+	// hedgesLaunched / hedgesWon / hedgeMismatches track straggler
+	// hedging: duplicates launched, races the duplicate won, and
+	// verification failures (two deterministic runs disagreed).
+	hedgesLaunched  *obs.Counter
+	hedgesWon       *obs.Counter
+	hedgeMismatches *obs.Counter
+	// heartbeats counts frames received across all workers.
+	heartbeats *obs.Counter
+	// peakRSS is the largest worker RSS observed, in bytes.
+	peakRSS *obs.Gauge
+}
+
+// workerMetrics returns the instruments (the zero value when p is nil).
+func (p *Progress) workerMetrics() workerMetrics {
+	if p == nil {
+		return workerMetrics{}
+	}
+	return p.wm
 }
 
 // NewProgress returns a tracker publishing job-state gauges
-// (campaign.jobs.<state>), a retry counter (campaign.retries) and a
-// cumulative backoff-wait counter (campaign.backoff_ms) into reg, which
-// may be nil for a metrics-less tracker.
+// (campaign.jobs.<state>), a retry counter (campaign.retries), a
+// cumulative backoff-wait counter (campaign.backoff_ms) and the
+// process-isolation worker instruments (campaign.worker.*) into reg,
+// which may be nil for a metrics-less tracker.
 func NewProgress(reg *obs.Registry) *Progress {
 	p := &Progress{
 		start:   time.Now(),
@@ -64,6 +97,16 @@ func NewProgress(reg *obs.Registry) *Progress {
 		gauges:  make(map[JobState]*obs.Gauge),
 		retries: reg.Counter("campaign.retries"),
 		backoff: reg.Counter("campaign.backoff_ms"),
+		wm: workerMetrics{
+			restarts:        reg.Counter("campaign.worker.restarts"),
+			stallsKilled:    reg.Counter("campaign.worker.stalls_killed"),
+			oomKilled:       reg.Counter("campaign.worker.oom_killed"),
+			hedgesLaunched:  reg.Counter("campaign.worker.hedges_launched"),
+			hedgesWon:       reg.Counter("campaign.worker.hedges_won"),
+			hedgeMismatches: reg.Counter("campaign.worker.hedge_mismatches"),
+			heartbeats:      reg.Counter("campaign.worker.heartbeats"),
+			peakRSS:         reg.Gauge("campaign.worker.peak_rss_bytes"),
+		},
 	}
 	for _, st := range []JobState{StateQueued, StateRunning, StateBackoff,
 		StateDone, StateResumed, StateFailed, StateCancel, StateSkipped} {

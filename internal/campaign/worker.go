@@ -1,0 +1,331 @@
+package campaign
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"camouflage/internal/core"
+	"camouflage/internal/harness"
+)
+
+// Worker protocol
+//
+// Under Options.Isolation == IsolationProcess every job attempt re-execs
+// the current binary with WorkerFlag as its first argument. The worker
+// process:
+//
+//   - reads one workerRequest as JSON from stdin,
+//   - resolves the job by name in its own (identically built) job list
+//     and verifies the spec hash,
+//   - runs the attempt with the checkpoint directory and a heartbeat
+//     sink threaded through the context,
+//   - streams framed heartbeats on inherited fd 3 — one "start" frame,
+//     throttled "grid" frames from each supervision-grid boundary of the
+//     simulation, one "done" frame,
+//   - writes one workerResponse as JSON to stdout and exits with a code
+//     that encodes the retry class.
+//
+// Heartbeats are deliberately grid-driven, not a free-running wall-clock
+// ticker: a simulation wedged inside one stride stops heartbeating, which
+// is exactly the stall signal the supervisor's liveness monitor needs.
+
+// WorkerFlag is the hidden argv[1] sentinel that switches a binary into
+// worker mode. Binaries that run process-isolated campaigns check
+// os.Args[1] against it before flag parsing and call ServeWorker.
+const WorkerFlag = "-campaign-worker"
+
+// Worker exit codes. Zero means the attempt produced a table; the others
+// encode the retry class for supervisors that lost the stdout response
+// (the response, when present, is authoritative). Any other exit status —
+// a panic's exit 2, a signal death, an OOM kill — is classified
+// transient.
+const (
+	WorkerExitTransient = 10
+	WorkerExitFatal     = 11
+	WorkerExitCanceled  = 12
+	// WorkerExitProtocol marks a request the worker could not serve at
+	// all (malformed JSON, unknown job, spec-hash mismatch): fatal, since
+	// a retry would resend the same request.
+	WorkerExitProtocol = 13
+)
+
+// workerRequest is the job assignment read from stdin.
+type workerRequest struct {
+	Name             string `json:"name"`
+	Hash             string `json:"hash"`
+	Attempt          int    `json:"attempt"`
+	CheckpointDir    string `json:"checkpoint_dir,omitempty"`
+	HeartbeatEveryMS int64  `json:"heartbeat_every_ms,omitempty"`
+	MemLimit         int64  `json:"mem_limit,omitempty"`
+}
+
+// workerResponse is the attempt outcome written to stdout. Error and
+// Class travel as strings (the concrete error type does not survive the
+// process boundary, but the retry class does).
+type workerResponse struct {
+	Table *harness.Table `json:"table,omitempty"`
+	Error string         `json:"error,omitempty"`
+	Class string         `json:"class,omitempty"`
+}
+
+// HeartbeatFrame is one liveness sample on the worker's heartbeat pipe.
+type HeartbeatFrame struct {
+	// Kind is "start" (sent once before the attempt), "grid" (from a
+	// supervision-grid boundary) or "done" (sent once after).
+	Kind string `json:"kind"`
+	// Cycle is the simulated cycle of the most recent grid point.
+	Cycle uint64 `json:"cycle"`
+	// RSS is the worker's resident set size in bytes at emission.
+	RSS int64 `json:"rss"`
+	// CkptDegraded / CkptSaveFails mirror the simulation's checkpoint
+	// health at the grid point.
+	CkptDegraded  bool   `json:"ckpt_degraded,omitempty"`
+	CkptSaveFails uint64 `json:"ckpt_fails,omitempty"`
+}
+
+// Heartbeat frame kinds.
+const (
+	FrameStart = "start"
+	FrameGrid  = "grid"
+	FrameDone  = "done"
+)
+
+// maxFrameLen bounds one frame so a corrupt length prefix cannot make
+// the supervisor allocate unboundedly.
+const maxFrameLen = 1 << 16
+
+// writeFrame writes one length-prefixed JSON frame (4-byte big-endian
+// payload length, then the payload) in a single Write so frames never
+// interleave on the pipe.
+func writeFrame(w io.Writer, f HeartbeatFrame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) (HeartbeatFrame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return HeartbeatFrame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameLen {
+		return HeartbeatFrame{}, fmt.Errorf("campaign: heartbeat frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return HeartbeatFrame{}, err
+	}
+	var f HeartbeatFrame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return HeartbeatFrame{}, fmt.Errorf("campaign: bad heartbeat frame: %w", err)
+	}
+	return f, nil
+}
+
+// HeartbeatWriter emits framed heartbeats on an inherited pipe. Beat is
+// shaped to plug straight into core.WithHeartbeatFunc; grid frames are
+// throttled to the configured interval so a fast simulation does not
+// flood the pipe. All methods are safe for concurrent use and degrade to
+// no-ops once the pipe breaks (the supervisor died; the worker finishes
+// on its own).
+type HeartbeatWriter struct {
+	mu        sync.Mutex
+	f         *os.File
+	every     time.Duration
+	last      time.Time
+	lastCycle uint64
+	broken    bool
+}
+
+// NewHeartbeatWriter wraps f (nil for a no-op writer); every <= 0
+// selects DefaultHeartbeatEvery.
+func NewHeartbeatWriter(f *os.File, every time.Duration) *HeartbeatWriter {
+	if every <= 0 {
+		every = DefaultHeartbeatEvery
+	}
+	return &HeartbeatWriter{f: f, every: every}
+}
+
+// Beat records a supervision-grid heartbeat, emitting a frame if the
+// throttle interval has elapsed.
+func (w *HeartbeatWriter) Beat(hb core.Heartbeat) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lastCycle = hb.Cycle
+	if w.f == nil || w.broken || time.Since(w.last) < w.every {
+		return
+	}
+	w.last = time.Now()
+	w.writeLocked(HeartbeatFrame{
+		Kind:          FrameGrid,
+		Cycle:         hb.Cycle,
+		RSS:           readRSS(),
+		CkptDegraded:  hb.CheckpointDegraded,
+		CkptSaveFails: hb.CheckpointSaveFailures,
+	})
+}
+
+// Emit writes an unthrottled frame (the start/done markers).
+func (w *HeartbeatWriter) Emit(kind string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil || w.broken {
+		return
+	}
+	w.last = time.Now()
+	w.writeLocked(HeartbeatFrame{Kind: kind, Cycle: w.lastCycle, RSS: readRSS()})
+}
+
+func (w *HeartbeatWriter) writeLocked(f HeartbeatFrame) {
+	if err := writeFrame(w.f, f); err != nil {
+		w.broken = true
+	}
+}
+
+// readRSS returns the process's resident set size in bytes, from
+// /proc/self/statm where available and the Go runtime's own accounting
+// otherwise.
+func readRSS() int64 {
+	if b, err := os.ReadFile("/proc/self/statm"); err == nil {
+		if fields := strings.Fields(string(b)); len(fields) >= 2 {
+			if pages, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				return pages * int64(os.Getpagesize())
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapSys + ms.StackSys)
+}
+
+// ParseBytes parses a human-readable byte size for the -mem-limit style
+// flags: a plain integer is bytes; suffixes K/M/G/T (and KB/MB/..,
+// KiB/MiB/..) are binary multiples. Empty input is 0 (no limit).
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{
+		{"TIB", 1 << 40}, {"TB", 1 << 40}, {"T", 1 << 40},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.text) {
+			upper = strings.TrimSpace(strings.TrimSuffix(upper, suf.text))
+			mult = suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(upper, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("campaign: bad byte size %q", s)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("campaign: byte size %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+// inWorker flips when ServeWorker takes over the process.
+var inWorker atomic.Bool
+
+// InWorker reports whether this process is executing as a campaign
+// worker. Jobs that deliberately misbehave under test (self-SIGKILL,
+// runaway allocation) gate on it so the same Job values run clean when
+// executed in-process.
+func InWorker() bool { return inWorker.Load() }
+
+// ServeWorker runs the worker side of the process-isolation protocol
+// and returns the process exit code. The caller (a binary that saw
+// WorkerFlag in argv) must rebuild the same job list the supervisor
+// runs — same names, same specs — and os.Exit with the return value.
+//
+// A SIGTERM from the supervisor (stall escalation's soft-cancel step, or
+// campaign drain) cancels the attempt's context; jobs that honour their
+// context exit cleanly with the canceled class, and jobs that do not are
+// SIGKILLed by the supervisor after its grace window.
+func ServeWorker(jobs []Job) int {
+	inWorker.Store(true)
+	respond := func(resp workerResponse) {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(resp); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign worker: writing response: %v\n", err)
+		}
+	}
+
+	var req workerRequest
+	if err := json.NewDecoder(os.Stdin).Decode(&req); err != nil {
+		respond(workerResponse{Error: fmt.Sprintf("bad worker request: %v", err), Class: ClassFatal.String()})
+		return WorkerExitProtocol
+	}
+	var job *Job
+	for i := range jobs {
+		if jobs[i].Name == req.Name {
+			job = &jobs[i]
+			break
+		}
+	}
+	if job == nil {
+		respond(workerResponse{Error: fmt.Sprintf("unknown job %q (worker job list diverges from supervisor)", req.Name), Class: ClassFatal.String()})
+		return WorkerExitProtocol
+	}
+	if h := job.Hash(); h != req.Hash {
+		respond(workerResponse{Error: fmt.Sprintf("spec hash mismatch for %q: worker built %s, supervisor sent %s (job lists diverge)", req.Name, h, req.Hash), Class: ClassFatal.String()})
+		return WorkerExitProtocol
+	}
+
+	hw := NewHeartbeatWriter(os.NewFile(3, "campaign-heartbeat"), time.Duration(req.HeartbeatEveryMS)*time.Millisecond)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if req.CheckpointDir != "" {
+		ctx = WithCheckpointDir(ctx, req.CheckpointDir)
+	}
+	ctx = core.WithHeartbeatFunc(ctx, hw.Beat)
+
+	hw.Emit(FrameStart)
+	table, err := runAttempt(ctx, *job, req.Attempt)
+	hw.Emit(FrameDone)
+
+	if err == nil {
+		respond(workerResponse{Table: table})
+		return 0
+	}
+	class := Classify(err)
+	respond(workerResponse{Table: table, Error: err.Error(), Class: class.String()})
+	switch class {
+	case ClassFatal:
+		return WorkerExitFatal
+	case ClassCanceled:
+		return WorkerExitCanceled
+	default:
+		return WorkerExitTransient
+	}
+}

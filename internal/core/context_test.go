@@ -5,8 +5,10 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"camouflage/internal/sim"
+	"camouflage/internal/trace"
 )
 
 // TestRunContextCancelStopsWithinQuantum: cancelling the context mid-run
@@ -85,5 +87,62 @@ func TestErrDeadlineIsTyped(t *testing.T) {
 	err := sys.Run(5_000_000)
 	if !errors.Is(err, ErrDeadline) {
 		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+// wedgedSource simulates a pathologically slow workload: every entry
+// costs real wall-clock time to produce (think a trace streamed from a
+// dying disk), so one supervision stride takes many seconds. Before the
+// wall-clock poll in runSupervised, a context deadline could only be
+// observed at stride boundaries — a job wedged like this was effectively
+// uncancelable. The entries are blocking loads so the core polls the
+// source roughly once per memory round-trip (~100 cycles, ≈170 entries
+// per stride) and the fast path cannot skip the span.
+type wedgedSource struct {
+	perEntry time.Duration
+	calls    uint64
+}
+
+func (w *wedgedSource) Next() (trace.Entry, bool) {
+	time.Sleep(w.perEntry)
+	w.calls++
+	return trace.Entry{Addr: w.calls * 4096, Blocking: true}, true
+}
+
+// TestRunContextCancelableInsideStride: a run whose cycles are slow in
+// wall-clock terms is still canceled promptly, mid-stride, rather than
+// only at the next grid point.
+func TestRunContextCancelableInsideStride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	sys := mustSystem(cfg, []trace.Source{&wedgedSource{perEntry: 50 * time.Millisecond}})
+
+	// One full stride pulls ≈170 entries at 50ms each ≈ 8.5s of wall
+	// clock; the deadline is far shorter, so only the wall-clock poll can
+	// honour it before the first grid point.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	err := sys.RunContext(ctx, 2*SuperviseStride)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("deadline-bounded wedged run returned nil error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap context.DeadlineExceeded: %v", err)
+	}
+	if !strings.Contains(err.Error(), "at cycle") {
+		t.Fatalf("error does not carry the cycle reached: %v", err)
+	}
+	// Generous bound: the pre-fix behaviour was ≈8.5s to the first stride
+	// boundary; the wall-clock poll should land within a couple of
+	// minimum-size chunks even on a loaded CI machine.
+	if elapsed > 3*time.Second {
+		t.Fatalf("wedged run took %v to observe its deadline (dead zone not fixed)", elapsed)
+	}
+	if now := sys.Kernel.Now(); now >= 2*SuperviseStride {
+		t.Fatalf("run completed (%d cycles) despite the deadline", now)
 	}
 }

@@ -58,6 +58,10 @@ type System struct {
 	// obs and obsScope carry the observability layer, nil until EnableObs.
 	obs      *obs.Bundle
 	obsScope *obs.Scope
+
+	// heartbeat is the supervision-grid liveness hook, nil until
+	// SetHeartbeat.
+	heartbeat func(Heartbeat)
 }
 
 // multiElevator fans priority warnings out to every controller, so a
@@ -308,9 +312,21 @@ func (s *System) progress() uint64 {
 }
 
 // SuperviseStride is the supervision quantum: how many cycles pass
-// between wall-clock deadline and context-cancellation checks on the
-// supervised run path. A canceled run stops within one quantum.
+// between grid-point work (auto-checkpoints, observability publishes,
+// heartbeats) on the supervised run path.
 const SuperviseStride sim.Cycle = 1 << 14
+
+// supervisePoll is the wall-clock interval at which the supervised run
+// path re-checks cancellation and the deadline. The cycle loop advances
+// in sub-stride chunks sized from the observed simulation rate so a poll
+// lands roughly every supervisePoll even when single cycles are slow
+// (a wedged trace source, a pathological workload) — without it, a job
+// stuck inside one stride would never observe its context.
+const supervisePoll = 25 * time.Millisecond
+
+// minSuperviseChunk floors the adaptive chunk so a grotesquely slow
+// workload still makes forward progress between polls.
+const minSuperviseChunk sim.Cycle = 256
 
 // ErrDeadline marks a run aborted because it exceeded the wall-clock
 // deadline set with SetDeadline. Deadline expiry is a property of the
@@ -328,10 +344,11 @@ func (s *System) Run(n sim.Cycle) error {
 	return s.RunContext(context.Background(), n)
 }
 
-// RunContext is Run with cooperative cancellation: ctx is polled once
-// per supervision quantum (SuperviseStride cycles), so after ctx is
-// canceled the cycle loop stops within one quantum and returns ctx.Err()
-// wrapped with the cycle reached.
+// RunContext is Run with cooperative cancellation: ctx is polled at
+// every supervision-grid point (SuperviseStride cycles) and additionally
+// on a wall-clock tick between grid points, so the cycle loop stops
+// promptly after ctx is canceled even when single cycles are slow, and
+// returns ctx.Err() wrapped with the cycle reached.
 func (s *System) RunContext(ctx context.Context, n sim.Cycle) error {
 	_, err := s.runSupervised(ctx, n, nil)
 	return err
@@ -372,6 +389,32 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 	startCycle := s.Kernel.Now()
 	end := startCycle + n
 	supAt := startCycle
+	// abort checks cancellation and the wall-clock deadline; it runs at
+	// every grid point and additionally on a wall-clock tick between
+	// them, so a stride that is slow in real time is still cancelable.
+	abort := func() error {
+		now := s.Kernel.Now()
+		ran := now - startCycle
+		if cerr := ctx.Err(); cerr != nil {
+			s.checkpointOnAbort()
+			return fmt.Errorf("core: run canceled at cycle %d after %d of %d cycles: %w", now, ran, n, cerr)
+		}
+		if s.deadline > 0 && time.Since(start) > s.deadline {
+			s.checkpointOnAbort()
+			return fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, now, ran, n)
+		}
+		return nil
+	}
+	// chunk bounds one Advance call; it starts at the floor (so even the
+	// first chunk of a pathologically slow workload returns control
+	// quickly) and is retuned from each chunk's observed rate so
+	// wall-clock polls land roughly every supervisePoll. Grid-point work
+	// (checkpoints, obs publishes, heartbeats) stays pinned to the
+	// absolute-cycle grid regardless of chunking, so simulated state
+	// remains byte-identical run to run; only the polling cadence is
+	// wall-clock dependent.
+	chunk := minSuperviseChunk
+	lastPoll := start
 	for s.Kernel.Now() < end {
 		if pred != nil && pred() {
 			done = true
@@ -381,18 +424,18 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 			break
 		}
 		if now := s.Kernel.Now(); now >= supAt {
-			ran := now - startCycle
-			if cerr := ctx.Err(); cerr != nil {
-				s.checkpointOnAbort()
-				return done, fmt.Errorf("core: run canceled at cycle %d after %d of %d cycles: %w", now, ran, n, cerr)
+			if aerr := abort(); aerr != nil {
+				return done, aerr
 			}
-			if s.deadline > 0 && time.Since(start) > s.deadline {
-				s.checkpointOnAbort()
-				return done, fmt.Errorf("core: %w (%v) at cycle %d after %d of %d cycles", ErrDeadline, s.deadline, now, ran, n)
-			}
+			lastPoll = time.Now()
 			s.maybeCheckpoint()
 			if s.obsScope != nil {
 				s.obsScope.Publish()
+			}
+			if s.heartbeat != nil {
+				hb := Heartbeat{Cycle: uint64(now)}
+				hb.CheckpointDegraded, hb.CheckpointSaveFailures = s.CheckpointHealth()
+				s.heartbeat(hb)
 			}
 			supAt = now + SuperviseStride
 		}
@@ -400,7 +443,27 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 		if supAt < limit {
 			limit = supAt
 		}
-		s.Kernel.Advance(limit - s.Kernel.Now())
+		if c := s.Kernel.Now() + chunk; c < limit {
+			limit = c
+		}
+		advanced := limit - s.Kernel.Now()
+		chunkStart := time.Now()
+		s.Kernel.Advance(advanced)
+		took := time.Since(chunkStart)
+		if est := sim.Cycle(float64(advanced) * (float64(supervisePoll) / float64(took+1))); est < SuperviseStride {
+			if est < minSuperviseChunk {
+				est = minSuperviseChunk
+			}
+			chunk = est
+		} else {
+			chunk = SuperviseStride
+		}
+		if time.Since(lastPoll) >= supervisePoll {
+			if aerr := abort(); aerr != nil {
+				return done, aerr
+			}
+			lastPoll = time.Now()
+		}
 	}
 	if pred != nil && !done {
 		done = pred()

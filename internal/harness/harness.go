@@ -102,6 +102,9 @@ func measureRun(ctx context.Context, sys *core.System, warmup, cycles sim.Cycle)
 	if b := obs.FromContext(ctx); b != nil {
 		sys.EnableObs(b, obs.Label(ctx))
 	}
+	if fn := core.HeartbeatFuncFromContext(ctx); fn != nil {
+		sys.SetHeartbeat(fn)
+	}
 	if err := sys.RunContext(ctx, warmup); err != nil {
 		return runStats{}, fmt.Errorf("warmup: %w", err)
 	}
