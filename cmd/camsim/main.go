@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -88,6 +89,10 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, expvar, pprof) on this address, e.g. localhost:6060")
 	traceOut := flag.String("trace-out", "", "write request-lifecycle traces to PATH.json (Chrome trace_event) and PATH.jsonl (span log)")
 	traceSample := flag.Uint64("trace-sample", 64, "trace 1 in N requests, chosen deterministically from -seed (1 = all)")
+	sloSpec := flag.String("slo", "", "security SLO rules evaluated on the supervision grid, e.g. 'drift_l1>0.15:3' (comma-separated metric>max[:sustain])")
+	alertsOut := flag.String("alerts", "", "with -slo: write alert transitions as JSONL to this file (same-seed runs are byte-identical)")
+	historyOut := flag.String("history-out", "", "write the metric time-series history as JSON to this file at run end")
+	captureDir := flag.String("capture-dir", "", "write bounded pprof heap/CPU captures into this directory when an SLO alert raises")
 	ckptDir := flag.String("checkpoint-dir", "", "write periodic crash-safe checkpoints into this directory (keeps the newest 2)")
 	ckptEvery := flag.Uint64("checkpoint-every", 100_000, "simulated cycles between automatic checkpoints (with -checkpoint-dir)")
 	resumeFrom := flag.String("resume-from", "", "resume from this checkpoint file, or the newest valid checkpoint in this directory; -cycles is the total, so the run covers only the remainder")
@@ -129,14 +134,22 @@ func main() {
 	}
 
 	// Observability: registry + optional tracer on the measured system
-	// (probe/measurement pre-runs stay uninstrumented). All handles are
-	// nil-safe; camsim exits through os.Exit, so teardown is explicit.
+	// (probe/measurement pre-runs stay uninstrumented), plus the fleet
+	// telemetry plane — time-series history, SLO alerts and bounded pprof
+	// capture. All handles are nil-safe; camsim exits through os.Exit, so
+	// teardown is explicit. Under -isolation=process the re-exec'd child
+	// carries these same flags, so alert logs and history dumps come from
+	// the measuring process either way and same-seed runs stay
+	// byte-identical across isolation modes.
 	var (
-		tracer *obs.Tracer
-		srv    *obs.Server
-		err    error
+		tracer     *obs.Tracer
+		srv        *obs.Server
+		monitor    *obs.SLOMonitor
+		alertsFile *os.File
+		profiles   *obs.ProfileCapture
+		err        error
 	)
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *sloSpec != "" || *historyOut != "" {
 		reg := obs.NewRegistry()
 		if *traceOut != "" {
 			if tracer, err = obs.NewTracer(*traceOut, *traceSample, *seed); err != nil {
@@ -144,15 +157,39 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		opts.obs = &obs.Bundle{Registry: reg, Tracer: tracer}
+		var hist *obs.History
+		if *historyOut != "" || *obsAddr != "" {
+			hist = obs.NewHistory(obs.HistoryOpts{})
+		}
+		if *sloSpec != "" {
+			rules, perr := obs.ParseSLOSpec(*sloSpec)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "camsim:", perr)
+				os.Exit(1)
+			}
+			var sink io.Writer
+			if *alertsOut != "" {
+				if alertsFile, err = os.Create(*alertsOut); err != nil {
+					fmt.Fprintln(os.Stderr, "camsim:", err)
+					os.Exit(1)
+				}
+				sink = alertsFile
+			}
+			monitor = obs.NewSLOMonitor(rules, reg, sink)
+		}
+		if *captureDir != "" {
+			profiles = &obs.ProfileCapture{Dir: *captureDir}
+			monitor.OnAlert(func(a obs.Alert) { profiles.Capture("alert-" + a.Rule) })
+		}
+		opts.obs = &obs.Bundle{Registry: reg, Tracer: tracer, History: hist, Alerts: monitor}
 		if *obsAddr != "" {
-			srv = &obs.Server{Registry: reg, Faults: opts.ioInj}
+			srv = &obs.Server{Registry: reg, History: hist, Alerts: monitor, Faults: opts.ioInj}
 			addr, aerr := srv.Serve(*obsAddr)
 			if aerr != nil {
 				fmt.Fprintln(os.Stderr, "camsim:", aerr)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "obs: serving /metrics /debug/vars /debug/pprof on http://%s\n", addr)
+			fmt.Fprintf(os.Stderr, "obs: serving /metrics /metrics/history /alerts /debug/vars /debug/pprof on http://%s\n", addr)
 		}
 	}
 
@@ -171,6 +208,20 @@ func main() {
 	if cerr := tracer.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	if *historyOut != "" && opts.obs != nil {
+		if derr := writeHistory(*historyOut, opts.obs.History); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	profiles.Wait()
+	if alertsFile != nil {
+		if serr := monitor.SinkErr(); serr != nil && err == nil {
+			err = fmt.Errorf("alert log: %w", serr)
+		}
+		if cerr := alertsFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if opts.ioInj != nil {
 		// Stats go to stderr so chaos runs keep stdout byte-comparable to
 		// clean runs.
@@ -183,6 +234,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "camsim:", err)
 		os.Exit(1)
 	}
+}
+
+// writeHistory dumps the full time-series store (no prefix filter, raw
+// series) to path. DumpJSON is nil-safe, so a run that never armed the
+// store still writes the valid empty document.
+func writeHistory(path string, hist *obs.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err = hist.DumpJSON(f, "", ""); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runScenario loads, builds and reports a declarative scenario. The

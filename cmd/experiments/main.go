@@ -27,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -72,9 +73,13 @@ func main() {
 	resume := flag.Bool("resume", false, "skip jobs already completed in -journal")
 	grace := flag.Duration("grace", 30*time.Second, "how long in-flight jobs may finish after SIGINT/SIGTERM")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
-	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /jobs, expvar, pprof) on this address, e.g. localhost:6060")
+	obsAddr := flag.String("obs-addr", "", "serve live introspection (/metrics, /metrics/history, /alerts, /jobs, expvar, pprof) on this address, e.g. localhost:6060")
 	traceOut := flag.String("trace-out", "", "write request-lifecycle traces to PATH.json (Chrome trace_event) and PATH.jsonl (span log)")
 	traceSample := flag.Uint64("trace-sample", 64, "trace 1 in N requests, chosen deterministically from -seed (1 = all)")
+	sloSpec := flag.String("slo", "", "security SLO rules, e.g. 'drift_l1>0.15:3' (comma-separated metric>max[:sustain]); process-isolated workers evaluate them on their own grids and forward alerts")
+	alertsOut := flag.String("alerts", "", "with -slo: write alert transitions as JSONL to this file")
+	historyOut := flag.String("history-out", "", "write the campaign's metric time-series history as JSON to this file at exit")
+	captureDir := flag.String("capture-dir", "", "write bounded pprof heap/CPU captures into this directory on SLO alerts and worker stall kills")
 	progressEvery := flag.Duration("progress", 0, "print a one-line campaign progress report to stderr at this interval (0 = off)")
 	isolation := flag.String("isolation", "inproc", "job execution mode: inproc (jobs run in this process) or process (each attempt runs in a re-exec'd worker supervised for liveness)")
 	memLimit := flag.String("mem-limit", "", "with -isolation=process: kill and retry a worker whose RSS exceeds this (e.g. 2GiB; empty = no ceiling)")
@@ -143,16 +148,48 @@ func main() {
 	defer stop()
 
 	// Observability: one shared metrics registry and (optionally) a
-	// lifecycle tracer, carried to every experiment through the context.
-	// Everything below is nil-safe, so the zero-flag path pays nothing.
+	// lifecycle tracer, carried to every experiment through the context —
+	// plus the fleet telemetry plane: a time-series history, an SLO
+	// monitor and bounded pprof capture. In-process jobs feed all three
+	// directly on their supervision grids; process-isolated workers run
+	// their own monitors and the supervisor merges their metric deltas
+	// and alerts under worker.<jobhash>. prefixes. Everything below is
+	// nil-safe, so the zero-flag path pays nothing.
 	var (
-		reg      *obs.Registry
-		tracer   *obs.Tracer
-		progress *campaign.Progress
+		reg        *obs.Registry
+		hist       *obs.History
+		monitor    *obs.SLOMonitor
+		alertsFile *os.File
+		profiles   *obs.ProfileCapture
+		tracer     *obs.Tracer
+		progress   *campaign.Progress
 	)
-	if *obsAddr != "" || *traceOut != "" || *progressEvery > 0 {
+	if *obsAddr != "" || *traceOut != "" || *progressEvery > 0 || *sloSpec != "" || *historyOut != "" {
 		reg = obs.NewRegistry()
 		progress = campaign.NewProgress(reg)
+	}
+	if *historyOut != "" || *obsAddr != "" {
+		hist = obs.NewHistory(obs.HistoryOpts{})
+	}
+	if *sloSpec != "" {
+		rules, perr := obs.ParseSLOSpec(*sloSpec)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(2)
+		}
+		var sink io.Writer
+		if *alertsOut != "" {
+			if alertsFile, err = os.Create(*alertsOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			sink = alertsFile
+		}
+		monitor = obs.NewSLOMonitor(rules, reg, sink)
+	}
+	if *captureDir != "" {
+		profiles = &obs.ProfileCapture{Dir: *captureDir}
+		monitor.OnAlert(func(a obs.Alert) { profiles.Capture("alert-" + a.Rule) })
 	}
 	if *traceOut != "" {
 		if tracer, err = obs.NewTracer(*traceOut, *traceSample, *seed); err != nil {
@@ -161,16 +198,17 @@ func main() {
 		}
 	}
 	if reg != nil {
-		ctx = obs.NewContext(ctx, &obs.Bundle{Registry: reg, Tracer: tracer})
+		ctx = obs.NewContext(ctx, &obs.Bundle{Registry: reg, Tracer: tracer, History: hist, Alerts: monitor})
 	}
-	srv := &obs.Server{Registry: reg, Jobs: func() any { return progress.Snapshot() }}
+	srv := &obs.Server{Registry: reg, History: hist, Alerts: monitor,
+		Jobs: func() any { return progress.JobsSnapshot() }}
 	if *obsAddr != "" {
 		addr, aerr := srv.Serve(*obsAddr)
 		if aerr != nil {
 			fmt.Fprintln(os.Stderr, aerr)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "obs: serving /metrics /jobs /debug/vars /debug/pprof on http://%s\n", addr)
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics /metrics/history /alerts /jobs /debug/vars /debug/pprof on http://%s\n", addr)
 	}
 	reporter := obs.StartProgress(os.Stderr, *progressEvery, progress.Line)
 	// main exits through os.Exit, which skips defers; every path below
@@ -184,6 +222,20 @@ func main() {
 		scancel()
 		if cerr := tracer.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "obs:", cerr)
+		}
+		if *historyOut != "" {
+			if herr := writeHistory(*historyOut, hist); herr != nil {
+				fmt.Fprintln(os.Stderr, "obs:", herr)
+			}
+		}
+		profiles.Wait()
+		if alertsFile != nil {
+			if serr := monitor.SinkErr(); serr != nil {
+				fmt.Fprintln(os.Stderr, "obs: alert log:", serr)
+			}
+			if cerr := alertsFile.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "obs:", cerr)
+			}
 		}
 	}
 
@@ -207,6 +259,11 @@ func main() {
 		CheckpointDir: *ckptRoot,
 		HedgeMultiple: *hedge,
 		HedgeVerify:   *hedgeVerify,
+		Registry:      reg,
+		History:       hist,
+		Alerts:        monitor,
+		SLO:           *sloSpec,
+		Profiles:      profiles,
 		Log:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
@@ -226,6 +283,21 @@ func main() {
 	case failed:
 		os.Exit(1)
 	}
+}
+
+// writeHistory dumps the full time-series store (no prefix filter, raw
+// series) to path. DumpJSON is nil-safe, so a history-less run still
+// writes the valid empty document.
+func writeHistory(path string, hist *obs.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err = hist.DumpJSON(f, "", ""); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emit prints every selected experiment's table in canonical order

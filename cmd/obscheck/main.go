@@ -5,6 +5,8 @@
 //	obscheck -metrics http://host:port   # live /metrics scrape
 //	obscheck -metrics-file dump.txt      # saved /metrics dump
 //	obscheck -jobs http://host:port      # live /jobs scrape
+//	obscheck -history hist.json          # saved /metrics/history document
+//	obscheck -alerts alerts.jsonl        # saved SLO alert log
 //	obscheck -ckpt out/ckpts             # checkpoint file or directory
 //
 // -trace checks the Chrome trace_event file against the schema the
@@ -13,10 +15,17 @@
 // the JSONL span log line-by-line for the fixed span fields and
 // monotonic hop timestamps. -metrics checks the text dump is sorted
 // `name value` lines; -require lists instrument names that must be
-// present (comma-separated). -ckpt validates a checkpoint container's
-// magic, version, declared payload length and SHA-256 checksum — for a
-// directory, every *.camckpt file in it; -ckpt-config-hash additionally
-// pins the configuration hash the checkpoints must carry.
+// present (comma-separated) and -require-prefix lists name prefixes at
+// least one metric must match (how CI asserts aggregated worker.*
+// metrics reached the supervisor). -jobs accepts both the fleet
+// document {"jobs":[...],"worker":{...}} and the legacy bare job array.
+// -history validates a /metrics/history JSON dump (sorted series,
+// strictly increasing sample cycles); -alerts validates an SLO alert
+// JSONL log (fixed fields, kind raised|cleared, sustain >= 1). -ckpt
+// validates a checkpoint container's magic, version, declared payload
+// length and SHA-256 checksum — for a directory, every *.camckpt file
+// in it; -ckpt-config-hash additionally pins the configuration hash the
+// checkpoints must carry.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -39,12 +49,16 @@ func main() {
 	metricsFile := flag.String("metrics-file", "", "validate a saved /metrics text dump")
 	jobsURL := flag.String("jobs", "", "scrape this base URL's /jobs and validate the JSON")
 	require := flag.String("require", "", "comma-separated metric names that must be present in the dump")
+	requirePrefix := flag.String("require-prefix", "", "comma-separated name prefixes at least one metric must match (with -metrics/-metrics-file)")
+	historyPath := flag.String("history", "", "validate a /metrics/history JSON document: a saved file, or a base URL to scrape live")
+	alertsPath := flag.String("alerts", "", "validate SLO alerts: a saved JSONL log, or a base URL whose /alerts document to scrape live")
 	ckptPath := flag.String("ckpt", "", "validate a checkpoint file, or every *.camckpt in a directory")
 	ckptHash := flag.String("ckpt-config-hash", "", "hex config hash the checkpoints must carry (with -ckpt)")
 	flag.Parse()
 
-	if *tracePath == "" && *metricsURL == "" && *metricsFile == "" && *jobsURL == "" && *ckptPath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -trace, -metrics, -metrics-file, -jobs or -ckpt")
+	if *tracePath == "" && *metricsURL == "" && *metricsFile == "" && *jobsURL == "" &&
+		*historyPath == "" && *alertsPath == "" && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -trace, -metrics, -metrics-file, -jobs, -history, -alerts or -ckpt")
 		os.Exit(2)
 	}
 	ok := true
@@ -53,14 +67,14 @@ func main() {
 		ok = checkSpanLog(*tracePath+".jsonl") && ok
 	}
 	if *metricsURL != "" {
-		ok = checkMetricsURL(*metricsURL, splitNames(*require)) && ok
+		ok = checkMetricsURL(*metricsURL, splitNames(*require), splitNames(*requirePrefix)) && ok
 	}
 	if *metricsFile != "" {
 		data, err := os.ReadFile(*metricsFile)
 		if err != nil {
 			fail("%v", err)
 		} else {
-			ok = checkMetricsDump(*metricsFile, string(data), splitNames(*require)) && ok
+			ok = checkMetricsDump(*metricsFile, string(data), splitNames(*require), splitNames(*requirePrefix)) && ok
 		}
 		if err != nil {
 			ok = false
@@ -68,6 +82,12 @@ func main() {
 	}
 	if *jobsURL != "" {
 		ok = checkJobsURL(*jobsURL) && ok
+	}
+	if *historyPath != "" {
+		ok = checkHistory(*historyPath) && ok
+	}
+	if *alertsPath != "" {
+		ok = checkAlertLog(*alertsPath) && ok
 	}
 	if *ckptPath != "" {
 		ok = checkCheckpoints(*ckptPath, *ckptHash) && ok
@@ -122,8 +142,15 @@ func checkCheckpoints(path, wantHash string) bool {
 	return true
 }
 
+// jobEntry is the per-job subset of the /jobs schema obscheck enforces.
+type jobEntry struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+}
+
 // checkJobsURL scrapes base's /jobs and validates the campaign snapshot:
-// a JSON array whose entries all carry a name and a state.
+// either the fleet document {"jobs":[...],"worker":{...}} or the legacy
+// bare job array, with every entry carrying a name and a state.
 func checkJobsURL(base string) bool {
 	url := strings.TrimRight(base, "/") + "/jobs"
 	resp, err := http.Get(url)
@@ -141,13 +168,38 @@ func checkJobsURL(base string) bool {
 		fail("%s: %v", url, err)
 		return false
 	}
-	var jobs []struct {
-		Name  string `json:"name"`
-		State string `json:"state"`
-	}
-	if err := json.Unmarshal(body, &jobs); err != nil {
-		fail("%s: not a JSON job array: %v", url, err)
-		return false
+	var jobs []jobEntry
+	hasWorker := false
+	if trimmed := strings.TrimSpace(string(body)); strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(body, &jobs); err != nil {
+			fail("%s: not a JSON job array: %v", url, err)
+			return false
+		}
+	} else {
+		var doc struct {
+			Jobs   []jobEntry      `json:"jobs"`
+			Worker json.RawMessage `json:"worker"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			fail("%s: not a JSON jobs document: %v", url, err)
+			return false
+		}
+		if doc.Jobs == nil {
+			fail("%s: document missing jobs array", url)
+			return false
+		}
+		if len(doc.Worker) == 0 {
+			fail("%s: document missing worker fleet summary", url)
+			return false
+		}
+		// The worker summary must be an object of numeric counters.
+		var worker map[string]float64
+		if err := json.Unmarshal(doc.Worker, &worker); err != nil {
+			fail("%s: worker summary not an object of numbers: %v", url, err)
+			return false
+		}
+		jobs = doc.Jobs
+		hasWorker = true
 	}
 	for i, j := range jobs {
 		if j.Name == "" || j.State == "" {
@@ -155,7 +207,148 @@ func checkJobsURL(base string) bool {
 			return false
 		}
 	}
-	fmt.Printf("obscheck: %s: %d jobs OK\n", url, len(jobs))
+	suffix := ""
+	if hasWorker {
+		suffix = " (+worker summary)"
+	}
+	fmt.Printf("obscheck: %s: %d jobs OK%s\n", url, len(jobs), suffix)
+	return true
+}
+
+// readArtifact resolves src: an http(s) base URL scrapes base+path, any
+// other string reads the file. Returns the contents and the display name.
+func readArtifact(src, path string) ([]byte, string, error) {
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		data, err := os.ReadFile(src)
+		return data, src, err
+	}
+	url := strings.TrimRight(src, "/") + path
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, url, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, url, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return body, url, err
+}
+
+// checkHistory validates a /metrics/history JSON document — from a saved
+// file, or scraped live when src is a base URL: the fixed top-level
+// shape, series in sorted name order, and strictly increasing sample
+// cycles within each series.
+func checkHistory(src string) bool {
+	data, path, err := readArtifact(src, "/metrics/history")
+	if err != nil {
+		fail("%s: %v", path, err)
+		return false
+	}
+	var doc struct {
+		DroppedSeries *uint64 `json:"dropped_series"`
+		Series        map[string][]struct {
+			C *uint64  `json:"c"`
+			V *float64 `json:"v"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s: not a valid history document: %v", path, err)
+		return false
+	}
+	if doc.DroppedSeries == nil || doc.Series == nil {
+		fail("%s: missing dropped_series/series fields", path)
+		return false
+	}
+	names := make([]string, 0, len(doc.Series))
+	samples := 0
+	for name := range doc.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		prev := int64(-1)
+		for i, s := range doc.Series[name] {
+			switch {
+			case s.C == nil || s.V == nil:
+				fail("%s: series %q sample %d missing c/v", path, name, i)
+				return false
+			case int64(*s.C) <= prev:
+				fail("%s: series %q sample %d: cycle %d not after %d", path, name, i, *s.C, prev)
+				return false
+			}
+			prev = int64(*s.C)
+			samples++
+		}
+	}
+	fmt.Printf("obscheck: %s: %d series, %d samples OK\n", path, len(names), samples)
+	return true
+}
+
+// alertLine mirrors the SLO monitor's fixed JSONL schema.
+type alertLine struct {
+	Cycle     *uint64  `json:"cycle"`
+	Rule      string   `json:"rule"`
+	Metric    string   `json:"metric"`
+	Value     *float64 `json:"value"`
+	Threshold *float64 `json:"threshold"`
+	Sustained *int     `json:"sustained"`
+	Kind      string   `json:"kind"`
+}
+
+// checkAlertLog validates SLO alerts: a saved JSONL log line-by-line,
+// or — when src is a base URL — the live /alerts document
+// {"alerts":[...]}.
+func checkAlertLog(src string) bool {
+	data, path, err := readArtifact(src, "/alerts")
+	if err != nil {
+		fail("%s: %v", path, err)
+		return false
+	}
+	var alerts []alertLine
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, `{"alerts"`) {
+		var doc struct {
+			Alerts []alertLine `json:"alerts"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fail("%s: not a valid alerts document: %v", path, err)
+			return false
+		}
+		if doc.Alerts == nil {
+			fail("%s: document missing alerts array", path)
+			return false
+		}
+		alerts = doc.Alerts
+	} else {
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		if len(lines) == 1 && lines[0] == "" {
+			lines = nil
+		}
+		for i, line := range lines {
+			var a alertLine
+			if err := json.Unmarshal([]byte(line), &a); err != nil {
+				fail("%s:%d: not valid JSON: %v", path, i+1, err)
+				return false
+			}
+			alerts = append(alerts, a)
+		}
+	}
+	for i, a := range alerts {
+		switch {
+		case a.Cycle == nil || a.Rule == "" || a.Metric == "":
+			fail("%s: alert %d: missing cycle/rule/metric", path, i+1)
+		case a.Value == nil || a.Threshold == nil || a.Sustained == nil:
+			fail("%s: alert %d: missing value/threshold/sustained", path, i+1)
+		case a.Kind != "raised" && a.Kind != "cleared":
+			fail("%s: alert %d: kind %q, want raised or cleared", path, i+1, a.Kind)
+		case a.Kind == "raised" && *a.Sustained < 1:
+			fail("%s: alert %d: raised with sustained %d < 1", path, i+1, *a.Sustained)
+		default:
+			continue
+		}
+		return false
+	}
+	fmt.Printf("obscheck: %s: %d alerts OK\n", path, len(alerts))
 	return true
 }
 
@@ -268,7 +461,7 @@ func checkSpanLog(path string) bool {
 }
 
 // checkMetricsURL scrapes base's /metrics and validates the dump.
-func checkMetricsURL(base string, required []string) bool {
+func checkMetricsURL(base string, required, prefixes []string) bool {
 	url := strings.TrimRight(base, "/") + "/metrics"
 	resp, err := http.Get(url)
 	if err != nil {
@@ -285,12 +478,13 @@ func checkMetricsURL(base string, required []string) bool {
 		fail("%s: %v", url, err)
 		return false
 	}
-	return checkMetricsDump(url, string(body), required)
+	return checkMetricsDump(url, string(body), required, prefixes)
 }
 
-// checkMetricsDump validates sorted `name value` lines and the presence
-// of every required instrument.
-func checkMetricsDump(src, dump string, required []string) bool {
+// checkMetricsDump validates sorted `name value` lines, the presence of
+// every required instrument, and at least one match per required name
+// prefix.
+func checkMetricsDump(src, dump string, required, prefixes []string) bool {
 	lines := strings.Split(strings.TrimRight(dump, "\n"), "\n")
 	if len(lines) == 1 && lines[0] == "" {
 		lines = nil
@@ -321,6 +515,19 @@ func checkMetricsDump(src, dump string, required []string) bool {
 	for _, name := range required {
 		if !have[name] {
 			fail("%s: required metric %q missing from dump (%d lines)", src, name, len(lines))
+			return false
+		}
+	}
+	for _, p := range prefixes {
+		found := false
+		for name := range have {
+			if strings.HasPrefix(name, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail("%s: no metric with required prefix %q in dump (%d lines)", src, p, len(lines))
 			return false
 		}
 	}

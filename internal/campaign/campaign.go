@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"camouflage/internal/harness"
+	"camouflage/internal/obs"
 )
 
 // Job is one unit of campaign work: a paper experiment or one point of a
@@ -113,6 +114,26 @@ type Options struct {
 	// byte-compares both tables, turning determinism into a differential
 	// oracle; a mismatch fails the job fatally.
 	HedgeVerify bool
+
+	// Registry, when non-nil under IsolationProcess, receives every
+	// worker's metric deltas merged under a `worker.<jobhash>.` prefix
+	// (hedged siblings under `worker.<jobhash>.hedge.`), so the
+	// supervisor's /metrics shows the whole fleet.
+	Registry *obs.Registry
+	// History, when non-nil, additionally records merged worker gauges
+	// and counters as (cycle, value) series at each heartbeat frame's
+	// grid cycle, feeding /metrics/history.
+	History *obs.History
+	// Alerts, when non-nil, ingests worker-raised SLO alerts (metric
+	// names rewritten under the worker prefix) into the supervisor's
+	// monitor: counters, the /alerts ring, the alert log, auto-capture.
+	Alerts *obs.SLOMonitor
+	// SLO is the declarative rule spec forwarded to workers (see
+	// obs.ParseSLOSpec); empty disables worker-side evaluation.
+	SLO string
+	// Profiles, when non-nil, captures bounded pprof snapshots on
+	// supervisor-observed incidents (worker stall kills).
+	Profiles *obs.ProfileCapture
 }
 
 // Isolation names a job execution mode.

@@ -123,10 +123,10 @@ func (h *hedgedExecutor) run(ctx context.Context, job Job, attempt int) (*harnes
 	secCtx, secCancel := context.WithCancel(ctx)
 	defer secCancel()
 	hedgeDir := ""
-	runCtx := secCtx
+	runCtx := markHedge(secCtx)
 	if dir, ok := CheckpointDir(secCtx); ok {
 		hedgeDir = dir + "-hedge"
-		runCtx = WithCheckpointDir(secCtx, hedgeDir)
+		runCtx = WithCheckpointDir(runCtx, hedgeDir)
 	}
 	secCh := make(chan hedgeOutcome, 1)
 	go func() {

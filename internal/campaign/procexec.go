@@ -13,7 +13,23 @@ import (
 	"time"
 
 	"camouflage/internal/harness"
+	"camouflage/internal/obs"
+	"camouflage/internal/sim"
 )
+
+// hedgeKey marks a context as belonging to a hedge duplicate, so the
+// process executor merges its metrics under a segregated prefix instead
+// of fighting the primary for `worker.<hash>.`.
+type hedgeKey struct{}
+
+func markHedge(ctx context.Context) context.Context {
+	return context.WithValue(ctx, hedgeKey{}, true)
+}
+
+func isHedge(ctx context.Context) bool {
+	b, _ := ctx.Value(hedgeKey{}).(bool)
+	return b
+}
 
 // Supervision defaults for process-isolated workers.
 const (
@@ -269,6 +285,7 @@ func (e *procExecutor) execute(ctx context.Context, job Job, attempt int) (*harn
 	if stallTimeout <= 0 {
 		stallTimeout = DefaultStallTimeout
 	}
+	wantMetrics := e.opt.Registry != nil
 	req, err := json.Marshal(workerRequest{
 		Name:             job.Name,
 		Hash:             job.Hash(),
@@ -276,9 +293,24 @@ func (e *procExecutor) execute(ctx context.Context, job Job, attempt int) (*harn
 		CheckpointDir:    dir,
 		HeartbeatEveryMS: hbEvery.Milliseconds(),
 		MemLimit:         e.opt.MemLimit,
+		WantMetrics:      wantMetrics,
+		SLO:              e.opt.SLO,
 	})
 	if err != nil {
 		return nil, Fatal(fmt.Errorf("campaign: marshaling worker request for %s: %w", job.Name, err))
+	}
+	// One merger per attempt: the worker prefix interns instrument
+	// handles, hedged siblings land under a segregated `.hedge.` prefix,
+	// and construction zeroes the prefix so a restarted attempt's
+	// fresh-process deltas do not double-count its predecessor's.
+	var merger *obs.Merger
+	if wantMetrics {
+		prefix := "worker." + job.Hash() + "."
+		if isHedge(ctx) {
+			prefix = "worker." + job.Hash() + ".hedge."
+		}
+		merger = obs.NewMerger(e.opt.Registry, prefix)
+		merger.SetHistory(e.opt.History)
 	}
 	var stdout bytes.Buffer
 	pr := RunProc(ctx, ProcSpec{
@@ -292,6 +324,12 @@ func (e *procExecutor) execute(ctx context.Context, job Job, attempt int) (*harn
 		Beat: func(f HeartbeatFrame) {
 			e.wm.heartbeats.Inc()
 			e.notePeak(f.RSS)
+			if merger != nil {
+				merger.Apply(f.Metrics, sim.Cycle(f.Cycle))
+				if len(f.Alerts) > 0 {
+					e.opt.Alerts.Ingest(merger.Prefix(), f.Alerts)
+				}
+			}
 		},
 	})
 	if pr.Err != nil {
@@ -310,6 +348,10 @@ func (e *procExecutor) execute(ctx context.Context, job Job, attempt int) (*harn
 	if pr.StallKilled {
 		e.wm.stallsKilled.Inc()
 		e.wm.restarts.Inc()
+		// A stalled worker is exactly when a profile is worth its cost:
+		// capture the supervisor's own state (bounded; no-op when the
+		// budget is spent or capture is unconfigured).
+		e.opt.Profiles.Capture("stall-" + job.Hash())
 		return nil, Transient(fmt.Errorf("campaign: worker for %s stalled (no heartbeat in %v, last cycle %d)",
 			job.Name, stallTimeout, pr.LastCycle))
 	}

@@ -195,6 +195,55 @@ func (p *Progress) Snapshot() []JobView {
 	return out
 }
 
+// WorkerStats is the fleet-health summary (the campaign.worker.*
+// instruments) rendered into /jobs snapshots and the progress line.
+type WorkerStats struct {
+	Restarts        uint64 `json:"restarts"`
+	StallsKilled    uint64 `json:"stalls_killed"`
+	OOMKilled       uint64 `json:"oom_killed"`
+	HedgesLaunched  uint64 `json:"hedges_launched"`
+	HedgesWon       uint64 `json:"hedges_won"`
+	HedgeMismatches uint64 `json:"hedge_mismatches"`
+	Heartbeats      uint64 `json:"heartbeats"`
+	PeakRSSBytes    int64  `json:"peak_rss_bytes"`
+}
+
+// WorkerStats reads the current worker-instrument values (zeros on a
+// nil tracker or one built without a registry).
+func (p *Progress) WorkerStats() WorkerStats {
+	if p == nil {
+		return WorkerStats{}
+	}
+	return WorkerStats{
+		Restarts:        p.wm.restarts.Value(),
+		StallsKilled:    p.wm.stallsKilled.Value(),
+		OOMKilled:       p.wm.oomKilled.Value(),
+		HedgesLaunched:  p.wm.hedgesLaunched.Value(),
+		HedgesWon:       p.wm.hedgesWon.Value(),
+		HedgeMismatches: p.wm.hedgeMismatches.Value(),
+		Heartbeats:      p.wm.heartbeats.Value(),
+		PeakRSSBytes:    int64(p.wm.peakRSS.Value()),
+	}
+}
+
+// JobsView is the full /jobs document: per-job states plus the fleet
+// worker summary.
+type JobsView struct {
+	Jobs   []JobView   `json:"jobs"`
+	Worker WorkerStats `json:"worker"`
+}
+
+// JobsSnapshot bundles Snapshot with WorkerStats — the value the obs
+// server's Jobs callback should return so fleet health is visible
+// without scraping /metrics. Nil-safe (an empty document).
+func (p *Progress) JobsSnapshot() JobsView {
+	jobs := p.Snapshot()
+	if jobs == nil {
+		jobs = []JobView{}
+	}
+	return JobsView{Jobs: jobs, Worker: p.WorkerStats()}
+}
+
 // Line renders the one-line progress report: state counts in a fixed
 // order plus wall-clock elapsed since the tracker was created.
 func (p *Progress) Line() string {
@@ -214,6 +263,22 @@ func (p *Progress) Line() string {
 		StateFailed, StateCancel, StateSkipped} {
 		if counts[st] > 0 {
 			line += fmt.Sprintf(", %d %s", counts[st], st)
+		}
+	}
+	// Fleet health rides the same line, but only once something worth
+	// reporting happened — a quiet campaign keeps its short status.
+	ws := p.WorkerStats()
+	for _, c := range []struct {
+		n     uint64
+		label string
+	}{
+		{ws.Restarts, "restarts"},
+		{ws.StallsKilled, "stalls_killed"},
+		{ws.OOMKilled, "oom_killed"},
+		{ws.HedgesWon, "hedges_won"},
+	} {
+		if c.n > 0 {
+			line += fmt.Sprintf(", %d %s", c.n, c.label)
 		}
 	}
 	return line + fmt.Sprintf(" [%s]", elapsed)

@@ -18,6 +18,7 @@ import (
 
 	"camouflage/internal/core"
 	"camouflage/internal/harness"
+	"camouflage/internal/obs"
 )
 
 // Worker protocol
@@ -69,6 +70,11 @@ type workerRequest struct {
 	CheckpointDir    string `json:"checkpoint_dir,omitempty"`
 	HeartbeatEveryMS int64  `json:"heartbeat_every_ms,omitempty"`
 	MemLimit         int64  `json:"mem_limit,omitempty"`
+	// WantMetrics asks the worker to instrument its attempt with a local
+	// registry and piggyback metric deltas (and SLO alerts, when SLO is
+	// set) on its heartbeat frames.
+	WantMetrics bool   `json:"want_metrics,omitempty"`
+	SLO         string `json:"slo,omitempty"`
 }
 
 // workerResponse is the attempt outcome written to stdout. Error and
@@ -93,6 +99,12 @@ type HeartbeatFrame struct {
 	// health at the grid point.
 	CkptDegraded  bool   `json:"ckpt_degraded,omitempty"`
 	CkptSaveFails uint64 `json:"ckpt_fails,omitempty"`
+	// Metrics carries the worker's instrument changes since the previous
+	// emitted frame (see obs.DeltaTracker); Alerts carries SLO
+	// transitions raised since then. Both are piggybacked — a frame
+	// without telemetry is still a liveness sample.
+	Metrics *obs.MetricsDelta `json:"metrics,omitempty"`
+	Alerts  []obs.Alert       `json:"alerts,omitempty"`
 }
 
 // Heartbeat frame kinds.
@@ -103,8 +115,10 @@ const (
 )
 
 // maxFrameLen bounds one frame so a corrupt length prefix cannot make
-// the supervisor allocate unboundedly.
-const maxFrameLen = 1 << 16
+// the supervisor allocate unboundedly. Sized for metric-delta payloads
+// from 512-core systems (thousands of instruments), not just the bare
+// liveness fields.
+const maxFrameLen = 1 << 22
 
 // writeFrame writes one length-prefixed JSON frame (4-byte big-endian
 // payload length, then the payload) in a single Write so frames never
@@ -155,6 +169,20 @@ type HeartbeatWriter struct {
 	last      time.Time
 	lastCycle uint64
 	broken    bool
+	// tracker / monitor, when set, piggyback metric deltas and SLO
+	// alerts on every emitted frame. Deltas are computed only at emission
+	// (not per Beat), so throttled-away grid points lose no increments.
+	tracker *obs.DeltaTracker
+	monitor *obs.SLOMonitor
+}
+
+// SetTelemetry attaches the metric delta tracker and alert monitor
+// whose output rides subsequent frames. Either may be nil.
+func (w *HeartbeatWriter) SetTelemetry(tracker *obs.DeltaTracker, monitor *obs.SLOMonitor) {
+	w.mu.Lock()
+	w.tracker = tracker
+	w.monitor = monitor
+	w.mu.Unlock()
 }
 
 // NewHeartbeatWriter wraps f (nil for a no-op writer); every <= 0
@@ -197,6 +225,11 @@ func (w *HeartbeatWriter) Emit(kind string) {
 }
 
 func (w *HeartbeatWriter) writeLocked(f HeartbeatFrame) {
+	// Telemetry is attached per emitted frame: the delta baseline only
+	// advances here, and the done frame flushes whatever the throttle
+	// held back, so the supervisor always sees the complete attempt.
+	f.Metrics = w.tracker.Delta()
+	f.Alerts = w.monitor.Drain()
 	if err := writeFrame(w.f, f); err != nil {
 		w.broken = true
 	}
@@ -309,6 +342,22 @@ func ServeWorker(jobs []Job) int {
 		ctx = WithCheckpointDir(ctx, req.CheckpointDir)
 	}
 	ctx = core.WithHeartbeatFunc(ctx, hw.Beat)
+	if req.WantMetrics {
+		// Fleet telemetry: the attempt instruments itself into a local
+		// registry; deltas (and SLO alerts, when rules were sent) ride
+		// the heartbeat frames back to the supervisor.
+		reg := obs.NewRegistry()
+		var monitor *obs.SLOMonitor
+		if req.SLO != "" {
+			if rules, err := obs.ParseSLOSpec(req.SLO); err == nil {
+				monitor = obs.NewSLOMonitor(rules, reg, nil)
+			} else {
+				fmt.Fprintf(os.Stderr, "campaign worker: ignoring SLO spec: %v\n", err)
+			}
+		}
+		ctx = obs.NewContext(ctx, &obs.Bundle{Registry: reg, Alerts: monitor})
+		hw.SetTelemetry(obs.NewDeltaTracker(reg), monitor)
+	}
 
 	hw.Emit(FrameStart)
 	table, err := runAttempt(ctx, *job, req.Attempt)

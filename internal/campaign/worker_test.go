@@ -104,6 +104,11 @@ func runWorkerSim(ctx context.Context, name string, total sim.Cycle) (*harness.T
 	if fn := core.HeartbeatFuncFromContext(ctx); fn != nil {
 		sys.SetHeartbeat(fn)
 	}
+	if b := obs.FromContext(ctx); b != nil {
+		// Fleet telemetry: inside a worker the bundle carries the local
+		// registry whose deltas ride the heartbeat frames.
+		sys.EnableObs(b, name)
+	}
 	if err := sys.RunContext(ctx, remaining); err != nil {
 		return nil, err
 	}

@@ -432,6 +432,12 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 			if s.obsScope != nil {
 				s.obsScope.Publish()
 			}
+			if s.obs != nil {
+				// Fleet telemetry rides the same grid: history capture and
+				// SLO evaluation see identical (cycle, value) sequences in
+				// fast-path, stepped, and resumed runs.
+				s.obs.GridSample(now)
+			}
 			if s.heartbeat != nil {
 				hb := Heartbeat{Cycle: uint64(now)}
 				hb.CheckpointDegraded, hb.CheckpointSaveFailures = s.CheckpointHealth()
@@ -472,6 +478,9 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 		// Publish the final partial stride so end-of-run scrapes see the
 		// finished state.
 		s.obsScope.Publish()
+	}
+	if s.obs != nil {
+		s.obs.GridSample(s.Kernel.Now())
 	}
 	if s.Monitor != nil {
 		// Catch violations in the final partial stride.

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"camouflage/internal/sim"
+)
+
+// HistoryOpts bounds the time-series store. Zero values select the
+// defaults below.
+type HistoryOpts struct {
+	// Cap is the number of samples retained per series (ring buffer);
+	// older samples are overwritten. Default 512.
+	Cap int
+	// MaxSeries bounds the number of distinct series; appends to new
+	// names beyond it are counted as dropped, never stored. Default 4096.
+	MaxSeries int
+}
+
+const (
+	defaultHistoryCap       = 512
+	defaultHistoryMaxSeries = 4096
+)
+
+type histSample struct {
+	cycle sim.Cycle
+	value float64
+}
+
+// histRing is a fixed-capacity ring of samples in append order.
+type histRing struct {
+	buf   []histSample
+	start int
+	n     int
+}
+
+func (r *histRing) last() (histSample, bool) {
+	if r.n == 0 {
+		return histSample{}, false
+	}
+	return r.buf[(r.start+r.n-1)%len(r.buf)], true
+}
+
+func (r *histRing) push(s histSample) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// each calls fn for every retained sample, oldest first.
+func (r *histRing) each(fn func(histSample)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.start+i)%len(r.buf)])
+	}
+}
+
+// History is a bounded time-series store: per-instrument rings of
+// (cycle, value) samples captured on the supervision grid. It is the
+// backing store for /metrics/history. All methods are nil-safe;
+// capture runs on the simulation goroutine, dumps on the HTTP
+// goroutine, and worker-frame merges on supervisor goroutines, so the
+// store takes its own mutex.
+type History struct {
+	mu      sync.Mutex
+	opts    HistoryOpts
+	series  map[string]*histRing
+	names   []string // sorted; dump order and determinism anchor
+	dropped uint64   // appends refused by the MaxSeries bound
+}
+
+// NewHistory returns an empty store with opts (zero fields defaulted).
+func NewHistory(opts HistoryOpts) *History {
+	if opts.Cap <= 0 {
+		opts.Cap = defaultHistoryCap
+	}
+	if opts.MaxSeries <= 0 {
+		opts.MaxSeries = defaultHistoryMaxSeries
+	}
+	return &History{opts: opts, series: make(map[string]*histRing)}
+}
+
+// Append records one sample. A sample at the same cycle as the series'
+// latest overwrites it (grid re-publishes and re-sent worker frames are
+// idempotent); otherwise it is appended, evicting the oldest when the
+// ring is full. New series beyond MaxSeries are dropped and counted.
+func (h *History) Append(name string, cycle sim.Cycle, value float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.appendLocked(name, cycle, value)
+}
+
+func (h *History) appendLocked(name string, cycle sim.Cycle, value float64) {
+	r, ok := h.series[name]
+	if !ok {
+		if len(h.series) >= h.opts.MaxSeries {
+			h.dropped++
+			return
+		}
+		r = &histRing{buf: make([]histSample, h.opts.Cap)}
+		h.series[name] = r
+		i := sort.SearchStrings(h.names, name)
+		h.names = append(h.names, "")
+		copy(h.names[i+1:], h.names[i:])
+		h.names[i] = name
+	}
+	if last, ok := r.last(); ok && last.cycle == cycle {
+		r.buf[(r.start+r.n-1)%len(r.buf)] = histSample{cycle, value}
+		return
+	}
+	r.push(histSample{cycle, value})
+}
+
+// Capture samples every scalar instrument (counters, gauges) in reg at
+// the given cycle. Called from the simulation goroutine on supervision
+// grid points, so same-seed runs capture identical (cycle, value) grids.
+func (h *History) Capture(reg *Registry, cycle sim.Cycle) {
+	if h == nil || reg == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	reg.ForEachScalar(func(name string, value float64) {
+		h.appendLocked(name, cycle, value)
+	})
+}
+
+// Dropped returns the number of appends refused by the series bound.
+func (h *History) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// jsonFloat renders v as a JSON number; non-finite values (never
+// produced by healthy instruments) render as 0 to keep the document
+// parseable.
+func jsonFloat(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(buf, '0')
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// DumpJSON writes the store as a JSON document:
+//
+//	{"dropped_series":N,"series":{"name":[{"c":cycle,"v":value},...],...}}
+//
+// Series appear in sorted name order with fixed field order, so
+// same-seed runs produce byte-identical documents. prefix filters
+// series by name prefix ("" matches all). agg of "sum", "max", or
+// "mean" collapses the matched series into a single aggregate series
+// named `agg(prefix*)`, aligned on capture cycles — the per-tenant view
+// that keeps 512-core cardinality sane.
+func (h *History) DumpJSON(w io.Writer, prefix, agg string) (int64, error) {
+	if h == nil {
+		n, err := io.WriteString(w, `{"dropped_series":0,"series":{}}`+"\n")
+		return int64(n), err
+	}
+	h.mu.Lock()
+	buf := make([]byte, 0, 1<<12)
+	buf = append(buf, `{"dropped_series":`...)
+	buf = strconv.AppendUint(buf, h.dropped, 10)
+	buf = append(buf, `,"series":{`...)
+	var matched []string
+	for _, name := range h.names {
+		if strings.HasPrefix(name, prefix) {
+			matched = append(matched, name)
+		}
+	}
+	switch agg {
+	case "":
+		for i, name := range matched {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendSeriesJSON(buf, name, h.series[name])
+		}
+	case "sum", "max", "mean":
+		buf = appendAggJSON(buf, agg, prefix, matched, h.series)
+	}
+	buf = append(buf, "}}\n"...)
+	h.mu.Unlock()
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+func appendSeriesJSON(buf []byte, name string, r *histRing) []byte {
+	buf = strconv.AppendQuote(buf, name)
+	buf = append(buf, ":["...)
+	first := true
+	r.each(func(s histSample) {
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = append(buf, `{"c":`...)
+		buf = strconv.AppendUint(buf, uint64(s.cycle), 10)
+		buf = append(buf, `,"v":`...)
+		buf = jsonFloat(buf, s.value)
+		buf = append(buf, '}')
+	})
+	return append(buf, ']')
+}
+
+// appendAggJSON renders one synthetic series aggregating the matched
+// series per capture cycle.
+func appendAggJSON(buf []byte, agg, prefix string, matched []string, series map[string]*histRing) []byte {
+	type acc struct {
+		sum, max float64
+		n        uint64
+	}
+	byCycle := make(map[sim.Cycle]*acc)
+	var cycles []sim.Cycle
+	for _, name := range matched {
+		series[name].each(func(s histSample) {
+			a, ok := byCycle[s.cycle]
+			if !ok {
+				a = &acc{max: math.Inf(-1)}
+				byCycle[s.cycle] = a
+				cycles = append(cycles, s.cycle)
+			}
+			a.sum += s.value
+			if s.value > a.max {
+				a.max = s.value
+			}
+			a.n++
+		})
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	buf = strconv.AppendQuote(buf, agg+"("+prefix+"*)")
+	buf = append(buf, ":["...)
+	for i, c := range cycles {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		a := byCycle[c]
+		var v float64
+		switch agg {
+		case "sum":
+			v = a.sum
+		case "max":
+			v = a.max
+		case "mean":
+			v = a.sum / float64(a.n)
+		}
+		buf = append(buf, `{"c":`...)
+		buf = strconv.AppendUint(buf, uint64(c), 10)
+		buf = append(buf, `,"v":`...)
+		buf = jsonFloat(buf, v)
+		buf = append(buf, '}')
+	}
+	return append(buf, ']')
+}

@@ -20,10 +20,12 @@ import (
 
 // Server is the opt-in live-introspection endpoint. It serves:
 //
-//	/metrics      registry text dump (`name value` lines, sorted)
-//	/jobs         JSON snapshot from the Jobs function (campaign state)
-//	/debug/vars   expvar
-//	/debug/pprof  runtime profiles
+//	/metrics          registry text dump (`name value` lines, sorted)
+//	/metrics/history  time-series JSON (?prefix= filter, ?agg=sum|max|mean)
+//	/alerts           recent SLO alert transitions as JSON
+//	/jobs             JSON snapshot from the Jobs function (campaign state)
+//	/debug/vars       expvar
+//	/debug/pprof      runtime profiles
 //
 // Everything it reads is atomic (registry) or snapshot-by-callback
 // (jobs), so scraping never blocks the simulation loop.
@@ -37,6 +39,12 @@ import (
 // stderr. Per-connection write failures only cost that response.
 type Server struct {
 	Registry *Registry
+	// History, if set, backs /metrics/history. A nil store still serves
+	// a valid empty document.
+	History *History
+	// Alerts, if set, backs /alerts. A nil monitor still serves a valid
+	// empty document.
+	Alerts *SLOMonitor
 	// Jobs, if set, returns the value rendered as JSON at /jobs.
 	Jobs func() any
 	// Faults, if set, wraps the listener with injected accept/write
@@ -60,12 +68,23 @@ func (s *Server) Serve(addr string) (string, error) {
 		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	mux.HandleFunc("/metrics", endpoint(metricsContentType, func(w http.ResponseWriter, _ *http.Request) {
 		s.Registry.WriteTo(w)
-	})
-	mux.HandleFunc("/jobs", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	}))
+	mux.HandleFunc("/metrics/history", endpoint("application/json", func(w http.ResponseWriter, r *http.Request) {
+		agg := r.URL.Query().Get("agg")
+		switch agg {
+		case "", "sum", "max", "mean":
+		default:
+			http.Error(w, "agg must be sum, max or mean", http.StatusBadRequest)
+			return
+		}
+		s.History.DumpJSON(w, r.URL.Query().Get("prefix"), agg)
+	}))
+	mux.HandleFunc("/alerts", endpoint("application/json", func(w http.ResponseWriter, _ *http.Request) {
+		s.Alerts.DumpJSON(w)
+	}))
+	mux.HandleFunc("/jobs", endpoint("application/json", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Jobs == nil {
 			w.Write([]byte("[]\n"))
 			return
@@ -73,7 +92,7 @@ func (s *Server) Serve(addr string) (string, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Jobs())
-	})
+	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -95,6 +114,30 @@ func (s *Server) Serve(addr string) (string, error) {
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// metricsContentType is the Prometheus text exposition type: the dump
+// is `name value` lines (histograms as `name{ge="edge"} count`), which
+// exposition-format scrapers accept.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// endpoint wraps a GET handler with HEAD support (headers only — the
+// body is never rendered, so a HEAD probe costs no scrape work) and a
+// 405 with an Allow header for other methods.
+func endpoint(contentType string, get func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", contentType)
+			get(w, r)
+		case http.MethodHead:
+			w.Header().Set("Content-Type", contentType)
+			w.WriteHeader(http.StatusOK)
+		default:
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	}
 }
 
 // degrade flips the server into disabled mode after a fatal accept-loop

@@ -25,14 +25,34 @@
 // DESIGN.md §Observability for the full scheme.
 package obs
 
-import "context"
+import (
+	"context"
+
+	"camouflage/internal/sim"
+)
 
 // Bundle carries the observability handles one run threads through its
-// call tree: the metrics registry and the lifecycle tracer. Either field
+// call tree: the metrics registry, the lifecycle tracer, and the fleet
+// telemetry plane (time-series history, SLO alert monitor). Any field
 // may be nil; a nil *Bundle disables the whole layer.
 type Bundle struct {
 	Registry *Registry
 	Tracer   *Tracer
+	History  *History
+	Alerts   *SLOMonitor
+}
+
+// GridSample is the supervision-grid hook: the core loop calls it right
+// after publishing pull gauges on each grid point, from the simulation
+// goroutine, so history capture and SLO evaluation see identical
+// (cycle, value) sequences across same-seed runs. Nil-safe and free
+// when neither a history store nor a monitor is installed.
+func (b *Bundle) GridSample(cycle sim.Cycle) {
+	if b == nil || (b.History == nil && b.Alerts == nil) {
+		return
+	}
+	b.History.Capture(b.Registry, cycle)
+	b.Alerts.Check(b.Registry, cycle)
 }
 
 type ctxKey struct{}

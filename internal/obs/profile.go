@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// ProfileCapture writes bounded pprof snapshots when something goes
+// wrong (an SLO alert fires, a worker stalls). Each capture produces a
+// heap profile immediately and a short CPU profile asynchronously;
+// captures beyond Max are dropped so a flapping alert cannot fill the
+// disk. Filenames are deterministic (sequence number + reason, no
+// timestamps). All methods are nil-safe.
+type ProfileCapture struct {
+	Dir string        // destination directory (created on first capture)
+	Max int           // total capture budget; default 4
+	CPU time.Duration // CPU profile length; default 2s
+
+	mu      sync.Mutex
+	seq     int
+	cpuBusy bool // single-flight: one CPU profile at a time per process
+}
+
+// Capture requests one snapshot tagged with reason. It returns
+// immediately; the CPU profile finishes in the background. Returns
+// false when the budget is spent or the capture could not start.
+func (p *ProfileCapture) Capture(reason string) bool {
+	if p == nil || p.Dir == "" {
+		return false
+	}
+	p.mu.Lock()
+	max := p.Max
+	if max <= 0 {
+		max = 4
+	}
+	if p.seq >= max {
+		p.mu.Unlock()
+		return false
+	}
+	p.seq++
+	seq := p.seq
+	startCPU := !p.cpuBusy
+	if startCPU {
+		p.cpuBusy = true
+	}
+	p.mu.Unlock()
+
+	reason = sanitizeReason(reason)
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return false
+	}
+	base := filepath.Join(p.Dir, fmt.Sprintf("capture-%02d-%s", seq, reason))
+	if f, err := os.Create(base + ".heap.pb.gz"); err == nil {
+		_ = pprof.WriteHeapProfile(f)
+		_ = f.Close()
+	}
+	if !startCPU {
+		return true
+	}
+	dur := p.CPU
+	if dur <= 0 {
+		dur = 2 * time.Second
+	}
+	f, err := os.Create(base + ".cpu.pb.gz")
+	if err != nil || pprof.StartCPUProfile(f) != nil {
+		if f != nil {
+			_ = f.Close()
+		}
+		p.mu.Lock()
+		p.cpuBusy = false
+		p.mu.Unlock()
+		return true // heap profile still landed
+	}
+	go func() {
+		time.Sleep(dur)
+		pprof.StopCPUProfile()
+		_ = f.Close()
+		p.mu.Lock()
+		p.cpuBusy = false
+		p.mu.Unlock()
+	}()
+	return true
+}
+
+// Wait blocks until any in-flight CPU profile finishes (test teardown).
+func (p *ProfileCapture) Wait() {
+	if p == nil {
+		return
+	}
+	for {
+		p.mu.Lock()
+		busy := p.cpuBusy
+		p.mu.Unlock()
+		if !busy {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sanitizeReason keeps filenames portable.
+func sanitizeReason(s string) string {
+	if s == "" {
+		return "alert"
+	}
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && len(out) < 40; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,10 +1,10 @@
 package obs
 
 import (
-	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -92,6 +92,25 @@ func (h *CycleHist) Snapshot() (stats.Binning, []uint64) {
 	return h.binning, out
 }
 
+// indexEntry is one pre-rendered scrape line: the fixed key (everything
+// up to the value) plus the instrument that supplies the value. The
+// index is kept sorted by key at registration time, so a scrape walks it
+// in output order without rebuilding or sorting anything.
+//
+// Sorted keys yield sorted lines: the key is followed by a space, which
+// collates before every character that can legally appear in a name or
+// key ('.', '_', '{', letters, digits), so whenever keyA < keyB the
+// rendered lineA < lineB too.
+type indexEntry struct {
+	key string
+	c   *Counter
+	g   *Gauge
+	h   *CycleHist
+	// bin selects the histogram bin this entry renders; -1 renders the
+	// _total line (the sum over all bins).
+	bin int
+}
+
 // Registry holds named instruments. Registration takes a mutex;
 // instrument reads and writes are lock-free. A nil *Registry returns nil
 // instruments from every constructor, so components can instrument
@@ -102,6 +121,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*CycleHist
+	index    []indexEntry
+	scratch  []byte // reused scrape buffer, guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -111,6 +132,15 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*CycleHist),
 	}
+}
+
+// insertIndexLocked splices e into the key-sorted index. Registration is
+// rare and the slice copy is cheap next to a single scrape.
+func (r *Registry) insertIndexLocked(e indexEntry) {
+	i := sort.Search(len(r.index), func(i int) bool { return r.index[i].key >= e.key })
+	r.index = append(r.index, indexEntry{})
+	copy(r.index[i+1:], r.index[i:])
+	r.index[i] = e
 }
 
 // Counter returns the named counter, creating it if needed.
@@ -124,6 +154,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.insertIndexLocked(indexEntry{key: name, c: c})
 	}
 	return c
 }
@@ -139,6 +170,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.insertIndexLocked(indexEntry{key: name, g: g})
 	}
 	return g
 }
@@ -155,6 +187,15 @@ func (r *Registry) CycleHist(name string, b stats.Binning) *CycleHist {
 	if !ok {
 		h = &CycleHist{binning: b, counts: make([]atomic.Uint64, b.N())}
 		r.hists[name] = h
+		// One index entry per bin plus the total, each with its key
+		// rendered once here instead of on every scrape.
+		for i := 0; i < b.N(); i++ {
+			r.insertIndexLocked(indexEntry{
+				key: name + `{ge="` + strconv.FormatUint(uint64(b.Lower(i)), 10) + `"}`,
+				h:   h, bin: i,
+			})
+		}
+		r.insertIndexLocked(indexEntry{key: name + "_total", h: h, bin: -1})
 	}
 	return h
 }
@@ -180,38 +221,60 @@ func (r *Registry) Value(name string) (float64, bool) {
 }
 
 // WriteTo renders every instrument as `name value` lines, sorted by
-// name, histograms as one `name{le="edge"} count` line per bin plus a
-// total. This is the /metrics text dump.
+// name, histograms as one `name{ge="edge"} count` line per bin plus a
+// total. This is the /metrics text dump. The line order comes from the
+// registration-time index, so a scrape performs no sorting and reuses
+// one buffer: per-scrape allocations stay flat no matter how often a
+// dashboard polls.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	if r == nil {
 		return 0, nil
 	}
 	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
-	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
-	}
-	for name, h := range r.hists {
-		b, counts := h.Snapshot()
-		var total uint64
-		for i, n := range counts {
-			lines = append(lines, fmt.Sprintf("%s{ge=%q} %d", name, fmt.Sprint(b.Lower(i)), n))
-			total += n
+	buf := r.scratch[:0]
+	for _, e := range r.index {
+		buf = append(buf, e.key...)
+		buf = append(buf, ' ')
+		switch {
+		case e.c != nil:
+			buf = strconv.AppendUint(buf, e.c.Value(), 10)
+		case e.g != nil:
+			buf = strconv.AppendFloat(buf, e.g.Value(), 'g', -1, 64)
+		case e.bin >= 0:
+			buf = strconv.AppendUint(buf, e.h.counts[e.bin].Load(), 10)
+		default:
+			var total uint64
+			for i := range e.h.counts {
+				total += e.h.counts[i].Load()
+			}
+			buf = strconv.AppendUint(buf, total, 10)
 		}
-		lines = append(lines, fmt.Sprintf("%s_total %d", name, total))
+		buf = append(buf, '\n')
 	}
+	r.scratch = buf
 	r.mu.Unlock()
-	sort.Strings(lines)
-	var sb strings.Builder
-	for _, l := range lines {
-		sb.WriteString(l)
-		sb.WriteByte('\n')
-	}
-	n, err := io.WriteString(w, sb.String())
+	n, err := w.Write(buf)
 	return int64(n), err
+}
+
+// ForEachScalar calls fn for every counter and gauge in name order
+// (histograms are reported through their `name_total` sum). The history
+// store's grid capture uses it; fn runs under the registry mutex and
+// must not call back into the registry.
+func (r *Registry) ForEachScalar(fn func(name string, value float64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.index {
+		switch {
+		case e.c != nil:
+			fn(e.key, float64(e.c.Value()))
+		case e.g != nil:
+			fn(e.key, e.g.Value())
+		}
+	}
 }
 
 // Dump renders WriteTo as a string.

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"camouflage/internal/sim"
+	"camouflage/internal/stats"
+)
+
+// naiveDump reimplements the pre-index scrape (collect lines, sort) as
+// an oracle for the index-walk fast path.
+func naiveDump(r *Registry) string {
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", name, g.Value()))
+	}
+	for name, h := range r.hists {
+		b, counts := h.Snapshot()
+		var total uint64
+		for i, n := range counts {
+			lines = append(lines, fmt.Sprintf("%s{ge=%q} %d", name, fmt.Sprint(b.Lower(i)), n))
+			total += n
+		}
+		lines = append(lines, fmt.Sprintf("%s_total %d", name, total))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// populate fills r with a mix of instruments whose names interleave
+// histogram bin lines with scalar lines when sorted globally (a counter
+// named between "h" and "h_total" must land between the hist's lines).
+func populate(r *Registry, n int) {
+	bin := stats.Binning{Edges: []sim.Cycle{0, 100, 1000}}
+	for i := 0; i < n; i++ {
+		r.Counter(fmt.Sprintf("core.%03d.requests", i)).Add(uint64(i * 7))
+		r.Gauge(fmt.Sprintf("core.%03d.drift_l1", i)).Set(float64(i) / 3)
+		if i%8 == 0 {
+			r.CycleHist(fmt.Sprintf("core.%03d.latency", i), bin).Observe(sim.Cycle(i * 50))
+		}
+	}
+	// Names crafted to straddle histogram line keys.
+	r.CycleHist("h", bin).Observe(5)
+	r.Counter("h_mid").Inc()  // sorts between h_total and h{ge=...}
+	r.Gauge("hz").Set(1)      // sorts after all h lines
+	r.Counter("h.sub").Add(2) // sorts before h_total
+	r.Gauge("ha").Set(9)      // sorts between h.sub and h_total
+}
+
+// TestRegistryIndexMatchesNaiveSort pins the index walk to the original
+// collect-and-sort rendering, including the tricky global interleaving
+// of histogram bin lines with scalar names.
+func TestRegistryIndexMatchesNaiveSort(t *testing.T) {
+	r := NewRegistry()
+	populate(r, 64)
+	got := r.Dump()
+	want := naiveDump(r)
+	if got != want {
+		t.Fatalf("index dump diverges from sorted oracle:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Second scrape reuses the scratch buffer; must be stable.
+	if again := r.Dump(); again != got {
+		t.Fatalf("second scrape differs:\n%s\nvs\n%s", again, got)
+	}
+}
+
+// BenchmarkRegistryWriteTo guards the per-scrape cost: the index walk
+// must not rebuild or sort lines, so allocations stay flat regardless of
+// scrape frequency.
+func BenchmarkRegistryWriteTo(b *testing.B) {
+	r := NewRegistry()
+	populate(r, 512)
+	// Warm the scratch buffer so steady-state scrapes are measured.
+	if _, err := r.WriteTo(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
