@@ -415,6 +415,12 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 	// wall-clock dependent.
 	chunk := minSuperviseChunk
 	lastPoll := start
+	// lastGrid remembers the most recent in-loop GridSample cycle (valid
+	// when gridSampled) so the trailing end-of-run sample is skipped when
+	// the run already sampled that exact cycle — SLO streaks must see
+	// each grid cycle once.
+	var lastGrid sim.Cycle
+	gridSampled := false
 	for s.Kernel.Now() < end {
 		if pred != nil && pred() {
 			done = true
@@ -437,6 +443,7 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 				// SLO evaluation see identical (cycle, value) sequences in
 				// fast-path, stepped, and resumed runs.
 				s.obs.GridSample(now)
+				lastGrid, gridSampled = now, true
 			}
 			if s.heartbeat != nil {
 				hb := Heartbeat{Cycle: uint64(now)}
@@ -479,7 +486,7 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 		// finished state.
 		s.obsScope.Publish()
 	}
-	if s.obs != nil {
+	if s.obs != nil && (!gridSampled || lastGrid != s.Kernel.Now()) {
 		s.obs.GridSample(s.Kernel.Now())
 	}
 	if s.Monitor != nil {

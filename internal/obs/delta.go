@@ -158,12 +158,19 @@ type Merger struct {
 // NewMerger returns a merger writing under prefix, first zeroing any
 // instruments already registered there: a restarted attempt re-reports
 // from a fresh process registry, so `worker.<hash>.` always reflects
-// the live attempt rather than double-counting its predecessors.
+// the live attempt rather than double-counting its predecessors. The
+// segregated `.hedge.` subtree under a primary prefix is spared — the
+// hedge sibling's own merger manages it, and a restarted primary must
+// not wipe hedge-attempt metrics.
 func NewMerger(reg *Registry, prefix string) *Merger {
 	if reg == nil {
 		return nil
 	}
-	reg.ZeroPrefix(prefix)
+	skip := ""
+	if !strings.HasSuffix(prefix, ".hedge.") {
+		skip = prefix + "hedge."
+	}
+	reg.zeroPrefix(prefix, skip)
 	return &Merger{
 		reg:      reg,
 		prefix:   prefix,
@@ -223,6 +230,14 @@ func (m *Merger) Apply(d *MetricsDelta, cycle sim.Cycle) {
 				h.counts[i].Add(dv)
 			}
 		}
+		// Mirror ForEachScalar: the histogram's scalar face is its
+		// _total sum, so the fleet history shows the same series an
+		// in-process capture would.
+		var total uint64
+		for i := range h.counts {
+			total += h.counts[i].Load()
+		}
+		m.hist.Append(m.prefix+name+"_total", cycle, float64(total))
 	}
 }
 
@@ -238,23 +253,33 @@ func (m *Merger) Prefix() string {
 // counters and histogram buckets to zero, gauges to zero. Registration
 // (the sorted index) is untouched.
 func (r *Registry) ZeroPrefix(prefix string) {
+	r.zeroPrefix(prefix, "")
+}
+
+// zeroPrefix is ZeroPrefix with an optional carve-out: names starting
+// with skip (itself under prefix) are left alone.
+func (r *Registry) zeroPrefix(prefix, skip string) {
 	if r == nil {
 		return
+	}
+	match := func(name string) bool {
+		return strings.HasPrefix(name, prefix) &&
+			(skip == "" || !strings.HasPrefix(name, skip))
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {
-		if strings.HasPrefix(name, prefix) {
+		if match(name) {
 			c.v.Store(0)
 		}
 	}
 	for name, g := range r.gauges {
-		if strings.HasPrefix(name, prefix) {
+		if match(name) {
 			g.Set(0)
 		}
 	}
 	for name, h := range r.hists {
-		if strings.HasPrefix(name, prefix) {
+		if match(name) {
 			for i := range h.counts {
 				h.counts[i].Store(0)
 			}

@@ -291,6 +291,81 @@ func TestSLOMonitorMetricSuffixMatching(t *testing.T) {
 	}
 }
 
+// TestSLOMonitorDuplicateCycleIdempotent pins streak accounting to one
+// step per grid cycle: the core loop's trailing end-of-run sample may
+// revisit the final in-loop grid point, and that must not let a
+// Sustain=N rule raise a stride early.
+func TestSLOMonitorDuplicateCycleIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("shaper.req.0.drift_l1")
+	rules, _ := ParseSLOSpec("drift_l1>0.2:2")
+	m := NewSLOMonitor(rules, reg, nil)
+	g.Set(0.9)
+	m.Check(reg, 100)
+	m.Check(reg, 100) // duplicate delivery of the same grid cycle
+	if v, _ := reg.Value("obs.alerts.raised"); v != 0 {
+		t.Fatalf("raised = %v after one distinct cycle, want 0", v)
+	}
+	m.Check(reg, 200)
+	if v, _ := reg.Value("obs.alerts.raised"); v != 1 {
+		t.Fatalf("raised = %v after two distinct cycles, want 1", v)
+	}
+}
+
+// TestForEachScalarReportsHistTotals pins the documented scalar view of
+// a histogram: its _total sum, visible to history capture and SLO rules.
+func TestForEachScalarReportsHistTotals(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.CycleHist("shaper.req.0.queue_wait", stats.Binning{Edges: []sim.Cycle{0, 10, 20}})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(25)
+	reg.Counter("reqs").Inc()
+	got := map[string]float64{}
+	reg.ForEachScalar(func(name string, value float64) { got[name] = value })
+	if got["shaper.req.0.queue_wait_total"] != 3 {
+		t.Fatalf("hist total missing from scalar walk: %v", got)
+	}
+	if len(got) != 2 {
+		t.Fatalf("unexpected scalar set (per-bin lines must stay off it): %v", got)
+	}
+
+	// An SLO rule on the _total suffix can now fire.
+	rules, _ := ParseSLOSpec("queue_wait_total>2")
+	m := NewSLOMonitor(rules, reg, nil)
+	m.Check(reg, 100)
+	if v, _ := reg.Value("obs.alerts.raised"); v != 1 {
+		t.Fatalf("hist-total rule did not fire: raised = %v", v)
+	}
+}
+
+// TestMergerRestartSparesHedgeSubtree: zeroing the primary prefix on a
+// restarted attempt must not wipe the hedge sibling's segregated
+// metrics, which the hedge merger manages independently.
+func TestMergerRestartSparesHedgeSubtree(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("worker.abc.reqs").Add(10)
+	reg.Counter("worker.abc.hedge.reqs").Add(7)
+
+	NewMerger(reg, "worker.abc.")
+	if v, _ := reg.Value("worker.abc.reqs"); v != 0 {
+		t.Fatalf("primary restart did not zero its own prefix: %v", v)
+	}
+	if v, _ := reg.Value("worker.abc.hedge.reqs"); v != 7 {
+		t.Fatalf("primary restart wiped the hedge subtree: %v", v)
+	}
+
+	// A restarted hedge zeroes only its own subtree.
+	reg.Counter("worker.abc.reqs").Add(3)
+	NewMerger(reg, "worker.abc.hedge.")
+	if v, _ := reg.Value("worker.abc.hedge.reqs"); v != 0 {
+		t.Fatalf("hedge restart did not zero its subtree: %v", v)
+	}
+	if v, _ := reg.Value("worker.abc.reqs"); v != 3 {
+		t.Fatalf("hedge restart touched the primary: %v", v)
+	}
+}
+
 // --- delta tracker / merger -------------------------------------------
 
 func TestDeltaTrackerAndMergerRoundTrip(t *testing.T) {

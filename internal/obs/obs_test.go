@@ -171,6 +171,55 @@ func TestRegistryConcurrentScrape(t *testing.T) {
 	wg.Wait()
 }
 
+// TestRegistryParallelScrapers pins the scrape-buffer contract: net/http
+// serves each /metrics request on its own goroutine, so concurrent
+// WriteTo calls must not share the scratch buffer's backing array while
+// one of them is still draining it to a writer. Every scraped document
+// must be internally consistent (well-formed sorted lines), and the run
+// must be clean under -race.
+func TestRegistryParallelScrapers(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 32; i++ {
+		r.Counter(fmt.Sprintf("c.%02d", i)).Add(uint64(i))
+		r.Gauge(fmt.Sprintf("g.%02d", i)).Set(float64(i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var buf bytes.Buffer
+				if _, err := r.WriteTo(&buf); err != nil {
+					errs <- err
+					return
+				}
+				lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+				if len(lines) != 64 {
+					errs <- fmt.Errorf("scrape has %d lines, want 64:\n%s", len(lines), buf.String())
+					return
+				}
+				for j, l := range lines {
+					if _, _, ok := strings.Cut(l, " "); !ok {
+						errs <- fmt.Errorf("malformed scrape line %q", l)
+						return
+					}
+					if j > 0 && lines[j-1] > l {
+						errs <- fmt.Errorf("scrape unsorted: %q > %q", lines[j-1], l)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
 // --- tracer -----------------------------------------------------------
 
 // traceRequest fabricates a fully-stamped request.

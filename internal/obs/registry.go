@@ -122,7 +122,12 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*CycleHist
 	index    []indexEntry
-	scratch  []byte // reused scrape buffer, guarded by mu
+	// scrapeMu serializes whole scrapes (build + socket write) so
+	// concurrent /metrics requests never share scratch's backing array;
+	// mu is additionally held while building, never across the write, so
+	// a slow client draining the socket cannot block registration.
+	scrapeMu sync.Mutex
+	scratch  []byte // reused scrape buffer, guarded by scrapeMu
 }
 
 // NewRegistry returns an empty registry.
@@ -230,6 +235,8 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	if r == nil {
 		return 0, nil
 	}
+	r.scrapeMu.Lock()
+	defer r.scrapeMu.Unlock()
 	r.mu.Lock()
 	buf := r.scratch[:0]
 	for _, e := range r.index {
@@ -273,6 +280,15 @@ func (r *Registry) ForEachScalar(fn func(name string, value float64)) {
 			fn(e.key, float64(e.c.Value()))
 		case e.g != nil:
 			fn(e.key, e.g.Value())
+		case e.h != nil && e.bin < 0:
+			// The histogram's _total index entry: per-bin lines stay off
+			// the scalar walk, but the sum is a scalar SLO rules and
+			// history capture can watch.
+			var total uint64
+			for i := range e.h.counts {
+				total += e.h.counts[i].Load()
+			}
+			fn(e.key, float64(total))
 		}
 	}
 }

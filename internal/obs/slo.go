@@ -92,6 +92,12 @@ func (a Alert) appendJSON(buf []byte) []byte {
 type sloState struct {
 	streak int
 	active bool
+	// last is the most recent grid cycle stepped (valid when seen):
+	// duplicate deliveries of one cycle — e.g. a run's trailing
+	// end-of-run sample landing on the final in-loop grid point — must
+	// not advance the streak twice.
+	last sim.Cycle
+	seen bool
 }
 
 // maxRecentAlerts bounds the in-memory ring behind /alerts.
@@ -194,6 +200,10 @@ func (m *SLOMonitor) step(r *SLORule, name string, value float64, cycle sim.Cycl
 		st = &sloState{}
 		m.state[key] = st
 	}
+	if st.seen && st.last == cycle {
+		return // same grid cycle delivered twice: keep step idempotent
+	}
+	st.seen, st.last = true, cycle
 	if value > r.Max {
 		st.streak++
 		if st.streak >= r.Sustain && !st.active {
