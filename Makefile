@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke chaos-soak worker-smoke bench-kernel bench-kernel-check
+.PHONY: ci vet build test race fuzz-seeds fuzz experiments campaign-smoke obs-smoke ckpt-smoke chaos-soak worker-smoke dist-smoke bench-kernel bench-kernel-check
 
 ci: vet build race fuzz-seeds
 
@@ -82,6 +82,14 @@ ckpt-smoke:
 # stay byte-identical to plain in-process runs.
 worker-smoke:
 	./scripts/worker_crash_smoke.sh
+
+# Distributed dispatch smoke: an experiments supervisor on an ephemeral
+# TCP port drives two camworker processes; one is SIGKILLed mid-job, the
+# other's link injects deterministic partition faults. The campaign must
+# complete with a report byte-identical to a local -isolation=process
+# run, and the journal must pass obscheck's fencing-token validation.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 # Chaos soak: random SIGKILL + injected disk faults + at-rest checkpoint
 # corruption, resumed every iteration and byte-compared against a clean

@@ -1,0 +1,95 @@
+// Command camworker is a fleet member for distributed experiment
+// campaigns: it dials an experiments supervisor (-listen mode) over
+// TCP, authenticates with the shared fleet token, and executes leased
+// jobs, streaming heartbeats (with metric deltas and SLO alerts
+// piggybacked) and returning result tables.
+//
+//	experiments -listen :9090 -fleet-token s3cret -run scalability &
+//	camworker -connect host:9090 -fleet-token s3cret -id rack1
+//
+// The worker rebuilds the experiment suite locally from the same
+// parameters the supervisor used (-cycles, -seed, -adversary, -ga);
+// the handshake's fleet hash — a digest over every job name and spec —
+// refuses the connection if the two sides would disagree on what any
+// job means. A worker that loses its supervisor reconnects with
+// deterministic exponential backoff and resumes re-assigned jobs from
+// spec-hash-keyed checkpoints under -checkpoint-dir, so a partitioned
+// and healed worker produces byte-identical output to an uninterrupted
+// one.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"camouflage/internal/dispatch"
+	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
+	"camouflage/internal/sim"
+	"camouflage/internal/suite"
+)
+
+func main() {
+	connect := flag.String("connect", "", "supervisor address to dial, e.g. host:9090 (required)")
+	token := flag.String("fleet-token", "", "shared secret presented at handshake")
+	id := flag.String("id", "", "stable worker identity announced to the supervisor; metrics merge under worker.<id>.<jobhash>. (default: the supervisor labels this worker by remote address)")
+	ckptDir := flag.String("checkpoint-dir", "", "per-job crash-safe checkpoints under this directory; a re-assigned job resumes mid-simulation")
+	faultSpec := flag.String("io-faults", "", "deterministic I/O fault injection on the supervisor link, e.g. 'seed=7,partition=1.0:4096' (testing)")
+	cycles := flag.Uint64("cycles", uint64(harness.DefaultRunCycles), "measured cycles per run (must match the supervisor)")
+	seed := flag.Uint64("seed", 1, "simulation seed (must match the supervisor)")
+	adversary := flag.String("adversary", "gcc", "adversary benchmark for fig9 (must match the supervisor)")
+	useGA := flag.Bool("ga", false, "refine BDC configurations with the online GA (must match the supervisor)")
+	backoff := flag.Duration("backoff", dispatch.DefaultReconnectBackoff, "initial reconnect backoff")
+	maxBackoff := flag.Duration("max-backoff", dispatch.DefaultReconnectMaxBackoff, "reconnect backoff ceiling")
+	maxDials := flag.Int("max-dials", 0, "give up after this many consecutive failed dials (0 = retry forever)")
+	flag.Parse()
+
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "camworker: -connect is required")
+		os.Exit(2)
+	}
+	var faults *iofault.Injector
+	if *faultSpec != "" {
+		fopt, err := iofault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camworker:", err)
+			os.Exit(2)
+		}
+		faults = iofault.NewInjector(fopt)
+	}
+
+	exps := suite.Build(suite.Params{
+		Cycles:    sim.Cycle(*cycles),
+		Seed:      *seed,
+		Adversary: *adversary,
+		UseGA:     *useGA,
+	})
+
+	// SIGINT/SIGTERM cancel the in-flight attempt (its checkpoint
+	// survives for the next worker) and exit cleanly; a supervisor
+	// drain does the same without the signal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := dispatch.RunWorker(ctx, dispatch.WorkerConfig{
+		Addr:           *connect,
+		Token:          *token,
+		ID:             *id,
+		Jobs:           suite.Jobs(exps),
+		CheckpointRoot: *ckptDir,
+		Backoff:        *backoff,
+		MaxBackoff:     *maxBackoff,
+		Seed:           *seed,
+		MaxDials:       *maxDials,
+		Faults:         faults,
+		Log:            func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "camworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"camouflage/internal/campaign"
+	"camouflage/internal/core"
+	"camouflage/internal/dispatch"
+	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
+	"camouflage/internal/obs"
+)
+
+// Distributed-dispatch soak: each iteration drives a campaign through a
+// real localhost TCP fleet — an in-process supervisor and two RunWorker
+// goroutines — while the supervisor's listener injects deterministic
+// partition faults that drop connections mid-stream. Workers must
+// reconnect with backoff, resume re-leased jobs from their spec-hash-
+// keyed checkpoints, and the merged results must come out byte-identical
+// to an undisturbed in-process campaign.
+
+// dispatchJobs builds the fleet round's job list: checkpointing
+// simulations (so a partitioned worker has state to resume) whose
+// tables are pure functions of the configuration.
+func dispatchJobs() []campaign.Job {
+	const total = 4 * core.SuperviseStride
+	names := []string{"net-a", "net-b", "net-c"}
+	jobs := make([]campaign.Job, len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = campaign.Job{
+			Name: name,
+			Spec: fmt.Sprintf("dispatch cycles=%d", total),
+			Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+				return runSoakSim(ctx, name, total)
+			},
+		}
+	}
+	return jobs
+}
+
+// dispatchFabric is one fleet soak round.
+func (s *soak) dispatchFabric(iterSeed uint64) error {
+	jobs := dispatchJobs()
+	ref, err := campaign.Run(context.Background(), jobs, campaign.Options{
+		Workers: 2,
+		Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+		Seed: iterSeed,
+	})
+	if err != nil {
+		return fmt.Errorf("in-process reference campaign: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	faults := iofault.NewInjector(iofault.Options{Seed: iterSeed, Partition: 0.5, PartitionBytes: 6000})
+	sup := dispatch.NewSupervisor(dispatch.SupervisorConfig{
+		Token:          "chaossoak",
+		Jobs:           jobs,
+		LeaseTTL:       2 * time.Second,
+		HeartbeatEvery: 5 * time.Millisecond,
+		Registry:       reg,
+		Faults:         faults,
+		Log:            func(string, ...any) {},
+	})
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	roots := make([]string, 2)
+	for i := range roots {
+		dir, derr := os.MkdirTemp("", "chaossoak-net")
+		if derr != nil {
+			sup.Close()
+			cancel()
+			return derr
+		}
+		defer os.RemoveAll(dir)
+		roots[i] = dir
+		cfg := dispatch.WorkerConfig{
+			Addr:           addr.String(),
+			Token:          "chaossoak",
+			ID:             fmt.Sprintf("soak%d", i),
+			Jobs:           jobs,
+			CheckpointRoot: dir,
+			Backoff:        time.Millisecond,
+			MaxBackoff:     20 * time.Millisecond,
+			Seed:           iterSeed,
+			Log:            func(string, ...any) {},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dispatch.RunWorker(ctx, cfg)
+		}()
+	}
+	defer func() {
+		sup.Close()
+		cancel()
+		wg.Wait()
+	}()
+
+	sum, err := campaign.Run(context.Background(), jobs, campaign.Options{
+		Workers: 2,
+		Retries: 4,
+		Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+		Seed:       iterSeed,
+		Dispatcher: sup,
+		Log:        func(string, ...any) {},
+	})
+	if err != nil {
+		return fmt.Errorf("dispatched campaign: %w", err)
+	}
+	for i, res := range sum.Results {
+		if res.Status != campaign.Done {
+			return fmt.Errorf("job %s ended %s: %v", res.Job.Name, res.Status, res.Err)
+		}
+		got, gerr := json.Marshal(res.Table)
+		want, werr := json.Marshal(ref.Results[i].Table)
+		if gerr != nil || werr != nil || !bytes.Equal(got, want) {
+			return fmt.Errorf("job %s: dispatched table differs from in-process reference", res.Job.Name)
+		}
+	}
+	if v, _ := reg.Value("campaign.dispatch.degraded"); v != 0 {
+		return fmt.Errorf("fleet degraded to local execution with live workers")
+	}
+	return nil
+}

@@ -24,7 +24,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,24 +31,17 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"camouflage/internal/campaign"
+	"camouflage/internal/dispatch"
 	"camouflage/internal/harness"
 	"camouflage/internal/obs"
 	"camouflage/internal/sim"
+	"camouflage/internal/suite"
 )
-
-// experiment is one emission unit: a named result assembled from one or
-// more campaign jobs (sweeps fan out into a job per point and merge at
-// emission).
-type experiment struct {
-	name string
-	jobs []campaign.Job
-}
 
 func main() {
 	// Worker mode: a process-isolated campaign re-execs this binary with
@@ -87,23 +79,33 @@ func main() {
 	ckptRoot := flag.String("checkpoint-dir", "", "per-job crash-safe checkpoints under this directory; a retried or restarted job resumes mid-simulation")
 	hedge := flag.Float64("hedge", 0, "with -isolation=process: duplicate a job still running past this multiple of the completed-job p95; first finisher wins (0 = off)")
 	hedgeVerify := flag.Bool("hedge-verify", false, "let hedged duplicates finish and byte-compare their tables (a determinism cross-check; implies slower stragglers)")
+	listen := flag.String("listen", "", "supervise a distributed worker fleet: accept camworker connections on this address (e.g. :9090) and dispatch jobs over TCP; no reachable workers degrades to local execution")
+	fleetToken := flag.String("fleet-token", "", "with -listen: shared secret workers must present at handshake")
+	leaseTTL := flag.Duration("lease", dispatch.DefaultLeaseTTL, "with -listen: job lease duration; a worker silent past this is fenced off and its job re-dispatched")
+	fleetWait := flag.Duration("fleet-wait", 5*time.Second, "with -listen: wait up to this long for the first worker before degrading to local execution")
 	flag.Parse()
 
 	c := sim.Cycle(*cycles)
-	exps := buildExperiments(c, *seed, *adversary, *useGA)
+	exps := suite.Build(suite.Params{Cycles: c, Seed: *seed, Adversary: *adversary, UseGA: *useGA})
 
 	if workerMode {
-		var all []campaign.Job
-		for _, e := range exps {
-			all = append(all, e.jobs...)
-		}
-		os.Exit(campaign.ServeWorker(all))
+		os.Exit(campaign.ServeWorker(suite.Jobs(exps)))
 	}
 
-	selected, err := selectExperiments(exps, *run)
+	selected, err := suite.Select(exps, *run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *listen != "" {
+		if campaign.Isolation(*isolation) == campaign.IsolationProcess {
+			fmt.Fprintln(os.Stderr, "experiments: -listen and -isolation=process are mutually exclusive (remote workers already isolate)")
+			os.Exit(2)
+		}
+		if *hedge > 0 {
+			fmt.Fprintln(os.Stderr, "experiments: -listen and -hedge are mutually exclusive (lease re-dispatch covers stragglers)")
+			os.Exit(2)
+		}
 	}
 
 	memBytes, err := campaign.ParseBytes(*memLimit)
@@ -239,11 +241,9 @@ func main() {
 		}
 	}
 
-	var all []campaign.Job
-	for _, e := range selected {
-		all = append(all, e.jobs...)
-	}
-	sum, err := campaign.Run(ctx, all, campaign.Options{
+	all := suite.Jobs(selected)
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	opt := campaign.Options{
 		Workers:       *jobs,
 		Retries:       *retries,
 		JobTimeout:    *jobTimeout,
@@ -264,8 +264,51 @@ func main() {
 		Alerts:        monitor,
 		SLO:           *sloSpec,
 		Profiles:      profiles,
-		Log:           func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
-	})
+		Log:           logf,
+	}
+	var sup *dispatch.Supervisor
+	if *listen != "" {
+		// Distributed dispatch: jobs go to the TCP fleet; with no
+		// reachable workers the supervisor degrades to this local
+		// executor. The fleet hash covers the FULL suite (not just the
+		// -run selection) so any worker built with the same parameters
+		// can join regardless of which subset this run emits.
+		fallback, ferr := campaign.NewLocalExecutor(opt, logf)
+		if ferr != nil {
+			closeObs()
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(2)
+		}
+		sup = dispatch.NewSupervisor(dispatch.SupervisorConfig{
+			Token:     *fleetToken,
+			Jobs:      suite.Jobs(exps),
+			LeaseTTL:  *leaseTTL,
+			FleetWait: *fleetWait,
+			Fallback:  fallback,
+			Journal:   journal,
+			Registry:  reg,
+			History:   hist,
+			Alerts:    monitor,
+			SLO:       *sloSpec,
+			Log:       logf,
+		})
+		addr, serr := sup.Start(*listen)
+		if serr != nil {
+			closeObs()
+			fmt.Fprintln(os.Stderr, serr)
+			os.Exit(2)
+		}
+		// Scripts parse this exact line for the bound (possibly
+		// ephemeral) port.
+		fmt.Fprintf(os.Stderr, "dispatch: listening on %s\n", addr)
+		opt.Dispatcher = sup
+	}
+	sum, err := campaign.Run(ctx, all, opt)
+	if sup != nil {
+		// Drain the fleet inside the SIGINT grace window: stop accepting,
+		// send drain frames, wait for worker conns to settle.
+		sup.Close()
+	}
 	if err != nil {
 		closeObs()
 		fmt.Fprintln(os.Stderr, err)
@@ -303,7 +346,7 @@ func writeHistory(path string, hist *obs.History) error {
 // emit prints every selected experiment's table in canonical order
 // (merging sweep jobs back into one table) and writes CSVs. It reports
 // whether any experiment failed.
-func emit(selected []experiment, sum *campaign.Summary, csvDir string) bool {
+func emit(selected []suite.Experiment, sum *campaign.Summary, csvDir string) bool {
 	byHash := make(map[string]*campaign.Result, len(sum.Results))
 	for _, res := range sum.Results {
 		byHash[res.Hash] = res
@@ -319,7 +362,7 @@ func emit(selected []experiment, sum *campaign.Summary, csvDir string) bool {
 		var tables []*harness.Table
 		var errs []string
 		complete := true
-		for _, job := range e.jobs {
+		for _, job := range e.Jobs {
 			res := byHash[job.Hash()]
 			switch res.Status {
 			case campaign.Done, campaign.Resumed:
@@ -330,19 +373,19 @@ func emit(selected []experiment, sum *campaign.Summary, csvDir string) bool {
 					// the table, then the verdict.
 					tables = append(tables, res.Table)
 				}
-				errs = append(errs, fmt.Sprintf("%s: %v", e.name, res.Err))
+				errs = append(errs, fmt.Sprintf("%s: %v", e.Name, res.Err))
 				failed = true
 			default: // canceled / skipped: the resume picks it up
 				complete = false
 			}
 		}
-		if len(tables) == len(e.jobs) && complete {
+		if len(tables) == len(e.Jobs) && complete {
 			table := mergeTables(tables)
 			fmt.Println(strings.TrimRight(table.String(), "\n") + "\n")
 			if csvDir != "" {
-				path := filepath.Join(csvDir, e.name+".csv")
+				path := filepath.Join(csvDir, e.Name+".csv")
 				if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+					fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
 					failed = true
 				}
 			}
@@ -365,174 +408,4 @@ func mergeTables(tables []*harness.Table) *harness.Table {
 		merged.Rows = append(merged.Rows, t.Rows...)
 	}
 	return merged
-}
-
-// selectExperiments resolves the -run list against the canonical
-// experiment set, preserving canonical order.
-func selectExperiments(exps []experiment, run string) ([]experiment, error) {
-	if run == "all" || run == "" {
-		return exps, nil
-	}
-	want := map[string]bool{}
-	for _, name := range strings.Split(run, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			want[name] = true
-		}
-	}
-	var out []experiment
-	for _, e := range exps {
-		if want[e.name] {
-			out = append(out, e)
-			delete(want, e.name)
-		}
-	}
-	if len(want) > 0 {
-		unknown := make([]string, 0, len(want))
-		for name := range want {
-			unknown = append(unknown, name)
-		}
-		sort.Strings(unknown)
-		valid := make([]string, len(exps))
-		for i, e := range exps {
-			valid[i] = e.name
-		}
-		return nil, fmt.Errorf("experiments: unknown experiment(s) %s (valid: %s, all)",
-			strings.Join(unknown, ", "), strings.Join(valid, ", "))
-	}
-	return out, nil
-}
-
-// buildExperiments returns the canonical experiment list. Each job's
-// spec encodes every parameter that shapes its result, so the journal's
-// spec hash invalidates stale records when a flag changes.
-func buildExperiments(c sim.Cycle, seed uint64, adversary string, useGA bool) []experiment {
-	base := fmt.Sprintf("cycles=%d seed=%d", c, seed)
-	job := func(name, spec string, fn func(ctx context.Context) (*harness.Table, error)) campaign.Job {
-		return campaign.Job{
-			Name: name,
-			Spec: spec,
-			Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
-				ctx = obs.WithLabel(ctx, name)
-				var table *harness.Table
-				err := harness.Protect(name, func() error {
-					var e error
-					table, e = fn(ctx)
-					return e
-				})
-				return table, err
-			},
-		}
-	}
-	single := func(name, spec string, fn func(ctx context.Context) (*harness.Table, error)) experiment {
-		return experiment{name: name, jobs: []campaign.Job{job(name, spec, fn)}}
-	}
-	tab := func(r interface{ Table() *harness.Table }, err error) (*harness.Table, error) {
-		if err != nil {
-			return nil, err
-		}
-		return r.Table(), nil
-	}
-
-	exps := []experiment{
-		single("table1", "static", func(ctx context.Context) (*harness.Table, error) {
-			return harness.SchemeCapabilityTable(), nil
-		}),
-		single("table2", "static", func(ctx context.Context) (*harness.Table, error) {
-			return harness.BaseConfigTable(), nil
-		}),
-		single("fig2", base+" bench=bzip", func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.TradeoffSpace(ctx, "bzip", c, seed))
-		}),
-		single("fig3", base+" bench=bzip", func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.ShapedDistributions(ctx, "bzip", c, seed))
-		}),
-		single("fig4", fmt.Sprintf("seed=%d key=0x2AAAAAAA bits=32", seed), func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.KeyDistortion(ctx, 0x2AAAAAAA, 32, seed))
-		}),
-		single("fig8", fmt.Sprintf("seed=%d victim=gcc coworker=astar pop=16 gens=10", seed), func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.GATimeline(ctx, "gcc", "astar", 16, 10, seed))
-		}),
-		single("fig9", base+" adversary="+adversary, func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.ReturnTimeDifference(ctx, adversary, c, seed))
-		}),
-		single("fig10a", base+" victim=astar coworker=mcf", func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.RespCPerformance(ctx, "astar", "mcf", c, seed))
-		}),
-		single("fig10b", base+" victim=mcf coworker=astar", func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.RespCPerformance(ctx, "mcf", "astar", c, seed))
-		}),
-		single("fig11", base, func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.DistributionAccuracy(ctx, c, seed))
-		}),
-		single("fig12", base, func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.ReqCSpeedup(ctx, c, seed))
-		}),
-		single("fig13a", fmt.Sprintf("%s bench=astar ga=%t", base, useGA), func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.BDCComparison(ctx, "astar", useGA, c, seed))
-		}),
-		single("fig13b", fmt.Sprintf("%s bench=mcf ga=%t", base, useGA), func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.BDCComparison(ctx, "mcf", useGA, c, seed))
-		}),
-		single("fig14", fmt.Sprintf("seed=%d key=0x2AAAAAAA bits=32", seed), func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.CovertChannel(ctx, 0x2AAAAAAA, 32, seed))
-		}),
-		single("fig15", fmt.Sprintf("seed=%d key=0x01010101 bits=32", seed), func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.CovertChannel(ctx, 0x01010101, 32, seed))
-		}),
-		single("mi", base+" bench=astar", func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.MutualInformation(ctx, "astar", c, seed))
-		}),
-		single("headline", base, func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.HeadlineSpeedups(ctx, c, seed))
-		}),
-		scalabilitySweep(c, seed, job),
-		single("epochrate", base+" bench=gcc", func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.EpochRateComparison(ctx, "gcc", c, seed))
-		}),
-		single("windowleak", base+" bench=bzip", func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.WithinWindowLeakage(ctx, "bzip", nil, c, seed))
-		}),
-		single("phasedetect", fmt.Sprintf("cycles=%d seed=%d", 2*c, seed), func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.PhaseDetection(ctx, 2*c, seed))
-		}),
-		single("mitts", base, func(ctx context.Context) (*harness.Table, error) {
-			return tab(harness.MITTSFairness(ctx, c, seed))
-		}),
-		single("robustness", base, func(ctx context.Context) (*harness.Table, error) {
-			r, err := harness.Robustness(ctx, c, seed)
-			if err != nil {
-				return nil, err
-			}
-			if r.Failed() {
-				// The measured matrix is still worth showing; the verdict
-				// is fatal (deterministic from the seed, retrying cannot
-				// change it).
-				return r.Table(), campaign.Fatal(errors.New("some fault classes missed their expectation"))
-			}
-			return r.Table(), nil
-		}),
-	}
-	return exps
-}
-
-// scalabilitySweep fans the §II-B scalability experiment into one job
-// per core count — each point derives its sources from seed+cores*31 and
-// is independent, so the sweep parallelizes and resumes point-by-point;
-// emit() merges the rows back into the canonical single table.
-func scalabilitySweep(c sim.Cycle, seed uint64, job func(name, spec string, fn func(ctx context.Context) (*harness.Table, error)) campaign.Job) experiment {
-	e := experiment{name: "scalability"}
-	for _, n := range []int{4, 8, 16} {
-		n := n
-		e.jobs = append(e.jobs, job(
-			fmt.Sprintf("scalability/%d", n),
-			fmt.Sprintf("cycles=%d seed=%d cores=%d", c, seed, n),
-			func(ctx context.Context) (*harness.Table, error) {
-				r, err := harness.Scalability(ctx, []int{n}, c, seed)
-				if err != nil {
-					return nil, err
-				}
-				return r.Table(), nil
-			}))
-	}
-	return e
 }

@@ -134,6 +134,14 @@ type Options struct {
 	// Profiles, when non-nil, captures bounded pprof snapshots on
 	// supervisor-observed incidents (worker stall kills).
 	Profiles *obs.ProfileCapture
+
+	// Dispatcher, when non-nil, overrides the isolation-selected executor
+	// with an external one — typically a distributed dispatch supervisor
+	// (internal/dispatch) driving remote TCP workers, which itself falls
+	// back to a local Executor built via NewLocalExecutor when the fleet
+	// is empty. Hedging is the dispatcher's concern, so HedgeMultiple
+	// must be 0 when Dispatcher is set.
+	Dispatcher Executor
 }
 
 // Isolation names a job execution mode.
@@ -381,24 +389,33 @@ feed:
 	return sum, journalErr
 }
 
-// executor runs one job attempt; the in-process executor calls the job
+// Executor runs one job attempt; the in-process executor calls the job
 // function directly, the process executor re-execs a supervised worker,
-// and the hedged executor wraps either with straggler duplication.
-type executor interface {
-	execute(ctx context.Context, job Job, attempt int) (*harness.Table, error)
+// the hedged executor wraps either with straggler duplication, and a
+// distributed dispatcher (Options.Dispatcher) leases attempts to remote
+// workers. Execute must honor ctx cancellation and return an error whose
+// Classify class drives the retry loop.
+type Executor interface {
+	Execute(ctx context.Context, job Job, attempt int) (*harness.Table, error)
 }
 
 // inprocExecutor is the historical path: the attempt runs on the worker
 // pool goroutine itself.
 type inprocExecutor struct{}
 
-func (inprocExecutor) execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
+func (inprocExecutor) Execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
 	return runAttempt(ctx, job, attempt)
 }
 
 // newExecutor validates the isolation options and builds the attempt
 // executor.
-func newExecutor(opt Options, logf func(string, ...any)) (executor, error) {
+func newExecutor(opt Options, logf func(string, ...any)) (Executor, error) {
+	if opt.Dispatcher != nil {
+		if opt.HedgeMultiple > 0 {
+			return nil, fmt.Errorf("campaign: hedging is incompatible with Dispatcher (the dispatcher owns redundancy)")
+		}
+		return opt.Dispatcher, nil
+	}
 	switch opt.Isolation {
 	case "", IsolationInProc:
 		if opt.HedgeMultiple > 0 {
@@ -409,7 +426,7 @@ func newExecutor(opt Options, logf func(string, ...any)) (executor, error) {
 		if len(opt.WorkerCommand) == 0 {
 			return nil, fmt.Errorf("campaign: Isolation=%q requires WorkerCommand", IsolationProcess)
 		}
-		var ex executor = newProcExecutor(opt, logf)
+		var ex Executor = newProcExecutor(opt, logf)
 		if opt.HedgeMultiple > 0 {
 			ex = newHedgedExecutor(ex, opt, logf)
 		}
@@ -419,8 +436,30 @@ func newExecutor(opt Options, logf func(string, ...any)) (executor, error) {
 	}
 }
 
+// NewLocalExecutor builds the local (non-dispatched) executor the given
+// options describe: in-process for ""/IsolationInProc, a supervised
+// worker process for IsolationProcess, hedged when HedgeMultiple > 0. A
+// distributed dispatcher uses this as its degraded-mode fallback when no
+// remote workers are reachable. opt.Dispatcher is ignored.
+func NewLocalExecutor(opt Options, logf func(string, ...any)) (Executor, error) {
+	opt.Dispatcher = nil
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return newExecutor(opt, logf)
+}
+
+// RunAttempt executes one job attempt in-process: the job function runs
+// under the given context (checkpoint directory and heartbeat sink are
+// threaded through it by the caller) with panic containment. Exported
+// for remote workers (internal/dispatch), which drive attempts directly
+// rather than through the campaign pool.
+func RunAttempt(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
+	return runAttempt(ctx, job, attempt)
+}
+
 // runJob drives one job through its attempt/backoff loop and fills res.
-func runJob(ctx, graceCtx context.Context, res *Result, opt Options, exec executor, logf func(string, ...any)) {
+func runJob(ctx, graceCtx context.Context, res *Result, opt Options, exec Executor, logf func(string, ...any)) {
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
 	for attempt := 1; ; attempt++ {
@@ -434,7 +473,7 @@ func runJob(ctx, graceCtx context.Context, res *Result, opt Options, exec execut
 		if opt.CheckpointDir != "" {
 			jobCtx = WithCheckpointDir(jobCtx, jobCheckpointDir(opt.CheckpointDir, res.Hash))
 		}
-		table, err := exec.execute(jobCtx, res.Job, attempt)
+		table, err := exec.Execute(jobCtx, res.Job, attempt)
 		if cancel != nil {
 			cancel()
 		}
@@ -517,25 +556,32 @@ func runAttempt(ctx context.Context, job Job, attempt int) (table *harness.Table
 	return job.Run(ctx, attempt)
 }
 
-// backoff computes the delay before retrying `attempt` (1-based):
-// Backoff·2^(attempt-1) capped at MaxBackoff, jittered to 50–150% by a
-// pure function of (seed, job hash, attempt) so tests are reproducible
-// and concurrent retries de-synchronize.
+// backoff computes the delay before retrying `attempt` (1-based).
 func backoff(opt Options, hash string, attempt int) time.Duration {
+	return BackoffDelay(opt.Backoff, opt.MaxBackoff, opt.Seed, hash, attempt)
+}
+
+// BackoffDelay computes the delay before retrying `attempt` (1-based):
+// base·2^(attempt-1) capped at max, jittered to 50–150% by a pure
+// function of (seed, key, attempt) so tests are reproducible and
+// concurrent retries de-synchronize. Exported for remote workers
+// (internal/dispatch), whose reconnect loop uses the same deterministic
+// schedule with the worker ID as key.
+func BackoffDelay(base, max time.Duration, seed uint64, key string, attempt int) time.Duration {
 	if attempt < 1 {
 		attempt = 1
 	}
-	// Clamp the exponential explicitly: Backoff<<shift overflows int64
+	// Clamp the exponential explicitly: base<<shift overflows int64
 	// around attempt 63 (and shifts ≥64 are undefined for the value
 	// range), so instead of shifting and testing the wrapped result,
-	// shift MaxBackoff down — Backoff ≤ MaxBackoff>>shift implies
-	// Backoff<<shift ≤ MaxBackoff with no possibility of overflow.
-	d := opt.MaxBackoff
-	if shift := uint(attempt - 1); shift < 63 && opt.Backoff <= opt.MaxBackoff>>shift {
-		d = opt.Backoff << shift
+	// shift max down — base ≤ max>>shift implies base<<shift ≤ max with
+	// no possibility of overflow.
+	d := max
+	if shift := uint(attempt - 1); shift < 63 && base <= max>>shift {
+		d = base << shift
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s/%d", opt.Seed, hash, attempt)
+	fmt.Fprintf(h, "%d/%s/%d", seed, key, attempt)
 	frac := float64(h.Sum64()%1000) / 1000.0 // [0,1)
 	return time.Duration(float64(d) * (0.5 + frac))
 }
@@ -544,4 +590,24 @@ func backoff(opt Options, hash string, attempt int) time.Duration {
 // build jobs from a map).
 func SortJobs(jobs []Job) {
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Name < jobs[j].Name })
+}
+
+// JobsHash is the fleet identity of a job list: the first 16 hex digits
+// of a SHA-256 over the sorted (name, spec-hash) pairs. A dispatch
+// supervisor and its remote workers exchange this during the handshake —
+// two processes agree on it exactly when they would resolve every job
+// name to the same spec, which is the precondition for handing attempts
+// across the wire by name.
+func JobsHash(jobs []Job) string {
+	entries := make([]string, len(jobs))
+	for i, j := range jobs {
+		entries[i] = j.Name + "\t" + j.Hash()
+	}
+	sort.Strings(entries)
+	h := sha256.New()
+	for _, e := range entries {
+		h.Write([]byte(e))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }

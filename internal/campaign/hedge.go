@@ -64,18 +64,18 @@ func (t *durTracker) p95() (time.Duration, bool) {
 
 // hedgedExecutor wraps another executor with straggler hedging.
 type hedgedExecutor struct {
-	inner executor
+	inner Executor
 	opt   Options
 	logf  func(string, ...any)
 	wm    workerMetrics
 	durs  durTracker
 }
 
-func newHedgedExecutor(inner executor, opt Options, logf func(string, ...any)) *hedgedExecutor {
+func newHedgedExecutor(inner Executor, opt Options, logf func(string, ...any)) *hedgedExecutor {
 	return &hedgedExecutor{inner: inner, opt: opt, logf: logf, wm: opt.Progress.workerMetrics()}
 }
 
-func (h *hedgedExecutor) execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
+func (h *hedgedExecutor) Execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
 	start := time.Now()
 	table, err := h.run(ctx, job, attempt)
 	if err == nil {
@@ -92,7 +92,7 @@ type hedgeOutcome struct {
 func (h *hedgedExecutor) run(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
 	p95, ok := h.durs.p95()
 	if !ok {
-		return h.inner.execute(ctx, job, attempt)
+		return h.inner.Execute(ctx, job, attempt)
 	}
 	delay := time.Duration(float64(p95) * h.opt.HedgeMultiple)
 	if delay < hedgeMinDelay {
@@ -103,7 +103,7 @@ func (h *hedgedExecutor) run(ctx context.Context, job Job, attempt int) (*harnes
 	defer primCancel()
 	primCh := make(chan hedgeOutcome, 1)
 	go func() {
-		t, e := h.inner.execute(primCtx, job, attempt)
+		t, e := h.inner.Execute(primCtx, job, attempt)
 		primCh <- hedgeOutcome{t, e}
 	}()
 
@@ -130,7 +130,7 @@ func (h *hedgedExecutor) run(ctx context.Context, job Job, attempt int) (*harnes
 	}
 	secCh := make(chan hedgeOutcome, 1)
 	go func() {
-		t, e := h.inner.execute(runCtx, job, attempt)
+		t, e := h.inner.Execute(runCtx, job, attempt)
 		secCh <- hedgeOutcome{t, e}
 	}()
 	defer func() {

@@ -1,0 +1,192 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Lease-based job ownership for at-least-once distributed dispatch.
+//
+// Every attempt handed to a remote worker carries a lease: an expiry
+// deadline renewed by heartbeats, and a fencing token drawn from a
+// single monotonically-increasing counter. When a lease expires (the
+// worker missed its heartbeats — dead, stalled, or partitioned) the job
+// is re-leased under a strictly greater token. The original worker may
+// still be alive on the far side of a partition and may eventually
+// deliver a result; the table rejects it because its token no longer
+// matches the job's current lease. At-least-once dispatch thus never
+// double-counts a result, provided every result is routed through
+// Complete before it is accepted.
+
+// Lease errors, matched with errors.Is.
+var (
+	// ErrLeaseSuperseded rejects a result carrying a stale fencing
+	// token: the lease expired and the job was re-leased (and possibly
+	// completed) elsewhere. The late result must be discarded and its
+	// metrics prefix zeroed.
+	ErrLeaseSuperseded = errors.New("campaign: lease superseded (stale fencing token)")
+	// ErrLeaseHeld rejects acquiring a job whose current lease is still
+	// live.
+	ErrLeaseHeld = errors.New("campaign: lease still held")
+	// ErrLeaseDone rejects acquiring or completing a job that already
+	// has an accepted result.
+	ErrLeaseDone = errors.New("campaign: job already completed")
+	// ErrLeaseUnknown rejects renewing or completing a lease the table
+	// never granted.
+	ErrLeaseUnknown = errors.New("campaign: unknown lease")
+)
+
+// Lease is one granted job lease.
+type Lease struct {
+	// Hash is the job's spec hash (the lease key).
+	Hash string
+	// Fence is the lease's fencing token, strictly increasing across
+	// every grant the table ever makes (not just per job), so any two
+	// leases are ordered.
+	Fence uint64
+	// Owner labels the holder (worker address or ID), for journals and
+	// logs.
+	Owner string
+	// Expires is the deadline after which the lease may be broken.
+	Expires time.Time
+}
+
+// LeaseTable tracks live and completed leases for one campaign. The
+// zero value is not usable; use NewLeaseTable. All methods are
+// safe for concurrent use.
+type LeaseTable struct {
+	mu    sync.Mutex
+	ttl   time.Duration
+	fence uint64 // last token granted; next grant is fence+1
+	live  map[string]*Lease
+	done  map[string]uint64 // hash → fence that completed it
+	// now is the clock, replaceable in tests.
+	now func() time.Time
+}
+
+// NewLeaseTable returns a table granting leases with the given TTL
+// (heartbeat renewals push the deadline out by the same amount).
+func NewLeaseTable(ttl time.Duration) *LeaseTable {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return &LeaseTable{
+		ttl:  ttl,
+		live: make(map[string]*Lease),
+		done: make(map[string]uint64),
+		now:  time.Now,
+	}
+}
+
+// Acquire grants a lease on the job hash to owner, returning the new
+// fencing token. A live unexpired lease is refused with ErrLeaseHeld; an
+// expired one is broken — the grant returns a strictly greater token and
+// the old holder becomes a zombie whose result Complete will reject. A
+// completed job is refused with ErrLeaseDone.
+func (t *LeaseTable) Acquire(hash, owner string) (Lease, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if fence, ok := t.done[hash]; ok {
+		return Lease{}, fmt.Errorf("%w: %s (fence %d)", ErrLeaseDone, hash, fence)
+	}
+	if l, ok := t.live[hash]; ok && t.now().Before(l.Expires) {
+		return Lease{}, fmt.Errorf("%w: %s by %s until %s", ErrLeaseHeld, hash, l.Owner, l.Expires.Format(time.RFC3339))
+	}
+	t.fence++
+	l := &Lease{Hash: hash, Fence: t.fence, Owner: owner, Expires: t.now().Add(t.ttl)}
+	t.live[hash] = l
+	return *l, nil
+}
+
+// Renew extends the lease's deadline iff the fencing token still matches
+// the live lease — a heartbeat from a zombie must not resurrect a broken
+// lease. Renewing after expiry but before anyone re-acquired is allowed:
+// the worker proved it is alive and nobody else holds the job.
+func (t *LeaseTable) Renew(hash string, fence uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.done[hash]; ok {
+		return fmt.Errorf("%w: %s completed under fence %d, heartbeat fence %d", ErrLeaseSuperseded, hash, f, fence)
+	}
+	l, ok := t.live[hash]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLeaseUnknown, hash)
+	}
+	if l.Fence != fence {
+		return fmt.Errorf("%w: %s live fence %d, heartbeat fence %d", ErrLeaseSuperseded, hash, l.Fence, fence)
+	}
+	l.Expires = t.now().Add(t.ttl)
+	return nil
+}
+
+// Complete accepts a result iff the fencing token matches the job's
+// current live lease; the job then refuses all further leases and
+// results. A stale token — the lease was broken and re-granted, or the
+// job already completed under another token — is rejected with
+// ErrLeaseSuperseded, the signal to discard the result, zero its metric
+// prefix, and journal the zombie attempt.
+func (t *LeaseTable) Complete(hash string, fence uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.done[hash]; ok {
+		return fmt.Errorf("%w: %s already completed under fence %d, result fence %d", ErrLeaseSuperseded, hash, f, fence)
+	}
+	l, ok := t.live[hash]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLeaseUnknown, hash)
+	}
+	if l.Fence != fence {
+		return fmt.Errorf("%w: %s live fence %d, result fence %d", ErrLeaseSuperseded, hash, l.Fence, fence)
+	}
+	delete(t.live, hash)
+	t.done[hash] = fence
+	return nil
+}
+
+// Release drops a live lease without completing the job (the attempt
+// failed and will be retried under a fresh lease, or the owner
+// disconnected). Only the matching fence may release; a stale fence is a
+// no-op — the lease it refers to is already gone.
+func (t *LeaseTable) Release(hash string, fence uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.live[hash]; ok && l.Fence == fence {
+		delete(t.live, hash)
+	}
+}
+
+// Expired returns the leases whose deadline has passed, without breaking
+// them (Acquire does that, atomically with the re-grant).
+func (t *LeaseTable) Expired() []Lease {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var out []Lease
+	for _, l := range t.live {
+		if !now.Before(l.Expires) {
+			out = append(out, *l)
+		}
+	}
+	return out
+}
+
+// Live returns the number of live (possibly expired, not yet broken)
+// leases.
+func (t *LeaseTable) Live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live)
+}
+
+// Lookup returns the live lease for hash, if any.
+func (t *LeaseTable) Lookup(hash string) (Lease, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.live[hash]
+	if !ok {
+		return Lease{}, false
+	}
+	return *l, true
+}

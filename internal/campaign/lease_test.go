@@ -1,0 +1,185 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a LeaseTable deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTable(ttl time.Duration) (*LeaseTable, *fakeClock) {
+	tb := NewLeaseTable(ttl)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	tb.now = clk.now
+	return tb, clk
+}
+
+func TestLeaseAcquireCompleteLifecycle(t *testing.T) {
+	tb, _ := newTestTable(time.Second)
+	l, err := tb.Acquire("job1", "w1")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if l.Fence != 1 || l.Owner != "w1" {
+		t.Fatalf("lease = %+v, want fence 1 owner w1", l)
+	}
+	if _, err := tb.Acquire("job1", "w2"); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("second acquire: want ErrLeaseHeld, got %v", err)
+	}
+	if err := tb.Complete("job1", l.Fence); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if _, err := tb.Acquire("job1", "w2"); !errors.Is(err, ErrLeaseDone) {
+		t.Fatalf("acquire after done: want ErrLeaseDone, got %v", err)
+	}
+	if err := tb.Complete("job1", l.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("double complete: want ErrLeaseSuperseded, got %v", err)
+	}
+}
+
+func TestLeaseFencingRejectsZombie(t *testing.T) {
+	tb, clk := newTestTable(time.Second)
+	l1, err := tb.Acquire("job1", "w1")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// w1 goes silent past its lease; the job is re-leased to w2 with a
+	// strictly greater fence.
+	clk.advance(2 * time.Second)
+	exp := tb.Expired()
+	if len(exp) != 1 || exp[0].Hash != "job1" {
+		t.Fatalf("expired = %+v, want [job1]", exp)
+	}
+	l2, err := tb.Acquire("job1", "w2")
+	if err != nil {
+		t.Fatalf("re-acquire after expiry: %v", err)
+	}
+	if l2.Fence <= l1.Fence {
+		t.Fatalf("re-lease fence %d not greater than broken fence %d", l2.Fence, l1.Fence)
+	}
+	// The zombie's heartbeat must not resurrect its lease.
+	if err := tb.Renew("job1", l1.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("zombie renew: want ErrLeaseSuperseded, got %v", err)
+	}
+	// w2 completes; the zombie's late result is rejected.
+	if err := tb.Complete("job1", l2.Fence); err != nil {
+		t.Fatalf("w2 complete: %v", err)
+	}
+	if err := tb.Complete("job1", l1.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("zombie result: want ErrLeaseSuperseded, got %v", err)
+	}
+}
+
+func TestLeaseZombieResultBeforeReLeaseCompletion(t *testing.T) {
+	// The race the fencing token exists for: zombie's result arrives
+	// after re-lease but before the new holder finishes. The stale token
+	// must lose even though the job is not yet done.
+	tb, clk := newTestTable(time.Second)
+	l1, _ := tb.Acquire("job1", "w1")
+	clk.advance(2 * time.Second)
+	l2, err := tb.Acquire("job1", "w2")
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	if err := tb.Complete("job1", l1.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("zombie result mid-flight: want ErrLeaseSuperseded, got %v", err)
+	}
+	if err := tb.Complete("job1", l2.Fence); err != nil {
+		t.Fatalf("live holder completes: %v", err)
+	}
+}
+
+func TestLeaseRenewExtendsDeadline(t *testing.T) {
+	tb, clk := newTestTable(time.Second)
+	l, _ := tb.Acquire("job1", "w1")
+	clk.advance(900 * time.Millisecond)
+	if err := tb.Renew("job1", l.Fence); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	clk.advance(900 * time.Millisecond)
+	if got := tb.Expired(); len(got) != 0 {
+		t.Fatalf("lease expired despite renewal: %+v", got)
+	}
+	clk.advance(200 * time.Millisecond)
+	if got := tb.Expired(); len(got) != 1 {
+		t.Fatalf("lease should have expired: %+v", got)
+	}
+}
+
+func TestLeaseRenewAfterExpiryBeforeReacquire(t *testing.T) {
+	// A slow-but-alive worker whose lease lapsed may renew as long as
+	// nobody re-acquired: it proved liveness and still owns the job.
+	tb, clk := newTestTable(time.Second)
+	l, _ := tb.Acquire("job1", "w1")
+	clk.advance(5 * time.Second)
+	if err := tb.Renew("job1", l.Fence); err != nil {
+		t.Fatalf("late renew with no contender: %v", err)
+	}
+	if err := tb.Complete("job1", l.Fence); err != nil {
+		t.Fatalf("complete after late renew: %v", err)
+	}
+}
+
+func TestLeaseReleaseAndUnknown(t *testing.T) {
+	tb, _ := newTestTable(time.Second)
+	l, _ := tb.Acquire("job1", "w1")
+	tb.Release("job1", l.Fence)
+	if tb.Live() != 0 {
+		t.Fatalf("live = %d after release, want 0", tb.Live())
+	}
+	// Released, not completed: re-acquire works, with a greater fence.
+	l2, err := tb.Acquire("job1", "w2")
+	if err != nil {
+		t.Fatalf("re-acquire after release: %v", err)
+	}
+	if l2.Fence <= l.Fence {
+		t.Fatalf("fence not monotonic across release: %d then %d", l.Fence, l2.Fence)
+	}
+	// Stale release is a no-op on the new lease.
+	tb.Release("job1", l.Fence)
+	if _, ok := tb.Lookup("job1"); !ok {
+		t.Fatal("stale release dropped the live lease")
+	}
+	if err := tb.Renew("nope", 1); !errors.Is(err, ErrLeaseUnknown) {
+		t.Fatalf("renew unknown: want ErrLeaseUnknown, got %v", err)
+	}
+	if err := tb.Complete("nope", 1); !errors.Is(err, ErrLeaseUnknown) {
+		t.Fatalf("complete unknown: want ErrLeaseUnknown, got %v", err)
+	}
+}
+
+func TestLeaseFenceMonotonicAcrossJobs(t *testing.T) {
+	tb, _ := newTestTable(time.Second)
+	var last uint64
+	for _, hash := range []string{"a", "b", "c", "d"} {
+		l, err := tb.Acquire(hash, "w")
+		if err != nil {
+			t.Fatalf("acquire %s: %v", hash, err)
+		}
+		if l.Fence <= last {
+			t.Fatalf("fence %d for %s not greater than previous %d", l.Fence, hash, last)
+		}
+		last = l.Fence
+	}
+}
+
+func TestJobsHashOrderIndependent(t *testing.T) {
+	j1 := Job{Name: "a", Spec: "s1"}
+	j2 := Job{Name: "b", Spec: "s2"}
+	h12 := JobsHash([]Job{j1, j2})
+	h21 := JobsHash([]Job{j2, j1})
+	if h12 != h21 {
+		t.Fatalf("JobsHash order-dependent: %s vs %s", h12, h21)
+	}
+	if len(h12) != 16 {
+		t.Fatalf("JobsHash length = %d, want 16", len(h12))
+	}
+	if JobsHash([]Job{j1, {Name: "b", Spec: "changed"}}) == h12 {
+		t.Fatal("JobsHash insensitive to spec change")
+	}
+}

@@ -275,7 +275,7 @@ func (e *procExecutor) notePeak(rss int64) {
 	e.mu.Unlock()
 }
 
-func (e *procExecutor) execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
+func (e *procExecutor) Execute(ctx context.Context, job Job, attempt int) (*harness.Table, error) {
 	dir, _ := CheckpointDir(ctx)
 	hbEvery := e.opt.HeartbeatEvery
 	if hbEvery <= 0 {

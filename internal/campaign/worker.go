@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -114,19 +115,44 @@ const (
 	FrameDone  = "done"
 )
 
-// maxFrameLen bounds one frame so a corrupt length prefix cannot make
-// the supervisor allocate unboundedly. Sized for metric-delta payloads
+// MaxFrameLen bounds one frame so a corrupt length prefix cannot make
+// the receiver allocate unboundedly. Sized for metric-delta payloads
 // from 512-core systems (thousands of instruments), not just the bare
-// liveness fields.
-const maxFrameLen = 1 << 22
+// liveness fields. The distributed dispatch transport (internal/dispatch)
+// reuses this bound — and the codec below — over TCP.
+const MaxFrameLen = 1 << 22
 
-// writeFrame writes one length-prefixed JSON frame (4-byte big-endian
-// payload length, then the payload) in a single Write so frames never
-// interleave on the pipe.
-func writeFrame(w io.Writer, f HeartbeatFrame) error {
-	payload, err := json.Marshal(f)
+// maxFrameLen is kept as the historical internal name.
+const maxFrameLen = MaxFrameLen
+
+// Frame-decode error taxonomy. A reader must distinguish three shapes of
+// trouble, because each demands a different response:
+//
+//   - a clean io.EOF *between* frames is the peer exiting — normal;
+//   - ErrTornFrame (the stream ended mid-header or mid-payload) is a
+//     torn frame: the connection died mid-write, which on a network
+//     transport is transient and retryable after a reconnect;
+//   - ErrFrameTooLarge (a length prefix of zero or beyond MaxFrameLen)
+//     is a protocol violation or corruption and is fatal: retrying
+//     replays the same bytes and fails identically.
+var (
+	// ErrTornFrame marks a frame truncated mid-read: transient.
+	ErrTornFrame = errors.New("campaign: torn frame (stream ended mid-frame)")
+	// ErrFrameTooLarge marks a length prefix outside (0, MaxFrameLen]:
+	// fatal, never retried.
+	ErrFrameTooLarge = errors.New("campaign: frame length out of range")
+)
+
+// WriteFrameJSON writes v as one length-prefixed JSON frame (4-byte
+// big-endian payload length, then the payload) in a single Write so
+// frames never interleave on a shared pipe or connection.
+func WriteFrameJSON(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
 	if err != nil {
 		return err
+	}
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, len(payload), maxFrameLen)
 	}
 	buf := make([]byte, 4+len(payload))
 	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
@@ -135,23 +161,48 @@ func writeFrame(w io.Writer, f HeartbeatFrame) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader) (HeartbeatFrame, error) {
+// ReadFrameJSON reads one length-prefixed JSON frame into v,
+// distinguishing a clean EOF between frames (io.EOF), a torn frame
+// mid-read (ErrTornFrame), and an out-of-range length prefix
+// (ErrFrameTooLarge). Match the latter two with errors.Is.
+func ReadFrameJSON(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return HeartbeatFrame{}, err
+		if err == io.EOF {
+			return io.EOF // clean: the peer closed between frames
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: header truncated: %v", ErrTornFrame, err)
+		}
+		return err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrameLen {
-		return HeartbeatFrame{}, fmt.Errorf("campaign: heartbeat frame length %d out of range", n)
+		return fmt.Errorf("%w: length %d, want 1..%d", ErrFrameTooLarge, n, maxFrameLen)
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return HeartbeatFrame{}, err
+	if got, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: %d of %d payload bytes: %v", ErrTornFrame, got, n, err)
+		}
+		return err
 	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("campaign: bad frame payload: %w", err)
+	}
+	return nil
+}
+
+// writeFrame writes one heartbeat frame.
+func writeFrame(w io.Writer, f HeartbeatFrame) error {
+	return WriteFrameJSON(w, f)
+}
+
+// readFrame reads one length-prefixed heartbeat frame.
+func readFrame(r io.Reader) (HeartbeatFrame, error) {
 	var f HeartbeatFrame
-	if err := json.Unmarshal(payload, &f); err != nil {
-		return HeartbeatFrame{}, fmt.Errorf("campaign: bad heartbeat frame: %w", err)
+	if err := ReadFrameJSON(r, &f); err != nil {
+		return HeartbeatFrame{}, err
 	}
 	return f, nil
 }
@@ -234,6 +285,11 @@ func (w *HeartbeatWriter) writeLocked(f HeartbeatFrame) {
 		w.broken = true
 	}
 }
+
+// ReadRSS returns the process's resident set size in bytes — exported
+// for remote workers (internal/dispatch), whose heartbeats carry the
+// same liveness fields as local fd-3 frames.
+func ReadRSS() int64 { return readRSS() }
 
 // readRSS returns the process's resident set size in bytes, from
 // /proc/self/statm where available and the Go runtime's own accounting

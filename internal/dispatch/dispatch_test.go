@@ -1,0 +1,429 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"camouflage/internal/campaign"
+	"camouflage/internal/core"
+	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
+	"camouflage/internal/obs"
+)
+
+// tableJob is a deterministic job whose table depends only on its name,
+// so a dispatched result can be byte-compared against a local run.
+func tableJob(name string) campaign.Job {
+	return campaign.Job{
+		Name: name,
+		Spec: "spec of " + name,
+		Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+			// Instrument and beat like a real simulation: one counter
+			// increment, one grid heartbeat carrying the delta.
+			if b := obs.FromContext(ctx); b != nil && b.Registry != nil {
+				b.Registry.Counter("test.runs").Inc()
+			}
+			time.Sleep(3 * time.Millisecond) // outlive the beat throttle
+			if hb := core.HeartbeatFuncFromContext(ctx); hb != nil {
+				hb(core.Heartbeat{Cycle: 100})
+			}
+			t := &harness.Table{Title: name, Columns: []string{"k", "v"}}
+			t.AddRow(name, "ok")
+			return t, nil
+		},
+	}
+}
+
+// fleet spins up a supervisor plus n in-process workers and tears them
+// down with the test.
+func fleet(t *testing.T, cfg SupervisorConfig, n int, wcfg WorkerConfig) (*Supervisor, func()) {
+	t.Helper()
+	sup := NewSupervisor(cfg)
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := wcfg
+		w.Addr = addr.String()
+		if w.ID == "" {
+			w.ID = fmt.Sprintf("w%d", i)
+		} else {
+			w.ID = fmt.Sprintf("%s%d", w.ID, i)
+		}
+		if w.Token == "" {
+			w.Token = cfg.Token
+		}
+		if w.Jobs == nil {
+			w.Jobs = cfg.Jobs
+		}
+		w.Backoff, w.MaxBackoff = time.Millisecond, 20*time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			RunWorker(ctx, w)
+		}()
+	}
+	// Wait for the fleet to connect so tests don't race the handshake
+	// into the degraded path.
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Workers() < n && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n > 0 && sup.Workers() < n {
+		t.Fatalf("fleet never connected: %d of %d workers", sup.Workers(), n)
+	}
+	return sup, func() {
+		sup.Close()
+		cancel()
+		wg.Wait()
+	}
+}
+
+func TestDispatchEndToEnd(t *testing.T) {
+	jobs := []campaign.Job{tableJob("alpha"), tableJob("beta"), tableJob("gamma"), tableJob("delta")}
+	reg := obs.NewRegistry()
+	sup, stop := fleet(t, SupervisorConfig{
+		Token:          "secret",
+		Jobs:           jobs,
+		LeaseTTL:       2 * time.Second,
+		HeartbeatEvery: time.Millisecond,
+		Registry:       reg,
+		Log:            t.Logf,
+	}, 2, WorkerConfig{Token: "secret"})
+	defer stop()
+
+	opt := campaign.Options{Workers: 2, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Dispatcher: sup, Log: t.Logf}
+	sum, err := campaign.Run(context.Background(), jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != len(jobs) || sum.Failed != 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	// Results must be byte-identical to a local in-process run.
+	local, err := campaign.Run(context.Background(), jobs, campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum.Results {
+		if got, want := sum.Results[i].Table.String(), local.Results[i].Table.String(); got != want {
+			t.Errorf("job %s: dispatched table diverges from local:\n got: %q\nwant: %q", jobs[i].Name, got, want)
+		}
+	}
+	// Every job's single increment was merged under some fleet prefix
+	// worker.<label>.<jobhash>.test.runs.
+	for _, j := range jobs {
+		total := 0.0
+		for _, label := range []string{"w0", "w1"} {
+			v, _ := reg.Value("worker." + label + "." + j.Hash() + ".test.runs")
+			total += v
+		}
+		if total != 1 {
+			t.Errorf("job %s: merged test.runs = %v across fleet, want 1", j.Name, total)
+		}
+	}
+	if v, _ := reg.Value("campaign.dispatch.degraded"); v != 0 {
+		t.Errorf("degraded gauge = %v with a live fleet", v)
+	}
+}
+
+// TestDispatchZombieLeaseRejection is the satellite-3 scenario: a worker
+// stalls past its lease, the job is re-leased and completed elsewhere,
+// and the zombie's late result must be discarded, its metrics prefix
+// zeroed, and the journal record the superseded attempt.
+func TestDispatchZombieLeaseRejection(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	job := campaign.Job{
+		Name: "zjob",
+		Spec: "zombie scenario",
+		Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+			n := calls.Add(1)
+			if b := obs.FromContext(ctx); b != nil && b.Registry != nil {
+				b.Registry.Counter("test.zombie").Inc()
+			}
+			time.Sleep(5 * time.Millisecond) // clear the start-frame throttle
+			if hb := core.HeartbeatFuncFromContext(ctx); hb != nil {
+				hb(core.Heartbeat{Cycle: uint64(n)}) // ships the delta, renews the lease
+			}
+			if n == 1 {
+				close(parked)
+				<-release // silent: no more heartbeats, lease expires
+			}
+			tb := &harness.Table{Title: "zjob", Columns: []string{"k", "v"}}
+			tb.AddRow("zjob", "ok")
+			return tb, nil
+		},
+	}
+	jobs := []campaign.Job{job}
+	hash := job.Hash()
+	reg := obs.NewRegistry()
+	journal, err := campaign.OpenJournal(filepath.Join(t.TempDir(), "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, stop := fleet(t, SupervisorConfig{
+		Token:          "secret",
+		Jobs:           jobs,
+		LeaseTTL:       150 * time.Millisecond,
+		HeartbeatEvery: time.Millisecond,
+		Registry:       reg,
+		Journal:        journal,
+		Log:            t.Logf,
+	}, 2, WorkerConfig{Token: "secret"})
+	defer stop()
+
+	table, err := sup.Execute(context.Background(), job, 1)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if table == nil || calls.Load() != 2 {
+		t.Fatalf("job completed after %d calls (table %v), want re-leased 2nd call to win", calls.Load(), table)
+	}
+	<-parked
+	close(release) // the zombie wakes and delivers its late result
+
+	// The zombie's result frame is processed asynchronously; wait for
+	// the rejection counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := reg.Value("campaign.dispatch.zombies_rejected"); v >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("zombie result was never rejected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The journal recorded the superseded attempt with its fence and a
+	// distinct class.
+	var superseded []campaign.Record
+	for _, rec := range journal.Records() {
+		if rec.Status == campaign.StatusSuperseded {
+			superseded = append(superseded, rec)
+		}
+	}
+	if len(superseded) != 1 {
+		t.Fatalf("superseded records = %d, want 1 (journal: %+v)", len(superseded), journal.Records())
+	}
+	zrec := superseded[0]
+	if zrec.Hash != hash || zrec.Fence == 0 || zrec.Class != campaign.ClassSuperseded.String() || zrec.Worker == "" {
+		t.Fatalf("superseded record malformed: %+v", zrec)
+	}
+
+	// The zombie's metrics prefix was zeroed; the winner's survives.
+	zombiePrefix := "worker." + zrec.Worker + "." + hash + ".test.zombie"
+	if v, ok := reg.Value(zombiePrefix); ok && v != 0 {
+		t.Errorf("zombie metrics not zeroed: %s = %v", zombiePrefix, v)
+	}
+	var winner string
+	for _, label := range []string{"w0", "w1"} {
+		if label != zrec.Worker {
+			winner = label
+		}
+	}
+	if v, _ := reg.Value("worker." + winner + "." + hash + ".test.zombie"); v != 1 {
+		t.Errorf("winner metrics lost: worker.%s.%s.test.zombie = %v, want 1", winner, hash, v)
+	}
+}
+
+func TestDispatchDegradedFallback(t *testing.T) {
+	jobs := []campaign.Job{tableJob("solo")}
+	fallback, err := campaign.NewLocalExecutor(campaign.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sup, stop := fleet(t, SupervisorConfig{
+		Token:    "secret",
+		Jobs:     jobs,
+		Registry: reg,
+		Fallback: fallback,
+		Log:      t.Logf,
+	}, 0, WorkerConfig{})
+	defer stop()
+
+	table, err := sup.Execute(context.Background(), jobs[0], 1)
+	if err != nil {
+		t.Fatalf("degraded execute: %v", err)
+	}
+	if table == nil || table.Title != "solo" {
+		t.Fatalf("fallback table: %+v", table)
+	}
+	if v, _ := reg.Value("campaign.dispatch.degraded"); v != 1 {
+		t.Errorf("degraded gauge = %v, want 1", v)
+	}
+	// No fallback configured: degraded dispatch fails transient.
+	bare := NewSupervisor(SupervisorConfig{Jobs: jobs})
+	if _, err := bare.Execute(context.Background(), jobs[0], 1); err == nil || campaign.Classify(err) != campaign.ClassTransient {
+		t.Fatalf("no-fallback execute: %v", err)
+	}
+}
+
+func TestDispatchHandshakeRefused(t *testing.T) {
+	jobs := []campaign.Job{tableJob("a")}
+	sup := NewSupervisor(SupervisorConfig{Token: "right", Jobs: jobs, Log: t.Logf})
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	// Wrong token.
+	err = RunWorker(context.Background(), WorkerConfig{
+		Addr: addr.String(), Token: "wrong", Jobs: jobs, MaxDials: 1,
+		Backoff: time.Millisecond, MaxBackoff: time.Millisecond,
+	})
+	if !errors.Is(err, ErrHandshakeRefused) {
+		t.Fatalf("wrong token: want ErrHandshakeRefused, got %v", err)
+	}
+	// Diverging job list.
+	err = RunWorker(context.Background(), WorkerConfig{
+		Addr: addr.String(), Token: "right", Jobs: []campaign.Job{tableJob("other")}, MaxDials: 1,
+		Backoff: time.Millisecond, MaxBackoff: time.Millisecond,
+	})
+	if !errors.Is(err, ErrHandshakeRefused) {
+		t.Fatalf("fleet hash mismatch: want ErrHandshakeRefused, got %v", err)
+	}
+	if sup.Workers() != 0 {
+		t.Fatalf("refused workers registered: %d", sup.Workers())
+	}
+}
+
+func TestDispatchDrainStopsWorkers(t *testing.T) {
+	jobs := []campaign.Job{tableJob("a")}
+	sup := NewSupervisor(SupervisorConfig{Token: "s", Jobs: jobs, Log: t.Logf})
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(context.Background(), WorkerConfig{
+			Addr: addr.String(), Token: "s", Jobs: jobs,
+			Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Workers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	sup.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained worker returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit on drain")
+	}
+}
+
+// TestDispatchPartitionReconnect drives a fleet whose dial-side
+// connections partition mid-stream (the satellite-2 primitive): the
+// campaign must still complete with results byte-identical to a local
+// run, and the supervisor must have observed at least one reconnect.
+func TestDispatchPartitionReconnect(t *testing.T) {
+	jobs := []campaign.Job{tableJob("p1"), tableJob("p2"), tableJob("p3")}
+	reg := obs.NewRegistry()
+	sup := NewSupervisor(SupervisorConfig{
+		Token:          "secret",
+		Jobs:           jobs,
+		LeaseTTL:       300 * time.Millisecond,
+		HeartbeatEvery: time.Millisecond,
+		Registry:       reg,
+		Log:            t.Logf,
+	})
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	// Worker "flaky" always partitions a few hundred bytes into each
+	// connection: it spends the test dying and re-handshaking. Worker
+	// "solid" is healthy and carries the campaign to completion.
+	inj := iofault.NewInjector(iofault.Options{Seed: 7, Partition: 1.0, PartitionBytes: 400})
+	for _, w := range []WorkerConfig{
+		{ID: "flaky", Faults: inj},
+		{ID: "solid"},
+	} {
+		w.Addr, w.Token, w.Jobs = addr.String(), "secret", jobs
+		w.Backoff, w.MaxBackoff = time.Millisecond, 10*time.Millisecond
+		w.Log = t.Logf
+		wg.Add(1)
+		go func(w WorkerConfig) {
+			defer wg.Done()
+			RunWorker(ctx, w)
+		}(w)
+	}
+	defer func() {
+		sup.Close()
+		cancel()
+		wg.Wait()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Workers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	opt := campaign.Options{Workers: 2, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond, Retries: 10, Dispatcher: sup, Log: t.Logf}
+	sum, err := campaign.Run(context.Background(), jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != len(jobs) || sum.Failed != 0 {
+		t.Fatalf("summary under partitions: %+v", sum)
+	}
+	local, err := campaign.Run(context.Background(), jobs, campaign.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum.Results {
+		if got, want := sum.Results[i].Table.String(), local.Results[i].Table.String(); got != want {
+			t.Errorf("job %s under partitions diverges from local:\n got: %q\nwant: %q", jobs[i].Name, got, want)
+		}
+	}
+	// The flaky worker keeps dying and re-handshaking independently of
+	// the campaign; wait for proof that both the fault and the reconnect
+	// path fired.
+	for time.Now().Before(deadline) {
+		v, _ := reg.Value("campaign.dispatch.reconnects")
+		if inj.Stats().Partitions > 0 && v > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if inj.Stats().Partitions == 0 {
+		t.Error("partition fault never fired")
+	}
+	if v, _ := reg.Value("campaign.dispatch.reconnects"); v == 0 {
+		t.Error("flaky worker never re-handshaked")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:43210": "127-0-0-1-43210",
+		"w1":              "w1",
+		"":                "unknown",
+		"[::1]:80":        "---1--80",
+		"a_b-C9":          "a_b-C9",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package dispatch is the distributed campaign fabric: a TCP transport
+// that generalizes the process-isolation worker protocol so a campaign
+// supervisor can drive a fleet of remote workers across machines.
+//
+// The wire format is the campaign heartbeat framing — 4-byte big-endian
+// length prefix, JSON payload, campaign.MaxFrameLen-bounded — carrying a
+// small message vocabulary instead of bare heartbeat frames. Heartbeats
+// themselves ride inside beat messages unchanged, metrics deltas and SLO
+// alerts piggybacked exactly as on the local fd-3 pipe.
+//
+// Robustness model:
+//
+//   - Lease-based ownership: every assignment carries a lease deadline
+//     and a fencing token from campaign.LeaseTable. Beats renew the
+//     lease; a silent worker's lease expires, the job is re-leased under
+//     a strictly greater token, and the zombie's late result is rejected
+//     by token comparison — at-least-once dispatch, exactly-once
+//     accounting.
+//   - Reconnect with resumable state: a worker that loses the
+//     supervisor retries with the campaign's deterministic exponential
+//     backoff, re-handshakes with its last heartbeat cycle, and resumes
+//     re-assigned jobs from spec-hash-keyed checkpoints, so a
+//     partitioned-then-healed worker produces output byte-identical to
+//     an uninterrupted run.
+//   - Graceful degradation: with no reachable workers the supervisor
+//     falls back to a local executor with one notice and a
+//     campaign.dispatch.degraded gauge.
+//
+// The handshake authenticates with a shared campaign token (compared in
+// constant time) and the fleet hash — campaign.JobsHash over the job
+// list — so a supervisor never hands a job name to a worker that would
+// resolve it to a different spec.
+package dispatch
+
+import (
+	"crypto/subtle"
+
+	"camouflage/internal/campaign"
+	"camouflage/internal/harness"
+)
+
+// Message types. The conversation is strictly: worker sends hello,
+// supervisor answers helloAck; then the supervisor sends assign/cancel/
+// drain and the worker sends beat/result.
+const (
+	msgHello    = "hello"
+	msgHelloAck = "hello-ack"
+	msgAssign   = "assign"
+	msgBeat     = "beat"
+	msgResult   = "result"
+	msgCancel   = "cancel"
+	msgDrain    = "drain"
+)
+
+// msg is the single wire envelope; which fields are meaningful depends
+// on Type. One flat struct keeps the codec trivial and the frames
+// self-describing.
+type msg struct {
+	Type string `json:"type"`
+
+	// hello (worker → supervisor)
+	Token     string `json:"token,omitempty"`
+	FleetHash string `json:"fleet_hash,omitempty"`
+	WorkerID  string `json:"worker_id,omitempty"`
+	// LastAck carries the worker's last emitted heartbeat cycle on
+	// hello (resume context after reconnect) and the supervisor's last
+	// recorded cycle for that worker on hello-ack.
+	LastAck uint64 `json:"last_ack,omitempty"`
+
+	// hello-ack (supervisor → worker)
+	OK     bool   `json:"ok,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	// assign / beat / result / cancel: job identity and lease fence.
+	JobName string `json:"job,omitempty"`
+	JobHash string `json:"hash,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Fence   uint64 `json:"fence,omitempty"`
+
+	// assign
+	LeaseMS     int64  `json:"lease_ms,omitempty"`
+	HeartbeatMS int64  `json:"heartbeat_ms,omitempty"`
+	WantMetrics bool   `json:"want_metrics,omitempty"`
+	SLO         string `json:"slo,omitempty"`
+
+	// beat: one campaign heartbeat frame, verbatim.
+	Beat *campaign.HeartbeatFrame `json:"beat,omitempty"`
+
+	// result
+	Table *harness.Table `json:"table,omitempty"`
+	Error string         `json:"error,omitempty"`
+	Class string         `json:"class,omitempty"`
+}
+
+// tokenEqual compares campaign tokens in constant time, so the
+// handshake does not leak token prefixes through timing — this is,
+// after all, a repo about timing side channels.
+func tokenEqual(a, b string) bool {
+	return subtle.ConstantTimeCompare([]byte(a), []byte(b)) == 1
+}
+
+// sanitizeLabel maps a worker identity (announced ID or remote address)
+// to a metric-name-safe label: every byte outside [A-Za-z0-9_-] becomes
+// '-', so "127.0.0.1:43210" → "127-0-0-1-43210" and the fleet prefix
+// "worker.<label>.<jobhash>." parses unambiguously.
+func sanitizeLabel(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}

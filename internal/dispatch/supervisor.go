@@ -1,0 +1,636 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"camouflage/internal/campaign"
+	"camouflage/internal/harness"
+	"camouflage/internal/iofault"
+	"camouflage/internal/obs"
+	"camouflage/internal/sim"
+)
+
+// Defaults for the lease/handshake timing knobs.
+const (
+	// DefaultLeaseTTL is how long a worker may go silent before its
+	// lease is presumed dead and the job re-leased. Beats renew it, so
+	// it only needs to exceed the heartbeat interval with margin.
+	DefaultLeaseTTL = 10 * time.Second
+	// handshakeTimeout bounds the hello/hello-ack exchange.
+	handshakeTimeout = 5 * time.Second
+)
+
+// SupervisorConfig configures a dispatch supervisor.
+type SupervisorConfig struct {
+	// Token is the shared campaign secret; a hello with a different
+	// token is refused. Empty disables authentication (tests).
+	Token string
+	// Jobs is the campaign job list; its campaign.JobsHash is the fleet
+	// identity workers must match in their hello.
+	Jobs []campaign.Job
+	// LeaseTTL is the silent-worker deadline (0 selects
+	// DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// HeartbeatEvery throttles worker beat frames (0 selects
+	// campaign.DefaultHeartbeatEvery).
+	HeartbeatEvery time.Duration
+	// Fallback executes jobs locally when no remote worker is
+	// reachable. Nil means degraded dispatch fails the attempt as
+	// transient instead.
+	Fallback campaign.Executor
+	// FleetWait is a startup grace period: with an empty fleet, Execute
+	// waits up to this long after Serve for the first worker to dial in
+	// before degrading to Fallback. Zero degrades immediately.
+	FleetWait time.Duration
+	// Journal, when non-nil, additionally records superseded (zombie)
+	// attempts with their fencing tokens.
+	Journal *campaign.Journal
+	// Registry receives fleet metrics: dispatch gauges/counters under
+	// campaign.dispatch.*, and every worker's deltas merged under
+	// worker.<label>.<jobhash>. prefixes.
+	Registry *obs.Registry
+	// History, when non-nil, records merged worker scalars as
+	// (cycle, value) series.
+	History *obs.History
+	// Alerts, when non-nil, ingests worker-raised SLO alerts under the
+	// worker's merge prefix.
+	Alerts *obs.SLOMonitor
+	// SLO is the declarative rule spec forwarded to workers.
+	SLO string
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+	// Faults, when non-nil, wraps the listener (and every accepted
+	// connection) with injected network chaos.
+	Faults *iofault.Injector
+}
+
+// Supervisor drives a fleet of remote workers over TCP and implements
+// campaign.Executor, so it plugs into campaign.Run as
+// Options.Dispatcher.
+type Supervisor struct {
+	cfg       SupervisorConfig
+	fleetHash string
+	leases    *campaign.LeaseTable
+	logf      func(string, ...any)
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu           sync.Mutex
+	started      time.Time // construction time; anchors the FleetWait grace
+	workers      map[*remoteWorker]struct{}
+	seen         map[string]bool   // worker IDs that have connected before
+	lastCycles   map[string]uint64 // worker ID → last beat cycle observed
+	waiters      map[string]chan remoteResult
+	degradedOnce bool
+	closed       bool
+
+	gWorkers  *obs.Gauge
+	gDegraded *obs.Gauge
+	gLeases   *obs.Gauge
+	cReleases *obs.Counter
+	cZombies  *obs.Counter
+	cReconns  *obs.Counter
+}
+
+// remoteResult is one accepted (lease-validated) worker result.
+type remoteResult struct {
+	fence uint64
+	table *harness.Table
+	err   string
+	class string
+}
+
+// remoteWorker is one connected worker from the supervisor's side.
+type remoteWorker struct {
+	sup   *Supervisor
+	conn  net.Conn
+	id    string // worker-announced ID ("" if none)
+	label string // metric-safe identity: sanitized ID or remote address
+	done  chan struct{}
+
+	mu      sync.Mutex
+	busy    bool
+	suspect bool // lease expired while assigned; await zombie result or disconnect
+	running string
+	fence   uint64
+	merger  *obs.Merger
+	sendMu  sync.Mutex
+}
+
+// NewSupervisor builds a supervisor for the given job list. Serve (or
+// Start) brings it online.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = campaign.DefaultHeartbeatEvery
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Supervisor{
+		cfg:        cfg,
+		fleetHash:  campaign.JobsHash(cfg.Jobs),
+		leases:     campaign.NewLeaseTable(cfg.LeaseTTL),
+		logf:       logf,
+		started:    time.Now(),
+		workers:    make(map[*remoteWorker]struct{}),
+		seen:       make(map[string]bool),
+		lastCycles: make(map[string]uint64),
+		waiters:    make(map[string]chan remoteResult),
+		gWorkers:   cfg.Registry.Gauge("campaign.dispatch.workers"),
+		gDegraded:  cfg.Registry.Gauge("campaign.dispatch.degraded"),
+		gLeases:    cfg.Registry.Gauge("campaign.dispatch.leases_active"),
+		cReleases:  cfg.Registry.Counter("campaign.dispatch.releases"),
+		cZombies:   cfg.Registry.Counter("campaign.dispatch.zombies_rejected"),
+		cReconns:   cfg.Registry.Counter("campaign.dispatch.reconnects"),
+	}
+	return s
+}
+
+// FleetHash returns the job-list identity workers must present.
+func (s *Supervisor) FleetHash() string { return s.fleetHash }
+
+// Start listens on addr (":0" for an ephemeral port) and serves in a
+// background goroutine, returning the bound address.
+func (s *Supervisor) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: listen %s: %w", addr, err)
+	}
+	bound := ln.Addr()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.Serve(ln); err != nil {
+			s.logf("dispatch: serve: %v", err)
+		}
+	}()
+	return bound, nil
+}
+
+// Serve accepts worker connections on ln until Close. Injected accept
+// faults are absorbed (the accept loop continues); a closed listener
+// ends the loop cleanly.
+func (s *Supervisor) Serve(ln net.Listener) error {
+	ln = s.cfg.Faults.WrapListener(ln)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, iofault.ErrInjected) {
+				continue // chaos: a refused connection; the worker redials
+			}
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dispatch: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Supervisor) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close drains the fleet: stop accepting, send every worker a drain
+// frame, close connections, and wait for the handler goroutines.
+// In-flight Execute calls observe their worker's disconnect and either
+// re-dispatch or fall back; the campaign's own grace window governs how
+// long that is allowed to take.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	var ws []*remoteWorker
+	for w := range s.workers {
+		ws = append(ws, w)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, w := range ws {
+		w.send(msg{Type: msgDrain}) // best effort
+		w.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+// handleConn runs the handshake and then the per-worker reader loop.
+func (s *Supervisor) handleConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var hello msg
+	if err := campaign.ReadFrameJSON(conn, &hello); err != nil {
+		s.logf("dispatch: handshake read from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	refuse := func(reason string) {
+		s.logf("dispatch: refusing %s: %s", conn.RemoteAddr(), reason)
+		campaign.WriteFrameJSON(conn, msg{Type: msgHelloAck, Reason: reason})
+	}
+	if hello.Type != msgHello {
+		refuse(fmt.Sprintf("expected hello, got %q", hello.Type))
+		return
+	}
+	if !tokenEqual(hello.Token, s.cfg.Token) {
+		refuse("bad campaign token")
+		return
+	}
+	if hello.FleetHash != s.fleetHash {
+		refuse(fmt.Sprintf("fleet hash mismatch: worker %s, supervisor %s (job lists diverge)", hello.FleetHash, s.fleetHash))
+		return
+	}
+
+	label := sanitizeLabel(hello.WorkerID)
+	if hello.WorkerID == "" {
+		label = sanitizeLabel(conn.RemoteAddr().String())
+	}
+	w := &remoteWorker{sup: s, conn: conn, id: hello.WorkerID, label: label, done: make(chan struct{})}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		refuse("supervisor draining")
+		return
+	}
+	lastAck := s.lastCycles[label]
+	if s.seen[label] {
+		s.cReconns.Inc()
+	}
+	s.seen[label] = true
+	s.workers[w] = struct{}{}
+	s.gWorkers.Set(float64(len(s.workers)))
+	s.gDegraded.Set(0) // fleet reachable again
+	s.mu.Unlock()
+
+	if err := w.send(msg{Type: msgHelloAck, OK: true, LastAck: lastAck}); err != nil {
+		s.dropWorker(w)
+		return
+	}
+	s.logf("dispatch: worker %s connected from %s (last-acked cycle %d)", label, conn.RemoteAddr(), hello.LastAck)
+
+	for {
+		var m msg
+		if err := campaign.ReadFrameJSON(conn, &m); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !s.isClosed() {
+				s.logf("dispatch: worker %s read: %v", label, err)
+			}
+			s.dropWorker(w)
+			return
+		}
+		switch m.Type {
+		case msgBeat:
+			s.onBeat(w, m)
+		case msgResult:
+			s.onResult(w, m)
+		default:
+			s.logf("dispatch: worker %s sent unexpected %q frame", label, m.Type)
+		}
+	}
+}
+
+// dropWorker deregisters a disconnected worker and releases any live
+// lease it held so the waiting Execute re-dispatches immediately rather
+// than waiting out the lease TTL.
+func (s *Supervisor) dropWorker(w *remoteWorker) {
+	w.conn.Close()
+	s.mu.Lock()
+	_, present := s.workers[w]
+	delete(s.workers, w)
+	s.gWorkers.Set(float64(len(s.workers)))
+	s.mu.Unlock()
+	if !present {
+		return
+	}
+	w.mu.Lock()
+	hash, fence, wasBusy := w.running, w.fence, w.busy
+	w.busy, w.running, w.fence = false, "", 0
+	suspect := w.suspect
+	w.mu.Unlock()
+	if wasBusy && !suspect {
+		// The lease is released (not completed): the next Acquire grants
+		// a strictly greater fence, so any result this worker somehow
+		// still delivers is rejected. A suspect worker's lease was
+		// already broken by re-acquisition — leave it alone.
+		s.leases.Release(hash, fence)
+		s.cReleases.Inc()
+	}
+	close(w.done)
+	s.logf("dispatch: worker %s disconnected", w.label)
+}
+
+// onBeat renews the worker's lease and merges piggybacked telemetry.
+// Beats carrying a stale fence (the lease was re-granted elsewhere) are
+// dropped without touching the registry — the zombie's prefix has been
+// zeroed and must stay that way.
+func (s *Supervisor) onBeat(w *remoteWorker, m msg) {
+	s.mu.Lock()
+	if m.Beat != nil && m.Beat.Cycle > s.lastCycles[w.label] {
+		s.lastCycles[w.label] = m.Beat.Cycle
+	}
+	s.mu.Unlock()
+	if err := s.leases.Renew(m.JobHash, m.Fence); err != nil {
+		if errors.Is(err, campaign.ErrLeaseSuperseded) {
+			w.send(msg{Type: msgCancel, JobHash: m.JobHash, Fence: m.Fence})
+		}
+		return
+	}
+	w.mu.Lock()
+	merger := w.merger
+	current := w.running == m.JobHash && w.fence == m.Fence
+	w.mu.Unlock()
+	if !current || merger == nil || m.Beat == nil {
+		return
+	}
+	merger.Apply(m.Beat.Metrics, sim.Cycle(m.Beat.Cycle))
+	if len(m.Beat.Alerts) > 0 {
+		s.cfg.Alerts.Ingest(merger.Prefix(), m.Beat.Alerts)
+	}
+}
+
+// onResult routes a worker result through the lease table: an accepted
+// fence completes the job and wakes the waiting Execute; a stale fence
+// is a zombie — the result is discarded, its metric prefix zeroed, and
+// the journal records the superseded attempt.
+func (s *Supervisor) onResult(w *remoteWorker, m msg) {
+	err := s.leases.Complete(m.JobHash, m.Fence)
+	s.gLeases.Set(float64(s.leases.Live()))
+
+	w.mu.Lock()
+	if w.running == m.JobHash {
+		w.busy, w.suspect, w.running, w.fence, w.merger = false, false, "", 0, nil
+	}
+	w.mu.Unlock()
+
+	if err == nil {
+		s.mu.Lock()
+		ch := s.waiters[m.JobHash]
+		s.mu.Unlock()
+		if ch != nil {
+			ch <- remoteResult{fence: m.Fence, table: m.Table, err: m.Error, class: m.Class}
+		}
+		return
+	}
+	if errors.Is(err, campaign.ErrLeaseSuperseded) {
+		s.cZombies.Inc()
+		prefix := "worker." + w.label + "." + m.JobHash + "."
+		s.cfg.Registry.ZeroPrefix(prefix)
+		s.logf("dispatch: rejected zombie result for %s from %s (fence %d): %v", m.JobHash, w.label, m.Fence, err)
+		if s.cfg.Journal != nil {
+			s.cfg.Journal.Append(campaign.Record{
+				Job:      m.JobName,
+				Hash:     m.JobHash,
+				Status:   campaign.StatusSuperseded,
+				Attempts: m.Attempt,
+				Class:    campaign.ClassSuperseded.String(),
+				Error:    err.Error(),
+				Fence:    m.Fence,
+				Worker:   w.label,
+			})
+		}
+		return
+	}
+	s.logf("dispatch: dropping unroutable result for %s from %s (fence %d): %v", m.JobHash, w.label, m.Fence, err)
+}
+
+// send writes one frame to the worker, serialized against concurrent
+// senders.
+func (w *remoteWorker) send(m msg) error {
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	return campaign.WriteFrameJSON(w.conn, m)
+}
+
+// reserveIdle atomically claims an idle worker, or returns nil with the
+// current fleet size.
+func (s *Supervisor) reserveIdle() (*remoteWorker, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for w := range s.workers {
+		w.mu.Lock()
+		free := !w.busy && !w.suspect
+		if free {
+			w.busy = true
+		}
+		w.mu.Unlock()
+		if free {
+			return w, len(s.workers)
+		}
+	}
+	return nil, len(s.workers)
+}
+
+// assign binds the lease to the worker and ships the assignment. The
+// binding happens before the frame so a beat racing the assignment
+// still finds its merger.
+func (w *remoteWorker) assign(job campaign.Job, attempt int, lease campaign.Lease) error {
+	s := w.sup
+	var merger *obs.Merger
+	if s.cfg.Registry != nil {
+		merger = obs.NewMerger(s.cfg.Registry, "worker."+w.label+"."+lease.Hash+".")
+		merger.SetHistory(s.cfg.History)
+	}
+	w.mu.Lock()
+	w.running, w.fence, w.merger, w.suspect = lease.Hash, lease.Fence, merger, false
+	w.mu.Unlock()
+	return w.send(msg{
+		Type:        msgAssign,
+		JobName:     job.Name,
+		JobHash:     lease.Hash,
+		Attempt:     attempt,
+		Fence:       lease.Fence,
+		LeaseMS:     s.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: s.cfg.HeartbeatEvery.Milliseconds(),
+		WantMetrics: s.cfg.Registry != nil,
+		SLO:         s.cfg.SLO,
+	})
+}
+
+// markSuspect flags a worker whose lease expired while assigned: it
+// gets no new work until its late result (rejected as zombie) or its
+// disconnect clears the flag.
+func (w *remoteWorker) markSuspect(hash string, fence uint64) {
+	w.mu.Lock()
+	if w.running == hash && w.fence == fence {
+		w.suspect = true
+	}
+	w.mu.Unlock()
+}
+
+// Execute implements campaign.Executor: lease the job to an idle remote
+// worker and wait for its lease-validated result, re-leasing on worker
+// death, disconnect, or lease expiry, and falling back to the local
+// executor when the fleet is empty.
+func (s *Supervisor) Execute(ctx context.Context, job campaign.Job, attempt int) (*harness.Table, error) {
+	hash := job.Hash()
+	resCh := make(chan remoteResult, 4)
+	s.mu.Lock()
+	s.waiters[hash] = resCh
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.waiters, hash)
+		s.mu.Unlock()
+	}()
+
+	poll := s.cfg.LeaseTTL / 8
+	if poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dispatch: %s canceled before assignment: %w", job.Name, err)
+		}
+		w, fleet := s.reserveIdle()
+		if w == nil {
+			if fleet == 0 && !s.inFleetGrace() {
+				return s.fallback(ctx, job, attempt)
+			}
+			select { // fleet busy: wait for a slot
+			case <-ctx.Done():
+				return nil, fmt.Errorf("dispatch: %s canceled waiting for a worker: %w", job.Name, ctx.Err())
+			case <-time.After(poll):
+			}
+			continue
+		}
+		lease, err := s.leases.Acquire(hash, w.label)
+		if err != nil {
+			w.mu.Lock()
+			w.busy = false
+			w.mu.Unlock()
+			if errors.Is(err, campaign.ErrLeaseHeld) {
+				// A previous holder's lease has not expired yet (e.g. a
+				// zombie that still beats); wait for the table to break it.
+				select {
+				case <-ctx.Done():
+					return nil, fmt.Errorf("dispatch: %s canceled waiting for lease: %w", job.Name, ctx.Err())
+				case <-time.After(poll):
+				}
+				continue
+			}
+			return nil, campaign.Fatal(fmt.Errorf("dispatch: leasing %s: %w", job.Name, err))
+		}
+		s.gLeases.Set(float64(s.leases.Live()))
+		if err := w.assign(job, attempt, lease); err != nil {
+			s.leases.Release(hash, lease.Fence)
+			s.cReleases.Inc()
+			s.dropWorker(w)
+			continue
+		}
+		s.logf("dispatch: leased %s to %s (fence %d)", job.Name, w.label, lease.Fence)
+
+		redispatch := false
+		for !redispatch {
+			select {
+			case r := <-resCh:
+				if r.fence != lease.Fence {
+					continue // a stale delivery; only the live fence returns
+				}
+				if r.err != "" {
+					return r.table, reclassifyRemote(r.class, r.err, job.Name, w.label)
+				}
+				return r.table, nil
+			case <-ctx.Done():
+				w.send(msg{Type: msgCancel, JobHash: hash, Fence: lease.Fence})
+				s.leases.Release(hash, lease.Fence)
+				s.gLeases.Set(float64(s.leases.Live()))
+				return nil, fmt.Errorf("dispatch: %s canceled: %w", job.Name, ctx.Err())
+			case <-w.done:
+				// Worker gone; dropWorker already released the lease.
+				redispatch = true
+			case <-time.After(poll):
+				l, live := s.leases.Lookup(hash)
+				if live && l.Fence == lease.Fence && time.Now().Before(l.Expires) {
+					continue
+				}
+				// Expired (or vanished): presume the worker dead, keep the
+				// broken lease in place so the next Acquire fences it out,
+				// quarantine the worker, and re-dispatch.
+				w.markSuspect(hash, lease.Fence)
+				w.send(msg{Type: msgCancel, JobHash: hash, Fence: lease.Fence})
+				s.cReleases.Inc()
+				s.logf("dispatch: lease on %s expired (worker %s silent); re-leasing", job.Name, w.label)
+				redispatch = true
+			}
+		}
+	}
+}
+
+// inFleetGrace reports whether an empty fleet should still be waited
+// on: the FleetWait window after Serve has not elapsed yet.
+func (s *Supervisor) inFleetGrace() bool {
+	if s.cfg.FleetWait <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Since(s.started) < s.cfg.FleetWait
+}
+
+// fallback runs the job locally under the degraded-dispatch policy.
+func (s *Supervisor) fallback(ctx context.Context, job campaign.Job, attempt int) (*harness.Table, error) {
+	s.mu.Lock()
+	first := !s.degradedOnce
+	s.degradedOnce = true
+	s.mu.Unlock()
+	s.gDegraded.Set(1)
+	if first {
+		s.logf("dispatch: no reachable workers; degrading to local execution")
+	}
+	if s.cfg.Fallback == nil {
+		return nil, campaign.Transient(fmt.Errorf("dispatch: no reachable workers for %s and no local fallback", job.Name))
+	}
+	return s.cfg.Fallback.Execute(ctx, job, attempt)
+}
+
+// reclassifyRemote rebuilds a classified error from its wire form,
+// mirroring the process-isolation supervisor: fatal stays fatal,
+// everything else retries as transient.
+func reclassifyRemote(class, errStr, jobName, worker string) error {
+	err := fmt.Errorf("dispatch: %s on %s: %s", jobName, worker, errStr)
+	if class == campaign.ClassFatal.String() {
+		return campaign.Fatal(err)
+	}
+	return campaign.Transient(err)
+}
+
+// Workers reports the currently connected fleet size.
+func (s *Supervisor) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workers)
+}

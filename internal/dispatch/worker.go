@@ -1,0 +1,403 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"camouflage/internal/campaign"
+	"camouflage/internal/core"
+	"camouflage/internal/iofault"
+	"camouflage/internal/obs"
+)
+
+// Worker reconnect defaults; deliberately the same shape as the
+// campaign retry loop.
+const (
+	DefaultReconnectBackoff    = 250 * time.Millisecond
+	DefaultReconnectMaxBackoff = 5 * time.Second
+)
+
+// errDrained signals a clean supervisor-initiated shutdown.
+var errDrained = errors.New("dispatch: drained")
+
+// ErrHandshakeRefused marks a supervisor's permanent rejection (bad
+// token, diverging job list). The worker does not retry it: the same
+// hello would be refused identically.
+var ErrHandshakeRefused = errors.New("dispatch: handshake refused")
+
+// WorkerConfig configures one remote campaign worker.
+type WorkerConfig struct {
+	// Addr is the supervisor's host:port.
+	Addr string
+	// Token is the shared campaign secret.
+	Token string
+	// ID names this worker to the supervisor; it becomes the fleet
+	// metric label, so keep it to [A-Za-z0-9_-]. Empty lets the
+	// supervisor label by remote address.
+	ID string
+	// Jobs must be built identically to the supervisor's list — the
+	// handshake verifies campaign.JobsHash over it.
+	Jobs []campaign.Job
+	// CheckpointRoot, when non-empty, gives each assigned job a private
+	// checkpoint directory <root>/<spec-hash>, so a re-assigned attempt
+	// resumes instead of restarting.
+	CheckpointRoot string
+	// Backoff/MaxBackoff/Seed drive the deterministic reconnect
+	// schedule (campaign.BackoffDelay keyed by ID). Zero values select
+	// the defaults.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	Seed       uint64
+	// MaxDials bounds consecutive failed connection attempts before
+	// RunWorker gives up (0 = keep retrying until ctx cancels).
+	MaxDials int
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+	// Faults, when non-nil, wraps every dialed connection with injected
+	// network chaos (the dial-side partition primitive).
+	Faults *iofault.Injector
+	// Dial overrides the dialer (tests); nil uses net.Dialer.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// RunWorker connects to the supervisor and serves assigned jobs until
+// ctx cancels, the supervisor drains the fleet (returns nil), or the
+// handshake is permanently refused. A lost connection cancels the
+// running attempt (its checkpoint state survives) and reconnects with
+// deterministic exponential backoff; the supervisor re-leases the job
+// and a re-assignment resumes from the spec-hash-keyed checkpoint, so
+// the healed worker's output is byte-identical to an uninterrupted run.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultReconnectBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultReconnectMaxBackoff
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		var d net.Dialer
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	fleetHash := campaign.JobsHash(cfg.Jobs)
+	key := cfg.ID
+	if key == "" {
+		key = cfg.Addr
+	}
+
+	w := &workerState{cfg: cfg, logf: logf, fleetHash: fleetHash}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := dial(ctx, cfg.Addr)
+		if err == nil {
+			conn = cfg.Faults.WrapConn(conn)
+			err = w.serveConn(ctx, conn)
+			conn.Close()
+			switch {
+			case errors.Is(err, errDrained):
+				logf("dispatch worker: drained by supervisor")
+				return nil
+			case errors.Is(err, ErrHandshakeRefused):
+				return err
+			}
+			if w.handshook {
+				failures = 0 // the link worked; restart the backoff ladder
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			logf("dispatch worker: connection lost (%v); reconnecting", err)
+		}
+		failures++
+		if cfg.MaxDials > 0 && failures >= cfg.MaxDials {
+			return fmt.Errorf("dispatch: giving up after %d connection attempts: %w", failures, err)
+		}
+		delay := campaign.BackoffDelay(cfg.Backoff, cfg.MaxBackoff, cfg.Seed, key, failures)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// workerState carries per-process worker state across reconnects.
+type workerState struct {
+	cfg       WorkerConfig
+	logf      func(string, ...any)
+	fleetHash string
+	// lastCycle is the highest heartbeat cycle this worker ever
+	// emitted; it rides the next hello so the supervisor knows the
+	// resume point.
+	lastCycle uint64
+	// handshook reports whether the most recent connection completed
+	// its handshake.
+	handshook bool
+}
+
+// serveConn handshakes and serves one connection until it breaks or the
+// supervisor drains.
+func (w *workerState) serveConn(ctx context.Context, conn net.Conn) error {
+	w.handshook = false
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	hello := msg{
+		Type:      msgHello,
+		Token:     w.cfg.Token,
+		FleetHash: w.fleetHash,
+		WorkerID:  w.cfg.ID,
+		LastAck:   w.lastCycle,
+	}
+	if err := campaign.WriteFrameJSON(conn, hello); err != nil {
+		return fmt.Errorf("dispatch: sending hello: %w", err)
+	}
+	var ack msg
+	if err := campaign.ReadFrameJSON(conn, &ack); err != nil {
+		return fmt.Errorf("dispatch: reading hello-ack: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	if ack.Type != msgHelloAck || !ack.OK {
+		return fmt.Errorf("%w: %s", ErrHandshakeRefused, ack.Reason)
+	}
+	w.handshook = true
+	w.logf("dispatch worker: connected to %s (supervisor last saw cycle %d)", w.cfg.Addr, ack.LastAck)
+
+	cw := &connWriter{conn: conn}
+	var (
+		runMu   sync.Mutex
+		running string             // job hash of the in-flight attempt
+		cancel  context.CancelFunc // cancels the in-flight attempt
+		runDone chan struct{}      // closed when the attempt goroutine exits
+	)
+	cancelRunning := func(hash string) {
+		runMu.Lock()
+		if cancel != nil && (hash == "" || running == hash) {
+			cancel()
+		}
+		runMu.Unlock()
+	}
+	waitRunning := func() {
+		runMu.Lock()
+		done := runDone
+		runMu.Unlock()
+		if done != nil {
+			<-done
+		}
+	}
+	defer func() {
+		// The connection is gone: cancel the in-flight attempt so it
+		// checkpoints and stops, then wait for it — the next connection
+		// must not race it for the checkpoint directory.
+		cancelRunning("")
+		waitRunning()
+	}()
+
+	for {
+		var m msg
+		if err := campaign.ReadFrameJSON(conn, &m); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("dispatch: supervisor closed the connection")
+			}
+			return err
+		}
+		switch m.Type {
+		case msgAssign:
+			runMu.Lock()
+			if runDone != nil {
+				select {
+				case <-runDone: // previous attempt finished
+				default:
+					runMu.Unlock()
+					cw.send(msg{Type: msgResult, JobName: m.JobName, JobHash: m.JobHash, Attempt: m.Attempt, Fence: m.Fence,
+						Error: "worker already running a job (supervisor protocol error)", Class: campaign.ClassFatal.String()})
+					continue
+				}
+			}
+			attemptCtx, c := context.WithCancel(ctx)
+			cancel = c
+			running = m.JobHash
+			done := make(chan struct{})
+			runDone = done
+			runMu.Unlock()
+			go func(m msg) {
+				defer close(done)
+				w.runAssignment(attemptCtx, cw, m)
+			}(m)
+		case msgCancel:
+			cancelRunning(m.JobHash)
+		case msgDrain:
+			cancelRunning("")
+			waitRunning()
+			return errDrained
+		default:
+			w.logf("dispatch worker: unexpected %q frame", m.Type)
+		}
+	}
+}
+
+// runAssignment executes one assigned attempt and reports its result.
+func (w *workerState) runAssignment(ctx context.Context, cw *connWriter, m msg) {
+	var job *campaign.Job
+	for i := range w.cfg.Jobs {
+		if w.cfg.Jobs[i].Name == m.JobName {
+			job = &w.cfg.Jobs[i]
+			break
+		}
+	}
+	result := msg{Type: msgResult, JobName: m.JobName, JobHash: m.JobHash, Attempt: m.Attempt, Fence: m.Fence}
+	if job == nil {
+		result.Error = fmt.Sprintf("unknown job %q (worker job list diverges from supervisor)", m.JobName)
+		result.Class = campaign.ClassFatal.String()
+		cw.send(result)
+		return
+	}
+	if h := job.Hash(); h != m.JobHash {
+		result.Error = fmt.Sprintf("spec hash mismatch for %q: worker built %s, supervisor sent %s", m.JobName, h, m.JobHash)
+		result.Class = campaign.ClassFatal.String()
+		cw.send(result)
+		return
+	}
+
+	if w.cfg.CheckpointRoot != "" {
+		ctx = campaign.WithCheckpointDir(ctx, filepath.Join(w.cfg.CheckpointRoot, m.JobHash))
+	}
+	bw := newBeatWriter(cw, m.JobHash, m.Fence, time.Duration(m.HeartbeatMS)*time.Millisecond)
+	ctx = core.WithHeartbeatFunc(ctx, bw.Beat)
+	if m.WantMetrics {
+		reg := obs.NewRegistry()
+		var monitor *obs.SLOMonitor
+		if m.SLO != "" {
+			if rules, err := obs.ParseSLOSpec(m.SLO); err == nil {
+				monitor = obs.NewSLOMonitor(rules, reg, nil)
+			} else {
+				w.logf("dispatch worker: ignoring SLO spec: %v", err)
+			}
+		}
+		ctx = obs.NewContext(ctx, &obs.Bundle{Registry: reg, Alerts: monitor})
+		bw.SetTelemetry(obs.NewDeltaTracker(reg), monitor)
+	}
+
+	bw.Emit(campaign.FrameStart)
+	table, err := campaign.RunAttempt(ctx, *job, m.Attempt)
+	bw.Emit(campaign.FrameDone) // flushes the final metrics delta
+	if c := bw.LastCycle(); c > w.lastCycle {
+		w.lastCycle = c
+	}
+
+	result.Table = table
+	if err != nil {
+		result.Error = err.Error()
+		result.Class = campaign.Classify(err).String()
+	}
+	if serr := cw.send(result); serr != nil {
+		// The connection died with the result in hand. The supervisor
+		// re-leases the job; determinism makes the re-run identical.
+		w.logf("dispatch worker: could not deliver result for %s: %v", m.JobName, serr)
+	}
+}
+
+// connWriter serializes frame writes on a shared connection (beats from
+// the simulation goroutine race results from the serve loop).
+type connWriter struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	broken bool
+}
+
+func (c *connWriter) send(m msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return fmt.Errorf("dispatch: connection marked broken")
+	}
+	if err := campaign.WriteFrameJSON(c.conn, m); err != nil {
+		c.broken = true
+		return err
+	}
+	return nil
+}
+
+// beatWriter is the network twin of campaign.HeartbeatWriter: throttled
+// grid beats with metrics deltas and SLO alerts piggybacked, stamped
+// with the lease fence so the supervisor can fence out zombies.
+type beatWriter struct {
+	mu        sync.Mutex
+	cw        *connWriter
+	hash      string
+	fence     uint64
+	every     time.Duration
+	last      time.Time
+	lastCycle uint64
+	tracker   *obs.DeltaTracker
+	monitor   *obs.SLOMonitor
+}
+
+func newBeatWriter(cw *connWriter, hash string, fence uint64, every time.Duration) *beatWriter {
+	if every <= 0 {
+		every = campaign.DefaultHeartbeatEvery
+	}
+	return &beatWriter{cw: cw, hash: hash, fence: fence, every: every}
+}
+
+func (b *beatWriter) SetTelemetry(tracker *obs.DeltaTracker, monitor *obs.SLOMonitor) {
+	b.mu.Lock()
+	b.tracker = tracker
+	b.monitor = monitor
+	b.mu.Unlock()
+}
+
+// Beat plugs into core.WithHeartbeatFunc: throttled lease-renewing grid
+// frames.
+func (b *beatWriter) Beat(hb core.Heartbeat) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastCycle = hb.Cycle
+	if time.Since(b.last) < b.every {
+		return
+	}
+	b.last = time.Now()
+	b.emitLocked(campaign.HeartbeatFrame{
+		Kind:          campaign.FrameGrid,
+		Cycle:         hb.Cycle,
+		RSS:           campaign.ReadRSS(),
+		CkptDegraded:  hb.CheckpointDegraded,
+		CkptSaveFails: hb.CheckpointSaveFailures,
+	})
+}
+
+// Emit writes an unthrottled start/done frame.
+func (b *beatWriter) Emit(kind string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.last = time.Now()
+	b.emitLocked(campaign.HeartbeatFrame{Kind: kind, Cycle: b.lastCycle, RSS: campaign.ReadRSS()})
+}
+
+func (b *beatWriter) emitLocked(f campaign.HeartbeatFrame) {
+	// Deltas are computed only at emission, as on the local pipe: the
+	// next emitted frame carries everything the throttle held back.
+	f.Metrics = b.tracker.Delta()
+	f.Alerts = b.monitor.Drain()
+	b.cw.send(msg{Type: msgBeat, JobHash: b.hash, Fence: b.fence, Beat: &f})
+}
+
+// LastCycle returns the highest cycle this writer observed.
+func (b *beatWriter) LastCycle() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastCycle
+}

@@ -1,7 +1,9 @@
 package iofault
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"net"
 	"os"
 	"path/filepath"
@@ -234,5 +236,187 @@ func TestStatsTotalAndString(t *testing.T) {
 	}
 	if !strings.Contains(st.String(), "write-fail") {
 		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestParseSpecPartition(t *testing.T) {
+	o, err := ParseSpec("partition=0.5:128,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Partition != 0.5 || o.PartitionBytes != 128 || o.Seed != 7 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if !o.Enabled() {
+		t.Fatalf("Enabled() false for %+v", o)
+	}
+	// Without a byte bound the default applies at wrap time, and String
+	// omits it.
+	o2, err := ParseSpec("partition=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Partition != 1 || o2.PartitionBytes != 0 {
+		t.Fatalf("parsed %+v", o2)
+	}
+	if got := o2.String(); !strings.Contains(got, "partition=1") || strings.Contains(got, ":") {
+		t.Fatalf("String() = %q", got)
+	}
+	// Round trip with explicit bytes.
+	o3, err := ParseSpec(o.String())
+	if err != nil || o3 != o {
+		t.Fatalf("round trip %q: %+v vs %+v (%v)", o.String(), o3, o, err)
+	}
+	for _, bad := range []string{"partition=2", "partition=0.5:0", "partition=0.5:x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// pipeConns returns a wrapped server conn talking to a raw client conn
+// over a real TCP loopback pair.
+func pipeConns(t *testing.T, in *Injector) (server, client net.Conn) {
+	t.Helper()
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	ln := in.WrapListener(base)
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", base.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-done
+	if server == nil {
+		t.FailNow()
+	}
+	return server, client
+}
+
+func TestPartitionDropsConnAfterBudget(t *testing.T) {
+	in := NewInjector(Options{Seed: 11, Partition: 1, PartitionBytes: 64})
+	server, client := pipeConns(t, in)
+	defer server.Close()
+	defer client.Close()
+
+	// Drive writes through the wrapped side until the partition trips.
+	// The budget is in [1,64], so at most 64 one-byte writes.
+	var tripErr error
+	for i := 0; i < 65; i++ {
+		if _, err := server.Write([]byte{'x'}); err != nil {
+			tripErr = err
+			break
+		}
+	}
+	if tripErr == nil {
+		t.Fatal("partition never fired within its byte bound")
+	}
+	if !errors.Is(tripErr, ErrInjected) {
+		t.Fatalf("partition error not marked injected: %v", tripErr)
+	}
+	if in.Stats().Partitions != 1 {
+		t.Fatalf("Partitions = %d, want 1", in.Stats().Partitions)
+	}
+	// The conn is hard-closed: subsequent I/O on the wrapped side fails
+	// and the peer sees EOF/reset rather than a clean stream.
+	if _, err := server.Write([]byte{'y'}); err == nil {
+		t.Fatal("write after partition succeeded")
+	}
+	buf := make([]byte, 256)
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		if _, err := client.Read(buf); err != nil {
+			break // EOF or RST — either way the peer observed the drop
+		}
+	}
+}
+
+func TestPartitionDeterministicBudget(t *testing.T) {
+	// Two injectors with the same seed partition after the same byte
+	// count.
+	budget := func(seed uint64) uint64 {
+		in := NewInjector(Options{Seed: seed, Partition: 1, PartitionBytes: 512})
+		server, client := pipeConns(t, in)
+		defer server.Close()
+		defer client.Close()
+		var sent uint64
+		for i := 0; i < 1024; i++ {
+			n, err := server.Write([]byte{'x'})
+			sent += uint64(n)
+			if err != nil {
+				return sent
+			}
+		}
+		t.Fatal("partition never fired")
+		return 0
+	}
+	b1, b2 := budget(33), budget(33)
+	if b1 != b2 {
+		t.Fatalf("same seed, different partition points: %d vs %d", b1, b2)
+	}
+	if b3 := budget(34); b3 == b1 {
+		t.Logf("note: different seeds coincided at %d bytes (possible, not fatal)", b3)
+	}
+}
+
+func TestPartitionCountsReads(t *testing.T) {
+	// The budget covers both directions: a read-heavy conn partitions
+	// too.
+	in := NewInjector(Options{Seed: 21, Partition: 1, PartitionBytes: 32})
+	server, client := pipeConns(t, in)
+	defer server.Close()
+	defer client.Close()
+	go func() {
+		payload := bytes.Repeat([]byte{'r'}, 16)
+		for i := 0; i < 16; i++ {
+			if _, err := client.Write(payload); err != nil {
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 8)
+	var gotErr error
+	server.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < 64; i++ {
+		if _, err := server.Read(buf); err != nil {
+			gotErr = err
+			break
+		}
+	}
+	if gotErr == nil {
+		t.Fatal("read-side partition never fired")
+	}
+	if !errors.Is(gotErr, ErrInjected) {
+		t.Fatalf("read partition error not marked injected: %v", gotErr)
+	}
+}
+
+func TestWrapConnNilAndClean(t *testing.T) {
+	var nilInj *Injector
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if got := nilInj.WrapConn(c1); got != c1 {
+		t.Fatal("nil injector must pass the conn through")
+	}
+	// Partition prob 0: wrapped conn passes traffic untouched.
+	in := NewInjector(Options{Seed: 3})
+	wc := in.WrapConn(c1)
+	go c2.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(wc, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("clean wrapped conn: %q %v", buf, err)
 	}
 }
