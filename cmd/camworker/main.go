@@ -36,7 +36,7 @@ import (
 func main() {
 	connect := flag.String("connect", "", "supervisor address to dial, e.g. host:9090 (required)")
 	token := flag.String("fleet-token", "", "shared secret presented at handshake")
-	id := flag.String("id", "", "stable worker identity announced to the supervisor; metrics merge under worker.<id>.<jobhash>. (default: the supervisor labels this worker by remote address)")
+	id := flag.String("id", "", "stable worker identity announced to the supervisor; metrics merge under worker.<id>.<jobhash>. (default: the supervisor assigns a stable anon-N identity, echoed across reconnects)")
 	ckptDir := flag.String("checkpoint-dir", "", "per-job crash-safe checkpoints under this directory; a re-assigned job resumes mid-simulation")
 	faultSpec := flag.String("io-faults", "", "deterministic I/O fault injection on the supervisor link, e.g. 'seed=7,partition=1.0:4096' (testing)")
 	cycles := flag.Uint64("cycles", uint64(harness.DefaultRunCycles), "measured cycles per run (must match the supervisor)")

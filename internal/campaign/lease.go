@@ -51,6 +51,10 @@ type Lease struct {
 	Owner string
 	// Expires is the deadline after which the lease may be broken.
 	Expires time.Time
+	// Broken marks a lease the supervisor has given up on (expired and
+	// flagged via Break): it can no longer be renewed or completed — the
+	// holder is a zombie even before anyone re-acquires the job.
+	Broken bool
 }
 
 // LeaseTable tracks live and completed leases for one campaign. The
@@ -91,7 +95,7 @@ func (t *LeaseTable) Acquire(hash, owner string) (Lease, error) {
 	if fence, ok := t.done[hash]; ok {
 		return Lease{}, fmt.Errorf("%w: %s (fence %d)", ErrLeaseDone, hash, fence)
 	}
-	if l, ok := t.live[hash]; ok && t.now().Before(l.Expires) {
+	if l, ok := t.live[hash]; ok && !l.Broken && t.now().Before(l.Expires) {
 		return Lease{}, fmt.Errorf("%w: %s by %s until %s", ErrLeaseHeld, hash, l.Owner, l.Expires.Format(time.RFC3339))
 	}
 	t.fence++
@@ -102,8 +106,9 @@ func (t *LeaseTable) Acquire(hash, owner string) (Lease, error) {
 
 // Renew extends the lease's deadline iff the fencing token still matches
 // the live lease — a heartbeat from a zombie must not resurrect a broken
-// lease. Renewing after expiry but before anyone re-acquired is allowed:
-// the worker proved it is alive and nobody else holds the job.
+// lease. Renewing after expiry but before the supervisor broke the lease
+// or anyone re-acquired is allowed: the worker proved it is alive and
+// nobody else holds the job.
 func (t *LeaseTable) Renew(hash string, fence uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -117,8 +122,27 @@ func (t *LeaseTable) Renew(hash string, fence uint64) error {
 	if l.Fence != fence {
 		return fmt.Errorf("%w: %s live fence %d, heartbeat fence %d", ErrLeaseSuperseded, hash, l.Fence, fence)
 	}
+	if l.Broken {
+		return fmt.Errorf("%w: %s lease %d broken by the supervisor", ErrLeaseSuperseded, hash, fence)
+	}
 	l.Expires = t.now().Add(t.ttl)
 	return nil
+}
+
+// Break invalidates the live lease iff the fencing token matches: once
+// the supervisor has presumed the holder dead and decided to re-lease,
+// the old lease may never again renew or complete — even before the
+// re-grant happens. Closing that window matters because a canceled
+// holder often answers with a late result while the connection is still
+// up; without Break that result would complete the job under the old
+// fence and race the re-dispatch. A stale fence (the lease is already
+// gone or re-granted) is a no-op.
+func (t *LeaseTable) Break(hash string, fence uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.live[hash]; ok && l.Fence == fence {
+		l.Broken = true
+	}
 }
 
 // Complete accepts a result iff the fencing token matches the job's
@@ -140,8 +164,37 @@ func (t *LeaseTable) Complete(hash string, fence uint64) error {
 	if l.Fence != fence {
 		return fmt.Errorf("%w: %s live fence %d, result fence %d", ErrLeaseSuperseded, hash, l.Fence, fence)
 	}
+	if l.Broken {
+		return fmt.Errorf("%w: %s lease %d broken by the supervisor", ErrLeaseSuperseded, hash, fence)
+	}
 	delete(t.live, hash)
 	t.done[hash] = fence
+	return nil
+}
+
+// Fail records a failed attempt: the same fence validation as Complete,
+// but the live lease is dropped without marking the job done, so the
+// retry re-acquires under a fresh token. Routing errored results through
+// Complete would be wrong twice over — the job would refuse its own
+// retry with ErrLeaseDone, and a zombie's errored result would be
+// accepted as the job's terminal state.
+func (t *LeaseTable) Fail(hash string, fence uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.done[hash]; ok {
+		return fmt.Errorf("%w: %s already completed under fence %d, failed result fence %d", ErrLeaseSuperseded, hash, f, fence)
+	}
+	l, ok := t.live[hash]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrLeaseUnknown, hash)
+	}
+	if l.Fence != fence {
+		return fmt.Errorf("%w: %s live fence %d, failed result fence %d", ErrLeaseSuperseded, hash, l.Fence, fence)
+	}
+	if l.Broken {
+		return fmt.Errorf("%w: %s lease %d broken by the supervisor", ErrLeaseSuperseded, hash, fence)
+	}
+	delete(t.live, hash)
 	return nil
 }
 

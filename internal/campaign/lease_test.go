@@ -153,6 +153,92 @@ func TestLeaseReleaseAndUnknown(t *testing.T) {
 	}
 }
 
+func TestLeaseFailReleasesForRetry(t *testing.T) {
+	tb, _ := newTestTable(time.Second)
+	l, _ := tb.Acquire("job1", "w1")
+	// A failed attempt must not mark the job done: the retry re-acquires
+	// under a fresh fence instead of hitting ErrLeaseDone.
+	if err := tb.Fail("job1", l.Fence); err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	if tb.Live() != 0 {
+		t.Fatalf("live = %d after fail, want 0", tb.Live())
+	}
+	l2, err := tb.Acquire("job1", "w2")
+	if err != nil {
+		t.Fatalf("re-acquire after fail: %v", err)
+	}
+	if l2.Fence <= l.Fence {
+		t.Fatalf("fence not monotonic across fail: %d then %d", l.Fence, l2.Fence)
+	}
+	// A zombie's errored result is fenced out like a successful one.
+	if err := tb.Fail("job1", l.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("stale fail: want ErrLeaseSuperseded, got %v", err)
+	}
+	if err := tb.Complete("job1", l2.Fence); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	// After completion both verbs reject the old holder identically.
+	if err := tb.Fail("job1", l2.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("fail after done: want ErrLeaseSuperseded, got %v", err)
+	}
+	if err := tb.Fail("nope", 1); !errors.Is(err, ErrLeaseUnknown) {
+		t.Fatalf("fail unknown: want ErrLeaseUnknown, got %v", err)
+	}
+}
+
+func TestLeaseBreakClosesAcceptanceWindow(t *testing.T) {
+	// The supervisor presumed the holder dead (lease expired) and will
+	// re-lease. Break must stop the old holder from completing, failing,
+	// or renewing in the window before the re-grant happens — a late
+	// result accepted there would race the re-dispatch.
+	tb, clk := newTestTable(time.Second)
+	l, _ := tb.Acquire("job1", "w1")
+	clk.advance(2 * time.Second)
+	tb.Break("job1", l.Fence)
+	if err := tb.Complete("job1", l.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("complete on broken lease: want ErrLeaseSuperseded, got %v", err)
+	}
+	if err := tb.Fail("job1", l.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("fail on broken lease: want ErrLeaseSuperseded, got %v", err)
+	}
+	if err := tb.Renew("job1", l.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("renew on broken lease: want ErrLeaseSuperseded, got %v", err)
+	}
+	// The broken lease is re-acquirable even before its TTL would allow:
+	// Break is the supervisor's decision, not the clock's.
+	l2, err := tb.Acquire("job1", "w2")
+	if err != nil {
+		t.Fatalf("re-acquire broken lease: %v", err)
+	}
+	if l2.Fence <= l.Fence {
+		t.Fatalf("fence not monotonic across break: %d then %d", l.Fence, l2.Fence)
+	}
+	// Break with a stale fence must not touch the fresh lease.
+	tb.Break("job1", l.Fence)
+	if err := tb.Renew("job1", l2.Fence); err != nil {
+		t.Fatalf("fresh lease renew after stale break: %v", err)
+	}
+	if err := tb.Complete("job1", l2.Fence); err != nil {
+		t.Fatalf("fresh lease complete: %v", err)
+	}
+}
+
+func TestLeaseBreakUnexpiredFence(t *testing.T) {
+	// Break on a still-live fence (supervisor poll raced a renewal):
+	// the renewal extended the deadline but the supervisor already
+	// decided to re-lease; the break still wins.
+	tb, _ := newTestTable(time.Second)
+	l, _ := tb.Acquire("job1", "w1")
+	tb.Break("job1", l.Fence)
+	if err := tb.Complete("job1", l.Fence); !errors.Is(err, ErrLeaseSuperseded) {
+		t.Fatalf("complete on broken unexpired lease: want ErrLeaseSuperseded, got %v", err)
+	}
+	if _, err := tb.Acquire("job1", "w2"); err != nil {
+		t.Fatalf("re-acquire broken unexpired lease: %v", err)
+	}
+}
+
 func TestLeaseFenceMonotonicAcrossJobs(t *testing.T) {
 	tb, _ := newTestTable(time.Second)
 	var last uint64

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -238,6 +240,108 @@ func TestDispatchZombieLeaseRejection(t *testing.T) {
 	}
 }
 
+// TestDispatchExpiredLeaseLiveConnRecovery is the single-worker fleet
+// scenario from review: the lease expires while the worker's connection
+// stays alive (the attempt stalls, heartbeats stop). The supervisor must
+// break the lease, fence out the stalled attempt's late (canceled)
+// result as a zombie, and re-dispatch to the same — now idle — worker;
+// the job must complete, never surface as fatally failed.
+func TestDispatchExpiredLeaseLiveConnRecovery(t *testing.T) {
+	var calls atomic.Int32
+	job := campaign.Job{
+		Name: "stall",
+		Spec: "stalls past its lease on the first attempt",
+		Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+			if calls.Add(1) == 1 {
+				// Go silent with the connection up: no beats, no result,
+				// until the supervisor cancels the lease.
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			tb := &harness.Table{Title: "stall", Columns: []string{"k", "v"}}
+			tb.AddRow("stall", "ok")
+			return tb, nil
+		},
+	}
+	jobs := []campaign.Job{job}
+	reg := obs.NewRegistry()
+	journal, err := campaign.OpenJournal(filepath.Join(t.TempDir(), "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, stop := fleet(t, SupervisorConfig{
+		Token:          "secret",
+		Jobs:           jobs,
+		LeaseTTL:       120 * time.Millisecond,
+		HeartbeatEvery: time.Millisecond,
+		Registry:       reg,
+		Journal:        journal,
+		Log:            t.Logf,
+	}, 1, WorkerConfig{Token: "secret"})
+	defer stop()
+
+	table, err := sup.Execute(context.Background(), job, 1)
+	if err != nil {
+		t.Fatalf("execute after expired lease: %v", err)
+	}
+	if table == nil || calls.Load() != 2 {
+		t.Fatalf("job completed after %d calls (table %v), want stalled 1st + re-leased 2nd", calls.Load(), table)
+	}
+	// The stalled attempt's canceled result was fenced out, not accepted.
+	if v, _ := reg.Value("campaign.dispatch.zombies_rejected"); v < 1 {
+		t.Errorf("zombies_rejected = %v, want >= 1", v)
+	}
+	var superseded int
+	for _, rec := range journal.Records() {
+		if rec.Status == campaign.StatusSuperseded {
+			superseded++
+		}
+	}
+	if superseded != 1 {
+		t.Errorf("superseded journal records = %d, want 1", superseded)
+	}
+}
+
+// TestDispatchRemoteTransientFailureRetries: a worker-side transient
+// failure whose result frame is delivered must release the lease, not
+// complete the job — the retry attempt re-acquires under a fresh fence
+// instead of dying on ErrLeaseDone.
+func TestDispatchRemoteTransientFailureRetries(t *testing.T) {
+	var calls atomic.Int32
+	job := campaign.Job{
+		Name: "flaky",
+		Spec: "fails transiently once",
+		Run: func(ctx context.Context, attempt int) (*harness.Table, error) {
+			if calls.Add(1) == 1 {
+				return nil, campaign.Transient(fmt.Errorf("injected transient failure"))
+			}
+			tb := &harness.Table{Title: "flaky", Columns: []string{"k", "v"}}
+			tb.AddRow("flaky", "ok")
+			return tb, nil
+		},
+	}
+	jobs := []campaign.Job{job}
+	sup, stop := fleet(t, SupervisorConfig{
+		Token:          "secret",
+		Jobs:           jobs,
+		LeaseTTL:       2 * time.Second,
+		HeartbeatEvery: time.Millisecond,
+		Log:            t.Logf,
+	}, 1, WorkerConfig{Token: "secret"})
+	defer stop()
+
+	if _, err := sup.Execute(context.Background(), job, 1); err == nil || campaign.Classify(err) != campaign.ClassTransient {
+		t.Fatalf("first attempt: want transient error, got %v", err)
+	}
+	table, err := sup.Execute(context.Background(), job, 2)
+	if err != nil {
+		t.Fatalf("retry attempt: %v", err)
+	}
+	if table == nil || calls.Load() != 2 {
+		t.Fatalf("retry ran %d calls (table %v), want 2", calls.Load(), table)
+	}
+}
+
 func TestDispatchDegradedFallback(t *testing.T) {
 	jobs := []campaign.Job{tableJob("solo")}
 	fallback, err := campaign.NewLocalExecutor(campaign.Options{}, nil)
@@ -298,6 +402,134 @@ func TestDispatchHandshakeRefused(t *testing.T) {
 	}
 	if sup.Workers() != 0 {
 		t.Fatalf("refused workers registered: %d", sup.Workers())
+	}
+}
+
+// TestDispatchDrainRefusalRetried: "supervisor draining" is a transient
+// refusal — a worker dialing into the drain window must back off and
+// redial, reserving ErrHandshakeRefused for permanent rejections.
+func TestDispatchDrainRefusalRetried(t *testing.T) {
+	jobs := []campaign.Job{tableJob("a")}
+	var dials atomic.Int32
+	answer := func(c net.Conn, reply msg) {
+		defer c.Close()
+		var hello msg
+		if err := campaign.ReadFrameJSON(c, &hello); err != nil {
+			return
+		}
+		campaign.WriteFrameJSON(c, reply)
+	}
+	err := RunWorker(context.Background(), WorkerConfig{
+		Addr: "pipe", Jobs: jobs, MaxDials: 5,
+		Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		Log:     t.Logf,
+		Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+			c1, c2 := net.Pipe()
+			if dials.Add(1) < 3 {
+				go answer(c2, msg{Type: msgHelloAck, Reason: "supervisor draining", Retry: true})
+			} else {
+				go answer(c2, msg{Type: msgHelloAck, Reason: "bad campaign token"})
+			}
+			return c1, nil
+		},
+	})
+	if !errors.Is(err, ErrHandshakeRefused) {
+		t.Fatalf("want ErrHandshakeRefused after drain retries, got %v", err)
+	}
+	if got := dials.Load(); got != 3 {
+		t.Fatalf("dials = %d, want 3 (two drain refusals retried, then a permanent one)", got)
+	}
+}
+
+// TestDispatchAnonymousWorkerReconnectIdentity: a worker announcing no
+// ID gets a supervisor-assigned one in the hello-ack and echoes it when
+// it redials, so the reconnect is counted against the same fleet
+// identity instead of minting a fresh address-based label per source
+// port.
+func TestDispatchAnonymousWorkerReconnectIdentity(t *testing.T) {
+	jobs := []campaign.Job{tableJob("a")}
+	reg := obs.NewRegistry()
+	sup := NewSupervisor(SupervisorConfig{Token: "s", Jobs: jobs, Registry: reg, Log: t.Logf})
+	addr, err := sup.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conns := make(chan net.Conn, 8)
+	handshook := make(chan struct{}, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunWorker(ctx, WorkerConfig{
+			Addr: addr.String(), Token: "s", Jobs: jobs, // ID deliberately empty
+			Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+			Log: func(format string, args ...any) {
+				t.Logf(format, args...)
+				// Severing before the worker reads its hello-ack (and
+				// assigned ID) would legitimately mint a fresh identity.
+				if strings.HasPrefix(format, "dispatch worker: connected to") {
+					handshook <- struct{}{}
+				}
+			},
+			Dial: func(ctx context.Context, a string) (net.Conn, error) {
+				var d net.Dialer
+				c, err := d.DialContext(ctx, "tcp", a)
+				if err == nil {
+					conns <- c
+				}
+				return c, err
+			},
+		})
+	}()
+	defer func() {
+		// Close first: the worker's blocking read only breaks when its
+		// connection does; cancel alone would deadlock wg.Wait.
+		sup.Close()
+		cancel()
+		wg.Wait()
+	}()
+
+	first := <-conns
+	<-handshook // the worker holds its assigned ID
+	deadline := time.Now().Add(5 * time.Second)
+	first.Close() // sever the link; the worker redials with its assigned ID
+	for time.Now().Before(deadline) {
+		if v, _ := reg.Value("campaign.dispatch.reconnects"); v >= 1 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("anonymous worker's reconnect was never counted (identity not stable across redials)")
+}
+
+// TestDispatchFleetGraceAnchoredAtServe: the FleetWait window opens when
+// Serve begins accepting, not at construction — setup delay between
+// NewSupervisor and Start must not shrink it into premature degradation.
+func TestDispatchFleetGraceAnchoredAtServe(t *testing.T) {
+	jobs := []campaign.Job{tableJob("g")}
+	sup := NewSupervisor(SupervisorConfig{Jobs: jobs, FleetWait: 150 * time.Millisecond, Log: t.Logf})
+	time.Sleep(250 * time.Millisecond) // longer than FleetWait: a construction-anchored window would have lapsed
+	if _, err := sup.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	_, err := sup.Execute(ctx, jobs[0], 1)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("execute inside post-Serve grace: want deadline-bounded wait, got %v", err)
+	}
+	if strings.Contains(fmt.Sprint(err), "no reachable workers") {
+		t.Fatalf("degraded inside the grace window: %v", err)
+	}
+
+	time.Sleep(150 * time.Millisecond) // the post-Serve window has now lapsed
+	_, err = sup.Execute(context.Background(), jobs[0], 1)
+	if err == nil || campaign.Classify(err) != campaign.ClassTransient || !strings.Contains(err.Error(), "no reachable workers") {
+		t.Fatalf("execute after grace: want transient no-workers failure, got %v", err)
 	}
 }
 

@@ -61,7 +61,13 @@ type msg struct {
 	// hello (worker → supervisor)
 	Token     string `json:"token,omitempty"`
 	FleetHash string `json:"fleet_hash,omitempty"`
-	WorkerID  string `json:"worker_id,omitempty"`
+	// WorkerID names the worker on hello; on hello-ack it echoes the
+	// effective identity — the announced ID, or a supervisor-assigned
+	// stable one ("anon-N") when the worker announced none, which the
+	// worker repeats on every reconnect so its fleet label (metric
+	// prefixes, reconnect accounting, resume cycles) stays stable
+	// across redials.
+	WorkerID string `json:"worker_id,omitempty"`
 	// LastAck carries the worker's last emitted heartbeat cycle on
 	// hello (resume context after reconnect) and the supervisor's last
 	// recorded cycle for that worker on hello-ack.
@@ -70,6 +76,10 @@ type msg struct {
 	// hello-ack (supervisor → worker)
 	OK     bool   `json:"ok,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// Retry marks a refusal as transient (supervisor draining): the
+	// worker backs off and redials instead of treating it as the
+	// permanent ErrHandshakeRefused.
+	Retry bool `json:"retry,omitempty"`
 
 	// assign / beat / result / cancel: job identity and lease fence.
 	JobName string `json:"job,omitempty"`

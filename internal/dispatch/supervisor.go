@@ -83,7 +83,8 @@ type Supervisor struct {
 	wg sync.WaitGroup
 
 	mu           sync.Mutex
-	started      time.Time // construction time; anchors the FleetWait grace
+	started      time.Time // when Serve began accepting; anchors the FleetWait grace
+	anonSeq      int       // assigned-ID counter for workers that announce no ID
 	workers      map[*remoteWorker]struct{}
 	seen         map[string]bool   // worker IDs that have connected before
 	lastCycles   map[string]uint64 // worker ID → last beat cycle observed
@@ -142,7 +143,6 @@ func NewSupervisor(cfg SupervisorConfig) *Supervisor {
 		fleetHash:  campaign.JobsHash(cfg.Jobs),
 		leases:     campaign.NewLeaseTable(cfg.LeaseTTL),
 		logf:       logf,
-		started:    time.Now(),
 		workers:    make(map[*remoteWorker]struct{}),
 		seen:       make(map[string]bool),
 		lastCycles: make(map[string]uint64),
@@ -190,6 +190,12 @@ func (s *Supervisor) Serve(ln net.Listener) error {
 		return nil
 	}
 	s.ln = ln
+	if s.started.IsZero() {
+		// The FleetWait grace window opens when the fleet can actually
+		// dial in, not at construction — setup work between NewSupervisor
+		// and Serve must not eat into it.
+		s.started = time.Now()
+	}
 	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
@@ -254,50 +260,61 @@ func (s *Supervisor) handleConn(conn net.Conn) {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
-	refuse := func(reason string) {
+	// A refusal is permanent (bad token, diverging job list: the same
+	// hello would be refused identically) unless retry is set, which
+	// tells the worker to back off and redial — used for the transient
+	// drain window, where a fresh supervisor may soon listen again.
+	refuse := func(reason string, retry bool) {
 		s.logf("dispatch: refusing %s: %s", conn.RemoteAddr(), reason)
-		campaign.WriteFrameJSON(conn, msg{Type: msgHelloAck, Reason: reason})
+		campaign.WriteFrameJSON(conn, msg{Type: msgHelloAck, Reason: reason, Retry: retry})
 	}
 	if hello.Type != msgHello {
-		refuse(fmt.Sprintf("expected hello, got %q", hello.Type))
+		refuse(fmt.Sprintf("expected hello, got %q", hello.Type), false)
 		return
 	}
 	if !tokenEqual(hello.Token, s.cfg.Token) {
-		refuse("bad campaign token")
+		refuse("bad campaign token", false)
 		return
 	}
 	if hello.FleetHash != s.fleetHash {
-		refuse(fmt.Sprintf("fleet hash mismatch: worker %s, supervisor %s (job lists diverge)", hello.FleetHash, s.fleetHash))
+		refuse(fmt.Sprintf("fleet hash mismatch: worker %s, supervisor %s (job lists diverge)", hello.FleetHash, s.fleetHash), false)
 		return
 	}
 
-	label := sanitizeLabel(hello.WorkerID)
-	if hello.WorkerID == "" {
-		label = sanitizeLabel(conn.RemoteAddr().String())
-	}
-	w := &remoteWorker{sup: s, conn: conn, id: hello.WorkerID, label: label, done: make(chan struct{})}
+	w := &remoteWorker{sup: s, conn: conn, id: hello.WorkerID, label: sanitizeLabel(hello.WorkerID), done: make(chan struct{})}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		refuse("supervisor draining")
+		refuse("supervisor draining", true)
 		return
 	}
-	lastAck := s.lastCycles[label]
-	if s.seen[label] {
+	if w.id == "" {
+		// Assign a stable fleet-unique ID the worker echoes on reconnect.
+		// Labeling by remote address would mint a new identity per
+		// connection (a new source port every redial), orphaning
+		// seen/lastCycles state and leaving the previous connection's
+		// partial metric prefixes un-zeroed.
+		s.anonSeq++
+		w.id = fmt.Sprintf("anon-%d", s.anonSeq)
+		w.label = sanitizeLabel(w.id)
+	}
+	lastAck := s.lastCycles[w.label]
+	if s.seen[w.label] {
 		s.cReconns.Inc()
 	}
-	s.seen[label] = true
+	s.seen[w.label] = true
 	s.workers[w] = struct{}{}
 	s.gWorkers.Set(float64(len(s.workers)))
 	s.gDegraded.Set(0) // fleet reachable again
 	s.mu.Unlock()
 
-	if err := w.send(msg{Type: msgHelloAck, OK: true, LastAck: lastAck}); err != nil {
+	if err := w.send(msg{Type: msgHelloAck, OK: true, LastAck: lastAck, WorkerID: w.id}); err != nil {
 		s.dropWorker(w)
 		return
 	}
-	s.logf("dispatch: worker %s connected from %s (last-acked cycle %d)", label, conn.RemoteAddr(), hello.LastAck)
+	s.logf("dispatch: worker %s connected from %s (last-acked cycle %d)", w.label, conn.RemoteAddr(), hello.LastAck)
+	label := w.label
 
 	for {
 		var m msg
@@ -379,11 +396,19 @@ func (s *Supervisor) onBeat(w *remoteWorker, m msg) {
 }
 
 // onResult routes a worker result through the lease table: an accepted
-// fence completes the job and wakes the waiting Execute; a stale fence
-// is a zombie — the result is discarded, its metric prefix zeroed, and
-// the journal records the superseded attempt.
+// fence completes the job (success) or releases it for retry (failure)
+// and wakes the waiting Execute; a stale or broken fence is a zombie —
+// the result is discarded, its metric prefix zeroed, and the journal
+// records the superseded attempt. Failed attempts must not Complete:
+// a completed job refuses all further leases, so the retry's Acquire
+// would see ErrLeaseDone and the job could never be re-run.
 func (s *Supervisor) onResult(w *remoteWorker, m msg) {
-	err := s.leases.Complete(m.JobHash, m.Fence)
+	var err error
+	if m.Error == "" {
+		err = s.leases.Complete(m.JobHash, m.Fence)
+	} else {
+		err = s.leases.Fail(m.JobHash, m.Fence)
+	}
 	s.gLeases.Set(float64(s.leases.Live()))
 
 	w.mu.Lock()
@@ -532,6 +557,25 @@ func (s *Supervisor) Execute(ctx context.Context, job campaign.Job, attempt int)
 			w.mu.Lock()
 			w.busy = false
 			w.mu.Unlock()
+			if errors.Is(err, campaign.ErrLeaseDone) {
+				// The job completed concurrently: a result was accepted in
+				// the window between a presumed expiry and its delivery on
+				// resCh. Complete only ever succeeds once and onResult
+				// delivers to the registered waiter right after, so the
+				// accepted result is guaranteed to arrive — await it
+				// instead of reporting a completed job as fatally failed.
+				for {
+					select {
+					case r := <-resCh:
+						if r.err != "" {
+							continue // stale errored delivery from an earlier lease
+						}
+						return r.table, nil
+					case <-ctx.Done():
+						return nil, fmt.Errorf("dispatch: %s canceled awaiting its accepted result: %w", job.Name, ctx.Err())
+					}
+				}
+			}
 			if errors.Is(err, campaign.ErrLeaseHeld) {
 				// A previous holder's lease has not expired yet (e.g. a
 				// zombie that still beats); wait for the table to break it.
@@ -553,17 +597,26 @@ func (s *Supervisor) Execute(ctx context.Context, job campaign.Job, attempt int)
 		}
 		s.logf("dispatch: leased %s to %s (fence %d)", job.Name, w.label, lease.Fence)
 
+		// handle maps one delivered result onto this lease: a matching
+		// fence ends the attempt; a stale delivery (an earlier lease of
+		// this Execute call that failed late) is dropped.
+		handle := func(r remoteResult) (*harness.Table, error, bool) {
+			if r.fence != lease.Fence {
+				return nil, nil, false
+			}
+			if r.err != "" {
+				return r.table, reclassifyRemote(r.class, r.err, job.Name, w.label), true
+			}
+			return r.table, nil, true
+		}
+
 		redispatch := false
 		for !redispatch {
 			select {
 			case r := <-resCh:
-				if r.fence != lease.Fence {
-					continue // a stale delivery; only the live fence returns
+				if table, rerr, ok := handle(r); ok {
+					return table, rerr
 				}
-				if r.err != "" {
-					return r.table, reclassifyRemote(r.class, r.err, job.Name, w.label)
-				}
-				return r.table, nil
 			case <-ctx.Done():
 				w.send(msg{Type: msgCancel, JobHash: hash, Fence: lease.Fence})
 				s.leases.Release(hash, lease.Fence)
@@ -573,13 +626,28 @@ func (s *Supervisor) Execute(ctx context.Context, job campaign.Job, attempt int)
 				// Worker gone; dropWorker already released the lease.
 				redispatch = true
 			case <-time.After(poll):
+				// A completed result may sit in resCh already (or the
+				// lease may have vanished because Complete just removed
+				// it); prefer the delivery over the expiry presumption.
+				select {
+				case r := <-resCh:
+					if table, rerr, ok := handle(r); ok {
+						return table, rerr
+					}
+					continue
+				default:
+				}
 				l, live := s.leases.Lookup(hash)
-				if live && l.Fence == lease.Fence && time.Now().Before(l.Expires) {
+				if live && l.Fence == lease.Fence && !l.Broken && time.Now().Before(l.Expires) {
 					continue
 				}
-				// Expired (or vanished): presume the worker dead, keep the
-				// broken lease in place so the next Acquire fences it out,
-				// quarantine the worker, and re-dispatch.
+				// Expired (or vanished): presume the worker dead, break the
+				// lease so its holder can no longer renew or complete it
+				// (the next Acquire then fences past it), quarantine the
+				// worker, and re-dispatch. If instead the job completed in
+				// this window, Break is a no-op and the re-acquire below
+				// resolves to the accepted result via ErrLeaseDone.
+				s.leases.Break(hash, lease.Fence)
 				w.markSuspect(hash, lease.Fence)
 				w.send(msg{Type: msgCancel, JobHash: hash, Fence: lease.Fence})
 				s.cReleases.Inc()
@@ -591,14 +659,16 @@ func (s *Supervisor) Execute(ctx context.Context, job campaign.Job, attempt int)
 }
 
 // inFleetGrace reports whether an empty fleet should still be waited
-// on: the FleetWait window after Serve has not elapsed yet.
+// on: the FleetWait window after Serve has not elapsed yet. Before
+// Serve begins accepting the window has not even opened, so a
+// FleetWait-configured supervisor waits rather than degrading.
 func (s *Supervisor) inFleetGrace() bool {
 	if s.cfg.FleetWait <= 0 {
 		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return time.Since(s.started) < s.cfg.FleetWait
+	return s.started.IsZero() || time.Since(s.started) < s.cfg.FleetWait
 }
 
 // fallback runs the job locally under the degraded-dispatch policy.

@@ -28,7 +28,9 @@ var errDrained = errors.New("dispatch: drained")
 
 // ErrHandshakeRefused marks a supervisor's permanent rejection (bad
 // token, diverging job list). The worker does not retry it: the same
-// hello would be refused identically.
+// hello would be refused identically. Transient refusals (supervisor
+// draining) carry the ack's retry flag instead and are redialed with
+// backoff.
 var ErrHandshakeRefused = errors.New("dispatch: handshake refused")
 
 // WorkerConfig configures one remote campaign worker.
@@ -145,6 +147,10 @@ type workerState struct {
 	// emitted; it rides the next hello so the supervisor knows the
 	// resume point.
 	lastCycle uint64
+	// assignedID is the supervisor-assigned identity for a worker that
+	// announced no ID of its own; echoing it on reconnect keeps the
+	// fleet label stable across redials.
+	assignedID string
 	// handshook reports whether the most recent connection completed
 	// its handshake.
 	handshook bool
@@ -154,12 +160,16 @@ type workerState struct {
 // supervisor drains.
 func (w *workerState) serveConn(ctx context.Context, conn net.Conn) error {
 	w.handshook = false
+	id := w.cfg.ID
+	if id == "" {
+		id = w.assignedID
+	}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	hello := msg{
 		Type:      msgHello,
 		Token:     w.cfg.Token,
 		FleetHash: w.fleetHash,
-		WorkerID:  w.cfg.ID,
+		WorkerID:  id,
 		LastAck:   w.lastCycle,
 	}
 	if err := campaign.WriteFrameJSON(conn, hello); err != nil {
@@ -171,7 +181,15 @@ func (w *workerState) serveConn(ctx context.Context, conn net.Conn) error {
 	}
 	conn.SetDeadline(time.Time{})
 	if ack.Type != msgHelloAck || !ack.OK {
+		if ack.Retry {
+			// Transient refusal (supervisor draining): redial with
+			// backoff rather than dying permanently.
+			return fmt.Errorf("dispatch: handshake deferred: %s", ack.Reason)
+		}
 		return fmt.Errorf("%w: %s", ErrHandshakeRefused, ack.Reason)
+	}
+	if w.cfg.ID == "" && ack.WorkerID != "" {
+		w.assignedID = ack.WorkerID
 	}
 	w.handshook = true
 	w.logf("dispatch worker: connected to %s (supervisor last saw cycle %d)", w.cfg.Addr, ack.LastAck)
