@@ -54,8 +54,9 @@ obs-smoke:
 # BENCH_KERNEL_COUNT times and the summary keeps the best observation
 # (interference only ever slows a run down). Run on a quiet machine when
 # kernel performance work intentionally moves the numbers.
-BENCH_KERNEL_TOL   ?= 0.20
-BENCH_KERNEL_COUNT ?= 3
+BENCH_KERNEL_TOL       ?= 0.20
+BENCH_KERNEL_ALLOC_TOL ?= 0.05
+BENCH_KERNEL_COUNT     ?= 3
 
 bench-kernel:
 	$(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchmem -count $(BENCH_KERNEL_COUNT) . | tee bench_kernel.txt
@@ -65,10 +66,12 @@ bench-kernel:
 # against the committed baseline. The ratio is machine-independent (both
 # sides ran on the same runner moments apart), so it fails only on real
 # fast-path regressions, with BENCH_KERNEL_TOL slack for noise.
+# Allocation counts are deterministic, so allocs/op is gated directly
+# with only BENCH_KERNEL_ALLOC_TOL slack for GC attribution noise.
 bench-kernel-check:
 	$(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchmem -count $(BENCH_KERNEL_COUNT) . | tee bench_kernel_current.txt
 	$(GO) run ./scripts/benchkernel -emit -in bench_kernel_current.txt -out BENCH_kernel_current.json
-	$(GO) run ./scripts/benchkernel -check -baseline BENCH_kernel.json -current BENCH_kernel_current.json -tol $(BENCH_KERNEL_TOL)
+	$(GO) run ./scripts/benchkernel -check -baseline BENCH_kernel.json -current BENCH_kernel_current.json -tol $(BENCH_KERNEL_TOL) -alloc-tol $(BENCH_KERNEL_ALLOC_TOL)
 
 # End-to-end checkpoint check: SIGKILL a checkpointing run mid-flight,
 # validate the surviving files, resume from the newest checkpoint, and

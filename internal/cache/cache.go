@@ -124,9 +124,14 @@ type Cache struct {
 	lineBits uint
 	mshrs    []mshr
 	nextID   *uint64
+	pool     *mem.Pool // nil falls back to plain allocation
 
 	stats Stats
 }
+
+// SetPool makes the cache draw miss and writeback requests from pool
+// instead of allocating. A nil pool (the default) keeps plain allocation.
+func (c *Cache) SetPool(pool *mem.Pool) { c.pool = pool }
 
 // New returns a cache for core with the given config. nextID supplies
 // globally unique request IDs (shared across cores so bus traces have a
@@ -201,13 +206,12 @@ func (c *Cache) Access(now sim.Cycle, addr uint64, write bool) (AccessResult, *m
 
 	c.stats.Misses++
 	*c.nextID++
-	miss := &mem.Request{
-		ID:        *c.nextID,
-		Core:      c.core,
-		Addr:      lineAddr << c.lineBits,
-		Op:        mem.Read, // write-allocate: fetch the line, then dirty it
-		CreatedAt: now,
-	}
+	miss := c.pool.Get()
+	miss.ID = *c.nextID
+	miss.Core = c.core
+	miss.Addr = lineAddr << c.lineBits
+	miss.Op = mem.Read // write-allocate: fetch the line, then dirty it
+	miss.CreatedAt = now
 	c.mshrs = append(c.mshrs, mshr{lineAddr: lineAddr, req: miss})
 
 	wb := c.victimize(now, setIdx, tag, write)
@@ -234,16 +238,33 @@ func (c *Cache) victimize(now sim.Cycle, setIdx, tag uint64, write bool) *mem.Re
 		c.stats.Writebacks++
 		*c.nextID++
 		victimLine := set[v].tag<<bits.Len64(c.setMask) | setIdx
-		wb = &mem.Request{
-			ID:        *c.nextID,
-			Core:      c.core,
-			Addr:      victimLine << c.lineBits,
-			Op:        mem.Write,
-			CreatedAt: now,
-		}
+		wb = c.pool.Get()
+		wb.ID = *c.nextID
+		wb.Core = c.core
+		wb.Addr = victimLine << c.lineBits
+		wb.Op = mem.Write
+		wb.CreatedAt = now
 	}
 	set[v] = line{tag: tag, valid: false, dirty: write, used: now}
 	return wb
+}
+
+// RelinkMSHRs replaces restored MSHR placeholder requests with the live
+// in-flight objects restored elsewhere in the pipeline, keyed by request
+// ID. Checkpoints write the MSHR's request by value, so a plain restore
+// leaves the MSHR aliasing a private duplicate; once re-linked, the
+// response delivered to the core and the MSHR entry are one object
+// again and the pool never sees two copies of the same request. The
+// displaced placeholder returns to the pool. Entries whose request is
+// in flight nowhere (a fault-dropped transaction) keep their
+// placeholder.
+func (c *Cache) RelinkMSHRs(live map[uint64]*mem.Request) {
+	for i := range c.mshrs {
+		if r, ok := live[c.mshrs[i].req.ID]; ok && r != c.mshrs[i].req {
+			c.pool.Put(c.mshrs[i].req)
+			c.mshrs[i].req = r
+		}
+	}
 }
 
 // Fill completes the outstanding miss carried by resp: the reserved way

@@ -2,7 +2,6 @@ package cache
 
 import (
 	"camouflage/internal/ckpt"
-	"camouflage/internal/mem"
 	"camouflage/internal/sim"
 )
 
@@ -10,9 +9,9 @@ import (
 // (set count, ways, masks) is construction-time configuration; set and
 // way counts are written as cross-checks. The MSHR's request pointer is
 // serialized by value: the live in-flight request is owned (and restored)
-// by whichever pipeline stage holds it, and all cache-side matching is by
-// line address and ID, so the duplicate allocation is behaviorally
-// identical to the original aliasing.
+// by whichever pipeline stage holds it. Restore leaves a placeholder in
+// the MSHR; RelinkMSHRs re-establishes the aliasing afterwards so the
+// pool sees exactly one object per in-flight request.
 func (c *Cache) Snapshot(e *ckpt.Encoder) {
 	e.Len(len(c.sets))
 	for _, set := range c.sets {
@@ -73,7 +72,7 @@ func (c *Cache) Restore(d *ckpt.Decoder) error {
 	for i := 0; i < nMSHR; i++ {
 		var m mshr
 		m.lineAddr = d.U64()
-		m.req = &mem.Request{}
+		m.req = c.pool.Get()
 		if err := m.req.Restore(d); err != nil {
 			return err
 		}

@@ -1,0 +1,51 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"camouflage/internal/mem"
+)
+
+// The flow checker is the pool's misuse oracle: it tracks requests by ID,
+// never by pointer, so a request recycled while still logically in flight
+// surfaces as a conservation violation the moment the stale copy crosses
+// the response link again.
+
+func TestFlowCheckerFlagsRetireAfterRecycle(t *testing.T) {
+	pool := mem.NewPool()
+	f := NewFlowChecker(nil, 0)
+
+	req := pool.Get()
+	req.ID = 42
+	f.Inject(10, req)
+	f.Retire(20, req) // legitimate delivery; the core returns it to the pool
+
+	// A stale holder re-delivers the pointer before the pool reuses it:
+	// the ID is still 42, so the oracle reports the double retirement.
+	f.Retire(25, req)
+	err := f.Check(30)
+	if err == nil || !strings.Contains(err.Error(), "retired twice") {
+		t.Fatalf("use-after-retire not flagged as double retirement: %v", err)
+	}
+}
+
+func TestFlowCheckerFlagsUseAfterPoolReset(t *testing.T) {
+	pool := mem.NewPool()
+	f := NewFlowChecker(nil, 0)
+
+	req := pool.Get()
+	req.ID = 42
+	f.Inject(10, req)
+	f.Retire(20, req)
+	pool.Put(req) // full reset: ID drops to 0
+
+	// Re-delivering after Put presents the zeroed request: an unknown,
+	// non-fake retirement — also a violation, so the reset converts a
+	// silent use-after-free into an immediate diagnosis.
+	f.Retire(25, req)
+	err := f.Check(30)
+	if err == nil || !strings.Contains(err.Error(), "never entered") {
+		t.Fatalf("use-after-reset not flagged as unknown retirement: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"camouflage/internal/ckpt"
 	"camouflage/internal/iofault"
+	"camouflage/internal/mem"
 	"camouflage/internal/sim"
 	"camouflage/internal/trace"
 )
@@ -154,7 +155,43 @@ func (s *System) restoreState(payload []byte, extras []ckpt.Stater) error {
 			return err
 		}
 	}
-	return d.Done()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	s.relinkMSHRs()
+	return nil
+}
+
+// relinkMSHRs restores MSHR/request aliasing after a checkpoint load.
+// Snapshot writes the MSHR's in-flight request by value, so a plain
+// restore leaves each cache aliasing a private placeholder while the
+// real object sits somewhere in the pipeline. Walk every request holder,
+// index the live objects by ID, and point the MSHRs back at them; the
+// displaced placeholders return to the pool.
+func (s *System) relinkMSHRs() {
+	live := make(map[uint64]*mem.Request)
+	collect := func(r *mem.Request) { live[r.ID] = r }
+	for _, c := range s.Cores {
+		c.ForEachRequest(collect)
+	}
+	for _, sh := range s.ReqShapers {
+		if sh != nil {
+			sh.ForEachRequest(collect)
+		}
+	}
+	s.ReqNet.ForEachRequest(collect)
+	for _, mc := range s.MCs {
+		mc.ForEachRequest(collect)
+	}
+	for _, sh := range s.RespShapers {
+		if sh != nil {
+			sh.ForEachRequest(collect)
+		}
+	}
+	s.RespNet.ForEachRequest(collect)
+	for _, c := range s.Cores {
+		c.Cache().RelinkMSHRs(live)
+	}
 }
 
 // restoreShaperSlice reads one presence-flagged shaper slice, verifying
@@ -202,14 +239,11 @@ func restoreOptional(d *ckpt.Decoder, what string, live bool, st ckpt.Stater) er
 }
 
 // CheckpointBytes captures the complete system state as a checkpoint
-// header and payload, refusing while kernel events are pending (scheduled
-// closures have no serializable form). extras are caller-owned staters
-// serialized after the system — pass the same set, in the same order, to
-// RestoreState.
+// header and payload. Pending kernel events are typed plain data and ride
+// along in the kernel's snapshot, so a checkpoint may be taken at any
+// supervision boundary. extras are caller-owned staters serialized after
+// the system — pass the same set, in the same order, to RestoreState.
 func (s *System) CheckpointBytes(extras ...ckpt.Stater) (ckpt.Header, []byte, error) {
-	if err := s.Kernel.CheckpointReady(); err != nil {
-		return ckpt.Header{}, nil, err
-	}
 	var e ckpt.Encoder
 	s.snapshot(&e, extras)
 	h := ckpt.Header{
@@ -487,9 +521,9 @@ func (s *System) maybeCheckpoint() {
 	}
 	h, payload, err := s.CheckpointBytes(p.extras...)
 	if err != nil {
-		// Not an I/O fault: the kernel has pending events at this grid
-		// point, so there is no serializable state. Skip; the next grid
-		// point retries.
+		// CheckpointBytes cannot currently fail (typed events serialize
+		// with the kernel), but keep the skip-and-retry shape in case a
+		// future serializer grows a refusal condition.
 		return
 	}
 	if _, err := p.mgr.Save(h, payload); err != nil {

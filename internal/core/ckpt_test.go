@@ -230,14 +230,43 @@ func TestRestoreRejectsShapeMismatch(t *testing.T) {
 	}
 }
 
-// TestCheckpointRefusesPendingEvents: scheduled kernel events are
-// closures with no serializable form, so CheckpointBytes must refuse
-// rather than silently drop them.
-func TestCheckpointRefusesPendingEvents(t *testing.T) {
+// TestCheckpointCarriesPendingEvents: typed kernel events are plain data,
+// so a checkpoint taken while some are pending (here a memory-controller
+// priority-expiry timer) serializes them and a restored system still
+// fires them — the elevated priority drops back to zero on schedule.
+func TestCheckpointCarriesPendingEvents(t *testing.T) {
 	sys := mustSystem(DefaultConfig(), sources(4, "astar"))
-	sys.Kernel.ScheduleAfter(100, func(now sim.Cycle) {})
-	if _, _, err := sys.CheckpointBytes(); err == nil {
-		t.Fatal("checkpoint with pending scheduled events succeeded")
+	if err := sys.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	sys.Elevate(2, 7, sys.Kernel.Now()+5_000)
+	if sys.Kernel.PendingEvents() == 0 {
+		t.Fatal("Elevate scheduled no expiry events")
+	}
+	h, payload, err := sys.CheckpointBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := mustSystem(DefaultConfig(), sources(4, "astar"))
+	if err := restored.RestoreState(h, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Kernel.PendingEvents(), sys.Kernel.PendingEvents(); got != want {
+		t.Fatalf("restored kernel has %d pending events, want %d", got, want)
+	}
+	for _, mc := range restored.MCs {
+		if mc.Priority(2) != 7 {
+			t.Fatalf("restored priority %d, want 7", mc.Priority(2))
+		}
+	}
+	if err := restored.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, mc := range restored.MCs {
+		if mc.Priority(2) != 0 {
+			t.Fatalf("priority still %d after expiry cycle", mc.Priority(2))
+		}
 	}
 }
 

@@ -48,6 +48,11 @@ type System struct {
 	nextID   uint64
 	deadline time.Duration
 
+	// pool recycles mem.Request objects across the whole machine: caches
+	// and shapers draw from it, cores return every delivered response to
+	// it. One pool per system — requests never cross systems.
+	pool *mem.Pool
+
 	// inj is the installed fault injector, nil until InjectFaults; kept so
 	// its RNG stream and counters ride along in checkpoints.
 	inj *fault.Injector
@@ -89,6 +94,7 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 	}
 
 	s := &System{Config: cfg, Kernel: sim.NewKernel(cfg.Seed)}
+	s.pool = mem.NewPool()
 	rng := s.Kernel.RNG()
 
 	// DRAM and its address map (bank-partitioned under FS).
@@ -123,7 +129,12 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 		channel := dram.NewChannel(cfg.Timing, cfg.Geometry, s.amap)
 		channel.SetClosedPage(cfg.ClosedPage)
 		s.Channels = append(s.Channels, channel)
-		s.MCs = append(s.MCs, memctrl.NewController(channel, newSched(), cfg.QueueDepth, cfg.Cores))
+		mc := memctrl.NewController(channel, newSched(), cfg.QueueDepth, cfg.Cores)
+		// Handler registration order (channel order) is part of the
+		// checkpoint contract: restored expiry events address handlers
+		// by this index.
+		mc.AttachKernel(s.Kernel)
+		s.MCs = append(s.MCs, mc)
 	}
 	s.Channel = s.Channels[0]
 	s.MC = s.MCs[0]
@@ -132,7 +143,10 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 	// address's DRAM channel.
 	s.ReqNet = noc.NewLink("request", cfg.Cores, cfg.NoCInputDepth, cfg.NoCLatency, cfg.NoCWidth)
 	s.ReqNet.SetRoute(func(req *mem.Request) mem.ReqPort {
-		return s.MCs[s.amap.Decode(req.Addr, req.Core).Channel]
+		if !req.Dec.OK {
+			s.amap.DecodeReq(req)
+		}
+		return s.MCs[req.Dec.Channel]
 	})
 	s.RespNet = noc.NewLink("response", cfg.Cores, cfg.NoCInputDepth, cfg.NoCLatency, cfg.NoCWidth)
 
@@ -143,6 +157,7 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core %d: %w", i, err)
 		}
+		c.SetPool(s.pool)
 		s.Cores[i] = c
 	}
 	s.RespNet.SetRoute(func(req *mem.Request) mem.ReqPort { return s.Cores[req.Core] })
@@ -159,6 +174,7 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 			if err != nil {
 				return nil, fmt.Errorf("request shaper for core %d: %w", i, err)
 			}
+			sh.SetPool(s.pool)
 			s.ReqShapers[i] = sh
 			c.SetOut(sh)
 		} else {
@@ -179,6 +195,7 @@ func NewSystem(cfg Config, sources []trace.Source) (*System, error) {
 			if err != nil {
 				return nil, fmt.Errorf("response shaper for core %d: %w", i, err)
 			}
+			sh.SetPool(s.pool)
 			s.RespShapers[i] = sh
 			for _, mc := range s.MCs {
 				mc.SetEgress(i, sh)
@@ -459,9 +476,23 @@ func (s *System) runSupervised(ctx context.Context, n sim.Cycle, pred func() boo
 		if c := s.Kernel.Now() + chunk; c < limit {
 			limit = c
 		}
-		advanced := limit - s.Kernel.Now()
+		want := limit - s.Kernel.Now()
 		chunkStart := time.Now()
-		s.Kernel.Advance(advanced)
+		var advanced sim.Cycle
+		if pred == nil {
+			// A saturated system advances one cycle per Advance call, so
+			// timing each call would spend several clock reads per
+			// simulated cycle. With no predicate to re-check between
+			// cycles the kernel runs the whole chunk internally; the
+			// invariant monitor still stops it cycle-precisely because a
+			// violation calls Kernel.Stop, which ends the chunk early.
+			advanced = s.Kernel.Run(want)
+		} else {
+			// A predicate may flip on any ticked cycle and the run must
+			// stop on the cycle it does, so advance one step (or one
+			// idle jump, over which no state changes) at a time.
+			advanced = s.Kernel.Advance(want)
+		}
 		took := time.Since(chunkStart)
 		if est := sim.Cycle(float64(advanced) * (float64(supervisePoll) / float64(took+1))); est < SuperviseStride {
 			if est < minSuperviseChunk {
@@ -504,6 +535,10 @@ func (s *System) Elevate(core, level int, until sim.Cycle) {
 		mc.Elevate(core, level, until)
 	}
 }
+
+// Pool exposes the system-wide request pool (recycling statistics, misuse
+// counters).
+func (s *System) Pool() *mem.Pool { return s.pool }
 
 // CoreStats returns core i's counters.
 func (s *System) CoreStats(i int) cpu.Stats { return s.Cores[i].Stats() }

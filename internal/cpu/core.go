@@ -84,6 +84,12 @@ type Core struct {
 	// blockedOn is the request ID of a blocking load in flight, 0 if none.
 	blockedOn uint64
 
+	// pool, when set, receives every delivered response for reuse. The
+	// core is the final consumer of the response path: taps fire at NoC
+	// injection and the cache drops its MSHR pointer inside Fill, so by
+	// the end of TrySend nothing else may hold the request.
+	pool *mem.Pool
+
 	// heldMiss is a miss refused by the downstream port, retried each cycle.
 	heldMiss *mem.Request
 	// heldBlocking remembers whether heldMiss was a blocking load.
@@ -129,8 +135,28 @@ func (c *Core) SetOut(out mem.ReqPort) { c.out = out }
 // Cache exposes the core's LLC for statistics.
 func (c *Core) Cache() *cache.Cache { return c.cache }
 
+// SetPool makes the core recycle delivered responses into pool and its
+// cache draw misses and writebacks from it. A nil pool (the default)
+// keeps plain allocation.
+func (c *Core) SetPool(pool *mem.Pool) {
+	c.pool = pool
+	c.cache.SetPool(pool)
+}
+
 // Stats returns a copy of the core's counters.
 func (c *Core) Stats() Stats { return c.stats }
+
+// ForEachRequest visits every request the core itself holds (a refused
+// miss awaiting retry and buffered writebacks). Checkpoint restore uses
+// it to rebuild MSHR aliasing.
+func (c *Core) ForEachRequest(fn func(*mem.Request)) {
+	if c.heldMiss != nil {
+		fn(c.heldMiss)
+	}
+	for _, wb := range c.pendingWB {
+		fn(wb)
+	}
+}
 
 // Finished reports whether a finite trace has been fully consumed.
 func (c *Core) Finished() bool { return c.finished }
@@ -144,6 +170,7 @@ func (c *Core) TrySend(now sim.Cycle, resp *mem.Request) bool {
 	}
 	if resp.Fake {
 		c.stats.FakeResponses++
+		c.pool.Put(resp)
 		return true
 	}
 	c.stats.Responses++
@@ -156,6 +183,7 @@ func (c *Core) TrySend(now sim.Cycle, resp *mem.Request) bool {
 	if c.blockedOn == resp.ID {
 		c.blockedOn = 0
 	}
+	c.pool.Put(resp)
 	return true
 }
 
@@ -210,7 +238,12 @@ func (c *Core) Tick(now sim.Cycle) {
 	// a held demand miss.
 	if c.heldMiss == nil && len(c.pendingWB) > 0 {
 		if c.out.TrySend(now, c.pendingWB[0]) {
-			c.pendingWB = c.pendingWB[1:]
+			// Shift down instead of re-slicing so the backing array is
+			// reused: the store buffer is bounded and hot, and a [1:]
+			// walk would force a fresh allocation per append cycle.
+			n := copy(c.pendingWB, c.pendingWB[1:])
+			c.pendingWB[n] = nil
+			c.pendingWB = c.pendingWB[:n]
 		}
 	}
 

@@ -1,6 +1,10 @@
 package dram
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"camouflage/internal/mem"
+)
 
 // Location is a decoded physical address.
 type Location struct {
@@ -115,6 +119,33 @@ func (m *AddrMap) Decode(addr uint64, core int) Location {
 		bank = set[bank%len(set)]
 	}
 	return Location{Channel: ch, Rank: rank, Bank: bank, Row: row, Col: col}
+}
+
+// DecodeReq decodes req's address, memoizing the result on the request.
+// A request's address and core are immutable after creation, so every
+// router and scheduler query after the first is a field read instead of a
+// bit-slicing walk — the memo is what keeps FR-FCFS scans off the
+// decoder in the busy loop.
+func (m *AddrMap) DecodeReq(req *mem.Request) Location {
+	if req.Dec.OK {
+		return Location{
+			Channel: req.Dec.Channel,
+			Rank:    req.Dec.Rank,
+			Bank:    req.Dec.Bank,
+			Row:     req.Dec.Row,
+			Col:     req.Dec.Col,
+		}
+	}
+	loc := m.Decode(req.Addr, req.Core)
+	req.Dec = mem.DecodedAddr{
+		Channel: loc.Channel,
+		Rank:    loc.Rank,
+		Bank:    loc.Bank,
+		Row:     loc.Row,
+		Col:     loc.Col,
+		OK:      true,
+	}
+	return loc
 }
 
 // SameRow reports whether two addresses from the same core land in the same

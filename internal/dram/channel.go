@@ -222,7 +222,7 @@ func (c *Channel) Tick(now sim.Cycle) {
 // IsRowHit reports whether req would hit an open row right now. The
 // FR-FCFS scheduler uses it to prefer row hits.
 func (c *Channel) IsRowHit(req *mem.Request) bool {
-	loc := c.amap.Decode(req.Addr, req.Core)
+	loc := c.amap.DecodeReq(req)
 	b := &c.ranks[loc.Rank].banks[loc.Bank]
 	return !b.inflight && b.classify(loc.Row) == rowHit
 }
@@ -234,7 +234,7 @@ func (c *Channel) CanIssue(now sim.Cycle, req *mem.Request) bool {
 	if c.commandUsed {
 		return false
 	}
-	loc := c.amap.Decode(req.Addr, req.Core)
+	loc := c.amap.DecodeReq(req)
 	rk := &c.ranks[loc.Rank]
 	if now < rk.refreshUntil {
 		return false
@@ -243,12 +243,98 @@ func (c *Channel) CanIssue(now sim.Cycle, req *mem.Request) bool {
 	return !b.inflight && b.freeAt <= now
 }
 
+// IssueState answers CanIssue and IsRowHit in one decode and one bank
+// lookup — the combined query every scheduler's per-request scan needs.
+// hit is meaningful only when can is true (an unissuable request is never
+// preferred anyway). It reads the decode memo directly rather than
+// materializing a Location: the scan is the busy loop's hottest call.
+func (c *Channel) IssueState(now sim.Cycle, req *mem.Request) (can, hit bool) {
+	if c.commandUsed {
+		return false, false
+	}
+	if !req.Dec.OK {
+		c.amap.DecodeReq(req)
+	}
+	rk := &c.ranks[req.Dec.Rank]
+	if now < rk.refreshUntil {
+		return false, false
+	}
+	b := &rk.banks[req.Dec.Bank]
+	if b.inflight || b.freeAt > now {
+		return false, false
+	}
+	return true, b.classify(req.Dec.Row) == rowHit
+}
+
+// BankReadyAt returns the earliest cycle req's bank could accept a
+// transaction given current state: its freeAt and any in-progress refresh
+// on its rank. A bank with a transaction in flight returns sim.NeverWake —
+// its readiness becomes known only at Complete, which the controller
+// observes directly. The bound is conservative-early: later state changes
+// (a refresh starting, another issue) can only push readiness later, and
+// the controller rescans at the returned cycle anyway.
+func (c *Channel) BankReadyAt(req *mem.Request) sim.Cycle {
+	if !req.Dec.OK {
+		c.amap.DecodeReq(req)
+	}
+	rk := &c.ranks[req.Dec.Rank]
+	b := &rk.banks[req.Dec.Bank]
+	if b.inflight {
+		return sim.NeverWake
+	}
+	at := b.freeAt
+	if rk.refreshUntil > at {
+		at = rk.refreshUntil
+	}
+	return at
+}
+
+// EarliestDemandIssue reports whether any bank with queued demand can
+// accept a transaction at cycle now, and if not, the earliest future cycle
+// at which one might (sim.NeverWake when every demanded bank has a
+// transaction in flight). demand is indexed rank*BanksPerRank+bank and
+// counts queued transactions per bank. The controller uses this as a
+// policy-independent pre-gate: when it returns false, every scheduler's
+// Pick would return -1, so the per-request scan is skipped entirely until
+// the returned wake cycle or a queue/bank state change.
+func (c *Channel) EarliestDemandIssue(now sim.Cycle, demand []int32) (bool, sim.Cycle) {
+	if c.commandUsed {
+		return false, now + 1
+	}
+	wake := sim.NeverWake
+	banks := len(c.ranks[0].banks)
+	for r := range c.ranks {
+		rk := &c.ranks[r]
+		base := r * banks
+		for b := range rk.banks {
+			if demand[base+b] == 0 {
+				continue
+			}
+			bk := &rk.banks[b]
+			if bk.inflight {
+				continue
+			}
+			at := bk.freeAt
+			if rk.refreshUntil > at {
+				at = rk.refreshUntil
+			}
+			if at <= now {
+				return true, now
+			}
+			if at < wake {
+				wake = at
+			}
+		}
+	}
+	return false, wake
+}
+
 // Issue commits req to its bank at cycle now and returns the cycle at which
 // its data burst completes (data available at the controller). The caller
 // must have checked CanIssue. Issue also updates row-buffer state, the
 // tFAW/tRRD activate window and data bus occupancy.
 func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
-	loc := c.amap.Decode(req.Addr, req.Core)
+	loc := c.amap.DecodeReq(req)
 	rk := &c.ranks[loc.Rank]
 	b := &rk.banks[loc.Bank]
 	ev := IssueEvent{
@@ -365,7 +451,7 @@ func (c *Channel) Issue(now sim.Cycle, req *mem.Request) sim.Cycle {
 // Complete marks req's bank free for its next transaction. The controller
 // calls it when the data burst has finished (the cycle returned by Issue).
 func (c *Channel) Complete(req *mem.Request) {
-	loc := c.amap.Decode(req.Addr, req.Core)
+	loc := c.amap.DecodeReq(req)
 	c.ranks[loc.Rank].banks[loc.Bank].inflight = false
 }
 

@@ -24,8 +24,11 @@ func (r *Request) Snapshot(e *ckpt.Encoder) {
 	e.U64(uint64(r.DeliveredAt))
 }
 
-// Restore implements ckpt.Stater.
+// Restore implements ckpt.Stater. Derived fields (the decode memo, the
+// pool-residency bit) are cleared rather than read: they are not state.
 func (r *Request) Restore(d *ckpt.Decoder) error {
+	r.Dec = DecodedAddr{}
+	r.pooled = false
 	r.ID = d.U64()
 	r.Core = d.Int()
 	r.Addr = d.U64()
@@ -90,10 +93,13 @@ func RestoreRequests(d *ckpt.Decoder) ([]*Request, error) {
 	return reqs, nil
 }
 
-// Snapshot serializes the queue contents. Capacity is construction-time
-// configuration and is not written; a restored queue keeps its own.
+// Snapshot serializes the queue contents in logical (oldest-first) order,
+// so the bytes are independent of where the ring happens to sit in its
+// backing array. Capacity is construction-time configuration and is not
+// written; a restored queue keeps its own.
 func (q *Queue) Snapshot(e *ckpt.Encoder) {
-	SnapshotRequests(e, q.buf)
+	e.Len(q.count)
+	q.ForEach(func(r *Request) { r.Snapshot(e) })
 }
 
 // Restore implements ckpt.Stater.
@@ -103,16 +109,23 @@ func (q *Queue) Restore(d *ckpt.Decoder) error {
 		return err
 	}
 	q.buf = reqs
+	q.head = 0
+	q.count = len(reqs)
 	return d.Err()
 }
 
-// Snapshot serializes in-flight items with their maturity cycles.
-// Latency is construction-time configuration and is not written.
+// Snapshot serializes in-flight items with their maturity cycles in
+// logical order. Latency is construction-time configuration and is not
+// written.
 func (p *DelayPipe) Snapshot(e *ckpt.Encoder) {
-	e.Len(len(p.items))
-	for _, it := range p.items {
-		e.U64(uint64(it.ready))
-		it.req.Snapshot(e)
+	e.Len(p.count)
+	for i := 0; i < p.count; i++ {
+		j := p.head + i
+		if j >= len(p.items) {
+			j -= len(p.items)
+		}
+		e.U64(uint64(p.items[j].ready))
+		p.items[j].req.Snapshot(e)
 	}
 }
 
@@ -123,13 +136,15 @@ func (p *DelayPipe) Restore(d *ckpt.Decoder) error {
 		return d.Err()
 	}
 	p.items = nil
+	p.head = 0
+	p.count = 0
 	for i := 0; i < n; i++ {
 		ready := sim.Cycle(d.U64())
 		req := &Request{}
 		if err := req.Restore(d); err != nil {
 			return err
 		}
-		p.items = append(p.items, pipeItem{ready: ready, req: req})
+		p.push(pipeItem{ready: ready, req: req})
 	}
 	return d.Err()
 }

@@ -68,6 +68,30 @@ type Request struct {
 	ReadyAt     sim.Cycle // data available at controller egress
 	RespShaped  sim.Cycle // released by the response shaper
 	DeliveredAt sim.Cycle // response arrived back at the core
+
+	// Dec caches the DRAM address decode for this request. Addr and Core
+	// are immutable after creation, so the first decode holds for the
+	// whole round trip — the routing NoC and every scheduler query reuse
+	// it instead of re-slicing address bits. Derived, never serialized:
+	// checkpoint restore and pool recycling both clear it.
+	Dec DecodedAddr
+
+	// pooled marks a request currently resting in a Pool free list. It
+	// exists only to make double-release detectable (Pool.Put refuses and
+	// counts) and is never serialized.
+	pooled bool
+}
+
+// DecodedAddr is the cached result of dram.AddrMap.Decode. It mirrors the
+// decoder's location fields here in the leaf package (dram imports mem,
+// not the reverse). OK distinguishes "not yet decoded" from a real decode.
+type DecodedAddr struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     uint64
+	Col     uint64
+	OK      bool
 }
 
 // Latency returns the core-observed round-trip latency. It is only
@@ -93,10 +117,15 @@ type RespPort interface {
 }
 
 // Queue is a bounded FIFO of requests used as the buffering element between
-// pipeline stages. A zero capacity means unbounded.
+// pipeline stages. A zero capacity means unbounded. Storage is a ring:
+// steady-state push/pop reuses the same backing array instead of walking
+// an append-and-reslice slice down memory, so the busy loop allocates
+// nothing once the ring has grown to its working size.
 type Queue struct {
-	buf []*Request
-	cap int
+	buf   []*Request // ring storage, len(buf) is the ring size
+	head  int        // index of the oldest element
+	count int
+	cap   int // admission bound; 0 means unbounded
 }
 
 // NewQueue returns a queue holding at most capacity requests; capacity 0
@@ -106,37 +135,78 @@ func NewQueue(capacity int) *Queue {
 }
 
 // Len returns the number of queued requests.
-func (q *Queue) Len() int { return len(q.buf) }
+func (q *Queue) Len() int { return q.count }
 
 // Full reports whether the queue cannot accept another request.
-func (q *Queue) Full() bool { return q.cap > 0 && len(q.buf) >= q.cap }
+func (q *Queue) Full() bool { return q.cap > 0 && q.count >= q.cap }
+
+// grow linearizes the ring into a larger array.
+func (q *Queue) grow() {
+	n := 2 * len(q.buf)
+	if n < 8 {
+		n = 8
+	}
+	buf := make([]*Request, n)
+	for i := 0; i < q.count; i++ {
+		j := q.head + i
+		if j >= len(q.buf) {
+			j -= len(q.buf)
+		}
+		buf[i] = q.buf[j]
+	}
+	q.buf = buf
+	q.head = 0
+}
 
 // Push appends req and reports whether it fit.
 func (q *Queue) Push(req *Request) bool {
 	if q.Full() {
 		return false
 	}
-	q.buf = append(q.buf, req)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	i := q.head + q.count
+	if i >= len(q.buf) {
+		i -= len(q.buf)
+	}
+	q.buf[i] = req
+	q.count++
 	return true
 }
 
 // Peek returns the oldest request without removing it, or nil if empty.
 func (q *Queue) Peek() *Request {
-	if len(q.buf) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	return q.buf[0]
+	return q.buf[q.head]
 }
 
 // Pop removes and returns the oldest request, or nil if empty.
 func (q *Queue) Pop() *Request {
-	if len(q.buf) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	r := q.buf[0]
-	q.buf[0] = nil
-	q.buf = q.buf[1:]
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.count--
 	return r
+}
+
+// ForEach visits every queued request oldest-first.
+func (q *Queue) ForEach(fn func(*Request)) {
+	for i := 0; i < q.count; i++ {
+		j := q.head + i
+		if j >= len(q.buf) {
+			j -= len(q.buf)
+		}
+		fn(q.buf[j])
+	}
 }
 
 // TrySend implements ReqPort and RespPort by enqueueing.
@@ -144,10 +214,13 @@ func (q *Queue) TrySend(_ sim.Cycle, req *Request) bool { return q.Push(req) }
 
 // DelayPipe models a fixed-latency conduit (a NoC hop, a wire). Items
 // pushed at cycle t become visible at t+latency and drain in FIFO order
-// with backpressure: if the consumer does not pop, items stay.
+// with backpressure: if the consumer does not pop, items stay. Like
+// Queue, storage is a ring so steady-state traffic allocates nothing.
 type DelayPipe struct {
 	latency sim.Cycle
-	items   []pipeItem
+	items   []pipeItem // ring storage
+	head    int
+	count   int
 }
 
 type pipeItem struct {
@@ -160,39 +233,68 @@ func NewDelayPipe(latency sim.Cycle) *DelayPipe {
 	return &DelayPipe{latency: latency}
 }
 
+func (p *DelayPipe) grow() {
+	n := 2 * len(p.items)
+	if n < 8 {
+		n = 8
+	}
+	items := make([]pipeItem, n)
+	for i := 0; i < p.count; i++ {
+		j := p.head + i
+		if j >= len(p.items) {
+			j -= len(p.items)
+		}
+		items[i] = p.items[j]
+	}
+	p.items = items
+	p.head = 0
+}
+
+func (p *DelayPipe) push(it pipeItem) {
+	if p.count == len(p.items) {
+		p.grow()
+	}
+	i := p.head + p.count
+	if i >= len(p.items) {
+		i -= len(p.items)
+	}
+	p.items[i] = it
+	p.count++
+}
+
 // Push inserts req at cycle now; it becomes poppable at now+latency.
 func (p *DelayPipe) Push(now sim.Cycle, req *Request) {
-	p.items = append(p.items, pipeItem{ready: now + p.latency, req: req})
+	p.push(pipeItem{ready: now + p.latency, req: req})
 }
 
 // PushAfter inserts req with extra cycles of latency on top of the pipe's
 // own. The pipe stays FIFO: items behind a delayed one wait for it (the
 // fault injector uses this to model a stalled flit holding the channel).
 func (p *DelayPipe) PushAfter(now, extra sim.Cycle, req *Request) {
-	p.items = append(p.items, pipeItem{ready: now + p.latency + extra, req: req})
+	p.push(pipeItem{ready: now + p.latency + extra, req: req})
 }
 
 // Len returns the number of in-flight items.
-func (p *DelayPipe) Len() int { return len(p.items) }
+func (p *DelayPipe) Len() int { return p.count }
 
 // NextReady returns the cycle at which the oldest in-flight item
 // matures, and whether the pipe holds anything. The kernel's idle fast
 // path uses it as a wake hint: an empty pipe has no self-driven future
 // work.
 func (p *DelayPipe) NextReady() (sim.Cycle, bool) {
-	if len(p.items) == 0 {
+	if p.count == 0 {
 		return 0, false
 	}
-	return p.items[0].ready, true
+	return p.items[p.head].ready, true
 }
 
 // Ready returns the oldest item if it has matured by cycle now, else nil.
 // The item is not removed.
 func (p *DelayPipe) Ready(now sim.Cycle) *Request {
-	if len(p.items) == 0 || p.items[0].ready > now {
+	if p.count == 0 || p.items[p.head].ready > now {
 		return nil
 	}
-	return p.items[0].req
+	return p.items[p.head].req
 }
 
 // Pop removes and returns the oldest matured item, or nil.
@@ -200,8 +302,23 @@ func (p *DelayPipe) Pop(now sim.Cycle) *Request {
 	if p.Ready(now) == nil {
 		return nil
 	}
-	r := p.items[0].req
-	p.items[0].req = nil
-	p.items = p.items[1:]
+	r := p.items[p.head].req
+	p.items[p.head] = pipeItem{}
+	p.head++
+	if p.head == len(p.items) {
+		p.head = 0
+	}
+	p.count--
 	return r
+}
+
+// ForEach visits every in-flight request oldest-first.
+func (p *DelayPipe) ForEach(fn func(*Request)) {
+	for i := 0; i < p.count; i++ {
+		j := p.head + i
+		if j >= len(p.items) {
+			j -= len(p.items)
+		}
+		fn(p.items[j].req)
+	}
 }

@@ -1,0 +1,96 @@
+package mem
+
+// Pool is a free list of Requests. The busy shaping modes create a request
+// per released slot (fakes, cache misses, writebacks) and retire each one
+// exactly once at the core's delivery point, so recycling through a free
+// list removes every steady-state request allocation.
+//
+// Ownership rules (also documented in DESIGN.md):
+//
+//   - Exactly one component owns a request at any time; ownership moves
+//     with the pointer through TrySend handoffs.
+//   - Only the final consumer may Put: the core's delivery point (real
+//     and fake responses) and a shaper's rejected-admission path. A
+//     request dropped by the fault injector is deliberately leaked — the
+//     flow checker still holds its ID as lost.
+//   - Put fully resets the request, so a recycled object is
+//     indistinguishable from a freshly allocated one; checkpoint bytes
+//     cannot depend on pool history.
+//   - A nil *Pool is valid and falls back to plain allocation, so
+//     components keep working when assembled without a pool (unit tests,
+//     external harnesses).
+//
+// Double-release is detected via the request's pooled bit: the second Put
+// is refused and counted rather than corrupting the free list. Use-after-
+// retire (a component touching a request it released) is caught one layer
+// up by the flow checker's "retired twice" oracle, since a recycled
+// request re-enters the network with a fresh ID while the stale holder
+// re-delivers the old pointer.
+type Pool struct {
+	free       []*Request
+	doubleFree uint64
+	gets       uint64
+	puts       uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed request, recycling a released one when available.
+// On a nil pool it simply allocates.
+func (p *Pool) Get() *Request {
+	if p == nil || len(p.free) == 0 {
+		if p != nil {
+			p.gets++
+		}
+		return &Request{}
+	}
+	p.gets++
+	n := len(p.free) - 1
+	r := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	r.pooled = false
+	return r
+}
+
+// Put releases req back to the pool, fully resetting it. Releasing a
+// request that is already resting in the pool is refused and counted as a
+// double-free. A nil pool or nil request is a no-op.
+func (p *Pool) Put(req *Request) {
+	if p == nil || req == nil {
+		return
+	}
+	if req.pooled {
+		p.doubleFree++
+		return
+	}
+	*req = Request{pooled: true}
+	p.puts++
+	p.free = append(p.free, req)
+}
+
+// Len returns the number of requests currently resting in the free list.
+func (p *Pool) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}
+
+// DoubleFrees returns how many Put calls were refused because the request
+// was already in the pool.
+func (p *Pool) DoubleFrees() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.doubleFree
+}
+
+// Stats returns the lifetime Get and Put counts (observability only).
+func (p *Pool) Stats() (gets, puts uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.gets, p.puts
+}

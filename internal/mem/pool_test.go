@@ -1,0 +1,64 @@
+package mem
+
+import "testing"
+
+func TestPoolRoundTrip(t *testing.T) {
+	p := NewPool()
+	r := p.Get()
+	r.ID = 7
+	r.Addr = 0x1000
+	r.Fake = true
+	r.Dec = DecodedAddr{Bank: 3, OK: true}
+	p.Put(r)
+	if p.Len() != 1 {
+		t.Fatalf("pool holds %d, want 1", p.Len())
+	}
+	r2 := p.Get()
+	if r2 != r {
+		t.Fatal("pool did not reuse the returned request")
+	}
+	if r2.ID != 0 || r2.Addr != 0 || r2.Fake || r2.Dec.OK {
+		t.Fatalf("recycled request not reset: %+v", r2)
+	}
+	gets, puts := p.Stats()
+	if gets != 2 || puts != 1 {
+		t.Fatalf("gets=%d puts=%d, want 2/1", gets, puts)
+	}
+}
+
+func TestPoolDoubleFreeRefused(t *testing.T) {
+	p := NewPool()
+	r := p.Get()
+	p.Put(r)
+	p.Put(r) // stale holder releases again
+	if p.Len() != 1 {
+		t.Fatalf("double free duplicated the request in the free list: len %d", p.Len())
+	}
+	if p.DoubleFrees() != 1 {
+		t.Fatalf("DoubleFrees = %d, want 1", p.DoubleFrees())
+	}
+	// The single retained copy must still be usable.
+	if p.Get() != r {
+		t.Fatal("pool lost the request after a refused double free")
+	}
+}
+
+func TestPoolNilIsPlainAllocation(t *testing.T) {
+	var p *Pool
+	r := p.Get()
+	if r == nil {
+		t.Fatal("nil pool returned nil request")
+	}
+	p.Put(r) // must not panic
+	if p.Len() != 0 || p.DoubleFrees() != 0 {
+		t.Fatal("nil pool reported state")
+	}
+}
+
+func TestPoolGetFreshWhenEmpty(t *testing.T) {
+	p := NewPool()
+	a, b := p.Get(), p.Get()
+	if a == b {
+		t.Fatal("empty pool returned the same object twice")
+	}
+}

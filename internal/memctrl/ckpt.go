@@ -10,8 +10,11 @@ import (
 // list, per-core priority elevations, counters and — when the active
 // scheduling policy carries state (FS slot tracking, bandwidth-reserve
 // token buckets) — the scheduler. Queue and in-flight requests are owned
-// here, so they are serialized by value.
+// here, so they are serialized by value. The lazy occupancy accounting is
+// folded through the last observed cycle first, so the serialized
+// counters are exactly what the old eager per-tick accounting wrote.
 func (c *Controller) Snapshot(e *ckpt.Encoder) {
+	c.fold(c.lastSeen)
 	mem.SnapshotRequests(e, c.queue)
 	e.Len(len(c.inflight))
 	for _, cp := range c.inflight {
@@ -86,6 +89,16 @@ func (c *Controller) Restore(d *ckpt.Decoder) error {
 	}
 	c.stats.QueueOccupancySum = d.U64()
 	c.stats.Cycles = d.U64()
+	// Checkpoints land on supervision boundaries after every cycle up to
+	// the snapshot point has been observed, so the folded Cycles counter
+	// equals the snapshot cycle — re-seed the lazy-fold watermarks there.
+	c.accounted = sim.Cycle(c.stats.Cycles)
+	c.lastSeen = sim.Cycle(c.stats.Cycles)
+	// The pick gate's per-bank demand counts are derived from the queue;
+	// nextPickAt stays zero so the first tick rescans. The gate only
+	// elides scans that would find nothing, so resuming with a cleared
+	// memo is outcome-identical to the continuous run.
+	c.rebuildBankQueued()
 	has := d.Bool()
 	if d.Err() != nil {
 		return d.Err()

@@ -34,7 +34,77 @@ type Controller struct {
 	// prioUntil expires temporary elevation (RespC warnings).
 	prioUntil []sim.Cycle
 
+	// kernel/handler route priority expiry through typed kernel events
+	// when the controller runs under a kernel (AttachKernel). Standalone
+	// controllers — unit tests drive Tick directly — fall back to a
+	// per-tick expiry scan. Neither field is checkpoint state: expiry
+	// events ride in the kernel's own snapshot.
+	kernel  *sim.Kernel
+	handler sim.HandlerID
+
 	stats ControllerStats
+	// accounted is the cycle through which Cycles/QueueOccupancySum have
+	// been folded; lastSeen is the latest cycle the controller observed
+	// (tick or skip). Queue length only changes inside TrySend and Tick,
+	// so occupancy-time integrates lazily: each mutation first folds the
+	// constant-length span since accounted, and the busy loop never
+	// touches the shared counters. Derived bookkeeping, not state —
+	// Snapshot folds before writing so the serialized stats are exact.
+	accounted sim.Cycle
+	lastSeen  sim.Cycle
+
+	// bankQueued counts queued transactions per (rank, bank), indexed
+	// rank*BanksPerRank+bank; nextPickAt is the earliest cycle at which a
+	// scheduler scan could find an issuable transaction. Together they
+	// gate the per-request Pick scan: in saturation issues are data-bus
+	// paced (one per burst), so most cycles no bank can accept a command
+	// and the verdict is memoized until the computed wake or until an
+	// arrival or completion changes bank demand. The gate is
+	// policy-independent — it fires only when zero queued transactions
+	// are bank-issuable, in which case every Scheduler returns -1.
+	// Derived bookkeeping, not checkpoint state: restore rebuilds
+	// bankQueued from the queue and leaves nextPickAt at zero (rescan).
+	bankQueued   []int32
+	banksPerRank int
+	nextPickAt   sim.Cycle
+}
+
+// evPrioExpire is the typed kernel event that clears an expired priority
+// elevation; arg carries the core index.
+const evPrioExpire sim.EventKind = 1
+
+// AttachKernel registers the controller as a typed-event handler, turning
+// priority expiry from a per-tick scan into scheduled events. Systems call
+// it once at assembly time, before any Elevate.
+func (c *Controller) AttachKernel(k *sim.Kernel) {
+	c.kernel = k
+	c.handler = k.RegisterHandler(c)
+}
+
+// HandleEvent implements sim.EventHandler. A stale expiry (the core was
+// re-elevated to a later deadline after this event was scheduled) is
+// recognized by the deadline check and ignored.
+func (c *Controller) HandleEvent(now sim.Cycle, kind sim.EventKind, arg uint64) {
+	if kind != evPrioExpire {
+		return
+	}
+	core := int(arg)
+	if core >= 0 && core < len(c.prio) && c.prio[core] != 0 && now >= c.prioUntil[core] {
+		c.prio[core] = 0
+	}
+}
+
+// fold integrates queue-occupancy time for the constant-length span
+// (accounted, through]. Callers must fold before any queue mutation and
+// before exposing stats.
+func (c *Controller) fold(through sim.Cycle) {
+	if through <= c.accounted {
+		return
+	}
+	n := uint64(through - c.accounted)
+	c.stats.Cycles += n
+	c.stats.QueueOccupancySum += n * uint64(len(c.queue))
+	c.accounted = through
 }
 
 type completion struct {
@@ -70,15 +140,39 @@ func NewController(channel *dram.Channel, sched Scheduler, depth, cores int) *Co
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
+	g := channel.Geometry()
 	return &Controller{
-		channel:   channel,
-		scheduler: sched,
-		depth:     depth,
-		egress:    make([]mem.RespPort, cores),
-		prio:      make([]int, cores),
-		prioUntil: make([]sim.Cycle, cores),
-		stats:     ControllerStats{PerCoreServed: make([]uint64, cores)},
+		channel:    channel,
+		scheduler:  sched,
+		depth:      depth,
+		egress:     make([]mem.RespPort, cores),
+		prio:       make([]int, cores),
+		prioUntil:  make([]sim.Cycle, cores),
+		stats:        ControllerStats{PerCoreServed: make([]uint64, cores)},
+		bankQueued:   make([]int32, g.RanksPerChannel*g.BanksPerRank),
+		banksPerRank: g.BanksPerRank,
 	}
+}
+
+// bankSlot returns req's index into bankQueued, decoding (memoized) if
+// needed.
+func (c *Controller) bankSlot(req *mem.Request) int {
+	if !req.Dec.OK {
+		c.channel.AddrMap().DecodeReq(req)
+	}
+	return req.Dec.Rank*c.banksPerRank + req.Dec.Bank
+}
+
+// rebuildBankQueued recomputes the per-bank demand counts from the queue.
+// Checkpoint restore calls it: the counts are derived state.
+func (c *Controller) rebuildBankQueued() {
+	for i := range c.bankQueued {
+		c.bankQueued[i] = 0
+	}
+	for _, req := range c.queue {
+		c.bankQueued[c.bankSlot(req)]++
+	}
+	c.nextPickAt = 0
 }
 
 // SetEgress connects core's completion port (the response shaper or the
@@ -88,8 +182,10 @@ func (c *Controller) SetEgress(core int, port mem.RespPort) { c.egress[core] = p
 // Scheduler returns the active policy.
 func (c *Controller) Scheduler() Scheduler { return c.scheduler }
 
-// Stats returns a copy of the controller's counters.
+// Stats returns a copy of the controller's counters, folding the lazy
+// occupancy accounting up to the last observed cycle first.
 func (c *Controller) Stats() ControllerStats {
+	c.fold(c.lastSeen)
 	s := c.stats
 	s.PerCoreServed = append([]uint64(nil), c.stats.PerCoreServed...)
 	return s
@@ -103,6 +199,18 @@ func (c *Controller) QueueLen() int { return len(c.queue) }
 // it into the system's total in-flight count.
 func (c *Controller) Outstanding() int { return len(c.queue) + len(c.inflight) }
 
+// ForEachRequest visits every request the controller holds: queued
+// transactions and issued ones awaiting completion. Checkpoint restore
+// uses it to rebuild MSHR aliasing.
+func (c *Controller) ForEachRequest(fn func(*mem.Request)) {
+	for _, req := range c.queue {
+		fn(req)
+	}
+	for _, cp := range c.inflight {
+		fn(cp.req)
+	}
+}
+
 // TrySend implements mem.ReqPort: the request NoC delivers transactions
 // here. It returns false when the transaction queue is full.
 func (c *Controller) TrySend(now sim.Cycle, req *mem.Request) bool {
@@ -110,9 +218,23 @@ func (c *Controller) TrySend(now sim.Cycle, req *mem.Request) bool {
 		c.stats.Rejected++
 		return false
 	}
+	// The queue length is about to change: fold the occupancy integral
+	// through the previous cycle. Cycle now itself is sampled at this
+	// cycle's issue (or a later fold), after all arrivals have landed —
+	// exactly what the eager per-tick sample observed.
+	if now > 0 {
+		c.fold(now - 1)
+	}
 	req.ArrivedMC = now
 	c.queue = append(c.queue, req)
 	c.stats.Accepted++
+	c.bankQueued[c.bankSlot(req)]++
+	// The arrival may be issuable before the memoized gate wake: pull the
+	// wake forward to its bank's readiness (NeverWake while in flight —
+	// that bank's completion resets the gate below).
+	if at := c.channel.BankReadyAt(req); at < c.nextPickAt {
+		c.nextPickAt = at
+	}
 	return true
 }
 
@@ -126,6 +248,18 @@ func (c *Controller) Elevate(core, level int, until sim.Cycle) {
 	}
 	c.prio[core] = level
 	c.prioUntil[core] = until
+	if c.kernel != nil {
+		// Schedule the expiry instead of scanning every tick. Events fire
+		// at the start of their cycle, before any component ticks — the
+		// same point the per-tick scan cleared expired levels. An
+		// already-expired deadline still gets a next-cycle event so the
+		// clear happens where the scan would have performed it.
+		at := until
+		if now := c.kernel.Now(); at <= now {
+			at = now + 1
+		}
+		c.kernel.ScheduleEvent(at, c.handler, evPrioExpire, uint64(core))
+	}
 }
 
 // Priority returns core's current priority level.
@@ -155,37 +289,43 @@ func (c *Controller) NextWake(now sim.Cycle) sim.Cycle {
 		}
 		w = at
 	}
-	for i := range c.prio {
-		if c.prio[i] != 0 {
-			u := c.prioUntil[i]
-			if u <= now {
-				return now + 1
-			}
-			if u < w {
-				w = u
+	if c.kernel == nil {
+		// Standalone mode expires priorities inside Tick, so pending
+		// deadlines bound the skip. Under a kernel the scheduled expiry
+		// events bound it instead (the kernel never jumps past an event).
+		for i := range c.prio {
+			if c.prio[i] != 0 {
+				u := c.prioUntil[i]
+				if u <= now {
+					return now + 1
+				}
+				if u < w {
+					w = u
+				}
 			}
 		}
 	}
 	return w
 }
 
-// Skip implements sim.Skipper: bulk-apply the per-cycle occupancy
-// accounting an idle tick performs.
+// Skip implements sim.Skipper: the queue is untouched across a skipped
+// span, so only the lazy-fold watermark advances — the occupancy integral
+// for the span is folded at the next mutation or Stats call.
 func (c *Controller) Skip(from, to sim.Cycle) {
-	n := uint64(to - from + 1)
-	c.stats.Cycles += n
-	c.stats.QueueOccupancySum += n * uint64(len(c.queue))
+	c.lastSeen = to
 }
 
-// Tick advances the controller one cycle: expire priority elevations,
+// Tick advances the controller one cycle: expire priority elevations
+// (standalone mode only — attached controllers get typed expiry events),
 // retire finished bursts to egress, then issue at most one transaction.
 func (c *Controller) Tick(now sim.Cycle) {
-	c.stats.Cycles++
-	c.stats.QueueOccupancySum += uint64(len(c.queue))
+	c.lastSeen = now
 
-	for i := range c.prio {
-		if c.prio[i] != 0 && now >= c.prioUntil[i] {
-			c.prio[i] = 0
+	if c.kernel == nil {
+		for i := range c.prio {
+			if c.prio[i] != 0 && now >= c.prioUntil[i] {
+				c.prio[i] = 0
+			}
 		}
 	}
 
@@ -205,6 +345,13 @@ func (c *Controller) Tick(now sim.Cycle) {
 			continue
 		}
 		c.channel.Complete(cp.req)
+		// The freed bank may unblock a queued transaction earlier than
+		// the memoized gate wake.
+		if c.bankQueued[c.bankSlot(cp.req)] > 0 {
+			if at := c.channel.BankReadyAt(cp.req); at < c.nextPickAt {
+				c.nextPickAt = at
+			}
+		}
 		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
 		c.stats.Completed++
 		if cp.req.Core >= 0 && cp.req.Core < len(c.stats.PerCoreServed) {
@@ -215,11 +362,24 @@ func (c *Controller) Tick(now sim.Cycle) {
 	if len(c.queue) == 0 {
 		return
 	}
+	// Policy-independent pre-gate: when no queued transaction's bank can
+	// accept a command, every scheduler's Pick returns -1, so skip the
+	// per-request scan and memoize the earliest cycle that could change.
+	if now < c.nextPickAt {
+		return
+	}
+	can, wake := c.channel.EarliestDemandIssue(now, c.bankQueued)
+	if !can {
+		c.nextPickAt = wake
+		return
+	}
 	pick := c.scheduler.Pick(now, c.queue, c.channel, c.prio)
 	if pick < 0 {
 		return
 	}
+	c.fold(now) // queue length changes below; sample this cycle first
 	req := c.queue[pick]
+	c.bankQueued[c.bankSlot(req)]--
 	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
 	req.IssuedDRAM = now
 	done := c.channel.Issue(now, req)

@@ -43,11 +43,11 @@ func (FRFCFS) Pick(now sim.Cycle, q []*mem.Request, ch *dram.Channel, prio []int
 	bestPrio := 0
 	bestHit := false
 	for i, req := range q {
-		if !ch.CanIssue(now, req) {
+		can, hit := ch.IssueState(now, req)
+		if !can {
 			continue
 		}
 		p := corePriority(prio, req.Core)
-		hit := ch.IsRowHit(req)
 		if best == -1 || p > bestPrio || (p == bestPrio && hit && !bestHit) {
 			best, bestPrio, bestHit = i, p, hit
 		}
@@ -99,10 +99,10 @@ func (tp *TemporalPartitioning) Pick(now sim.Cycle, q []*mem.Request, ch *dram.C
 		if req.Core%tp.Domains != domain {
 			continue
 		}
-		if !ch.CanIssue(now, req) {
+		can, hit := ch.IssueState(now, req)
+		if !can {
 			continue
 		}
-		hit := ch.IsRowHit(req)
 		if best == -1 || (hit && !bestHit) {
 			best, bestHit = i, hit
 		}
@@ -157,10 +157,10 @@ func (fs *FixedService) Pick(now sim.Cycle, q []*mem.Request, ch *dram.Channel, 
 		if req.Core != core {
 			continue
 		}
-		if !ch.CanIssue(now, req) {
+		can, hit := ch.IssueState(now, req)
+		if !can {
 			continue
 		}
-		hit := ch.IsRowHit(req)
 		if best == -1 || (hit && !bestHit) {
 			best, bestHit = i, hit
 		}
@@ -223,10 +223,10 @@ func (br *BandwidthReserve) Pick(now sim.Cycle, q []*mem.Request, ch *dram.Chann
 		if req.Core < 0 || req.Core >= len(br.tokens) || br.tokens[req.Core] < 1 {
 			continue
 		}
-		if !ch.CanIssue(now, req) {
+		can, hit := ch.IssueState(now, req)
+		if !can {
 			continue
 		}
-		hit := ch.IsRowHit(req)
 		if best == -1 || (hit && !bestHit) {
 			best, bestHit = i, hit
 		}

@@ -128,6 +128,16 @@ func (l *Link) Outstanding() int {
 	return n
 }
 
+// ForEachRequest visits every request inside the link: queued at the
+// inputs or in flight in the pipe. Checkpoint restore uses it to rebuild
+// MSHR aliasing.
+func (l *Link) ForEachRequest(fn func(*mem.Request)) {
+	for _, q := range l.inputs {
+		q.ForEach(fn)
+	}
+	l.pipe.ForEach(fn)
+}
+
 // Stats returns a copy of the link counters.
 func (l *Link) Stats() LinkStats {
 	s := l.stats
@@ -184,9 +194,20 @@ func (l *Link) Tick(now sim.Cycle) {
 		l.stats.Delivered++
 	}
 
+	// The pipe models fixed-latency wires plus one cycle of staging at
+	// the channel entry: it can hold at most width transfers per stage.
+	// When deliveries stall long enough to fill that, the arbiter stops
+	// granting — the backpressure a real shared channel asserts —
+	// instead of buffering unboundedly inside the wires. A stall-free
+	// link never reaches the bound, so uncongested runs are unaffected.
+	capacity := int(l.latency+1) * l.width
 	granted := 0
 	n := len(l.inputs)
 	for scanned := 0; scanned < n && granted < l.width; scanned++ {
+		if l.pipe.Len() >= capacity {
+			l.stats.StallCycles++
+			break
+		}
 		idx := (l.rr + scanned) % n
 		req := l.inputs[idx].Pop()
 		if req == nil {

@@ -58,6 +58,25 @@ type binCore struct {
 	wakeCacheGen     uint64
 	wakeCachePending bool
 	wakeCache        sim.Cycle
+
+	// Release-verdict memos. releaseBin and fakeBin are pure functions of
+	// the credit state (versioned by wakeGen) and the inter-arrival time,
+	// and the inter-arrival time only changes the verdict when it crosses
+	// the current bin's upper edge or the within-bin jitter threshold —
+	// so a verdict computed at one cycle holds for every cycle in
+	// [from, until) at the same wakeGen. The busy loop consults these
+	// every cycle; without the memo each tick rescans the credit bins.
+	// Derived state — never serialized; Restore invalidates via wakeGen.
+	realMemo releaseMemo
+	fakeMemo releaseMemo
+}
+
+// releaseMemo caches one release verdict with its validity window.
+type releaseMemo struct {
+	gen         uint64
+	from, until sim.Cycle
+	bin         int
+	ok          bool
 }
 
 // ledger follows every credit from grant to disposal. The runtime credit
@@ -400,35 +419,77 @@ func (b *binCore) interArrival(now sim.Cycle) sim.Cycle {
 	return now - b.lastRelease
 }
 
-// releaseBin returns the bin a release at cycle now would consume from,
-// and whether a credit is available, per the configured policy.
-func (b *binCore) releaseBin(now sim.Cycle) (int, bool) {
-	if !b.released {
-		// The first release has no inter-arrival time; any credited bin
-		// admits it (lowest first so cheap credits go first).
-		for i, c := range b.credits {
-			if c > 0 {
-				return i, true
+// horizonFor returns the first cycle at which a verdict derived from the
+// current inter-arrival time could change: the raw bin's upper edge and,
+// with RandomizeWithinBin, the not-yet-reached within-bin jitter
+// threshold. Credit-state changes are versioned separately by wakeGen.
+func (b *binCore) horizonFor(rawBin int, dt sim.Cycle) sim.Cycle {
+	until := sim.Cycle(math.MaxUint64)
+	if upper := b.cfg.Binning.Upper(rawBin); upper != math.MaxUint64 {
+		until = b.lastRelease + upper
+	}
+	if b.cfg.RandomizeWithinBin {
+		lower := b.cfg.Binning.Lower(rawBin)
+		var width sim.Cycle
+		if rawBin == b.cfg.Binning.N()-1 {
+			width = lower
+		} else {
+			width = b.cfg.Binning.Upper(rawBin) - lower
+		}
+		need := lower + sim.Cycle(b.jitterFrac*float64(width))
+		if dt < need {
+			if t := b.lastRelease + need; t < until {
+				until = t
 			}
 		}
-		return 0, false
+	}
+	return until
+}
+
+// releaseBin returns the bin a release at cycle now would consume from,
+// and whether a credit is available, per the configured policy. The
+// verdict is memoized across cycles: it is a pure function of the credit
+// state (wakeGen) and the inter-arrival bin, so the busy loop's
+// per-cycle query is a cache read until a credit changes hands or the
+// gap crosses a bin edge.
+func (b *binCore) releaseBin(now sim.Cycle) (int, bool) {
+	if m := &b.realMemo; m.gen == b.wakeGen && now >= m.from && now < m.until {
+		return m.bin, m.ok
+	}
+	bin, ok, until := b.releaseBinSlow(now)
+	b.realMemo = releaseMemo{gen: b.wakeGen, from: now, until: until, bin: bin, ok: ok}
+	return bin, ok
+}
+
+func (b *binCore) releaseBinSlow(now sim.Cycle) (int, bool, sim.Cycle) {
+	if !b.released {
+		// The first release has no inter-arrival time; any credited bin
+		// admits it (lowest first so cheap credits go first). The verdict
+		// does not depend on now at all.
+		for i, c := range b.credits {
+			if c > 0 {
+				return i, true, sim.Cycle(math.MaxUint64)
+			}
+		}
+		return 0, false, sim.Cycle(math.MaxUint64)
 	}
 	dt := b.interArrival(now)
 	bin := b.cfg.Binning.Bin(dt)
+	until := b.horizonFor(bin, dt)
 	switch b.cfg.Policy {
 	case PolicyAtMost:
 		for i := bin; i >= 0; i-- {
 			if b.credits[i] > 0 {
-				return i, true
+				return i, true, until
 			}
 		}
-		return 0, false
+		return 0, false, until
 	default: // PolicyExact
 		if b.credits[bin] > 0 {
 			if b.cfg.RandomizeWithinBin && !b.jitterSatisfied(dt, bin) {
-				return 0, false
+				return 0, false, until
 			}
-			return bin, true
+			return bin, true, until
 		}
 		// Overflow release: if the observed inter-arrival has already
 		// passed every credited bin, further waiting cannot produce a
@@ -438,55 +499,67 @@ func (b *binCore) releaseBin(now sim.Cycle) (int, bool) {
 		// a bounded distortion that fake traffic makes rare.
 		for i := len(b.credits) - 1; i > bin; i-- {
 			if b.credits[i] > 0 {
-				return 0, false // a higher credited bin exists: keep waiting
+				return 0, false, until // a higher credited bin exists: keep waiting
 			}
 		}
 		for i := bin - 1; i >= 0; i-- {
 			if b.credits[i] > 0 {
-				return i, true
+				return i, true, until
 			}
 		}
-		return 0, false
+		return 0, false, until
 	}
 }
 
 // fakeBin returns the unused-credit bin a fake release at cycle now would
 // consume from, and whether one is available. Fake traffic always matches
-// its bin exactly: it exists to complete the distribution.
+// its bin exactly: it exists to complete the distribution. Like
+// releaseBin, the verdict is memoized until the credit state or the
+// inter-arrival bin changes.
 func (b *binCore) fakeBin(now sim.Cycle) (int, bool) {
 	if !b.cfg.GenerateFake {
 		return 0, false
 	}
+	if m := &b.fakeMemo; m.gen == b.wakeGen && now >= m.from && now < m.until {
+		return m.bin, m.ok
+	}
+	bin, ok, until := b.fakeBinSlow(now)
+	b.fakeMemo = releaseMemo{gen: b.wakeGen, from: now, until: until, bin: bin, ok: ok}
+	return bin, ok
+}
+
+func (b *binCore) fakeBinSlow(now sim.Cycle) (int, bool, sim.Cycle) {
 	if !b.released {
 		for i, u := range b.unused {
 			if u > 0 {
-				return i, true
+				return i, true, sim.Cycle(math.MaxUint64)
 			}
 		}
-		return 0, false
+		return 0, false, sim.Cycle(math.MaxUint64)
 	}
 	dt := b.interArrival(now)
 	bin := b.cfg.Binning.Bin(dt)
+	until := b.horizonFor(bin, dt)
 	if b.unused[bin] > 0 {
 		if b.cfg.RandomizeWithinBin && !b.jitterSatisfied(dt, bin) {
-			return 0, false
+			return 0, false, until
 		}
-		return bin, true
+		return bin, true, until
 	}
 	// Overflow: once the gap has passed every unused-credit bin, emit from
 	// the highest one so the generator restarts after idle stretches (the
 	// subsequent fakes then walk their exact bins again).
 	for i := len(b.unused) - 1; i > bin; i-- {
 		if b.unused[i] > 0 {
-			return 0, false
+			return 0, false, until
 		}
 	}
 	for i := bin - 1; i >= 0; i-- {
 		if b.unused[i] > 0 {
-			return i, true
+			return i, true, until
 		}
 	}
-	return 0, false
+	return 0, false, until
 }
 
 // jitterSatisfied reports whether the randomized extra delay for the

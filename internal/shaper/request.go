@@ -22,9 +22,19 @@ type RequestShaper struct {
 	bins *binCore
 	in   *mem.Queue
 	out  mem.ReqPort
-	rng  *sim.RNG
+	// outFull, when the output port exposes fullness (the NoC input
+	// queue does), lets congested cycles burn a fake's ID and address
+	// draw without constructing the request: admission is known to fail,
+	// and the draws alone keep the retry schedule byte-identical with
+	// the construct-then-reject path.
+	outFull interface{ Full() bool }
+	rng     *sim.RNG
 
 	nextID *uint64
+
+	// pool, when set, supplies fake requests and takes back fakes the
+	// NoC refused at admission. Nil keeps plain allocation.
+	pool *mem.Pool
 
 	// Intrinsic records the distribution offered by the core; Shaped
 	// records the distribution visible on the bus. The mutual-information
@@ -43,17 +53,24 @@ func NewRequestShaper(core int, cfg Config, inCap int, out mem.ReqPort, rng *sim
 	if err != nil {
 		return nil, err
 	}
+	full, _ := out.(interface{ Full() bool })
 	return &RequestShaper{
 		core:      core,
 		bins:      bins,
 		in:        mem.NewQueue(inCap),
 		out:       out,
+		outFull:   full,
 		rng:       rng,
 		nextID:    nextID,
 		Intrinsic: stats.NewInterArrivalRecorder(cfg.Binning, false),
 		Shaped:    stats.NewInterArrivalRecorder(cfg.Binning, false),
 	}, nil
 }
+
+// SetPool makes the shaper draw fake requests from pool and return
+// admission-rejected fakes to it. A nil pool (the default) keeps plain
+// allocation.
+func (s *RequestShaper) SetPool(pool *mem.Pool) { s.pool = pool }
 
 // Config returns the active configuration.
 func (s *RequestShaper) Config() Config { return s.bins.cfg.Clone() }
@@ -81,6 +98,10 @@ func (s *RequestShaper) CheckConservation() error { return s.bins.checkConservat
 
 // QueueLen returns the number of requests awaiting release.
 func (s *RequestShaper) QueueLen() int { return s.in.Len() }
+
+// ForEachRequest visits every queued request awaiting release.
+// Checkpoint restore uses it to rebuild MSHR aliasing.
+func (s *RequestShaper) ForEachRequest(fn func(*mem.Request)) { s.in.ForEach(fn) }
 
 // CreditBalance returns the live credits remaining in the current window.
 func (s *RequestShaper) CreditBalance() int { return s.bins.liveCredits() }
@@ -157,8 +178,17 @@ func (s *RequestShaper) Tick(now sim.Cycle) {
 	if !ok {
 		return
 	}
+	if s.outFull != nil && s.outFull.Full() {
+		s.burnFakeDraw()
+		return
+	}
 	fake := s.newFake(now)
 	if !s.out.TrySend(now, fake) {
+		// The NoC refused admission. The ID increment and RNG draw have
+		// already happened — they must, to keep golden outputs
+		// byte-identical with the retry that follows — so only the
+		// request object itself is reclaimed.
+		s.pool.Put(fake)
 		return
 	}
 	s.bins.commitFake(now, bin)
@@ -184,8 +214,13 @@ func (s *RequestShaper) tickOblivious(now sim.Cycle) {
 		return
 	}
 	if s.bins.cfg.GenerateFake {
+		if s.outFull != nil && s.outFull.Full() {
+			s.burnFakeDraw()
+			return
+		}
 		fake := s.newFake(now)
 		if !s.out.TrySend(now, fake) {
+			s.pool.Put(fake)
 			return
 		}
 		s.bins.commitOblivious(now, true)
@@ -216,8 +251,13 @@ func (s *RequestShaper) tickPeriodic(now sim.Cycle) {
 		return
 	}
 	if s.bins.cfg.GenerateFake {
+		if s.outFull != nil && s.outFull.Full() {
+			s.burnFakeDraw()
+			return
+		}
 		fake := s.newFake(now)
 		if !s.out.TrySend(now, fake) {
+			s.pool.Put(fake)
 			return
 		}
 		s.bins.markFake(now)
@@ -226,15 +266,24 @@ func (s *RequestShaper) tickPeriodic(now sim.Cycle) {
 	s.bins.closeSlot(now)
 }
 
+// burnFakeDraw consumes exactly the ID increment and address draw that
+// constructing a fake would. Congested cycles where the output queue is
+// observably full take this path instead of the construct-then-reject
+// round trip; the burned draws keep the eventual retry byte-identical.
+func (s *RequestShaper) burnFakeDraw() {
+	*s.nextID++
+	s.rng.Uint64n(FakeAddressSpace / mem.LineSize)
+}
+
 func (s *RequestShaper) newFake(now sim.Cycle) *mem.Request {
 	*s.nextID++
-	return &mem.Request{
-		ID:        *s.nextID,
-		Core:      s.core,
-		Addr:      s.rng.Uint64n(FakeAddressSpace/mem.LineSize) * mem.LineSize,
-		Op:        mem.Read,
-		Fake:      true,
-		CreatedAt: now,
-		ShapedAt:  now,
-	}
+	fake := s.pool.Get()
+	fake.ID = *s.nextID
+	fake.Core = s.core
+	fake.Addr = s.rng.Uint64n(FakeAddressSpace/mem.LineSize) * mem.LineSize
+	fake.Op = mem.Read
+	fake.Fake = true
+	fake.CreatedAt = now
+	fake.ShapedAt = now
+	return fake
 }

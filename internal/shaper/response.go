@@ -32,10 +32,18 @@ type ResponseShaper struct {
 	// the controller egress, which in turn holds DRAM banks busy.
 	queue *mem.Queue
 	out   mem.RespPort
-	mc    PriorityElevator
-	rng   *sim.RNG
+	// outFull mirrors RequestShaper.outFull: when the output port exposes
+	// fullness, a congested cycle burns the fake's draws without the
+	// construct-then-reject round trip.
+	outFull interface{ Full() bool }
+	mc      PriorityElevator
+	rng     *sim.RNG
 
 	nextID *uint64
+
+	// pool, when set, supplies fake responses and takes back fakes the
+	// NoC refused at admission. Nil keeps plain allocation.
+	pool *mem.Pool
 
 	// Intrinsic records responses as the controller produced them; Shaped
 	// records what the core (the adversary) observes.
@@ -51,11 +59,13 @@ func NewResponseShaper(core int, cfg Config, queueCap int, out mem.RespPort, mc 
 	if err != nil {
 		return nil, err
 	}
+	full, _ := out.(interface{ Full() bool })
 	return &ResponseShaper{
 		core:      core,
 		bins:      bins,
 		queue:     mem.NewQueue(queueCap),
 		out:       out,
+		outFull:   full,
 		mc:        mc,
 		rng:       rng,
 		nextID:    nextID,
@@ -63,6 +73,11 @@ func NewResponseShaper(core int, cfg Config, queueCap int, out mem.RespPort, mc 
 		Shaped:    stats.NewInterArrivalRecorder(cfg.Binning, false),
 	}, nil
 }
+
+// SetPool makes the shaper draw fake responses from pool and return
+// admission-rejected fakes to it. A nil pool (the default) keeps plain
+// allocation.
+func (s *ResponseShaper) SetPool(pool *mem.Pool) { s.pool = pool }
 
 // Config returns the active configuration.
 func (s *ResponseShaper) Config() Config { return s.bins.cfg.Clone() }
@@ -88,6 +103,10 @@ func (s *ResponseShaper) CheckConservation() error { return s.bins.checkConserva
 
 // QueueLen returns the number of buffered responses.
 func (s *ResponseShaper) QueueLen() int { return s.queue.Len() }
+
+// ForEachRequest visits every buffered response awaiting release.
+// Checkpoint restore uses it to rebuild MSHR aliasing.
+func (s *ResponseShaper) ForEachRequest(fn func(*mem.Request)) { s.queue.ForEach(fn) }
 
 // CreditBalance returns the live credits remaining in the current window.
 func (s *ResponseShaper) CreditBalance() int { return s.bins.liveCredits() }
@@ -166,8 +185,15 @@ func (s *ResponseShaper) Tick(now sim.Cycle) {
 	if !ok {
 		return
 	}
+	if s.outFull != nil && s.outFull.Full() {
+		s.burnFakeDraw()
+		return
+	}
 	fake := s.newFakeResponse(now)
 	if !s.out.TrySend(now, fake) {
+		// Admission refused: reclaim the object. The ID and RNG draws
+		// stay burnt so the retry schedule is byte-identical.
+		s.pool.Put(fake)
 		return
 	}
 	s.bins.commitFake(now, bin)
@@ -193,8 +219,13 @@ func (s *ResponseShaper) tickOblivious(now sim.Cycle) {
 		return
 	}
 	if s.bins.cfg.GenerateFake {
+		if s.outFull != nil && s.outFull.Full() {
+			s.burnFakeDraw()
+			return
+		}
 		fake := s.newFakeResponse(now)
 		if !s.out.TrySend(now, fake) {
+			s.pool.Put(fake)
 			return
 		}
 		s.bins.commitOblivious(now, true)
@@ -225,8 +256,13 @@ func (s *ResponseShaper) tickPeriodic(now sim.Cycle) {
 		return
 	}
 	if s.bins.cfg.GenerateFake {
+		if s.outFull != nil && s.outFull.Full() {
+			s.burnFakeDraw()
+			return
+		}
 		fake := s.newFakeResponse(now)
 		if !s.out.TrySend(now, fake) {
+			s.pool.Put(fake)
 			return
 		}
 		s.bins.markFake(now)
@@ -235,16 +271,23 @@ func (s *ResponseShaper) tickPeriodic(now sim.Cycle) {
 	s.bins.closeSlot(now)
 }
 
+// burnFakeDraw consumes exactly the ID increment and address draw that
+// constructing a fake response would (see RequestShaper.burnFakeDraw).
+func (s *ResponseShaper) burnFakeDraw() {
+	*s.nextID++
+	s.rng.Uint64n(FakeAddressSpace / mem.LineSize)
+}
+
 func (s *ResponseShaper) newFakeResponse(now sim.Cycle) *mem.Request {
 	*s.nextID++
-	return &mem.Request{
-		ID:         *s.nextID,
-		Core:       s.core,
-		Addr:       s.rng.Uint64n(FakeAddressSpace/mem.LineSize) * mem.LineSize,
-		Op:         mem.Read,
-		Fake:       true,
-		CreatedAt:  now,
-		ReadyAt:    now,
-		RespShaped: now,
-	}
+	fake := s.pool.Get()
+	fake.ID = *s.nextID
+	fake.Core = s.core
+	fake.Addr = s.rng.Uint64n(FakeAddressSpace/mem.LineSize) * mem.LineSize
+	fake.Op = mem.Read
+	fake.Fake = true
+	fake.CreatedAt = now
+	fake.ReadyAt = now
+	fake.RespShaped = now
+	return fake
 }

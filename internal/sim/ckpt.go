@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"camouflage/internal/ckpt"
 )
@@ -16,34 +17,61 @@ func (r *RNG) Restore(d *ckpt.Decoder) error {
 	return d.Err()
 }
 
-// Snapshot serializes the kernel clock, the event tie-break sequence and
-// the root RNG. Scheduled events are closures and cannot be serialized;
-// callers must ensure the event queue is drained (see CheckpointReady)
-// before snapshotting. Registered components snapshot themselves.
+// Snapshot serializes the kernel clock, the event tie-break sequence, the
+// root RNG, and every pending typed event. Events are written in firing
+// order — sorted by (at, seq) rather than in heap layout — so the bytes
+// are a canonical function of simulation state, independent of the
+// incidental push/pop history that shaped the heap's internal array.
+// Registered components snapshot themselves.
 func (k *Kernel) Snapshot(e *ckpt.Encoder) {
 	e.U64(uint64(k.now))
 	e.U64(k.seq)
 	k.rng.Snapshot(e)
+	evs := append([]event(nil), k.events...)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	e.Len(len(evs))
+	for _, ev := range evs {
+		e.U64(uint64(ev.at))
+		e.U64(ev.seq)
+		e.U64(uint64(ev.handler))
+		e.U64(uint64(ev.kind))
+		e.U64(ev.arg)
+	}
 }
 
-// Restore implements ckpt.Stater.
+// Restore implements ckpt.Stater. Pending events are re-queued against the
+// handlers registered in this process; an event naming a handler ID beyond
+// what has been registered means the restoring process was assembled
+// differently from the writer and the checkpoint cannot be trusted.
 func (k *Kernel) Restore(d *ckpt.Decoder) error {
 	k.now = Cycle(d.U64())
 	k.seq = d.U64()
 	if err := k.rng.Restore(d); err != nil {
 		return err
 	}
-	return d.Err()
-}
-
-// CheckpointReady reports whether the kernel can be snapshotted: pending
-// scheduled events are closures with no serializable form, so a
-// checkpoint while any are outstanding would silently drop them. No
-// production component uses Schedule (all are cycle-stepped Tickables);
-// this guard keeps that a checked invariant rather than an assumption.
-func (k *Kernel) CheckpointReady() error {
-	if n := k.PendingEvents(); n > 0 {
-		return fmt.Errorf("sim: cannot checkpoint with %d pending scheduled events", n)
+	n := d.Len()
+	if err := d.Err(); err != nil {
+		return err
 	}
-	return nil
+	k.events = k.events[:0]
+	for i := 0; i < n; i++ {
+		ev := event{
+			at:      Cycle(d.U64()),
+			seq:     d.U64(),
+			handler: HandlerID(d.U64()),
+			kind:    EventKind(d.U64()),
+			arg:     d.U64(),
+		}
+		if ev.handler < 0 || int(ev.handler) >= len(k.handlers) {
+			return fmt.Errorf("sim: restored event names handler %d but only %d are registered",
+				ev.handler, len(k.handlers))
+		}
+		k.events.push(ev)
+	}
+	return d.Err()
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"runtime"
 	"testing"
 )
 
@@ -64,7 +63,10 @@ func TestFastPathMatchesSteppedRun(t *testing.T) {
 		k.Register(h)
 		k.SetFastPath(fast)
 		fired := []Cycle{}
-		k.Schedule(41, func(now Cycle) { fired = append(fired, now) })
+		hid := k.RegisterHandler(EventHandlerFunc(func(now Cycle, _ EventKind, _ uint64) {
+			fired = append(fired, now)
+		}))
+		k.ScheduleEvent(41, hid, 0, 0)
 		k.Run(500)
 		if len(fired) != 1 || fired[0] != 41 {
 			t.Fatalf("event fired at %v, want [41]", fired)
@@ -99,7 +101,10 @@ func TestFastPathStopsAtEvents(t *testing.T) {
 	k := NewKernel(1)
 	k.Register(&hintedTicker{period: NeverWake}) // wakes far beyond any horizon
 	var fired []Cycle
-	k.Schedule(50, func(now Cycle) { fired = append(fired, now) })
+	hid := k.RegisterHandler(EventHandlerFunc(func(now Cycle, _ EventKind, _ uint64) {
+		fired = append(fired, now)
+	}))
+	k.ScheduleEvent(50, hid, 0, 0)
 	k.Run(200)
 	if len(fired) != 1 || fired[0] != 50 {
 		t.Fatalf("event fired at %v, want [50]", fired)
@@ -138,35 +143,31 @@ func TestRunUntilHonorsStop(t *testing.T) {
 	}
 }
 
-func TestEventHeapReleasesPoppedClosures(t *testing.T) {
+// TestScheduleEventDoesNotAllocate pins the property that replaced the old
+// closure-leak regression test: events are plain data, so once the heap's
+// backing array has grown to its working size, scheduling and firing
+// events allocates nothing. (With closure events every Schedule allocated
+// a func value, and a popped closure could stay reachable through the
+// heap's backing array — both failure classes are gone by construction.)
+func TestScheduleEventDoesNotAllocate(t *testing.T) {
 	k := NewKernel(1)
-	collected := make(chan struct{})
-	func() {
-		payload := &hintedTicker{period: 1} // arbitrary heap object captured by the closure
-		runtime.SetFinalizer(payload, func(*hintedTicker) { close(collected) })
-		// Two events so the heap has a tail slot to vacate on pop. The
-		// payload rides in the later event: popping the first copies the
-		// later one into slot 0 without clearing the tail, so an unzeroed
-		// heap retains the later closure in both slots forever.
-		k.Schedule(1, func(now Cycle) {})
-		k.Schedule(2, func(now Cycle) { payload.period++ })
-	}()
-	k.Run(5)
-	if k.PendingEvents() != 0 {
-		t.Fatalf("%d events still pending", k.PendingEvents())
+	var n uint64
+	h := k.RegisterHandler(EventHandlerFunc(func(Cycle, EventKind, uint64) { n++ }))
+	// Warm up: grow the heap's backing array to steady-state capacity.
+	for i := 0; i < 4; i++ {
+		k.ScheduleEventAfter(Cycle(i)+1, h, 0, 0)
 	}
-	for i := 0; i < 100; i++ {
-		runtime.GC()
-		select {
-		case <-collected:
-			runtime.KeepAlive(k)
-			return
-		default:
+	k.Run(8)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4; i++ {
+			k.ScheduleEventAfter(Cycle(i)+1, h, 0, uint64(i))
 		}
+		k.Run(8)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/fire cycle allocates %v objects per run, want 0", allocs)
 	}
-	// The kernel (and with it the heap's backing array) must stay live
-	// through the GC probes above, otherwise the whole structure dies
-	// and the leak is unobservable.
-	runtime.KeepAlive(k)
-	t.Fatal("popped event's closure still reachable: heap retains the vacated slot")
+	if n == 0 {
+		t.Fatal("handler never fired")
+	}
 }

@@ -1,7 +1,8 @@
 // Package sim provides the cycle-stepped simulation kernel shared by every
 // substrate in the Camouflage reproduction: a monotonically advancing clock,
-// tickable components, a deterministic pseudo-random source, and a small
-// event scheduler for components that prefer callbacks over per-cycle polling.
+// tickable components, a deterministic pseudo-random source, and a typed
+// event scheduler for components that prefer timer-style wakeups over
+// per-cycle polling.
 //
 // The kernel is cycle-stepped rather than event-driven because the two most
 // timing-sensitive subsystems — the DDR3 state machines in package dram and
@@ -77,11 +78,42 @@ type Skipper interface {
 	Skip(from, to Cycle)
 }
 
-// event is a scheduled callback.
+// EventKind is a component-defined discriminator for typed events. Kinds
+// are scoped to the receiving handler: two handlers may reuse the same
+// numeric kind for unrelated purposes without colliding.
+type EventKind uint16
+
+// HandlerID names an EventHandler registered with RegisterHandler. IDs are
+// dense indices assigned in registration order, which makes them stable
+// across a checkpoint/restore pair as long as the restoring process
+// registers the same handlers in the same order — the same contract
+// Register already imposes on Tickables.
+type HandlerID int32
+
+// EventHandler consumes typed events scheduled with ScheduleEvent. Events
+// are plain data (kind + one argument word), not closures: they allocate
+// nothing when scheduled, they cannot retain captured objects after
+// firing, and — unlike closures — they serialize, so a checkpoint can be
+// taken while events are pending.
+type EventHandler interface {
+	HandleEvent(now Cycle, kind EventKind, arg uint64)
+}
+
+// EventHandlerFunc adapts a function to the EventHandler interface.
+type EventHandlerFunc func(now Cycle, kind EventKind, arg uint64)
+
+// HandleEvent implements EventHandler.
+func (f EventHandlerFunc) HandleEvent(now Cycle, kind EventKind, arg uint64) { f(now, kind, arg) }
+
+// event is a scheduled typed event. It is plain old data — no pointers —
+// so the heap never retains simulation objects and pending events can be
+// written to a checkpoint verbatim.
 type event struct {
-	at  Cycle
-	seq uint64 // tie-break so same-cycle events fire in schedule order
-	fn  func(now Cycle)
+	at      Cycle
+	seq     uint64 // tie-break so same-cycle events fire in schedule order
+	handler HandlerID
+	kind    EventKind
+	arg     uint64
 }
 
 // Kernel owns the clock and drives all registered components.
@@ -89,6 +121,7 @@ type Kernel struct {
 	now        Cycle
 	components []Tickable
 	events     eventHeap
+	handlers   []EventHandler
 	seq        uint64
 	rng        *RNG
 	stopped    bool
@@ -157,19 +190,35 @@ func (k *Kernel) Register(c Tickable) {
 	}
 }
 
-// Schedule runs fn at cycle at. Scheduling in the past (or present) panics:
-// it would silently never fire and always indicates a component bug.
-func (k *Kernel) Schedule(at Cycle, fn func(now Cycle)) {
-	if at <= k.now {
-		panic(fmt.Sprintf("sim: Schedule at cycle %d but now is %d", at, k.now))
+// RegisterHandler adds an event handler and returns its ID. Like Register,
+// call order defines the ID, so a restored process must register handlers
+// in the construction order of the process that wrote the checkpoint.
+func (k *Kernel) RegisterHandler(h EventHandler) HandlerID {
+	if h == nil {
+		panic("sim: RegisterHandler(nil)")
 	}
-	k.seq++
-	k.events.push(event{at: at, seq: k.seq, fn: fn})
+	k.handlers = append(k.handlers, h)
+	return HandlerID(len(k.handlers) - 1)
 }
 
-// ScheduleAfter runs fn delay cycles from now. delay must be positive.
-func (k *Kernel) ScheduleAfter(delay Cycle, fn func(now Cycle)) {
-	k.Schedule(k.now+delay, fn)
+// ScheduleEvent delivers (kind, arg) to handler at cycle at. Scheduling in
+// the past (or present) panics: it would silently never fire and always
+// indicates a component bug.
+func (k *Kernel) ScheduleEvent(at Cycle, handler HandlerID, kind EventKind, arg uint64) {
+	if at <= k.now {
+		panic(fmt.Sprintf("sim: ScheduleEvent at cycle %d but now is %d", at, k.now))
+	}
+	if handler < 0 || int(handler) >= len(k.handlers) {
+		panic(fmt.Sprintf("sim: ScheduleEvent with unregistered handler %d", handler))
+	}
+	k.seq++
+	k.events.push(event{at: at, seq: k.seq, handler: handler, kind: kind, arg: arg})
+}
+
+// ScheduleEventAfter delivers (kind, arg) to handler delay cycles from now.
+// delay must be positive.
+func (k *Kernel) ScheduleEventAfter(delay Cycle, handler HandlerID, kind EventKind, arg uint64) {
+	k.ScheduleEvent(k.now+delay, handler, kind, arg)
 }
 
 // Stop makes the current Run return after the cycle in progress completes.
@@ -181,7 +230,7 @@ func (k *Kernel) Step() {
 	k.now++
 	for len(k.events) > 0 && k.events[0].at <= k.now {
 		ev := k.events.pop()
-		ev.fn(k.now)
+		k.handlers[ev.handler].HandleEvent(k.now, ev.kind, ev.arg)
 	}
 	for _, c := range k.components {
 		c.Tick(k.now)
@@ -342,10 +391,10 @@ func (h *eventHeap) pop() event {
 	top := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
-	// Zero the vacated tail slot so the popped event's closure (and
-	// everything it captures — requests, whole cores) becomes
-	// collectable instead of staying reachable through the heap's
-	// backing array for the rest of the run.
+	// Events are plain data, so the vacated tail slot retains nothing;
+	// zeroing it is cheap insurance against stale entries confusing a
+	// debugger. (When events held closures this zeroing was a correctness
+	// fix — a popped closure stayed reachable through the backing array.)
 	old[n] = event{}
 	*h = old[:n]
 	i := 0

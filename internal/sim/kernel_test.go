@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"camouflage/internal/ckpt"
 )
 
 func TestKernelStartsAtZero(t *testing.T) {
@@ -48,49 +50,84 @@ func TestRegisterNilPanics(t *testing.T) {
 	NewKernel(1).Register(nil)
 }
 
-func TestScheduleFiresAtExactCycle(t *testing.T) {
+// recorder is a test EventHandler that logs every delivery.
+type recorder struct {
+	fired []recorded
+}
+
+type recorded struct {
+	now  Cycle
+	kind EventKind
+	arg  uint64
+}
+
+func (r *recorder) HandleEvent(now Cycle, kind EventKind, arg uint64) {
+	r.fired = append(r.fired, recorded{now, kind, arg})
+}
+
+func TestScheduleEventFiresAtExactCycle(t *testing.T) {
 	k := NewKernel(1)
-	var fired Cycle
-	k.Schedule(10, func(now Cycle) { fired = now })
+	r := &recorder{}
+	h := k.RegisterHandler(r)
+	k.ScheduleEvent(10, h, 7, 99)
 	k.Run(20)
-	if fired != 10 {
-		t.Fatalf("event fired at %d, want 10", fired)
+	if len(r.fired) != 1 {
+		t.Fatalf("fired %d events, want 1", len(r.fired))
+	}
+	got := r.fired[0]
+	if got.now != 10 || got.kind != 7 || got.arg != 99 {
+		t.Fatalf("event fired as %+v, want now=10 kind=7 arg=99", got)
 	}
 }
 
-func TestScheduleInPastPanics(t *testing.T) {
+func TestScheduleEventInPastPanics(t *testing.T) {
 	k := NewKernel(1)
+	h := k.RegisterHandler(&recorder{})
 	k.Run(5)
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Schedule in the past did not panic")
+			t.Fatal("ScheduleEvent in the past did not panic")
 		}
 	}()
-	k.Schedule(3, func(Cycle) {})
+	k.ScheduleEvent(3, h, 0, 0)
 }
 
-func TestScheduleAfter(t *testing.T) {
+func TestScheduleEventUnregisteredHandlerPanics(t *testing.T) {
 	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleEvent with unregistered handler did not panic")
+		}
+	}()
+	k.ScheduleEvent(10, 0, 0, 0)
+}
+
+func TestScheduleEventAfter(t *testing.T) {
+	k := NewKernel(1)
+	r := &recorder{}
+	h := k.RegisterHandler(r)
 	k.Run(7)
-	var fired Cycle
-	k.ScheduleAfter(5, func(now Cycle) { fired = now })
+	k.ScheduleEventAfter(5, h, 0, 0)
 	k.Run(10)
-	if fired != 12 {
-		t.Fatalf("event fired at %d, want 12", fired)
+	if len(r.fired) != 1 || r.fired[0].now != 12 {
+		t.Fatalf("fired %+v, want one event at cycle 12", r.fired)
 	}
 }
 
 func TestSameCycleEventsFireInScheduleOrder(t *testing.T) {
 	k := NewKernel(1)
-	var order []int
+	r := &recorder{}
+	h := k.RegisterHandler(r)
 	for i := 0; i < 10; i++ {
-		i := i
-		k.Schedule(5, func(Cycle) { order = append(order, i) })
+		k.ScheduleEvent(5, h, 0, uint64(i))
 	}
 	k.Run(6)
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("events fired out of order: %v", order)
+	if len(r.fired) != 10 {
+		t.Fatalf("fired %d events, want 10", len(r.fired))
+	}
+	for i, v := range r.fired {
+		if v.arg != uint64(i) {
+			t.Fatalf("events fired out of order: %+v", r.fired)
 		}
 	}
 }
@@ -103,7 +140,10 @@ func TestEventsFireBeforeComponentTicks(t *testing.T) {
 			log = append(log, "tick")
 		}
 	}))
-	k.Schedule(5, func(Cycle) { log = append(log, "event") })
+	h := k.RegisterHandler(EventHandlerFunc(func(Cycle, EventKind, uint64) {
+		log = append(log, "event")
+	}))
+	k.ScheduleEvent(5, h, 0, 0)
 	k.Run(6)
 	if len(log) != 2 || log[0] != "event" || log[1] != "tick" {
 		t.Fatalf("order %v, want [event tick]", log)
@@ -145,16 +185,17 @@ func TestEventHeapOrdering(t *testing.T) {
 			return true
 		}
 		k := NewKernel(1)
-		var fired []Cycle
+		r := &recorder{}
+		h := k.RegisterHandler(r)
 		for _, d := range delays {
-			k.Schedule(Cycle(d)+1, func(now Cycle) { fired = append(fired, now) })
+			k.ScheduleEvent(Cycle(d)+1, h, 0, 0)
 		}
 		k.Run(300)
-		if len(fired) != len(delays) {
+		if len(r.fired) != len(delays) {
 			return false
 		}
-		for i := 1; i < len(fired); i++ {
-			if fired[i] < fired[i-1] {
+		for i := 1; i < len(r.fired); i++ {
+			if r.fired[i].now < r.fired[i-1].now {
 				return false
 			}
 		}
@@ -167,8 +208,9 @@ func TestEventHeapOrdering(t *testing.T) {
 
 func TestPendingEvents(t *testing.T) {
 	k := NewKernel(1)
-	k.Schedule(5, func(Cycle) {})
-	k.Schedule(10, func(Cycle) {})
+	h := k.RegisterHandler(&recorder{})
+	k.ScheduleEvent(5, h, 0, 0)
+	k.ScheduleEvent(10, h, 0, 0)
 	if k.PendingEvents() != 2 {
 		t.Fatalf("pending %d, want 2", k.PendingEvents())
 	}
@@ -180,14 +222,62 @@ func TestPendingEvents(t *testing.T) {
 
 func TestSortedEventCycles(t *testing.T) {
 	k := NewKernel(1)
-	k.Schedule(9, func(Cycle) {})
-	k.Schedule(3, func(Cycle) {})
-	k.Schedule(6, func(Cycle) {})
+	h := k.RegisterHandler(&recorder{})
+	k.ScheduleEvent(9, h, 0, 0)
+	k.ScheduleEvent(3, h, 0, 0)
+	k.ScheduleEvent(6, h, 0, 0)
 	got := k.sortedEventCycles()
 	want := []Cycle{3, 6, 9}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("sorted cycles %v, want %v", got, want)
 		}
+	}
+}
+
+// TestPendingEventsSurviveCheckpoint exercises the property the typed-event
+// rewrite bought: events are plain data, so a checkpoint taken while some
+// are pending round-trips them and a restored kernel fires them at the
+// same cycles in the same order.
+func TestPendingEventsSurviveCheckpoint(t *testing.T) {
+	build := func() (*Kernel, *recorder) {
+		k := NewKernel(7)
+		r := &recorder{}
+		k.RegisterHandler(r)
+		return k, r
+	}
+	k, r := build()
+	k.ScheduleEvent(5, 0, 1, 100)
+	k.ScheduleEvent(20, 0, 2, 200)
+	k.ScheduleEvent(20, 0, 3, 300)
+	k.Run(10) // fires the cycle-5 event, leaves two pending
+
+	var e ckpt.Encoder
+	k.Snapshot(&e)
+
+	k2, r2 := build()
+	if err := k2.Restore(ckpt.NewDecoder(e.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if k2.PendingEvents() != 2 {
+		t.Fatalf("restored kernel has %d pending events, want 2", k2.PendingEvents())
+	}
+	k2.Run(15)
+	want := []recorded{{20, 2, 200}, {20, 3, 300}}
+	if len(r2.fired) != len(want) {
+		t.Fatalf("restored kernel fired %+v, want %+v", r2.fired, want)
+	}
+	for i := range want {
+		if r2.fired[i] != want[i] {
+			t.Fatalf("restored kernel fired %+v, want %+v", r2.fired, want)
+		}
+	}
+	_ = r
+
+	// Restoring into a kernel with no registered handlers must fail
+	// loudly rather than drop or misroute the events.
+	k3 := NewKernel(7)
+	if err := k3.Restore(ckpt.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("restore with missing handlers succeeded, want error")
 	}
 }

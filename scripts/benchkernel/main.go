@@ -8,7 +8,9 @@
 // (mostly) machine-independent — both sides of the division ran on the
 // same machine seconds apart — so it is what the gate tracks, with a
 // tolerance for scheduling noise; absolute ns/op is recorded for humans
-// but never gated, because CI runners are heterogeneous.
+// but never gated, because CI runners are heterogeneous. Allocation
+// counts ARE machine-independent (the simulator is deterministic), so
+// allocs/op is gated per benchmark against the baseline.
 //
 // Usage:
 //
@@ -52,6 +54,7 @@ func main() {
 		baseline = flag.String("baseline", "BENCH_kernel.json", "check: committed baseline summary")
 		current  = flag.String("current", "", "check: freshly emitted summary")
 		tol      = flag.Float64("tol", 0.20, "check: allowed fractional speedup regression")
+		allocTol = flag.Float64("alloc-tol", 0.05, "check: allowed fractional allocs/op growth (allocation counts are deterministic, so this only absorbs GC attribution noise)")
 		minIdle  = flag.Float64("min-idle-speedup", 2.0, "check: required fast/stepped ratio on the idle headline group")
 		idleKey  = flag.String("idle-key", "noshaping/sjeng", "check: the idle headline group")
 	)
@@ -63,7 +66,7 @@ func main() {
 			fatal(err)
 		}
 	case *check:
-		if err := runCheck(*baseline, *current, *tol, *minIdle, *idleKey); err != nil {
+		if err := runCheck(*baseline, *current, *tol, *allocTol, *minIdle, *idleKey); err != nil {
 			fatal(err)
 		}
 	default:
@@ -146,6 +149,16 @@ func parse(sc *bufio.Scanner) (*Summary, error) {
 			if prev.NsPerOp < m.NsPerOp {
 				m.NsPerOp = prev.NsPerOp
 			}
+			// Allocation counts are deterministic for this simulator, but
+			// GC-attributed noise can inflate a repetition; keep the minimum
+			// observation so the record is the benchmark's true footprint
+			// rather than whichever line happened to be parsed last.
+			if prev.AllocsPerOp < m.AllocsPerOp {
+				m.AllocsPerOp = prev.AllocsPerOp
+			}
+			if prev.BytesPerOp < m.BytesPerOp {
+				m.BytesPerOp = prev.BytesPerOp
+			}
 		}
 		sum.Benchmarks[name] = m
 	}
@@ -181,7 +194,7 @@ func load(path string) (*Summary, error) {
 	return &sum, nil
 }
 
-func runCheck(basePath, curPath string, tol, minIdle float64, idleKey string) error {
+func runCheck(basePath, curPath string, tol, allocTol, minIdle float64, idleKey string) error {
 	base, err := load(basePath)
 	if err != nil {
 		return err
@@ -206,6 +219,27 @@ func runCheck(basePath, curPath string, tol, minIdle float64, idleKey string) er
 				group, got, floor, want, tol*100))
 		}
 		fmt.Printf("%-24s baseline %6.2fx  current %6.2fx  %s\n", group, want, got, status)
+	}
+	// Allocation counts, unlike wall-clock numbers, are machine-independent
+	// for a deterministic simulator: the same build does the same work per
+	// op everywhere. Gate them per benchmark so a heap regression on the
+	// busy path cannot hide behind a fast CI runner. Baselines recorded
+	// before allocation tracking (allocs_per_op == 0) are skipped.
+	for name, want := range base.Benchmarks {
+		if want.AllocsPerOp <= 0 {
+			continue
+		}
+		got, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline, missing from current run", name))
+			continue
+		}
+		ceil := want.AllocsPerOp * (1 + allocTol)
+		if got.AllocsPerOp > ceil {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f allocs/op above %.0f (baseline %.0f + %.0f%% tolerance)",
+				name, got.AllocsPerOp, ceil, want.AllocsPerOp, allocTol*100))
+		}
 	}
 	if got, ok := cur.Speedups[idleKey]; !ok {
 		failures = append(failures, fmt.Sprintf("idle headline group %s missing from current run", idleKey))
